@@ -1,0 +1,56 @@
+// ABL-BG — §5.1: "we prioritize the target flows in the network … This
+// prioritization isolates the collective while maintaining the original
+// load … background flows impose additional, unaccounted, load on the
+// switch and naturally alter the packet spraying pattern."
+//
+// We run the measured collective alone, with a continuously-iterating
+// untagged background job at LOWER priority (the paper's prescription),
+// and with the background job at the SAME priority (no isolation). The
+// monitors only ever count the tagged job; what the background can do is
+// perturb its spraying. Prioritization must keep the noise floor at the
+// solo level; same-priority sharing is allowed to inflate it.
+#include "bench_common.h"
+
+using namespace flowpulse;
+
+int main() {
+  bench::print_header("ABL-BG: background jobs vs the measured collective's symmetry",
+                      "Paper §5.1: prioritization isolates the measured collective.");
+
+  const std::uint32_t trials = exp::env_trials(2);
+  const double drop = 0.02;
+
+  struct Case {
+    const char* name;
+    std::uint64_t bg_bytes;
+    net::Priority bg_prio;
+  };
+  exp::Table table({"background job", "noise floor", "FPR@1%", "FNR@1% (2% drop)"});
+  for (const Case& c :
+       {Case{"none (solo job)", 0, net::Priority::kBackground},
+        Case{"heavy, LOWER priority (paper)", 16'000'000, net::Priority::kBackground},
+        Case{"heavy, SAME priority (no isolation)", 16'000'000,
+             net::Priority::kCollective}}) {
+    exp::ScenarioConfig cfg = bench::paper_setup(24'000'000, 3);
+    cfg.background.bytes = c.bg_bytes;
+    cfg.background.priority = c.bg_prio;
+
+    const std::vector<exp::TrialSamples> clean = exp::run_trials(cfg, trials);
+
+    exp::ScenarioConfig faulty_cfg = cfg;
+    faulty_cfg.new_faults.push_back(bench::silent_drop(drop));
+    const std::vector<exp::TrialSamples> faulty = exp::run_trials(faulty_cfg, trials);
+
+    table.row({c.name, exp::pct(exp::noise_floor(clean)),
+               exp::pct(exp::classify(clean, 0.01).fpr()),
+               exp::pct(exp::classify(faulty, 0.01).fnr())});
+  }
+  table.print();
+
+  std::cout << "\nShape check vs paper: with the measured collective prioritized, a heavy\n"
+               "background job leaves the noise floor (and hence the 1% threshold) intact;\n"
+               "at equal priority the background's queueing steers the spray and the\n"
+               "model's even-split assumption erodes — the reason §5.1 prescribes\n"
+               "prioritizing the measured collective.\n";
+  return 0;
+}

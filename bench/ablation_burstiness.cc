@@ -1,0 +1,74 @@
+// ABL-BURST — §7 "Fault Types": gray faults in practice are *bursty* (BER
+// episodes, flapping optics), not independent coin flips. FlowPulse's
+// statistic integrates volume over a whole iteration, so it should be
+// insensitive to how the same average loss is distributed in time.
+//
+// We compare a uniform random-drop link against Gilbert–Elliott links of
+// equal average rate but increasing burst length. Short bursts behave like
+// uniform loss; long bursts concentrate the same average into rare
+// episodes, so many iterations genuinely lose nothing — the per-iteration
+// deviation is bimodal: near zero between episodes, huge within them.
+#include <cmath>
+
+#include "bench_common.h"
+
+using namespace flowpulse;
+
+int main() {
+  bench::print_header("ABL-BURST: bursty vs uniform loss at equal average rate",
+                      "Paper §7 Fault Types: gray faults manifest as (bursty) drops.");
+
+  const std::uint32_t trials = exp::env_trials(2);
+  const double avg_rate = 0.02;
+
+  struct Case {
+    std::string name;
+    net::FaultSpec spec;
+  };
+  const std::vector<Case> cases{
+      {"uniform 2% drops", net::FaultSpec::random_drop(avg_rate)},
+      {"GE bursts ~10 pkts", net::FaultSpec::gilbert_elliott(avg_rate, 10.0)},
+      {"GE bursts ~100 pkts", net::FaultSpec::gilbert_elliott(avg_rate, 100.0)},
+      {"GE bursts ~1000 pkts", net::FaultSpec::gilbert_elliott(avg_rate, 1000.0)},
+  };
+
+  exp::Table table({"fault", "FNR@1% (vs configured)", "mean dev", "stddev of dev",
+                    "max dev"});
+  for (const Case& c : cases) {
+    exp::ScenarioConfig cfg = bench::paper_setup(24'000'000, 4);
+    exp::NewFault f;
+    f.leaf = 12;
+    f.uplink = 5;
+    f.where = exp::NewFault::Where::kBoth;
+    f.spec = c.spec;
+    cfg.new_faults.push_back(f);
+
+    const std::vector<exp::TrialSamples> samples = exp::run_trials(cfg, trials);
+    double sum = 0.0, sum2 = 0.0, max_dev = 0.0;
+    std::uint32_t n = 0;
+    for (const exp::TrialSamples& t : samples) {
+      for (const double d : t.dev) {
+        sum += d;
+        sum2 += d * d;
+        max_dev = std::max(max_dev, d);
+        ++n;
+      }
+    }
+    const double mean = n ? sum / n : 0.0;
+    const double var = n ? sum2 / n - mean * mean : 0.0;
+    table.row({c.name, exp::pct(exp::classify(samples, 0.01).fnr()), exp::pct(mean),
+               exp::pct(var > 0 ? std::sqrt(var) : 0.0), exp::pct(max_dev)});
+  }
+  table.print();
+
+  std::cout << "\nTakeaway: short bursts detect like uniform loss. Long bursts turn the SAME\n"
+               "average rate into rare episodes: most iterations truly lose nothing (the\n"
+               "naive 'FNR vs configured fault' soars), but iterations containing an\n"
+               "episode deviate enormously (see max dev) and are flagged the moment they\n"
+               "occur — per-iteration checking catches each episode with one-iteration\n"
+               "latency, degenerating into the transient-fault regime of Fig. 3. Faults\n"
+               "whose episodes are shorter and rarer than one iteration\'s traffic are the\n"
+               "paper\'s acknowledged blind spot (\"faults that are too short ... are still\n"
+               "undetectable\").\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// ABL-JITTER — §4/§7 claim: temporal symmetry is robust to start-time
+// jitter for ring collectives, because with one non-local sender and one
+// non-local destination per leaf, spraying happens at the sender's leaf
+// and the aggregated per-iteration volume is unchanged by timing.
+//
+// We sweep per-rank start jitter from 0 to 50 µs (several times the
+// iteration's stage time) and report the clean noise floor and the FNR
+// against a 1.5% drop — both should stay flat.
+#include "bench_common.h"
+
+using namespace flowpulse;
+
+int main() {
+  bench::print_header("ABL-JITTER: straggler jitter vs temporal symmetry",
+                      "Paper §4: volume-over-iteration is jitter-resilient for rings.");
+
+  const std::uint32_t trials = exp::env_trials(2);
+
+  exp::Table table({"max jitter", "noise floor", "FPR@1%", "FNR@1% (1.5% drop)",
+                    "mean iter time"});
+  for (const std::int64_t jitter_us : {0ll, 2ll, 10ll, 25ll, 50ll}) {
+    exp::ScenarioConfig cfg = bench::paper_setup(24'000'000);
+    cfg.max_jitter = sim::Time::microseconds(jitter_us);
+
+    const std::vector<exp::TrialSamples> clean = exp::run_trials(cfg, trials);
+
+    exp::ScenarioConfig faulty_cfg = cfg;
+    faulty_cfg.new_faults.push_back(bench::silent_drop(0.015));
+    const std::vector<exp::TrialSamples> faulty = exp::run_trials(faulty_cfg, trials);
+
+    // One representative run for the iteration-time column.
+    exp::Scenario probe{cfg};
+    const exp::ScenarioResult r = probe.run();
+    double mean_us = 0.0;
+    for (const auto& w : r.iter_windows) mean_us += (w.second - w.first).us();
+    if (!r.iter_windows.empty()) mean_us /= static_cast<double>(r.iter_windows.size());
+
+    table.row({std::to_string(jitter_us) + " us", exp::pct(exp::noise_floor(clean)),
+               exp::pct(exp::classify(clean, 0.01).fpr()),
+               exp::pct(exp::classify(faulty, 0.01).fnr()), exp::fmt(mean_us, 1) + " us"});
+  }
+  table.print();
+
+  std::cout << "\nShape check vs paper: the noise floor and FNR stay flat as jitter grows —\n"
+               "iteration completion stretches, but the per-port volume per iteration (the\n"
+               "statistic FlowPulse checks) is unchanged.\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// ABL-SPRAY — design ablation (DESIGN.md decision 1): how the spraying
+// policy shapes FlowPulse's signal.
+//
+//  * kAdaptive (least-loaded + per-destination round-robin ties) — the
+//    paper's APS: near-deterministic balance, tiny noise floor.
+//  * kRandom (uniform per-packet) — still symmetric in expectation but
+//    adds multinomial sampling noise, inflating the noise floor and FNR.
+//  * kFlowlet (Let-It-Flow-style) — flows re-route only at idle gaps; a
+//    single long collective flow rarely pauses, so it behaves close to
+//    ECMP for this workload.
+//  * kEcmp (per-flow hash) — the classical datacenter baseline the paper
+//    contrasts with: a flow pins to one path, so per-port loads are wildly
+//    uneven and temporal-symmetry monitoring needs the learned baseline.
+#include "bench_common.h"
+
+using namespace flowpulse;
+
+int main() {
+  bench::print_header("ABL-SPRAY: spray policy vs detection quality",
+                      "Ablation of the APS assumption (paper §2, §4).");
+
+  const std::uint32_t trials = exp::env_trials(2);
+  const double drop = 0.015;
+
+  exp::Table table({"policy", "noise floor", "FPR@1%", "FNR@1% (1.5% drop)",
+                    "FNR@cal (2x floor)"});
+  struct Policy {
+    net::SprayPolicy policy;
+    const char* name;
+  };
+  for (const Policy& p : {Policy{net::SprayPolicy::kAdaptive, "adaptive APS"},
+                          Policy{net::SprayPolicy::kRandom, "random spray"},
+                          Policy{net::SprayPolicy::kFlowlet, "flowlet switching"},
+                          Policy{net::SprayPolicy::kEcmp, "ECMP (per-flow)"}}) {
+    exp::ScenarioConfig cfg = bench::paper_setup(24'000'000);
+    cfg.fabric.spray = p.policy;
+
+    const std::vector<exp::TrialSamples> clean = exp::run_trials(cfg, trials);
+    const double floor = exp::noise_floor(clean);
+
+    exp::ScenarioConfig faulty_cfg = cfg;
+    faulty_cfg.new_faults.push_back(bench::silent_drop(drop));
+    const std::vector<exp::TrialSamples> faulty = exp::run_trials(faulty_cfg, trials);
+
+    table.row({p.name, exp::pct(floor), exp::pct(exp::classify(clean, 0.01).fpr()),
+               exp::pct(exp::classify(faulty, 0.01).fnr()),
+               exp::pct(exp::classify(faulty, 2.0 * floor).fnr())});
+  }
+  table.print();
+
+  std::cout << "\nTakeaway: adaptive APS gives a sub-1% noise floor that makes the paper's\n"
+               "1% threshold workable; random spray needs larger collectives for the same\n"
+               "accuracy; ECMP breaks the even-split model entirely (its 'noise floor' is\n"
+               "really model mismatch), confirming why FlowPulse targets APS fabrics.\n";
+  return 0;
+}

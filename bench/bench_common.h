@@ -1,0 +1,65 @@
+#pragma once
+
+// Shared helpers for the figure-reproduction benches. Every bench prints a
+// table whose rows mirror the corresponding figure/claim in the paper (see
+// DESIGN.md experiment index and EXPERIMENTS.md for paper-vs-measured).
+//
+// Scale knobs (environment):
+//   FLOWPULSE_TRIALS — seeded repetitions per configuration point
+//   FLOWPULSE_SCALE  — multiplier on collective bytes (e.g. 4 for more
+//                      per-port packets → tighter detection statistics)
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "exp/metrics.h"
+#include "exp/scenario.h"
+#include "exp/table.h"
+#include "exp/trials.h"
+
+namespace flowpulse::bench {
+
+/// The paper's §6 experimental setup: non-blocking 2-level fat tree with
+/// 32 leaves × 16 spines, one host per leaf, a 31-stage Ring-AllReduce
+/// (reduce-scatter ring) across all nodes, lossless fabric, 5 µs RTO floor,
+/// analytical load model, 1% detection threshold.
+/// Default collective: ~46 MiB, deliberately non-round so per-port packet
+/// counts do not divide evenly by the spine count — real gradient sizes
+/// are not round, and the remainder packets give the clean runs a small,
+/// honest quantization noise floor (~0.1-0.4%) instead of an exact zero.
+constexpr std::uint64_t kDefaultCollectiveBytes = 48'000'000;
+
+inline exp::ScenarioConfig paper_setup(std::uint64_t collective_bytes = kDefaultCollectiveBytes,
+                                       std::uint32_t iterations = 3) {
+  exp::ScenarioConfig cfg;
+  cfg.fabric.shape = net::TopologyInfo{32, 16, 1, 1};
+  cfg.collective = collective::CollectiveKind::kRingReduceScatter;
+  cfg.collective_bytes =
+      static_cast<std::uint64_t>(static_cast<double>(collective_bytes) * exp::env_scale());
+  cfg.iterations = iterations;
+  cfg.max_jitter = sim::Time::microseconds(1);
+  cfg.flowpulse.threshold = 0.01;
+  return cfg;
+}
+
+/// A silent random-drop fault on one leaf↔spine link, active for the whole
+/// run — the paper's fault-injection shape: "we configure a single
+/// leaf-spine link to drop packets at a set rate". A failing cable corrupts
+/// both directions, so both see the drop rate; the downlink direction
+/// starves the local leaf's ingress port, the uplink direction starves the
+/// ring successor's.
+inline exp::NewFault silent_drop(double rate, net::LeafId leaf = 12, net::UplinkIndex u = 5) {
+  exp::NewFault f;
+  f.leaf = leaf;
+  f.uplink = u;
+  f.where = exp::NewFault::Where::kBoth;
+  f.spec = net::FaultSpec::random_drop(rate);
+  return f;
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "=== " << title << " ===\n" << paper_ref << "\n\n";
+}
+
+}  // namespace flowpulse::bench

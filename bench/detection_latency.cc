@@ -1,0 +1,75 @@
+// LATENCY — the paper's "rapid" claim, quantified: how long after a silent
+// fault appears does each strategy raise its first alert?
+//
+//  * FlowPulse — flags at the end of the first iteration whose volume the
+//    fault perturbed (its fundamental latency = one collective iteration).
+//  * Pingmesh probing — must wait for a probe to (a) be scheduled, (b) get
+//    sprayed onto the faulty link, (c) actually be dropped at rate p.
+//  * Counter polling — never fires for silent faults (see ABL-BASELINE).
+//
+// The fault switches on mid-run at a fixed time; we report alert latency
+// from onset across seeds.
+#include "baseline/pingmesh.h"
+#include "bench_common.h"
+
+using namespace flowpulse;
+
+int main() {
+  bench::print_header("LATENCY: time from silent-fault onset to first alert",
+                      "Paper: 'rapid, low-overhead detection' — quantified.");
+
+  const std::uint32_t trials = exp::env_trials(3);
+  const sim::Time onset = sim::Time::microseconds(900);
+
+  exp::Table table({"drop rate", "seed", "FlowPulse alert after", "probe loss after",
+                    "iteration length"});
+  for (const double drop : {0.02, 0.05}) {
+    for (std::uint32_t t = 0; t < trials; ++t) {
+      exp::ScenarioConfig cfg = bench::paper_setup(24'000'000, 8);
+      cfg.seed = 100 + t * 7919;
+      exp::NewFault f = bench::silent_drop(drop);
+      f.spec.start = onset;
+      cfg.new_faults.push_back(f);
+
+      exp::Scenario s{cfg};
+      baseline::PingmeshConfig pcfg;
+      pcfg.interval = sim::Time::microseconds(50);
+      pcfg.probes_per_round = 2;
+      baseline::PingmeshProber prober{s.simulator(), s.fabric(), s.transports(), pcfg};
+      prober.start(sim::Time::milliseconds(20));
+
+      const exp::ScenarioResult r = s.run();
+      sim::Time alert = sim::Time::max();
+      for (std::size_t i = 0; i < r.per_iter_max_dev.size(); ++i) {
+        if (r.per_iter_max_dev[i] > 0.01 && i < r.iter_windows.size() &&
+            r.iter_windows[i].second >= onset) {
+          alert = r.iter_windows[i].second;
+          break;
+        }
+      }
+      double iter_us = 0.0;
+      for (const auto& w : r.iter_windows) iter_us += (w.second - w.first).us();
+      iter_us /= static_cast<double>(r.iter_windows.empty() ? 1 : r.iter_windows.size());
+
+      const sim::Time probe_loss = prober.first_loss_time();
+      table.row({exp::pct(drop, 0), std::to_string(cfg.seed),
+                 alert == sim::Time::max() ? "never"
+                                           : exp::fmt((alert - onset).us(), 0) + " us",
+                 probe_loss == sim::Time::max() || probe_loss < onset
+                     ? "not yet"
+                     : exp::fmt((probe_loss - onset).us(), 0) + " us",
+                 exp::fmt(iter_us, 0) + " us"});
+    }
+  }
+  table.print();
+
+  std::cout << "\nShape check vs paper: FlowPulse's alert lands at the end of the iteration\n"
+               "in which the fault appeared (latency ~= one iteration, 'instantaneous' at\n"
+               "the granularity training cares about), with zero injected traffic — and the\n"
+               "alert NAMES the faulty link. At these drop rates a dense prober also sees a\n"
+               "loss quickly, but under APS the lost probe identifies no link (its path was\n"
+               "sprayed), its latency blows up at lower rates (see ABL-BASELINE at 1.5%),\n"
+               "and the probe mesh itself costs bandwidth exactly when the fabric is busy.\n"
+               "Counter polling never fires at all for silent faults.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// FIG5A — "Residual Operating Curve (ROC) for different packet drop rates
+// on a faulty link. A 1% threshold is a perfect classifier for drop rates
+// >= 1.5%."
+//
+// For each injected drop rate we run seeded trials of the 31-stage ring on
+// the 32x16 fabric and sweep the detection threshold over the recorded
+// per-iteration deviations, reporting FPR (from clean trials) and FNR (from
+// faulty trials) per (threshold, drop-rate) point.
+//
+// Statistics note (see EXPERIMENTS.md): detection sharpness is governed by
+// the number of collective packets crossing the faulty port per iteration.
+// The paper's production-sized collectives (100s of MB-GBs) make the 1.5%
+// crossover exact; at this bench's default 32 MiB the same shape appears
+// with softer edges; FLOWPULSE_SCALE=8 reproduces the hard crossover.
+#include "bench_common.h"
+
+using namespace flowpulse;
+
+int main() {
+  bench::print_header(
+      "FIG5A: ROC — detection threshold sweep x faulty-link drop rate",
+      "Paper Fig. 5(a): 1% threshold perfectly classifies drop rates >= 1.5%.");
+
+  const std::uint32_t trials = exp::env_trials(3);
+  const std::vector<double> drop_rates{0.005, 0.008, 0.010, 0.015, 0.020, 0.030};
+  const std::vector<double> thresholds{0.0005, 0.001,  0.0025, 0.005,
+                                       0.0075, 0.010,  0.015,  0.020};
+
+  const exp::ScenarioConfig base = bench::paper_setup();
+
+  // Clean trials give the FPR column (shared across drop rates).
+  const std::vector<exp::TrialSamples> clean = exp::run_trials(base, trials);
+  std::cout << "clean-trial noise floor: " << exp::pct(exp::noise_floor(clean)) << "  ("
+            << trials << " trials x " << base.iterations << " iterations)\n\n";
+
+  exp::Table table({"threshold", "FPR"});
+  std::vector<std::vector<exp::TrialSamples>> faulty;
+  std::vector<std::string> headers{"threshold", "FPR"};
+  for (const double rate : drop_rates) {
+    headers.push_back("FNR@drop " + exp::pct(rate, 1));
+    exp::ScenarioConfig cfg = base;
+    cfg.seed = base.seed + 1000 + static_cast<std::uint64_t>(rate * 1e5);
+    cfg.new_faults.push_back(bench::silent_drop(rate));
+    faulty.push_back(exp::run_trials(cfg, trials));
+  }
+
+  exp::Table roc{headers};
+  for (const double th : thresholds) {
+    std::vector<std::string> row{exp::pct(th, 2), exp::pct(exp::classify(clean, th).fpr())};
+    for (const auto& samples : faulty) {
+      row.push_back(exp::pct(exp::classify(samples, th).fnr()));
+    }
+    roc.row(std::move(row));
+  }
+  roc.print();
+
+  std::cout << "\nShape check vs paper: FPR rises only once the threshold drops into the\n"
+               "spray-quantization noise floor; FNR falls with drop rate, with drop rates\n"
+               ">= ~1.5x the threshold reliably detected and < threshold undetectable.\n";
+  return 0;
+}

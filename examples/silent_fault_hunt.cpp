@@ -1,0 +1,111 @@
+// silent_fault_hunt: an operator's view of FlowPulse across fault types.
+//
+// Sweeps the fault taxonomy from §7 — gray links at several severities, a
+// FIB black hole, and a transient flap — and prints, for each, whether the
+// job survived (the transport masks the fault!), what application slowdown
+// it caused, and how FlowPulse detected and localized it. The punchline of
+// the paper in one table: silent faults that only show up as training
+// slowdowns become attributable link-level alerts.
+//
+//   $ ./silent_fault_hunt
+#include <iostream>
+#include <string>
+
+#include "exp/scenario.h"
+#include "exp/table.h"
+
+using namespace flowpulse;
+
+namespace {
+
+struct Case {
+  std::string name;
+  net::FaultSpec spec;
+  exp::NewFault::Where where;
+};
+
+}  // namespace
+
+int main() {
+  std::cout << "FlowPulse silent-fault hunt: 16x8 fat tree, Ring-AllReduce, 24 MB/iter\n\n";
+
+  const net::LeafId leaf = 5;
+  const net::UplinkIndex port = 3;
+
+  exp::ScenarioConfig base;
+  base.fabric.shape = net::TopologyInfo{16, 8, 1, 1};
+  base.collective = collective::CollectiveKind::kRingReduceScatter;
+  base.collective_bytes = 24'000'000;
+  base.iterations = 4;
+
+  // Baseline iteration time from a clean run.
+  exp::Scenario clean{base};
+  const exp::ScenarioResult clean_result = clean.run();
+  double clean_iter_us = 0.0;
+  for (const auto& w : clean_result.iter_windows) clean_iter_us += (w.second - w.first).us();
+  clean_iter_us /= static_cast<double>(clean_result.iter_windows.size());
+
+  const std::vector<Case> cases{
+      {"gray link, 1% drop", net::FaultSpec::random_drop(0.01), exp::NewFault::Where::kBoth},
+      {"gray link, 3% drop", net::FaultSpec::random_drop(0.03), exp::NewFault::Where::kBoth},
+      {"gray link, 10% drop", net::FaultSpec::random_drop(0.10), exp::NewFault::Where::kBoth},
+      {"bursty BER (GE, ~3% avg)", net::FaultSpec::gilbert_elliott(0.03, 25.0),
+       exp::NewFault::Where::kBoth},
+      {"FIB black hole (down dir)", net::FaultSpec::black_hole(),
+       exp::NewFault::Where::kDownlink},
+      {"transient flap (one iter)",
+       net::FaultSpec::random_drop(0.20, sim::Time::microseconds(300),
+                                   sim::Time::microseconds(500)),
+       exp::NewFault::Where::kBoth},
+  };
+
+  exp::Table table({"fault", "job finished", "slowdown", "iters flagged", "retx",
+                    "localized"});
+  for (const Case& c : cases) {
+    exp::ScenarioConfig cfg = base;
+    exp::NewFault f;
+    f.leaf = leaf;
+    f.uplink = port;
+    f.where = c.where;
+    f.spec = c.spec;
+    cfg.new_faults.push_back(f);
+
+    exp::Scenario s{cfg};
+    const exp::ScenarioResult r = s.run();
+
+    double iter_us = 0.0;
+    for (const auto& w : r.iter_windows) iter_us += (w.second - w.first).us();
+    iter_us /= static_cast<double>(r.iter_windows.size());
+
+    std::uint32_t flagged = 0;
+    for (const double dev : r.per_iter_max_dev) {
+      if (dev > cfg.flowpulse.threshold) ++flagged;
+    }
+    std::string localized = "-";
+    for (const fp::DetectionResult& d : s.flowpulse().faulty_results()) {
+      for (const fp::PortAlert& a : d.alerts) {
+        if (a.observed < a.predicted &&
+            a.localization.verdict != fp::Localization::Verdict::kUnknown) {
+          localized = "leaf " + std::to_string(d.leaf) + " / spine " +
+                      std::to_string(s.fabric().info().spine_of(a.uplink)) +
+                      (a.localization.verdict == fp::Localization::Verdict::kLocalLink
+                           ? " (local)"
+                           : " (remote)");
+          break;
+        }
+      }
+      if (localized != "-") break;
+    }
+
+    table.row({c.name, r.iterations_completed == base.iterations ? "yes" : "NO",
+               exp::fmt(iter_us / clean_iter_us, 2) + "x",
+               std::to_string(flagged) + "/" + std::to_string(r.per_iter_max_dev.size()),
+               std::to_string(r.transport_stats.retx_packets_sent), localized});
+  }
+  table.print();
+
+  std::cout << "\nNote how every fault is invisible to the application beyond a slowdown\n"
+               "(the transport retransmits around it) — exactly the silent-fault problem —\n"
+               "yet each one surfaces as a localized per-port deviation in FlowPulse.\n";
+  return 0;
+}

@@ -1,0 +1,22 @@
+#include "baseline/spatial_symmetry.h"
+
+#include <algorithm>
+
+namespace flowpulse::baseline {
+
+SpatialResult spatial_symmetry_check(const fp::IterationRecord& record, double threshold) {
+  SpatialResult result;
+  if (record.bytes.empty()) return result;
+  double mean = 0.0;
+  for (const double b : record.bytes) mean += b;
+  mean /= static_cast<double>(record.bytes.size());
+  if (mean <= 0.0) return result;
+  for (const double b : record.bytes) {
+    const double dev = (b > mean ? b - mean : mean - b) / mean;
+    result.max_rel_dev = std::max(result.max_rel_dev, dev);
+  }
+  result.flagged = result.max_rel_dev > threshold;
+  return result;
+}
+
+}  // namespace flowpulse::baseline

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flowpulse/monitor.h"
+
+namespace flowpulse::baseline {
+
+/// The *spatial symmetry* strategy the paper argues against (§1): in a
+/// fault-free non-blocking fabric all of a leaf's ingress-from-spine ports
+/// should carry nearly equal load within the SAME iteration, so unequal
+/// load indicates a fault. It needs no model at all — but any pre-existing
+/// disconnected link permanently breaks the symmetry, so in real networks
+/// (where some links are always down awaiting a maintenance window) it
+/// raises persistent false alarms. The ABL-BASELINE bench quantifies this.
+struct SpatialResult {
+  double max_rel_dev = 0.0;  ///< max |port − mean| / mean across all ports
+  bool flagged = false;
+};
+
+/// Check one iteration's per-port volumes for spatial asymmetry beyond
+/// `threshold`. All ports participate in the mean — a silent port (e.g.
+/// behind a disconnected link) is precisely what the strategy flags.
+[[nodiscard]] SpatialResult spatial_symmetry_check(const fp::IterationRecord& record,
+                                                   double threshold);
+
+}  // namespace flowpulse::baseline

@@ -1,0 +1,26 @@
+#include "collective/demand_matrix.h"
+
+#include <cassert>
+
+namespace flowpulse::collective {
+
+DemandMatrix DemandMatrix::from_schedule(const CommSchedule& schedule,
+                                         const std::vector<net::HostId>& rank_to_host,
+                                         std::uint32_t num_hosts) {
+  assert(rank_to_host.size() == schedule.ranks);
+  DemandMatrix m{num_hosts};
+  for (const Stage& stage : schedule.stages) {
+    for (const Send& s : stage.sends) {
+      m.add(rank_to_host[s.src_rank], rank_to_host[s.dst_rank], s.bytes);
+    }
+  }
+  return m;
+}
+
+std::uint64_t DemandMatrix::total() const {
+  std::uint64_t t = 0;
+  for (const std::uint64_t b : bytes_) t += b;
+  return t;
+}
+
+}  // namespace flowpulse::collective

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "collective/schedule.h"
+#include "net/types.h"
+
+namespace flowpulse::collective {
+
+/// Per-iteration traffic demand in host space: bytes[src][dst] of collective
+/// payload. This is the input to FlowPulse's load prediction (§5.2): for
+/// AllReduce the matrix is identical every iteration and can be computed in
+/// advance from application knowledge, or measured from the first
+/// iterations.
+class DemandMatrix {
+ public:
+  explicit DemandMatrix(std::uint32_t hosts)
+      : hosts_{hosts}, bytes_(static_cast<std::size_t>(hosts) * hosts, 0) {}
+
+  /// Accumulate a schedule over the given rank→host placement.
+  static DemandMatrix from_schedule(const CommSchedule& schedule,
+                                    const std::vector<net::HostId>& rank_to_host,
+                                    std::uint32_t num_hosts);
+
+  [[nodiscard]] std::uint64_t at(net::HostId src, net::HostId dst) const {
+    return bytes_[static_cast<std::size_t>(src) * hosts_ + dst];
+  }
+  void add(net::HostId src, net::HostId dst, std::uint64_t bytes) {
+    bytes_[static_cast<std::size_t>(src) * hosts_ + dst] += bytes;
+  }
+
+  [[nodiscard]] std::uint32_t hosts() const { return hosts_; }
+  [[nodiscard]] std::uint64_t total() const;
+
+ private:
+  std::uint32_t hosts_;
+  std::vector<std::uint64_t> bytes_;
+};
+
+}  // namespace flowpulse::collective

@@ -1,0 +1,53 @@
+#include "exp/metrics.h"
+
+#include <algorithm>
+
+namespace flowpulse::exp {
+
+TrialSamples samples_from(const ScenarioResult& result, std::uint32_t skip) {
+  TrialSamples s;
+  const std::size_t iters =
+      std::min(result.per_iter_max_dev.size(), result.iter_fault_active.size());
+  for (std::size_t i = skip; i < iters; ++i) {
+    s.dev.push_back(result.per_iter_max_dev[i]);
+    s.truth.push_back(result.iter_fault_active[i]);
+  }
+  return s;
+}
+
+Rates classify(const std::vector<TrialSamples>& trials, double threshold) {
+  Rates r;
+  for (const TrialSamples& t : trials) {
+    for (std::size_t i = 0; i < t.dev.size(); ++i) {
+      const bool flagged = t.dev[i] > threshold;
+      const bool faulty = t.truth[i] != 0;
+      if (flagged && faulty) ++r.tp;
+      if (flagged && !faulty) ++r.fp;
+      if (!flagged && faulty) ++r.fn;
+      if (!flagged && !faulty) ++r.tn;
+    }
+  }
+  return r;
+}
+
+std::vector<RocPoint> roc_sweep(const std::vector<TrialSamples>& trials,
+                                const std::vector<double>& thresholds) {
+  std::vector<RocPoint> points;
+  points.reserve(thresholds.size());
+  for (const double t : thresholds) {
+    points.push_back(RocPoint{t, classify(trials, t)});
+  }
+  return points;
+}
+
+double noise_floor(const std::vector<TrialSamples>& clean_trials) {
+  double floor = 0.0;
+  for (const TrialSamples& t : clean_trials) {
+    for (std::size_t i = 0; i < t.dev.size(); ++i) {
+      if (t.truth[i] == 0) floor = std::max(floor, t.dev[i]);
+    }
+  }
+  return floor;
+}
+
+}  // namespace flowpulse::exp

@@ -1,0 +1,118 @@
+#include "exp/report.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace flowpulse::exp {
+namespace {
+
+void json_number(std::ostringstream& os, const char* key, double v, bool comma = true) {
+  os << '"' << key << "\":" << v;
+  if (comma) os << ',';
+}
+
+void json_number(std::ostringstream& os, const char* key, std::uint64_t v,
+                 bool comma = true) {
+  os << '"' << key << "\":" << v;
+  if (comma) os << ',';
+}
+
+}  // namespace
+
+const char* verdict_name(fp::Localization::Verdict v) {
+  switch (v) {
+    case fp::Localization::Verdict::kLocalLink:
+      return "local";
+    case fp::Localization::Verdict::kRemoteLinks:
+      return "remote";
+    case fp::Localization::Verdict::kUnknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+std::string to_json(const ScenarioResult& result) {
+  std::ostringstream os;
+  os << "{";
+  json_number(os, "iterations_completed", std::uint64_t{result.iterations_completed});
+  os << "\"data_valid\":" << (result.data_valid ? "true" : "false") << ',';
+  json_number(os, "events", result.events);
+  json_number(os, "sim_end_us", result.sim_end.us());
+  json_number(os, "wall_seconds", result.wall_seconds);
+  os << "\"transport\":{";
+  json_number(os, "data_packets", result.transport_stats.data_packets_sent);
+  json_number(os, "retx_packets", result.transport_stats.retx_packets_sent);
+  json_number(os, "acks", result.transport_stats.acks_sent);
+  json_number(os, "duplicates", result.transport_stats.duplicate_data_received);
+  json_number(os, "messages", result.transport_stats.messages_received, false);
+  os << "},\"fabric\":{";
+  json_number(os, "tx_packets", result.fabric_counters.tx_packets);
+  json_number(os, "dropped_packets", result.fabric_counters.dropped_packets, false);
+  os << "},\"iterations\":[";
+  for (std::size_t i = 0; i < result.per_iter_max_dev.size(); ++i) {
+    if (i) os << ',';
+    os << "{";
+    json_number(os, "iteration", std::uint64_t{i});
+    json_number(os, "max_rel_dev", result.per_iter_max_dev[i]);
+    const bool active = i < result.iter_fault_active.size() && result.iter_fault_active[i];
+    os << "\"fault_active\":" << (active ? "true" : "false");
+    if (i < result.iter_windows.size()) {
+      os << ',';
+      json_number(os, "start_us", result.iter_windows[i].first.us());
+      json_number(os, "end_us", result.iter_windows[i].second.us(), false);
+    }
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string alerts_to_json(const std::vector<fp::DetectionResult>& results) {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (const fp::DetectionResult& r : results) {
+    for (const fp::PortAlert& a : r.alerts) {
+      if (!first) os << ',';
+      first = false;
+      os << "{";
+      json_number(os, "leaf", std::uint64_t{r.leaf});
+      json_number(os, "iteration", std::uint64_t{r.iteration});
+      json_number(os, "port", std::uint64_t{a.uplink});
+      json_number(os, "observed_bytes", a.observed);
+      json_number(os, "predicted_bytes", a.predicted);
+      json_number(os, "rel_dev", a.rel_dev);
+      os << "\"localization\":\"" << verdict_name(a.localization.verdict) << '"';
+      if (!a.localization.suspect_senders.empty()) {
+        os << ",\"suspect_senders\":[";
+        for (std::size_t i = 0; i < a.localization.suspect_senders.size(); ++i) {
+          if (i) os << ',';
+          os << a.localization.suspect_senders[i];
+        }
+        os << ']';
+      }
+      os << "}";
+    }
+  }
+  os << "]";
+  return os.str();
+}
+
+std::string deviations_to_csv(const ScenarioResult& result) {
+  std::ostringstream os;
+  os << "iteration,max_rel_dev,fault_active\n";
+  for (std::size_t i = 0; i < result.per_iter_max_dev.size(); ++i) {
+    const bool active = i < result.iter_fault_active.size() && result.iter_fault_active[i];
+    os << i << ',' << result.per_iter_max_dev[i] << ',' << (active ? 1 : 0) << '\n';
+  }
+  return os.str();
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out{path, std::ios::trunc};
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace flowpulse::exp

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/scenario.h"
+#include "flowpulse/detector.h"
+
+namespace flowpulse::exp {
+
+/// Machine-readable exports of run results — what a deployment would ship
+/// to the fabric manager / alerting pipeline. Hand-rolled JSON (the values
+/// are all numbers and fixed enum strings; no escaping concerns).
+
+/// Full run summary: workload, per-iteration deviations with ground truth,
+/// transport and fabric counters.
+[[nodiscard]] std::string to_json(const ScenarioResult& result);
+
+/// Alert feed: one object per alerted (leaf, port, iteration) with the
+/// observation, prediction, deviation and localization verdict.
+[[nodiscard]] std::string alerts_to_json(const std::vector<fp::DetectionResult>& results);
+
+/// Per-iteration deviation series as CSV: iteration,max_rel_dev,fault_active.
+[[nodiscard]] std::string deviations_to_csv(const ScenarioResult& result);
+
+/// Localization verdict as a stable string ("local" / "remote" / "unknown").
+[[nodiscard]] const char* verdict_name(fp::Localization::Verdict v);
+
+/// Write `content` to `path` (overwrites). Returns false on I/O failure.
+bool write_file(const std::string& path, const std::string& content);
+
+}  // namespace flowpulse::exp

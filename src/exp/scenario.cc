@@ -1,0 +1,211 @@
+#include "exp/scenario.h"
+
+#include <cassert>
+#include <chrono>
+
+#include "flowpulse/analytical_model.h"
+
+namespace flowpulse::exp {
+
+std::vector<net::HostId> all_hosts_ring(const net::TopologyInfo& info) {
+  std::vector<net::HostId> hosts(info.num_hosts());
+  for (net::HostId h = 0; h < info.num_hosts(); ++h) hosts[h] = h;
+  return hosts;
+}
+
+collective::CommSchedule make_schedule(collective::CollectiveKind kind,
+                                       const net::TopologyInfo& shape,
+                                       std::uint64_t total_bytes) {
+  using collective::CollectiveKind;
+  const std::uint32_t ranks = shape.num_hosts();
+  switch (kind) {
+    case CollectiveKind::kRingAllReduce:
+      return collective::ring_all_reduce(ranks, total_bytes);
+    case CollectiveKind::kRingReduceScatter:
+      return collective::ring_reduce_scatter(ranks, total_bytes);
+    case CollectiveKind::kRingAllGather:
+      return collective::ring_all_gather(ranks, total_bytes);
+    case CollectiveKind::kAllToAll:
+      // total_bytes is interpreted as the whole collective; split per pair.
+      return collective::all_to_all(
+          ranks, total_bytes / (static_cast<std::uint64_t>(ranks) * (ranks - 1)));
+    case CollectiveKind::kHierarchicalRing:
+      // One group per leaf; leaders run the inter-leaf ring.
+      return collective::hierarchical_ring_all_reduce(shape.leaves, shape.hosts_per_leaf,
+                                                      total_bytes);
+  }
+  return collective::ring_reduce_scatter(ranks, total_bytes);
+}
+
+Scenario::Scenario(ScenarioConfig config)
+    : config_{std::move(config)},
+      schedule_{make_schedule(config_.collective, config_.fabric.shape,
+                              config_.collective_bytes)},
+      demand_{collective::DemandMatrix::from_schedule(
+          schedule_, all_hosts_ring(config_.fabric.shape), config_.fabric.shape.num_hosts())} {
+  build();
+}
+
+Scenario::~Scenario() = default;
+
+void Scenario::build() {
+  config_.fabric.seed = config_.seed;
+  sim_ = std::make_unique<sim::Simulator>(config_.seed);
+  fabric_ = std::make_unique<net::FatTree>(*sim_, config_.fabric);
+
+  // Known pre-existing failures first: they shape both routing and the
+  // prediction.
+  for (const auto& [leaf, uplink] : config_.preexisting) {
+    fabric_->disconnect_known(leaf, uplink);
+  }
+
+  transports_ = std::make_unique<transport::TransportLayer>(*sim_, *fabric_, config_.transport);
+
+  flowpulse_ = std::make_unique<fp::FlowPulseSystem>(*fabric_, config_.flowpulse);
+  switch (config_.flowpulse.model) {
+    case fp::ModelKind::kAnalytical:
+      prediction_ = std::make_unique<fp::PortLoadMap>(analytical_prediction());
+      flowpulse_->set_prediction(*prediction_);
+      break;
+    case fp::ModelKind::kSimulation:
+      prediction_ = std::make_unique<fp::PortLoadMap>(simulation_prediction());
+      flowpulse_->set_prediction(*prediction_);
+      break;
+    case fp::ModelKind::kLearned:
+      break;  // the system learns in-band
+  }
+
+  apply_new_faults();
+
+  collective::CollectiveConfig cc;
+  cc.hosts = all_hosts_ring(config_.fabric.shape);
+  cc.schedule = schedule_;
+  cc.iterations = config_.iterations;
+  cc.compute_gap = config_.compute_gap;
+  cc.max_jitter = config_.max_jitter;
+  cc.validate_data = config_.validate_data;
+  runner_ = std::make_unique<collective::CollectiveRunner>(*sim_, *transports_, std::move(cc));
+  runner_->add_iteration_hook([this](std::uint32_t, sim::Time start, sim::Time end) {
+    iter_windows_.emplace_back(start, end);
+  });
+
+  if (config_.background.bytes > 0) {
+    collective::CollectiveConfig bg;
+    bg.hosts = all_hosts_ring(config_.fabric.shape);
+    bg.schedule = collective::ring_all_reduce(config_.fabric.shape.num_hosts(),
+                                              config_.background.bytes);
+    // Effectively unbounded: the run ends when the measured job finishes.
+    bg.iterations = 1u << 30;
+    bg.compute_gap = sim::Time::microseconds(1);
+    bg.priority = config_.background.priority;
+    bg.job_id = 1;
+    bg.tag_flow = false;  // unmeasured
+    background_runner_ =
+        std::make_unique<collective::CollectiveRunner>(*sim_, *transports_, std::move(bg));
+    // Stop the whole simulation shortly after the measured job completes so
+    // the background job cannot spin forever.
+    runner_->add_iteration_hook([this](std::uint32_t iteration, sim::Time, sim::Time) {
+      if (iteration + 1 == config_.iterations) {
+        sim_->schedule_in(sim::Time::microseconds(1), [this] { sim_->stop(); });
+      }
+    });
+  }
+}
+
+fp::PortLoadMap Scenario::analytical_prediction() const {
+  const fp::AnalyticalModel model{config_.fabric.shape, config_.transport.mtu_payload,
+                                  net::kHeaderBytes};
+  return model.predict(demand_, fabric_->routing());
+}
+
+fp::PortLoadMap Scenario::simulation_prediction() const {
+  // Nested fault-free-of-NEW-faults run of the same scenario; average the
+  // monitors' per-iteration observations into the prediction. This is the
+  // paper's "simulation-based model": highest fidelity, costs a simulation
+  // before the job (§5.2).
+  ScenarioConfig nested = config_;
+  nested.new_faults.clear();
+  nested.iterations = config_.sim_model_iterations;
+  nested.flowpulse.model = fp::ModelKind::kAnalytical;  // prediction unused
+  nested.seed = config_.seed ^ 0x51b0a11ull;  // independent randomness
+  Scenario inner{std::move(nested)};
+  inner.run();
+
+  const net::TopologyInfo& info = config_.fabric.shape;
+  fp::PortLoadMap map{info.leaves, info.uplinks_per_leaf()};
+  for (net::LeafId l = 0; l < info.leaves; ++l) {
+    const auto& history = inner.flowpulse().monitor(l).history();
+    if (history.empty()) continue;
+    for (const fp::IterationRecord& rec : history) {
+      for (net::UplinkIndex u = 0; u < info.uplinks_per_leaf(); ++u) {
+        fp::PortLoad& load = map.at(l, u);
+        load.total += rec.bytes[u];
+        for (net::LeafId s = 0; s < info.leaves; ++s) {
+          load.by_src_leaf[s] += rec.by_src[u][s];
+        }
+      }
+    }
+    const double n = static_cast<double>(history.size());
+    for (net::UplinkIndex u = 0; u < info.uplinks_per_leaf(); ++u) {
+      fp::PortLoad& load = map.at(l, u);
+      load.total /= n;
+      for (double& v : load.by_src_leaf) v /= n;
+    }
+  }
+  return map;
+}
+
+void Scenario::apply_new_faults() {
+  for (const NewFault& f : config_.new_faults) {
+    switch (f.where) {
+      case NewFault::Where::kDownlink:
+        fabric_->set_downlink_fault(f.leaf, f.uplink, f.spec);
+        break;
+      case NewFault::Where::kUplink:
+        fabric_->set_uplink_fault(f.leaf, f.uplink, f.spec);
+        break;
+      case NewFault::Where::kBoth:
+        fabric_->set_link_fault(f.leaf, f.uplink, f.spec);
+        break;
+    }
+  }
+}
+
+bool Scenario::fault_active_during(sim::Time start, sim::Time end) const {
+  for (const NewFault& f : config_.new_faults) {
+    if (f.spec.kind == net::FaultSpec::Kind::kNone) continue;
+    if (f.spec.start < end && start < f.spec.end) return true;
+  }
+  return false;
+}
+
+ScenarioResult Scenario::run() {
+  const auto wall_start = std::chrono::steady_clock::now();
+  runner_->start();
+  if (background_runner_) background_runner_->start();
+  sim_->run_until(config_.horizon);
+  flowpulse_->flush();
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  ScenarioResult r;
+  r.iterations_completed = runner_->completed_iterations();
+  r.data_valid = runner_->data_valid();
+  r.per_iter_max_dev = flowpulse_->per_iteration_max_dev();
+  r.detections = flowpulse_->results();
+  r.learned = flowpulse_->learned_outcomes();
+  r.iter_windows = iter_windows_;
+  r.iter_fault_active.reserve(iter_windows_.size());
+  for (const auto& [start, end] : iter_windows_) {
+    r.iter_fault_active.push_back(fault_active_during(start, end) ? 1 : 0);
+  }
+  r.transport_stats = transports_->total_stats();
+  r.fabric_counters = fabric_->total_fabric_counters();
+  // Report when the workload actually finished, not the safety horizon the
+  // clock may have idled to.
+  r.sim_end = iter_windows_.empty() ? sim_->now() : iter_windows_.back().second;
+  r.events = sim_->events_executed();
+  r.wall_seconds = std::chrono::duration<double>(wall_end - wall_start).count();
+  return r;
+}
+
+}  // namespace flowpulse::exp

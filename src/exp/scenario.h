@@ -1,0 +1,142 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "collective/demand_matrix.h"
+#include "collective/runner.h"
+#include "collective/schedule.h"
+#include "flowpulse/system.h"
+#include "net/fat_tree.h"
+#include "sim/simulator.h"
+#include "transport/transport_layer.h"
+
+namespace flowpulse::exp {
+
+/// A silent fault to inject during the run.
+struct NewFault {
+  enum class Where : std::uint8_t { kDownlink, kUplink, kBoth };
+  net::LeafId leaf = 0;
+  net::UplinkIndex uplink = 0;
+  Where where = Where::kBoth;
+  net::FaultSpec spec{};
+};
+
+/// Complete description of one experiment run: fabric, faults, workload,
+/// and the FlowPulse deployment. This is the paper's §6 setup in one
+/// struct; defaults match the paper's defaults (32 leaves × 16 spines,
+/// Ring-AllReduce over one host per leaf, lossless fabric, 5 µs RTO,
+/// analytical model, 1% threshold).
+struct ScenarioConfig {
+  net::FatTreeConfig fabric{};
+  transport::TransportConfig transport{};
+
+  // Workload.
+  collective::CollectiveKind collective = collective::CollectiveKind::kRingReduceScatter;
+  std::uint64_t collective_bytes = 8ull << 20;
+  std::uint32_t iterations = 6;
+  sim::Time compute_gap = sim::Time::microseconds(10);
+  sim::Time max_jitter = sim::Time::microseconds(1);
+  bool validate_data = false;
+
+  /// Optional second, unmeasured job sharing the fabric (paper §5.1 /
+  /// §7 "Parallel Jobs"): an untagged ring collective at kBackground
+  /// priority over the same hosts, continuously re-iterating until the
+  /// measured job finishes. bytes == 0 disables it.
+  struct BackgroundJob {
+    std::uint64_t bytes = 0;
+    net::Priority priority = net::Priority::kBackground;
+  };
+  BackgroundJob background{};
+
+  // Faults.
+  std::vector<std::pair<net::LeafId, net::UplinkIndex>> preexisting;  ///< known, disconnected
+  std::vector<NewFault> new_faults;                                   ///< silent
+
+  // FlowPulse deployment.
+  fp::SystemConfig flowpulse{};
+  /// Iterations the nested prediction run simulates (kSimulation model).
+  std::uint32_t sim_model_iterations = 2;
+
+  std::uint64_t seed = 1;
+  /// Safety cap on simulated time.
+  sim::Time horizon = sim::Time::seconds(10);
+};
+
+/// What one run produced.
+struct ScenarioResult {
+  std::uint32_t iterations_completed = 0;
+  bool data_valid = true;
+
+  /// iteration → largest relative deviation any leaf reported.
+  std::vector<double> per_iter_max_dev;
+  /// iteration → was a new (silent) fault active while it ran?
+  std::vector<std::uint8_t> iter_fault_active;
+  /// (start, end) of each completed iteration.
+  std::vector<std::pair<sim::Time, sim::Time>> iter_windows;
+
+  std::vector<fp::DetectionResult> detections;  ///< every leaf × iteration check
+  std::vector<fp::FlowPulseSystem::LearnedOutcome> learned;
+
+  transport::TransportStats transport_stats{};
+  net::LinkCounters fabric_counters{};
+  sim::Time sim_end = sim::Time::zero();
+  std::uint64_t events = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Builds and runs one experiment. The pieces stay accessible between
+/// construction and run() so benches can customize (e.g. attach a prober
+/// or a second background job).
+class Scenario {
+ public:
+  explicit Scenario(ScenarioConfig config);
+  ~Scenario();
+
+  /// Run to completion and summarize.
+  ScenarioResult run();
+
+  [[nodiscard]] sim::Simulator& simulator() { return *sim_; }
+  [[nodiscard]] net::FatTree& fabric() { return *fabric_; }
+  [[nodiscard]] transport::TransportLayer& transports() { return *transports_; }
+  [[nodiscard]] collective::CollectiveRunner& runner() { return *runner_; }
+  [[nodiscard]] fp::FlowPulseSystem& flowpulse() { return *flowpulse_; }
+  [[nodiscard]] const ScenarioConfig& config() const { return config_; }
+  [[nodiscard]] const collective::CommSchedule& schedule() const { return schedule_; }
+  [[nodiscard]] const collective::DemandMatrix& demand() const { return demand_; }
+
+  /// The prediction FlowPulse was armed with (empty for kLearned).
+  [[nodiscard]] const fp::PortLoadMap* prediction() const { return prediction_.get(); }
+
+ private:
+  void build();
+  [[nodiscard]] fp::PortLoadMap analytical_prediction() const;
+  [[nodiscard]] fp::PortLoadMap simulation_prediction() const;
+  void apply_new_faults();
+  [[nodiscard]] bool fault_active_during(sim::Time start, sim::Time end) const;
+
+  ScenarioConfig config_;
+  collective::CommSchedule schedule_;
+  collective::DemandMatrix demand_;
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<net::FatTree> fabric_;
+  std::unique_ptr<transport::TransportLayer> transports_;
+  std::unique_ptr<collective::CollectiveRunner> runner_;
+  std::unique_ptr<collective::CollectiveRunner> background_runner_;
+  std::unique_ptr<fp::FlowPulseSystem> flowpulse_;
+  std::unique_ptr<fp::PortLoadMap> prediction_;
+  std::vector<std::pair<sim::Time, sim::Time>> iter_windows_;
+};
+
+/// The ring placement used throughout the paper's evaluation: one rank per
+/// host, rank i on host i (with one host per leaf this makes every leaf a
+/// single non-local sender and receiver — the jitter-robust condition §5.1).
+[[nodiscard]] std::vector<net::HostId> all_hosts_ring(const net::TopologyInfo& info);
+
+/// Build the schedule for a ScenarioConfig over all hosts of the topology.
+[[nodiscard]] collective::CommSchedule make_schedule(collective::CollectiveKind kind,
+                                                     const net::TopologyInfo& shape,
+                                                     std::uint64_t total_bytes);
+
+}  // namespace flowpulse::exp

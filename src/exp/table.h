@@ -1,0 +1,64 @@
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace flowpulse::exp {
+
+/// Minimal fixed-width table printer for bench output — keeps every bench
+/// binary's stdout the same shape as the paper's tables/figure series.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_{std::move(headers)} {}
+
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], r[c].size());
+      }
+    }
+    auto line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < width.size(); ++c) {
+        os << "| " << std::setw(static_cast<int>(width[c])) << std::left
+           << (c < cells.size() ? cells[c] : "") << ' ';
+      }
+      os << "|\n";
+    };
+    line(headers_);
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << '|' << std::string(width[c] + 2, '-');
+    }
+    os << "|\n";
+    for (const auto& r : rows_) line(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision.
+[[nodiscard]] inline std::string fmt(double v, int precision = 4) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+/// Format a percentage.
+[[nodiscard]] inline std::string pct(double v, int precision = 2) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v * 100.0 << '%';
+  return os.str();
+}
+
+}  // namespace flowpulse::exp

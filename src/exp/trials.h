@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/metrics.h"
+#include "exp/scenario.h"
+
+namespace flowpulse::exp {
+
+/// Environment-tunable experiment scale, so the full suite can run on a
+/// laptop in minutes yet scale up for higher-confidence numbers:
+///   FLOWPULSE_TRIALS  — seeded repetitions per point (default per bench)
+///   FLOWPULSE_SCALE   — multiplier on collective sizes (default 1.0)
+[[nodiscard]] inline std::uint32_t env_trials(std::uint32_t fallback) {
+  if (const char* s = std::getenv("FLOWPULSE_TRIALS")) {
+    const long v = std::strtol(s, nullptr, 10);
+    if (v > 0) return static_cast<std::uint32_t>(v);
+  }
+  return fallback;
+}
+
+[[nodiscard]] inline double env_scale(double fallback = 1.0) {
+  if (const char* s = std::getenv("FLOWPULSE_SCALE")) {
+    const double v = std::strtod(s, nullptr);
+    if (v > 0.0) return v;
+  }
+  return fallback;
+}
+
+/// Run `n` seeded repetitions of `config` (seeds base_seed, base_seed+1, …)
+/// and collect per-iteration deviation/truth samples, skipping the first
+/// `skip` iterations of each run.
+[[nodiscard]] inline std::vector<TrialSamples> run_trials(const ScenarioConfig& config,
+                                                          std::uint32_t n,
+                                                          std::uint32_t skip = 0) {
+  std::vector<TrialSamples> all;
+  all.reserve(n);
+  for (std::uint32_t t = 0; t < n; ++t) {
+    ScenarioConfig c = config;
+    c.seed = config.seed + t * 7919;  // de-correlate seeds
+    Scenario scenario{std::move(c)};
+    all.push_back(samples_from(scenario.run(), skip));
+  }
+  return all;
+}
+
+}  // namespace flowpulse::exp

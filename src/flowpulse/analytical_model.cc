@@ -1,0 +1,27 @@
+#include "flowpulse/analytical_model.h"
+
+namespace flowpulse::fp {
+
+PortLoadMap AnalyticalModel::predict(const collective::DemandMatrix& demand,
+                                     const net::RoutingState& routing) const {
+  PortLoadMap map{info_.leaves, info_.uplinks_per_leaf()};
+  const std::uint32_t hosts = demand.hosts();
+  for (net::HostId src = 0; src < hosts; ++src) {
+    const net::LeafId src_leaf = info_.leaf_of(src);
+    for (net::HostId dst = 0; dst < hosts; ++dst) {
+      const std::uint64_t d = demand.at(src, dst);
+      if (d == 0) continue;
+      const net::LeafId dst_leaf = info_.leaf_of(dst);
+      if (src_leaf == dst_leaf) continue;  // local traffic never reaches spines
+      const auto& valid = routing.valid_uplinks(src_leaf, dst_leaf);
+      if (valid.empty()) continue;  // partitioned: nothing arrives
+      const double share = wire_bytes(d) / static_cast<double>(valid.size());
+      for (const net::UplinkIndex u : valid) {
+        map.add(dst_leaf, u, src_leaf, share);
+      }
+    }
+  }
+  return map;
+}
+
+}  // namespace flowpulse::fp

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+
+#include "collective/demand_matrix.h"
+#include "flowpulse/port_load.h"
+#include "net/routing.h"
+#include "net/topology_info.h"
+
+namespace flowpulse::fp {
+
+/// Analytical per-link load prediction (paper §5.2).
+///
+/// For each source→destination pair with demand d bytes: in a fault-free
+/// network APS spreads it evenly over all s spines; with f *known* failed
+/// virtual spines adjacent to either the source or the destination leaf,
+/// the remaining (s − f) each carry d / (s − f). Summing the contributions
+/// of every pair destined to a leaf yields the expected load on each of
+/// that leaf's ingress ports from spines.
+///
+/// Demands are payload bytes; the prediction is in wire bytes, accounting
+/// for MTU segmentation exactly as the transport performs it, so it is
+/// directly comparable with switch byte counters.
+class AnalyticalModel {
+ public:
+  AnalyticalModel(const net::TopologyInfo& info, std::uint32_t mtu_payload,
+                  std::uint32_t header_bytes)
+      : info_{info}, mtu_payload_{mtu_payload}, header_bytes_{header_bytes} {}
+
+  /// Wire bytes for a message of `payload` bytes after segmentation.
+  [[nodiscard]] double wire_bytes(std::uint64_t payload) const {
+    if (payload == 0) return 0.0;
+    const std::uint64_t segments = (payload + mtu_payload_ - 1) / mtu_payload_;
+    return static_cast<double>(payload + segments * header_bytes_);
+  }
+
+  /// Predict per-port loads for one iteration of the given demand.
+  [[nodiscard]] PortLoadMap predict(const collective::DemandMatrix& demand,
+                                    const net::RoutingState& routing) const;
+
+ private:
+  net::TopologyInfo info_;
+  std::uint32_t mtu_payload_;
+  std::uint32_t header_bytes_;
+};
+
+}  // namespace flowpulse::fp

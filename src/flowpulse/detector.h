@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "flowpulse/monitor.h"
+#include "flowpulse/port_load.h"
+#include "net/types.h"
+
+namespace flowpulse::fp {
+
+/// Where the localizer places a detected fault (paper §5.3, Fig. 4).
+struct Localization {
+  enum class Verdict : std::uint8_t {
+    kLocalLink,    ///< every sender's traffic on the port is short → the
+                   ///< local spine→leaf link is at fault
+    kRemoteLinks,  ///< only some senders are short → their leaf↔spine links
+    kUnknown,      ///< no per-sender signal (e.g. surplus-only deviation)
+  };
+  Verdict verdict = Verdict::kUnknown;
+  /// For kRemoteLinks: the sender leaves whose traffic is missing.
+  std::vector<net::LeafId> suspect_senders;
+};
+
+/// One port whose observed volume deviated beyond the threshold.
+struct PortAlert {
+  net::UplinkIndex uplink = 0;
+  double observed = 0.0;
+  double predicted = 0.0;
+  double rel_dev = 0.0;
+  Localization localization;
+};
+
+/// Result of checking one finalized iteration at one leaf.
+struct DetectionResult {
+  net::LeafId leaf = 0;
+  std::uint32_t iteration = 0;
+  double max_rel_dev = 0.0;  ///< across all ports (for threshold sweeps)
+  std::vector<PortAlert> alerts;
+  [[nodiscard]] bool faulty() const { return !alerts.empty(); }
+};
+
+/// Relative deviation between an observation and a prediction. A port
+/// predicted silent but carrying traffic deviates infinitely.
+[[nodiscard]] inline double relative_deviation(double observed, double predicted) {
+  if (predicted <= 0.0) {
+    return observed > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
+  }
+  return (observed > predicted ? observed - predicted : predicted - observed) / predicted;
+}
+
+/// Per-sender comparison on one alerted port: decides local vs remote link.
+/// A sender counts as affected when its contribution falls short of its
+/// prediction by more than `threshold` (relative).
+[[nodiscard]] Localization localize(const IterationRecord& record, const PortLoad& predicted,
+                                    net::UplinkIndex uplink, double threshold);
+
+/// Check one finalized iteration against a prediction: any port whose
+/// relative deviation exceeds `threshold` raises a localized alert.
+[[nodiscard]] DetectionResult evaluate_record(const PortLoadMap& prediction, double threshold,
+                                              const IterationRecord& record);
+
+/// Threshold detector (paper §5.3): compares each finalized iteration
+/// against the per-port prediction; any port whose relative deviation
+/// exceeds the threshold raises an alert, which is then localized.
+class Detector {
+ public:
+  Detector(PortLoadMap prediction, double threshold)
+      : prediction_{std::move(prediction)}, threshold_{threshold} {}
+
+  [[nodiscard]] DetectionResult evaluate(const IterationRecord& record) const;
+
+  [[nodiscard]] double threshold() const { return threshold_; }
+  void set_threshold(double t) { threshold_ = t; }
+  [[nodiscard]] const PortLoadMap& prediction() const { return prediction_; }
+  void set_prediction(PortLoadMap p) { prediction_ = std::move(p); }
+
+ private:
+  PortLoadMap prediction_;
+  double threshold_;
+};
+
+}  // namespace flowpulse::fp

@@ -1,0 +1,47 @@
+#include "flowpulse/monitor.h"
+
+namespace flowpulse::fp {
+
+void PortMonitor::begin_iteration(std::uint32_t iteration) {
+  current_ = iteration;
+  accum_ = IterationRecord{};
+  accum_.leaf = id_;
+  accum_.iteration = iteration;
+  accum_.bytes.assign(ports_, 0.0);
+  accum_.by_src.assign(ports_, std::vector<double>(leaves_, 0.0));
+}
+
+void PortMonitor::record(net::UplinkIndex port, const net::Packet& p) {
+  // Select only the measured collective's data traffic: the sentinel plus
+  // job id filters out ACKs, probes and other jobs (§5.1).
+  if (p.kind != net::PacketKind::kData) return;
+  if (!net::flowid::is_collective(p.flow_id)) return;
+  if (net::flowid::job_of(p.flow_id) != job_) return;
+
+  const std::uint32_t iter = net::flowid::iteration_of(p.flow_id);
+  if (!current_.has_value()) {
+    begin_iteration(iter);
+  } else if (iter > *current_) {
+    finalize();
+    begin_iteration(iter);
+  }
+  // Packets tagged with an older iteration than the one being accumulated
+  // (late duplicates) are counted into the current window — the switch has
+  // already closed their iteration and cannot rewrite history.
+
+  accum_.bytes[port] += p.size_bytes;
+  accum_.by_src[port][p.src / hosts_per_leaf_] += p.size_bytes;
+  accum_.packets += 1;
+}
+
+void PortMonitor::finalize() {
+  history_.push_back(accum_);
+  if (finalize_hook_) finalize_hook_(history_.back());
+  current_.reset();
+}
+
+void PortMonitor::flush() {
+  if (current_.has_value()) finalize();
+}
+
+}  // namespace flowpulse::fp

@@ -1,0 +1,68 @@
+#include "flowpulse/system.h"
+
+#include <algorithm>
+
+namespace flowpulse::fp {
+
+FlowPulseSystem::FlowPulseSystem(net::FatTree& fabric, SystemConfig config)
+    : fabric_{fabric}, config_{config} {
+  const net::TopologyInfo& info = fabric.info();
+  monitors_.reserve(info.leaves);
+  for (net::LeafId l = 0; l < info.leaves; ++l) {
+    monitors_.push_back(std::make_unique<PortMonitor>(l, info, config_.job));
+    monitors_.back()->attach(fabric.leaf(l));
+    monitors_.back()->set_finalize_hook(
+        [this](const IterationRecord& r) { on_finalized(r); });
+    if (config_.model == ModelKind::kLearned) {
+      learned_.push_back(
+          std::make_unique<LearnedModel>(info.uplinks_per_leaf(), config_.learned));
+    }
+  }
+}
+
+void FlowPulseSystem::set_prediction(PortLoadMap prediction) {
+  detector_ = std::make_unique<Detector>(std::move(prediction), config_.threshold);
+}
+
+void FlowPulseSystem::on_finalized(const IterationRecord& record) {
+  if (config_.model == ModelKind::kLearned) {
+    learned_outcomes_.push_back(
+        LearnedOutcome{record.leaf, record.iteration, learned_[record.leaf]->observe(record)});
+    return;
+  }
+  if (config_.model == ModelKind::kDynamic) {
+    if (provider_) {
+      if (const PortLoadMap* prediction = provider_(record.iteration)) {
+        results_.push_back(evaluate_record(*prediction, config_.threshold, record));
+      }
+    }
+    return;
+  }
+  if (detector_ != nullptr) {
+    results_.push_back(detector_->evaluate(record));
+  }
+}
+
+void FlowPulseSystem::flush() {
+  for (auto& m : monitors_) m->flush();
+}
+
+std::vector<double> FlowPulseSystem::per_iteration_max_dev() const {
+  std::vector<double> devs;
+  auto note = [&devs](std::uint32_t iteration, double dev) {
+    if (iteration >= devs.size()) devs.resize(iteration + 1, 0.0);
+    devs[iteration] = std::max(devs[iteration], dev);
+  };
+  for (const DetectionResult& r : results_) note(r.iteration, r.max_rel_dev);
+  for (const LearnedOutcome& o : learned_outcomes_) note(o.iteration, o.outcome.max_rel_dev);
+  return devs;
+}
+
+std::vector<DetectionResult> FlowPulseSystem::faulty_results() const {
+  std::vector<DetectionResult> faulty;
+  std::copy_if(results_.begin(), results_.end(), std::back_inserter(faulty),
+               [](const DetectionResult& r) { return r.faulty(); });
+  return faulty;
+}
+
+}  // namespace flowpulse::fp

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "flowpulse/detector.h"
+#include "flowpulse/learned_model.h"
+#include "flowpulse/monitor.h"
+#include "flowpulse/port_load.h"
+#include "net/fat_tree.h"
+
+namespace flowpulse::fp {
+
+/// How the per-link load model is obtained (paper §5.2).
+enum class ModelKind : std::uint8_t {
+  kAnalytical,  ///< closed-form d/(s−f) from the demand matrix
+  kSimulation,  ///< taken from a fault-free(-of-new-faults) simulation run
+  kLearned,     ///< measured during the first training iterations
+  kDynamic,     ///< per-iteration prediction from a provider callback —
+                ///< the §7 extension for collectives whose demand matrix
+                ///< changes every iteration (e.g. expert-parallel AlltoAll)
+};
+
+struct SystemConfig {
+  double threshold = 0.01;  ///< paper's default detection threshold (1%)
+  std::uint16_t job = 0;    ///< which tagged collective to measure
+  ModelKind model = ModelKind::kAnalytical;
+  LearnedModel::Config learned{};
+};
+
+/// The deployed FlowPulse system: one PortMonitor per leaf switch, each
+/// independently comparing its finalized iterations against the model —
+/// no inter-switch coordination, exactly as in the paper.
+///
+/// For kAnalytical / kSimulation, install the prediction with
+/// set_prediction() before the run; every finalized iteration is evaluated
+/// eagerly and collected in results(). For kLearned, each leaf owns a
+/// LearnedModel whose outcomes are collected in learned_outcomes().
+class FlowPulseSystem {
+ public:
+  FlowPulseSystem(net::FatTree& fabric, SystemConfig config);
+
+  /// Install the per-port prediction (fixed-model modes).
+  void set_prediction(PortLoadMap prediction);
+
+  /// kDynamic mode: called at evaluation time with the iteration number;
+  /// returns that iteration's prediction (nullptr → skip the iteration,
+  /// e.g. the demand is not known yet). The pointee must stay alive until
+  /// the next finalize.
+  using PredictionProvider = std::function<const PortLoadMap*(std::uint32_t iteration)>;
+  void set_prediction_provider(PredictionProvider provider) {
+    provider_ = std::move(provider);
+  }
+
+  /// Finalize the in-flight iteration at every leaf (end of training run).
+  void flush();
+
+  /// Every evaluated (leaf × iteration) check, in finalize order.
+  [[nodiscard]] const std::vector<DetectionResult>& results() const { return results_; }
+  /// Learned-model outcomes (kLearned mode), in finalize order.
+  struct LearnedOutcome {
+    net::LeafId leaf;
+    std::uint32_t iteration;
+    LearnedModel::Outcome outcome;
+  };
+  [[nodiscard]] const std::vector<LearnedOutcome>& learned_outcomes() const {
+    return learned_outcomes_;
+  }
+
+  /// Largest relative deviation seen at iteration `i` across all leaves;
+  /// the raw statistic threshold sweeps (ROC) classify on.
+  [[nodiscard]] std::vector<double> per_iteration_max_dev() const;
+
+  /// Alerts (ports beyond threshold) across all leaves and iterations.
+  [[nodiscard]] std::vector<DetectionResult> faulty_results() const;
+
+  [[nodiscard]] PortMonitor& monitor(net::LeafId leaf) { return *monitors_[leaf]; }
+  [[nodiscard]] LearnedModel& learned_model(net::LeafId leaf) { return *learned_[leaf]; }
+  [[nodiscard]] const SystemConfig& config() const { return config_; }
+  [[nodiscard]] bool has_prediction() const { return detector_ != nullptr; }
+  [[nodiscard]] const Detector& detector() const { return *detector_; }
+
+ private:
+  void on_finalized(const IterationRecord& record);
+
+  net::FatTree& fabric_;
+  SystemConfig config_;
+  std::vector<std::unique_ptr<PortMonitor>> monitors_;
+  std::unique_ptr<Detector> detector_;
+  PredictionProvider provider_;
+  std::vector<std::unique_ptr<LearnedModel>> learned_;
+  std::vector<DetectionResult> results_;
+  std::vector<LearnedOutcome> learned_outcomes_;
+};
+
+}  // namespace flowpulse::fp

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "collective/demand_matrix.h"
+#include "flowpulse/detector.h"
+#include "flowpulse/monitor.h"
+#include "flowpulse/port_load.h"
+#include "net/three_level.h"
+
+namespace flowpulse::fp {
+
+/// Per-port load predictions for both monitored tiers of a 3-level fabric.
+struct ThreeLevelPrediction {
+  /// Rows: global leaves; columns: pod-spine index (ingress from spines).
+  PortLoadMap leaf_level;
+  /// Rows: global pod-spine ids; columns: core index within the group
+  /// (ingress from cores).
+  PortLoadMap spine_level;
+
+  ThreeLevelPrediction(std::uint32_t leaves, std::uint32_t spines_per_pod,
+                       std::uint32_t pod_spines, std::uint32_t cores_per_group)
+      : leaf_level{leaves, spines_per_pod}, spine_level{pod_spines, cores_per_group} {}
+};
+
+/// Analytical per-link load model extended to 3 levels (paper §7 "Network
+/// Topology"): a cross-pod pair with demand d and v valid pod-spine indices
+/// spreads d/v over each index; within an index's core group the pod-spine
+/// sprays evenly, so each core→pod-spine port carries d/(v·K). Same-pod
+/// traffic turns around at the pod-spine and never reaches cores.
+/// Known faults are supported on leaf↔pod-spine links (the RoutingState),
+/// which removes the pod-spine index end-to-end — exactly how the fabric
+/// routes around them.
+class ThreeLevelAnalyticalModel {
+ public:
+  ThreeLevelAnalyticalModel(const net::ThreeLevelInfo& info, std::uint32_t mtu_payload,
+                            std::uint32_t header_bytes)
+      : info_{info}, mtu_payload_{mtu_payload}, header_bytes_{header_bytes} {}
+
+  [[nodiscard]] ThreeLevelPrediction predict(const collective::DemandMatrix& demand,
+                                             const net::RoutingState& routing) const;
+
+ private:
+  [[nodiscard]] double wire_bytes(std::uint64_t payload) const {
+    if (payload == 0) return 0.0;
+    const std::uint64_t segments = (payload + mtu_payload_ - 1) / mtu_payload_;
+    return static_cast<double>(payload + segments * header_bytes_);
+  }
+
+  net::ThreeLevelInfo info_;
+  std::uint32_t mtu_payload_;
+  std::uint32_t header_bytes_;
+};
+
+/// FlowPulse deployed at BOTH tiers of a 3-level fabric: every leaf watches
+/// its ingress-from-pod-spine ports (localizes leaf↔spine links), and every
+/// pod-spine watches its ingress-from-core ports (localizes spine↔core
+/// links) — the paper's §7 proposal. Still no coordination: each switch
+/// compares its own counters against its own slice of the prediction.
+class ThreeLevelFlowPulse {
+ public:
+  ThreeLevelFlowPulse(net::ThreeLevelFatTree& fabric, double threshold,
+                      std::uint16_t job = 0);
+
+  void set_prediction(ThreeLevelPrediction prediction);
+  void flush();
+
+  [[nodiscard]] const std::vector<DetectionResult>& leaf_results() const {
+    return leaf_results_;
+  }
+  [[nodiscard]] const std::vector<DetectionResult>& spine_results() const {
+    return spine_results_;
+  }
+  [[nodiscard]] std::vector<DetectionResult> faulty_leaf_results() const;
+  [[nodiscard]] std::vector<DetectionResult> faulty_spine_results() const;
+  /// Largest deviation per iteration at each tier.
+  [[nodiscard]] std::vector<double> leaf_iteration_max_dev() const;
+  [[nodiscard]] std::vector<double> spine_iteration_max_dev() const;
+
+  [[nodiscard]] PortMonitor& leaf_monitor(net::LeafId l) { return *leaf_monitors_[l]; }
+  [[nodiscard]] PortMonitor& spine_monitor(std::uint32_t pod_spine_id) {
+    return *spine_monitors_[pod_spine_id];
+  }
+
+ private:
+  static std::vector<double> max_dev_series(const std::vector<DetectionResult>& results);
+
+  net::ThreeLevelFatTree& fabric_;
+  double threshold_;
+  std::vector<std::unique_ptr<PortMonitor>> leaf_monitors_;
+  std::vector<std::unique_ptr<PortMonitor>> spine_monitors_;
+  std::unique_ptr<ThreeLevelPrediction> prediction_;
+  std::vector<DetectionResult> leaf_results_;
+  std::vector<DetectionResult> spine_results_;
+};
+
+}  // namespace flowpulse::fp

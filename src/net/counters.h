@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+
+namespace flowpulse::net {
+
+/// Per-unidirectional-link statistics. `tx_*` counts packets that finished
+/// serialization; `dropped_*` the subset lost to the link's fault; the rest
+/// were delivered to the peer. Invariant (tested):
+///   tx == dropped + delivered.
+struct LinkCounters {
+  std::uint64_t tx_packets = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t dropped_packets = 0;
+  std::uint64_t dropped_bytes = 0;
+  /// The subset of drops the switch OS's error counters actually register
+  /// (see FaultSpec::visible_to_counters). Silent faults drop packets
+  /// without moving this — which is why counter-polling telemetry misses
+  /// them (paper §1/§3).
+  std::uint64_t telemetry_dropped_packets = 0;
+
+  [[nodiscard]] std::uint64_t delivered_packets() const { return tx_packets - dropped_packets; }
+  [[nodiscard]] std::uint64_t delivered_bytes() const { return tx_bytes - dropped_bytes; }
+};
+
+/// Per-switch statistics.
+struct SwitchCounters {
+  std::uint64_t forwarded_packets = 0;
+  std::uint64_t no_route_drops = 0;  ///< no valid uplink toward destination
+};
+
+}  // namespace flowpulse::net

@@ -1,0 +1,17 @@
+#pragma once
+
+#include "net/packet.h"
+#include "net/types.h"
+
+namespace flowpulse::net {
+
+/// Anything a link can deliver packets to: switches and hosts.
+class Device {
+ public:
+  virtual ~Device() = default;
+
+  /// A packet arrives on `in_port` (the receiving device's local index).
+  virtual void receive(Packet p, PortIndex in_port) = 0;
+};
+
+}  // namespace flowpulse::net

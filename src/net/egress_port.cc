@@ -1,0 +1,84 @@
+#include "net/egress_port.h"
+
+#include <cassert>
+#include <utility>
+
+namespace flowpulse::net {
+
+EgressPort::EgressPort(sim::Simulator& simulator, LinkParams params, std::string name)
+    : sim_{simulator}, params_{params}, name_{std::move(name)} {}
+
+void EgressPort::connect(Device* peer, PortIndex peer_port) {
+  peer_ = peer;
+  peer_port_ = peer_port;
+}
+
+std::size_t EgressPort::queued_packets() const {
+  std::size_t n = 0;
+  for (const auto& q : queues_) n += q.size();
+  return n;
+}
+
+void EgressPort::enqueue(Packet p) {
+  const int pi = priority_index(p.priority);
+  queued_bytes_[pi] += p.size_bytes;
+  queued_bytes_total_ += p.size_bytes;
+  queues_[pi].push_back(p);
+  try_start();
+}
+
+void EgressPort::set_paused(Priority prio, bool paused) {
+  paused_[priority_index(prio)] = paused;
+  if (!paused) try_start();
+}
+
+void EgressPort::try_start() {
+  if (transmitting_) return;
+  for (int pi = 0; pi < kNumPriorities; ++pi) {
+    if (paused_[pi] || queues_[pi].empty()) continue;
+    in_flight_ = queues_[pi].front();
+    queues_[pi].pop_front();
+    queued_bytes_[pi] -= in_flight_.size_bytes;
+    queued_bytes_total_ -= in_flight_.size_bytes;
+    transmitting_ = true;
+    if (depart_hook_) depart_hook_(in_flight_);
+    sim_.schedule_in(sim::serialization_time(in_flight_.size_bytes, params_.bandwidth_gbps),
+                     [this] { finish_transmission(); });
+    return;
+  }
+}
+
+void EgressPort::finish_transmission() {
+  assert(peer_ != nullptr && "EgressPort used before connect()");
+  const Packet pkt = in_flight_;
+  transmitting_ = false;
+
+  counters_.tx_packets += 1;
+  counters_.tx_bytes += pkt.size_bytes;
+
+  bool dropped = false;
+  if (fault_.spec().kind != FaultSpec::Kind::kNone) {
+    // Fault sampling needs an RNG only for probabilistic faults.
+    if (fault_.spec().drops_all()) {
+      dropped = fault_.spec().active_at(sim_.now());
+    } else {
+      assert(fault_rng_ != nullptr && "probabilistic fault requires set_fault_rng()");
+      dropped = fault_.should_drop(sim_.now(), *fault_rng_);
+    }
+  }
+
+  if (dropped) {
+    counters_.dropped_packets += 1;
+    counters_.dropped_bytes += pkt.size_bytes;
+    if (fault_.spec().visible_to_counters) counters_.telemetry_dropped_packets += 1;
+    if (tx_hook_) tx_hook_(pkt, TxEvent::kDropped);
+  } else {
+    if (tx_hook_) tx_hook_(pkt, TxEvent::kOnWire);
+    sim_.schedule_in(params_.prop_delay,
+                     [this, pkt] { peer_->receive(pkt, peer_port_); });
+  }
+
+  try_start();
+}
+
+}  // namespace flowpulse::net

@@ -1,0 +1,122 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "net/counters.h"
+#include "net/device.h"
+#include "net/fault.h"
+#include "net/packet.h"
+#include "net/types.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace flowpulse::net {
+
+/// Physical parameters of one unidirectional link.
+struct LinkParams {
+  double bandwidth_gbps = 400.0;
+  sim::Time prop_delay = sim::Time::nanoseconds(200);
+};
+
+/// An output port plus the unidirectional link it drives.
+///
+/// Holds one FIFO per priority, serves them in strict priority order
+/// (skipping PFC-paused classes), serializes one packet at a time at the
+/// link rate, applies the link's fault model when serialization completes,
+/// and delivers surviving packets to the peer after the propagation delay.
+///
+/// PFC pause affects only the *start* of transmissions — an in-flight packet
+/// always completes, as on real hardware.
+class EgressPort {
+ public:
+  /// What happened to a packet at this port (for transmit hooks).
+  enum class TxEvent : std::uint8_t {
+    kOnWire,   ///< finished serialization and survived the fault model
+    kDropped,  ///< finished serialization but lost to the link fault
+  };
+  using TxHook = std::function<void(const Packet&, TxEvent)>;
+  using DepartHook = std::function<void(const Packet&)>;
+
+  EgressPort(sim::Simulator& simulator, LinkParams params, std::string name);
+
+  EgressPort(const EgressPort&) = delete;
+  EgressPort& operator=(const EgressPort&) = delete;
+
+  /// Attach the receiving device. Must be called before any enqueue().
+  void connect(Device* peer, PortIndex peer_port);
+
+  /// Queue a packet for transmission; starts transmitting if idle.
+  void enqueue(Packet p);
+
+  /// PFC: (un)pause one priority class.
+  void set_paused(Priority prio, bool paused);
+  [[nodiscard]] bool paused(Priority prio) const { return paused_[priority_index(prio)]; }
+
+  [[nodiscard]] std::uint64_t queued_bytes() const { return queued_bytes_total_; }
+  [[nodiscard]] std::uint64_t queued_bytes(Priority prio) const {
+    return queued_bytes_[priority_index(prio)];
+  }
+  /// Bytes a packet of priority `prio` would wait behind under strict
+  /// priority scheduling: everything queued at its own class or above.
+  /// This is the occupancy adaptive spraying should compare — lower-class
+  /// backlog does not delay the packet, so it must not steer it (paper
+  /// §5.1: prioritizing the measured collective isolates its spraying from
+  /// background load).
+  [[nodiscard]] std::uint64_t queued_bytes_at_or_above(Priority prio) const {
+    std::uint64_t bytes = 0;
+    for (int pi = 0; pi <= priority_index(prio); ++pi) bytes += queued_bytes_[pi];
+    return bytes;
+  }
+  [[nodiscard]] std::size_t queued_packets() const;
+  [[nodiscard]] bool busy() const { return transmitting_; }
+
+  void set_fault(FaultSpec fault) { fault_.set_spec(fault); }
+  [[nodiscard]] const FaultSpec& fault() const { return fault_.spec(); }
+  [[nodiscard]] const FaultModel& fault_model() const { return fault_; }
+
+  /// RNG used for fault sampling; set once at wiring time.
+  void set_fault_rng(sim::Rng* rng) { fault_rng_ = rng; }
+
+  /// Observe wire transmissions (used by the transport for RTO timing and
+  /// by tests). Fires after serialization, before propagation.
+  void set_tx_hook(TxHook hook) { tx_hook_ = std::move(hook); }
+
+  /// Fires when a packet leaves the queues (starts serialization); used by
+  /// the owning switch to release PFC ingress accounting.
+  void set_depart_hook(DepartHook hook) { depart_hook_ = std::move(hook); }
+
+  [[nodiscard]] const LinkCounters& counters() const { return counters_; }
+  [[nodiscard]] const LinkParams& params() const { return params_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  void try_start();
+  void finish_transmission();
+
+  sim::Simulator& sim_;
+  LinkParams params_;
+  std::string name_;
+  Device* peer_ = nullptr;
+  PortIndex peer_port_ = kInvalidPort;
+
+  std::array<std::deque<Packet>, kNumPriorities> queues_;
+  std::array<std::uint64_t, kNumPriorities> queued_bytes_{};
+  std::uint64_t queued_bytes_total_ = 0;
+  std::array<bool, kNumPriorities> paused_{};
+
+  bool transmitting_ = false;
+  Packet in_flight_{};
+
+  FaultModel fault_{};
+  sim::Rng* fault_rng_ = nullptr;
+  LinkCounters counters_{};
+  TxHook tx_hook_;
+  DepartHook depart_hook_;
+};
+
+}  // namespace flowpulse::net

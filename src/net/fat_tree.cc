@@ -1,0 +1,119 @@
+#include "net/fat_tree.h"
+
+#include <cassert>
+
+namespace flowpulse::net {
+
+FatTree::FatTree(sim::Simulator& simulator, FatTreeConfig config)
+    : sim_{simulator},
+      config_{config},
+      routing_{config.shape.leaves, config.shape.uplinks_per_leaf()},
+      fault_rng_{config.seed ^ 0xfa017ull} {
+  const TopologyInfo& shape = config_.shape;
+  sim::Rng spray_seeder{config_.seed};
+
+  hosts_.reserve(shape.num_hosts());
+  for (HostId h = 0; h < shape.num_hosts(); ++h) {
+    hosts_.push_back(std::make_unique<Host>(simulator, h, config_.host_link));
+  }
+  leaves_.reserve(shape.leaves);
+  for (LeafId l = 0; l < shape.leaves; ++l) {
+    leaves_.push_back(std::make_unique<LeafSwitch>(simulator, l, config_.shape, routing_,
+                                                   config_.spray, config_.pfc,
+                                                   config_.host_link, config_.fabric_link,
+                                                   spray_seeder.split(),
+                                                   config_.spray_quantum_bytes));
+  }
+  spines_.reserve(shape.spines);
+  for (SpineId s = 0; s < shape.spines; ++s) {
+    spines_.push_back(
+        std::make_unique<SpineSwitch>(simulator, s, config_.shape, config_.pfc,
+                                      config_.fabric_link));
+  }
+
+  // Wire host <-> leaf.
+  for (HostId h = 0; h < shape.num_hosts(); ++h) {
+    const LeafId l = shape.leaf_of(h);
+    const std::uint32_t local = shape.local_index(h);
+    Host& host = *hosts_[h];
+    LeafSwitch& leaf_sw = *leaves_[l];
+    host.nic().connect(&leaf_sw, local);
+    leaf_sw.set_upstream(local, &host.nic());  // leaf can PFC-pause the NIC
+    leaf_sw.host_port(local).connect(&host, 0);
+  }
+
+  // Wire leaf <-> spine, one link pair per (leaf, uplink).
+  for (LeafId l = 0; l < shape.leaves; ++l) {
+    LeafSwitch& leaf_sw = *leaves_[l];
+    for (UplinkIndex u = 0; u < shape.uplinks_per_leaf(); ++u) {
+      SpineSwitch& spine_sw = *spines_[shape.spine_of(u)];
+      const PortIndex spine_port = shape.spine_port(l, u);
+      const PortIndex leaf_port = shape.leaf_uplink_port(u);
+      leaf_sw.uplink(u).connect(&spine_sw, spine_port);
+      spine_sw.set_upstream(spine_port, &leaf_sw.uplink(u));
+      spine_sw.down_port(spine_port).connect(&leaf_sw, leaf_port);
+      leaf_sw.set_upstream(leaf_port, &spine_sw.down_port(spine_port));
+    }
+    leaf_sw.set_fault_rng(&fault_rng_);
+  }
+  for (SpineId s = 0; s < shape.spines; ++s) spines_[s]->set_fault_rng(&fault_rng_);
+  for (HostId h = 0; h < shape.num_hosts(); ++h) hosts_[h]->nic().set_fault_rng(&fault_rng_);
+}
+
+EgressPort& FatTree::downlink(LeafId leaf, UplinkIndex u) {
+  SpineSwitch& spine_sw = *spines_[config_.shape.spine_of(u)];
+  return spine_sw.down_port(config_.shape.spine_port(leaf, u));
+}
+
+void FatTree::set_uplink_fault(LeafId leaf, UplinkIndex u, FaultSpec fault) {
+  leaves_[leaf]->uplink(u).set_fault(fault);
+}
+
+void FatTree::set_downlink_fault(LeafId leaf, UplinkIndex u, FaultSpec fault) {
+  downlink(leaf, u).set_fault(fault);
+}
+
+void FatTree::set_link_fault(LeafId leaf, UplinkIndex u, FaultSpec fault) {
+  set_uplink_fault(leaf, u, fault);
+  set_downlink_fault(leaf, u, fault);
+}
+
+void FatTree::disconnect_known(LeafId leaf, UplinkIndex u) {
+  set_link_fault(leaf, u, FaultSpec::disconnect());
+  routing_.set_known_failed(leaf, u);
+}
+
+const LinkCounters& FatTree::downlink_counters(LeafId leaf, UplinkIndex u) const {
+  const SpineSwitch& spine_sw = *spines_[config_.shape.spine_of(u)];
+  return spine_sw.down_port(config_.shape.spine_port(leaf, u)).counters();
+}
+
+const LinkCounters& FatTree::uplink_counters(LeafId leaf, UplinkIndex u) const {
+  return leaves_[leaf]->uplink(u).counters();
+}
+
+LinkCounters FatTree::total_fabric_counters() const {
+  LinkCounters total{};
+  auto add = [&total](const LinkCounters& c) {
+    total.tx_packets += c.tx_packets;
+    total.tx_bytes += c.tx_bytes;
+    total.dropped_packets += c.dropped_packets;
+    total.dropped_bytes += c.dropped_bytes;
+  };
+  const TopologyInfo& shape = config_.shape;
+  for (HostId h = 0; h < shape.num_hosts(); ++h) {
+    add(hosts_[h]->nic().counters());
+  }
+  for (LeafId l = 0; l < shape.leaves; ++l) {
+    for (std::uint32_t i = 0; i < shape.hosts_per_leaf; ++i) {
+      add(leaves_[l]->host_port(i).counters());
+    }
+    for (UplinkIndex u = 0; u < shape.uplinks_per_leaf(); ++u) {
+      add(leaves_[l]->uplink(u).counters());
+      add(downlink_counters(l, u));
+    }
+  }
+  return total;
+}
+
+}  // namespace flowpulse::net

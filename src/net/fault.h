@@ -1,0 +1,134 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace flowpulse::net {
+
+/// A fault attached to one unidirectional link.
+///
+/// kDisconnect and kBlackHole both drop every packet; the difference is
+/// administrative: a disconnect is *known* (reflected into RoutingState, as
+/// the switch OS removes the link from forwarding), while a black hole is
+/// *silent* — e.g. FIB corruption — and routing keeps using the link.
+/// kRandomDrop models gray links (elevated BER → corrupted packets dropped
+/// at the next switch) at a configurable rate; whether it is known or silent
+/// again depends on whether the scenario tells RoutingState about it.
+/// kGilbertElliott models *bursty* gray links with the classic two-state
+/// Gilbert–Elliott chain: per packet the link moves good↔bad with the given
+/// transition probabilities and drops at the state's loss rate — the
+/// standard model for BER-driven corruption, which arrives in bursts rather
+/// than as independent coin flips.
+struct FaultSpec {
+  enum class Kind : std::uint8_t {
+    kNone,
+    kDisconnect,
+    kRandomDrop,
+    kBlackHole,
+    kGilbertElliott,
+  };
+
+  Kind kind = Kind::kNone;
+  /// Whether the switch OS's error counters register this fault's drops.
+  /// This is what makes a fault *silent* (§1): corruption dropped at the
+  /// receiver PHY, FIB black holes, or counters corrupted by the fault
+  /// itself never show up in telemetry. Physical drops are always counted
+  /// in LinkCounters::dropped_* (ground truth for conservation checks);
+  /// only the telemetry_dropped_* view respects this flag.
+  bool visible_to_counters = false;
+  double drop_rate = 0.0;  ///< kRandomDrop rate; kGilbertElliott bad-state rate
+  double good_to_bad = 0.0;   ///< kGilbertElliott: P(good→bad) per packet
+  double bad_to_good = 0.0;   ///< kGilbertElliott: P(bad→good) per packet
+  double good_loss = 0.0;     ///< kGilbertElliott: loss rate in the good state
+  sim::Time start = sim::Time::zero();  ///< fault active in [start, end)
+  sim::Time end = sim::Time::max();
+
+  [[nodiscard]] bool active_at(sim::Time t) const {
+    return kind != Kind::kNone && t >= start && t < end;
+  }
+  [[nodiscard]] bool drops_all() const {
+    return kind == Kind::kDisconnect || kind == Kind::kBlackHole;
+  }
+
+  [[nodiscard]] static FaultSpec none() { return {}; }
+  [[nodiscard]] static FaultSpec disconnect() {
+    FaultSpec f;
+    f.kind = Kind::kDisconnect;
+    f.visible_to_counters = true;  // a dead port is plainly visible
+    return f;
+  }
+  [[nodiscard]] static FaultSpec black_hole(sim::Time start = sim::Time::zero(),
+                                            sim::Time end = sim::Time::max()) {
+    FaultSpec f;
+    f.kind = Kind::kBlackHole;
+    f.start = start;
+    f.end = end;
+    return f;
+  }
+  [[nodiscard]] static FaultSpec random_drop(double rate,
+                                             sim::Time start = sim::Time::zero(),
+                                             sim::Time end = sim::Time::max()) {
+    FaultSpec f;
+    f.kind = Kind::kRandomDrop;
+    f.drop_rate = rate;
+    f.start = start;
+    f.end = end;
+    return f;
+  }
+
+  /// Bursty gray link. `mean_burst_packets` sets P(bad→good) = 1/mean;
+  /// `bad_fraction` sets P(good→bad) so the chain spends that fraction of
+  /// packets in the bad state; `bad_loss` is the loss rate while bad. The
+  /// long-run average loss is ≈ bad_fraction × bad_loss.
+  [[nodiscard]] static FaultSpec gilbert_elliott(double bad_fraction, double mean_burst_packets,
+                                                 double bad_loss = 1.0, double in_good_loss = 0.0,
+                                                 sim::Time start = sim::Time::zero(),
+                                                 sim::Time end = sim::Time::max()) {
+    FaultSpec f;
+    f.kind = Kind::kGilbertElliott;
+    f.drop_rate = bad_loss;
+    f.bad_to_good = mean_burst_packets > 0.0 ? 1.0 / mean_burst_packets : 1.0;
+    // Stationary bad fraction = p / (p + r)  →  p = r · frac / (1 − frac).
+    f.good_to_bad =
+        bad_fraction >= 1.0 ? 1.0 : f.bad_to_good * bad_fraction / (1.0 - bad_fraction);
+    f.good_loss = in_good_loss;
+    f.start = start;
+    f.end = end;
+    return f;
+  }
+};
+
+/// Per-link fault state machine: wraps the (immutable) FaultSpec with the
+/// mutable Gilbert–Elliott channel state. Memoryless kinds pass through.
+class FaultModel {
+ public:
+  void set_spec(const FaultSpec& spec) {
+    spec_ = spec;
+    ge_bad_ = false;
+  }
+  [[nodiscard]] const FaultSpec& spec() const { return spec_; }
+
+  /// Decide whether one packet transmitted at `now` is lost.
+  [[nodiscard]] bool should_drop(sim::Time now, sim::Rng& rng) {
+    if (!spec_.active_at(now)) return false;
+    if (spec_.drops_all()) return true;
+    if (spec_.kind == FaultSpec::Kind::kRandomDrop) return rng.bernoulli(spec_.drop_rate);
+    // Gilbert–Elliott: advance the chain, then sample the state's loss.
+    if (ge_bad_) {
+      if (rng.bernoulli(spec_.bad_to_good)) ge_bad_ = false;
+    } else {
+      if (rng.bernoulli(spec_.good_to_bad)) ge_bad_ = true;
+    }
+    return rng.bernoulli(ge_bad_ ? spec_.drop_rate : spec_.good_loss);
+  }
+
+  [[nodiscard]] bool in_bad_state() const { return ge_bad_; }
+
+ private:
+  FaultSpec spec_{};
+  bool ge_bad_ = false;
+};
+
+}  // namespace flowpulse::net

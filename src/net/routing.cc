@@ -1,0 +1,48 @@
+#include "net/routing.h"
+
+#include <cassert>
+
+namespace flowpulse::net {
+
+RoutingState::RoutingState(std::uint32_t leaves, std::uint32_t uplinks_per_leaf)
+    : leaves_{leaves},
+      uplinks_{uplinks_per_leaf},
+      failed_(static_cast<std::size_t>(leaves) * uplinks_per_leaf, false),
+      cache_(static_cast<std::size_t>(leaves) * leaves) {}
+
+void RoutingState::set_known_failed(LeafId leaf, UplinkIndex uplink, bool failed) {
+  assert(leaf < leaves_ && uplink < uplinks_);
+  failed_[static_cast<std::size_t>(leaf) * uplinks_ + uplink] = failed;
+  ++version_;
+}
+
+bool RoutingState::known_failed(LeafId leaf, UplinkIndex uplink) const {
+  assert(leaf < leaves_ && uplink < uplinks_);
+  return failed_[static_cast<std::size_t>(leaf) * uplinks_ + uplink];
+}
+
+std::uint32_t RoutingState::known_failed_count(LeafId leaf) const {
+  std::uint32_t n = 0;
+  for (UplinkIndex u = 0; u < uplinks_; ++u) {
+    if (known_failed(leaf, u)) ++n;
+  }
+  return n;
+}
+
+const std::vector<UplinkIndex>& RoutingState::valid_uplinks(LeafId src_leaf,
+                                                            LeafId dst_leaf) const {
+  assert(src_leaf < leaves_ && dst_leaf < leaves_);
+  CacheEntry& entry = cache_[static_cast<std::size_t>(src_leaf) * leaves_ + dst_leaf];
+  if (entry.version != version_) {
+    entry.uplinks.clear();
+    for (UplinkIndex u = 0; u < uplinks_; ++u) {
+      if (!known_failed(src_leaf, u) && !known_failed(dst_leaf, u)) {
+        entry.uplinks.push_back(u);
+      }
+    }
+    entry.version = version_;
+  }
+  return entry.uplinks;
+}
+
+}  // namespace flowpulse::net

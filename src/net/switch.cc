@@ -1,0 +1,251 @@
+#include "net/switch.h"
+
+#include <cassert>
+#include <limits>
+#include <utility>
+
+namespace flowpulse::net {
+namespace {
+
+// 64-bit mix (splitmix64 finalizer) for ECMP flow hashing.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t flow_hash(const Packet& p) {
+  std::uint64_t h = mix64(p.flow_id ^ 0x9e3779b97f4a7c15ULL);
+  h = mix64(h ^ (static_cast<std::uint64_t>(p.src) << 32 | p.dst));
+  return h;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Switch (PFC base)
+// ---------------------------------------------------------------------------
+
+Switch::Switch(sim::Simulator& simulator, std::string name, std::uint32_t num_ports,
+               PfcConfig pfc)
+    : sim_{simulator},
+      name_{std::move(name)},
+      pfc_{pfc},
+      ingress_bytes_(num_ports),
+      upstream_paused_(num_ports),
+      upstream_(num_ports, nullptr) {}
+
+void Switch::set_upstream(PortIndex in_port, EgressPort* upstream) {
+  assert(in_port < upstream_.size());
+  upstream_[in_port] = upstream;
+}
+
+void Switch::pfc_on_arrival(const Packet& p, PortIndex in_port) {
+  if (!pfc_.enabled) return;
+  assert(in_port < ingress_bytes_.size());
+  const int pi = priority_index(p.priority);
+  auto& bytes = ingress_bytes_[in_port][pi];
+  bytes += p.size_bytes;
+  if (bytes > pfc_.xoff_bytes && !upstream_paused_[in_port][pi]) {
+    upstream_paused_[in_port][pi] = true;
+    send_pause(in_port, p.priority, true);
+  }
+}
+
+void Switch::pfc_on_depart(const Packet& p) {
+  if (!pfc_.enabled || p.pfc_ingress == kInvalidPort) return;
+  assert(p.pfc_ingress < ingress_bytes_.size());
+  const int pi = priority_index(p.priority);
+  auto& bytes = ingress_bytes_[p.pfc_ingress][pi];
+  assert(bytes >= p.size_bytes);
+  bytes -= p.size_bytes;
+  if (bytes <= pfc_.xon_bytes && upstream_paused_[p.pfc_ingress][pi]) {
+    upstream_paused_[p.pfc_ingress][pi] = false;
+    send_pause(p.pfc_ingress, p.priority, false);
+  }
+}
+
+void Switch::send_pause(PortIndex in_port, Priority prio, bool pause) {
+  EgressPort* up = upstream_[in_port];
+  if (up == nullptr) return;  // host-facing port with no pausable upstream
+  // The PAUSE frame crosses the reverse link; model its propagation delay.
+  sim_.schedule_in(up->params().prop_delay, [up, prio, pause] { up->set_paused(prio, pause); });
+}
+
+void Switch::hook_depart(EgressPort& port) {
+  port.set_depart_hook([this](const Packet& p) { pfc_on_depart(p); });
+}
+
+// ---------------------------------------------------------------------------
+// LeafSwitch
+// ---------------------------------------------------------------------------
+
+LeafSwitch::LeafSwitch(sim::Simulator& simulator, LeafId id, const TopologyInfo& info,
+                       const RoutingState& routing, SprayPolicy spray, PfcConfig pfc,
+                       LinkParams host_link, LinkParams fabric_link, sim::Rng rng,
+                       std::uint64_t spray_quantum_bytes)
+    : Switch{simulator, "leaf" + std::to_string(id),
+             info.hosts_per_leaf + info.uplinks_per_leaf(), pfc},
+      id_{id},
+      info_{info},
+      routing_{routing},
+      spray_{spray},
+      rng_{rng},
+      spray_quantum_{spray_quantum_bytes == 0 ? 1 : spray_quantum_bytes},
+      sent_bytes_(static_cast<std::size_t>(info.leaves) * kNumPriorities *
+                      info.uplinks_per_leaf(),
+                  0) {
+  host_ports_.reserve(info.hosts_per_leaf);
+  for (std::uint32_t h = 0; h < info.hosts_per_leaf; ++h) {
+    host_ports_.push_back(std::make_unique<EgressPort>(
+        simulator, host_link, name() + ".down" + std::to_string(h)));
+    hook_depart(*host_ports_.back());
+  }
+  uplink_ports_.reserve(info.uplinks_per_leaf());
+  for (UplinkIndex u = 0; u < info.uplinks_per_leaf(); ++u) {
+    uplink_ports_.push_back(std::make_unique<EgressPort>(
+        simulator, fabric_link, name() + ".up" + std::to_string(u)));
+    hook_depart(*uplink_ports_.back());
+  }
+}
+
+void LeafSwitch::set_fault_rng(sim::Rng* rng) {
+  for (auto& p : host_ports_) p->set_fault_rng(rng);
+  for (auto& p : uplink_ports_) p->set_fault_rng(rng);
+}
+
+void LeafSwitch::receive(Packet p, PortIndex in_port) {
+  pfc_on_arrival(p, in_port);
+  if (spine_hook_ && in_port >= info_.hosts_per_leaf) {
+    spine_hook_(in_port - info_.hosts_per_leaf, p);
+  }
+
+  const LeafId dst_leaf = info_.leaf_of(p.dst);
+  EgressPort* out = nullptr;
+  if (dst_leaf == id_) {
+    out = host_ports_[info_.local_index(p.dst)].get();
+  } else {
+    const UplinkIndex u = choose_uplink(p, dst_leaf);
+    if (u == kNoUplink) {
+      // Network partition toward dst_leaf: count and release the buffer.
+      ++counters_.no_route_drops;
+      p.pfc_ingress = in_port;
+      pfc_on_depart(p);
+      return;
+    }
+    out = uplink_ports_[u].get();
+  }
+  ++counters_.forwarded_packets;
+  p.pfc_ingress = in_port;
+  out->enqueue(p);
+}
+
+UplinkIndex LeafSwitch::choose_uplink(const Packet& p, LeafId dst_leaf) {
+  const std::vector<UplinkIndex>& valid = routing_.valid_uplinks(id_, dst_leaf);
+  if (valid.empty()) return kNoUplink;
+
+  switch (spray_) {
+    case SprayPolicy::kRandom:
+      return valid[rng_.next_below(valid.size())];
+
+    case SprayPolicy::kEcmp:
+      return valid[flow_hash(p) % valid.size()];
+
+    case SprayPolicy::kFlowlet: {
+      // Let-It-Flow-style flowlet switching: a flow sticks to its lane
+      // while packets keep arriving; an idle gap > flowlet_gap_ lets it
+      // re-route to the currently least-occupied valid lane.
+      if (flowlet_table_.empty()) flowlet_table_.resize(kFlowletTableSize);
+      const std::uint64_t key = flow_hash(p);
+      FlowletEntry& entry = flowlet_table_[key % kFlowletTableSize];
+      const sim::Time now = sim_.now();
+      const bool fresh = entry.key != key || now - entry.last > flowlet_gap_;
+      if (fresh || routing_.known_failed(id_, entry.uplink)) {
+        UplinkIndex pick = valid[0];
+        std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+        for (const UplinkIndex u : valid) {
+          const std::uint64_t occ = uplink_ports_[u]->queued_bytes_at_or_above(p.priority);
+          if (occ < best) {
+            best = occ;
+            pick = u;
+          }
+        }
+        entry.key = key;
+        entry.uplink = pick;
+      }
+      entry.last = now;
+      // The sticky uplink might be invalid for this destination (known
+      // remote-side failure); fall back to a hash choice over valid lanes.
+      for (const UplinkIndex u : valid) {
+        if (u == entry.uplink) return u;
+      }
+      return valid[key % valid.size()];
+    }
+
+    case SprayPolicy::kAdaptive: {
+      // Least-occupied valid uplink, with round-robin tie-breaking: when a
+      // drained fabric leaves all queues equal, successive packets cycle
+      // through the lanes, giving the near-perfect balance real APS
+      // hardware achieves instead of multinomial sampling noise.
+      auto grade = [this, &p](UplinkIndex u) {
+        return uplink_ports_[u]->queued_bytes_at_or_above(p.priority) / spray_quantum_;
+      };
+      std::uint64_t* deficit =
+          &sent_bytes_[(static_cast<std::size_t>(dst_leaf) * kNumPriorities +
+                        priority_index(p.priority)) *
+                       info_.uplinks_per_leaf()];
+      // Least congestion grade first; among those, least bytes already
+      // carried for this (destination, class); port index as final tiebreak.
+      UplinkIndex pick = valid[0];
+      std::uint64_t best_grade = std::numeric_limits<std::uint64_t>::max();
+      std::uint64_t best_deficit = std::numeric_limits<std::uint64_t>::max();
+      for (const UplinkIndex u : valid) {
+        const std::uint64_t g = grade(u);
+        if (g > best_grade) continue;
+        if (g < best_grade || deficit[u] < best_deficit) {
+          best_grade = g;
+          best_deficit = deficit[u];
+          pick = u;
+        }
+      }
+      deficit[pick] += p.size_bytes;
+      return pick;
+    }
+  }
+  return kNoUplink;
+}
+
+// ---------------------------------------------------------------------------
+// SpineSwitch
+// ---------------------------------------------------------------------------
+
+SpineSwitch::SpineSwitch(sim::Simulator& simulator, SpineId id, const TopologyInfo& info,
+                         PfcConfig pfc, LinkParams fabric_link)
+    : Switch{simulator, "spine" + std::to_string(id), info.leaves * info.parallel, pfc},
+      id_{id},
+      info_{info} {
+  const std::uint32_t ports = info.leaves * info.parallel;
+  down_ports_.reserve(ports);
+  for (PortIndex port = 0; port < ports; ++port) {
+    down_ports_.push_back(std::make_unique<EgressPort>(
+        simulator, fabric_link, name() + ".down" + std::to_string(port)));
+    hook_depart(*down_ports_.back());
+  }
+}
+
+void SpineSwitch::set_fault_rng(sim::Rng* rng) {
+  for (auto& p : down_ports_) p->set_fault_rng(rng);
+}
+
+void SpineSwitch::receive(Packet p, PortIndex in_port) {
+  pfc_on_arrival(p, in_port);
+  // Arrival port encodes (src leaf, lane); keep the lane downstream so each
+  // lane behaves as an independent virtual spine.
+  const std::uint32_t lane = in_port % info_.parallel;
+  const LeafId dst_leaf = info_.leaf_of(p.dst);
+  ++counters_.forwarded_packets;
+  p.pfc_ingress = in_port;
+  down_ports_[dst_leaf * info_.parallel + lane]->enqueue(p);
+}
+
+}  // namespace flowpulse::net

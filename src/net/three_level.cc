@@ -1,0 +1,329 @@
+#include "net/three_level.h"
+
+#include <cassert>
+#include <limits>
+#include <string>
+
+namespace flowpulse::net {
+namespace {
+
+/// Congestion-graded, byte-deficit per-packet spray (same discipline as the
+/// 2-level leaf, see LeafSwitch): least congestion grade first, then least
+/// cumulative bytes carried for this (destination, class).
+template <typename Ports>
+std::uint32_t pick_byte_deficit(const Ports& ports, const std::vector<UplinkIndex>& candidates,
+                                const Packet& p, std::uint64_t quantum,
+                                std::uint64_t* deficit) {
+  std::uint32_t pick = candidates[0];
+  std::uint64_t best_grade = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t best_deficit = std::numeric_limits<std::uint64_t>::max();
+  for (const std::uint32_t u : candidates) {
+    const std::uint64_t g = ports[u]->queued_bytes_at_or_above(p.priority) / quantum;
+    if (g > best_grade) continue;
+    if (g < best_grade || deficit[u] < best_deficit) {
+      best_grade = g;
+      best_deficit = deficit[u];
+      pick = u;
+    }
+  }
+  deficit[pick] += p.size_bytes;
+  return pick;
+}
+
+std::vector<UplinkIndex> iota_candidates(std::uint32_t n) {
+  std::vector<UplinkIndex> v(n);
+  for (std::uint32_t i = 0; i < n; ++i) v[i] = i;
+  return v;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Leaf3Switch
+// ---------------------------------------------------------------------------
+
+Leaf3Switch::Leaf3Switch(sim::Simulator& simulator, LeafId id, const ThreeLevelInfo& info,
+                         const RoutingState& leaf_spine_routing, PfcConfig pfc,
+                         LinkParams host_link, LinkParams fabric_link,
+                         std::uint64_t spray_quantum)
+    : Switch{simulator, "leaf3_" + std::to_string(id),
+             info.hosts_per_leaf + info.spines_per_pod, pfc},
+      id_{id},
+      info_{info},
+      routing_{leaf_spine_routing},
+      spray_quantum_{spray_quantum == 0 ? 1 : spray_quantum},
+      sent_bytes_(static_cast<std::size_t>(info.num_leaves()) * kNumPriorities *
+                      info.spines_per_pod,
+                  0) {
+  for (std::uint32_t h = 0; h < info.hosts_per_leaf; ++h) {
+    host_ports_.push_back(std::make_unique<EgressPort>(
+        simulator, host_link, name() + ".down" + std::to_string(h)));
+    hook_depart(*host_ports_.back());
+  }
+  for (std::uint32_t s = 0; s < info.spines_per_pod; ++s) {
+    uplink_ports_.push_back(std::make_unique<EgressPort>(
+        simulator, fabric_link, name() + ".up" + std::to_string(s)));
+    hook_depart(*uplink_ports_.back());
+  }
+}
+
+void Leaf3Switch::set_fault_rng(sim::Rng* rng) {
+  for (auto& p : host_ports_) p->set_fault_rng(rng);
+  for (auto& p : uplink_ports_) p->set_fault_rng(rng);
+}
+
+void Leaf3Switch::receive(Packet p, PortIndex in_port) {
+  pfc_on_arrival(p, in_port);
+  if (hook_ && in_port >= info_.hosts_per_leaf) {
+    hook_(in_port - info_.hosts_per_leaf, p);
+  }
+
+  const LeafId dst_leaf = info_.leaf_of(p.dst);
+  EgressPort* out = nullptr;
+  if (dst_leaf == id_) {
+    out = host_ports_[p.dst % info_.hosts_per_leaf].get();
+  } else {
+    const auto& valid = routing_.valid_uplinks(id_, dst_leaf);
+    if (valid.empty()) {
+      ++counters_.no_route_drops;
+      p.pfc_ingress = in_port;
+      pfc_on_depart(p);
+      return;
+    }
+    std::uint64_t* deficit =
+        &sent_bytes_[(static_cast<std::size_t>(dst_leaf) * kNumPriorities +
+                      priority_index(p.priority)) *
+                     info_.spines_per_pod];
+    out = uplink_ports_[pick_byte_deficit(uplink_ports_, valid, p, spray_quantum_, deficit)]
+              .get();
+  }
+  ++counters_.forwarded_packets;
+  p.pfc_ingress = in_port;
+  out->enqueue(p);
+}
+
+// ---------------------------------------------------------------------------
+// PodSpineSwitch
+// ---------------------------------------------------------------------------
+
+PodSpineSwitch::PodSpineSwitch(sim::Simulator& simulator, std::uint32_t pod,
+                               std::uint32_t index, const ThreeLevelInfo& info, PfcConfig pfc,
+                               LinkParams fabric_link, std::uint64_t spray_quantum)
+    : Switch{simulator,
+             "podspine" + std::to_string(pod) + "_" + std::to_string(index),
+             info.leaves_per_pod + info.cores_per_group(), pfc},
+      pod_{pod},
+      index_{index},
+      info_{info},
+      spray_quantum_{spray_quantum == 0 ? 1 : spray_quantum},
+      sent_bytes_(static_cast<std::size_t>(info.num_leaves()) * kNumPriorities *
+                      info.cores_per_group(),
+                  0) {
+  for (std::uint32_t l = 0; l < info.leaves_per_pod; ++l) {
+    down_ports_.push_back(std::make_unique<EgressPort>(
+        simulator, fabric_link, name() + ".down" + std::to_string(l)));
+    hook_depart(*down_ports_.back());
+  }
+  for (std::uint32_t k = 0; k < info.cores_per_group(); ++k) {
+    up_ports_.push_back(std::make_unique<EgressPort>(
+        simulator, fabric_link, name() + ".up" + std::to_string(k)));
+    hook_depart(*up_ports_.back());
+  }
+}
+
+void PodSpineSwitch::set_fault_rng(sim::Rng* rng) {
+  for (auto& p : down_ports_) p->set_fault_rng(rng);
+  for (auto& p : up_ports_) p->set_fault_rng(rng);
+}
+
+void PodSpineSwitch::receive(Packet p, PortIndex in_port) {
+  pfc_on_arrival(p, in_port);
+  const bool from_core = in_port >= info_.leaves_per_pod;
+  if (hook_ && from_core) hook_(in_port - info_.leaves_per_pod, p);
+
+  const LeafId dst_leaf = info_.leaf_of(p.dst);
+  const std::uint32_t dst_pod = info_.pod_of_leaf(dst_leaf);
+  EgressPort* out = nullptr;
+  if (dst_pod == pod_) {
+    out = down_ports_[info_.local_leaf(dst_leaf)].get();
+  } else {
+    assert(!from_core && "core handed a packet to the wrong pod");
+    // Cross-pod: spray over this group's cores. Core-level faults are
+    // silent by construction, so every core is a routing candidate.
+    static thread_local std::vector<UplinkIndex> candidates;
+    if (candidates.size() != info_.cores_per_group()) {
+      candidates = iota_candidates(info_.cores_per_group());
+    }
+    std::uint64_t* deficit =
+        &sent_bytes_[(static_cast<std::size_t>(dst_leaf) * kNumPriorities +
+                      priority_index(p.priority)) *
+                     info_.cores_per_group()];
+    out =
+        up_ports_[pick_byte_deficit(up_ports_, candidates, p, spray_quantum_, deficit)].get();
+  }
+  ++counters_.forwarded_packets;
+  p.pfc_ingress = in_port;
+  out->enqueue(p);
+}
+
+// ---------------------------------------------------------------------------
+// CoreSwitch
+// ---------------------------------------------------------------------------
+
+CoreSwitch::CoreSwitch(sim::Simulator& simulator, std::uint32_t group, std::uint32_t k,
+                       const ThreeLevelInfo& info, PfcConfig pfc, LinkParams fabric_link)
+    : Switch{simulator, "core" + std::to_string(group) + "_" + std::to_string(k), info.pods,
+             pfc},
+      group_{group},
+      k_{k},
+      info_{info} {
+  for (std::uint32_t pod = 0; pod < info.pods; ++pod) {
+    down_ports_.push_back(std::make_unique<EgressPort>(
+        simulator, fabric_link, name() + ".down" + std::to_string(pod)));
+    hook_depart(*down_ports_.back());
+  }
+}
+
+void CoreSwitch::set_fault_rng(sim::Rng* rng) {
+  for (auto& p : down_ports_) p->set_fault_rng(rng);
+}
+
+void CoreSwitch::receive(Packet p, PortIndex in_port) {
+  pfc_on_arrival(p, in_port);
+  const std::uint32_t dst_pod = info_.pod_of_leaf(info_.leaf_of(p.dst));
+  ++counters_.forwarded_packets;
+  p.pfc_ingress = in_port;
+  down_ports_[dst_pod]->enqueue(p);
+}
+
+// ---------------------------------------------------------------------------
+// ThreeLevelFatTree
+// ---------------------------------------------------------------------------
+
+ThreeLevelFatTree::ThreeLevelFatTree(sim::Simulator& simulator, ThreeLevelConfig config)
+    : sim_{simulator},
+      config_{config},
+      routing_{config.shape.num_leaves(), config.shape.spines_per_pod},
+      fault_rng_{config.seed ^ 0x3fa017ull} {
+  const ThreeLevelInfo& shape = config_.shape;
+
+  for (HostId h = 0; h < shape.num_hosts(); ++h) {
+    hosts_.push_back(std::make_unique<Host>(simulator, h, config_.host_link));
+  }
+  for (LeafId l = 0; l < shape.num_leaves(); ++l) {
+    leaves_.push_back(std::make_unique<Leaf3Switch>(
+        simulator, l, config_.shape, routing_, config_.pfc, config_.host_link,
+        config_.fabric_link, config_.spray_quantum_bytes));
+  }
+  for (std::uint32_t pod = 0; pod < shape.pods; ++pod) {
+    for (std::uint32_t s = 0; s < shape.spines_per_pod; ++s) {
+      pod_spines_.push_back(std::make_unique<PodSpineSwitch>(
+          simulator, pod, s, config_.shape, config_.pfc, config_.fabric_link,
+          config_.spray_quantum_bytes));
+    }
+  }
+  for (std::uint32_t group = 0; group < shape.spines_per_pod; ++group) {
+    for (std::uint32_t k = 0; k < shape.cores_per_group(); ++k) {
+      cores_.push_back(std::make_unique<CoreSwitch>(simulator, group, k, config_.shape,
+                                                    config_.pfc, config_.fabric_link));
+    }
+  }
+
+  // Hosts ↔ leaves.
+  for (HostId h = 0; h < shape.num_hosts(); ++h) {
+    const LeafId l = shape.leaf_of(h);
+    const std::uint32_t local = h % shape.hosts_per_leaf;
+    hosts_[h]->nic().connect(leaves_[l].get(), local);
+    leaves_[l]->set_upstream(local, &hosts_[h]->nic());
+    leaves_[l]->host_port(local).connect(hosts_[h].get(), 0);
+    hosts_[h]->nic().set_fault_rng(&fault_rng_);
+  }
+
+  // Leaves ↔ pod-spines.
+  for (LeafId l = 0; l < shape.num_leaves(); ++l) {
+    const std::uint32_t pod = shape.pod_of_leaf(l);
+    const std::uint32_t local = shape.local_leaf(l);
+    for (std::uint32_t s = 0; s < shape.spines_per_pod; ++s) {
+      PodSpineSwitch& ps = *pod_spines_[shape.pod_spine_id(pod, s)];
+      const PortIndex leaf_port = shape.hosts_per_leaf + s;
+      leaves_[l]->uplink(s).connect(&ps, local);
+      ps.set_upstream(local, &leaves_[l]->uplink(s));
+      ps.down_port(local).connect(leaves_[l].get(), leaf_port);
+      leaves_[l]->set_upstream(leaf_port, &ps.down_port(local));
+    }
+    leaves_[l]->set_fault_rng(&fault_rng_);
+  }
+
+  // Pod-spines ↔ cores.
+  for (std::uint32_t pod = 0; pod < shape.pods; ++pod) {
+    for (std::uint32_t s = 0; s < shape.spines_per_pod; ++s) {
+      PodSpineSwitch& ps = *pod_spines_[shape.pod_spine_id(pod, s)];
+      for (std::uint32_t k = 0; k < shape.cores_per_group(); ++k) {
+        CoreSwitch& c = *cores_[shape.core_id(s, k)];
+        const PortIndex ps_port = shape.leaves_per_pod + k;
+        ps.core_uplink(k).connect(&c, pod);
+        c.set_upstream(pod, &ps.core_uplink(k));
+        c.down_port(pod).connect(&ps, ps_port);
+        ps.set_upstream(ps_port, &c.down_port(pod));
+      }
+      ps.set_fault_rng(&fault_rng_);
+    }
+  }
+  for (auto& c : cores_) c->set_fault_rng(&fault_rng_);
+}
+
+void ThreeLevelFatTree::disconnect_known(LeafId leaf, std::uint32_t spine_index) {
+  set_leaf_link_fault(leaf, spine_index, FaultSpec::disconnect());
+  routing_.set_known_failed(leaf, spine_index);
+}
+
+void ThreeLevelFatTree::set_leaf_link_fault(LeafId leaf, std::uint32_t spine_index,
+                                            FaultSpec fault) {
+  const ThreeLevelInfo& shape = config_.shape;
+  leaves_[leaf]->uplink(spine_index).set_fault(fault);
+  PodSpineSwitch& ps = *pod_spines_[shape.pod_spine_id(shape.pod_of_leaf(leaf), spine_index)];
+  ps.down_port(shape.local_leaf(leaf)).set_fault(fault);
+}
+
+void ThreeLevelFatTree::set_core_link_fault(std::uint32_t pod, std::uint32_t spine_index,
+                                            std::uint32_t k, FaultSpec fault) {
+  pod_spines_[config_.shape.pod_spine_id(pod, spine_index)]->core_uplink(k).set_fault(fault);
+  set_core_downlink_fault(pod, spine_index, k, fault);
+}
+
+void ThreeLevelFatTree::set_core_downlink_fault(std::uint32_t pod, std::uint32_t spine_index,
+                                                std::uint32_t k, FaultSpec fault) {
+  cores_[config_.shape.core_id(spine_index, k)]->down_port(pod).set_fault(fault);
+}
+
+LinkCounters ThreeLevelFatTree::total_fabric_counters() const {
+  LinkCounters total{};
+  auto add = [&total](const LinkCounters& c) {
+    total.tx_packets += c.tx_packets;
+    total.tx_bytes += c.tx_bytes;
+    total.dropped_packets += c.dropped_packets;
+    total.dropped_bytes += c.dropped_bytes;
+  };
+  const ThreeLevelInfo& shape = config_.shape;
+  for (const auto& h : hosts_) add(h->nic().counters());
+  for (LeafId l = 0; l < shape.num_leaves(); ++l) {
+    for (std::uint32_t i = 0; i < shape.hosts_per_leaf; ++i) {
+      add(leaves_[l]->host_port(i).counters());
+    }
+    for (std::uint32_t s = 0; s < shape.spines_per_pod; ++s) {
+      add(leaves_[l]->uplink(s).counters());
+    }
+  }
+  for (const auto& ps : pod_spines_) {
+    for (std::uint32_t l = 0; l < shape.leaves_per_pod; ++l) add(ps->down_port(l).counters());
+    for (std::uint32_t k = 0; k < shape.cores_per_group(); ++k) {
+      add(ps->core_uplink(k).counters());
+    }
+  }
+  for (const auto& c : cores_) {
+    for (std::uint32_t pod = 0; pod < shape.pods; ++pod) add(c->down_port(pod).counters());
+  }
+  return total;
+}
+
+}  // namespace flowpulse::net

@@ -1,0 +1,207 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/egress_port.h"
+#include "net/fault.h"
+#include "net/host.h"
+#include "net/routing.h"
+#include "net/switch.h"
+#include "net/types.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace flowpulse::net {
+
+/// Shape of a 3-level non-blocking folded Clos (paper §7 "Network
+/// Topology"): `pods` pods, each with `leaves_per_pod` leaf switches and
+/// `spines_per_pod` pod-spine (aggregation) switches; the core layer is
+/// partitioned into `spines_per_pod` groups of `leaves_per_pod` cores —
+/// pod-spine s of every pod connects to core group s, giving each
+/// cross-pod (src, dst) pair spines_per_pod × leaves_per_pod disjoint
+/// paths.
+///
+/// Hosts are numbered pod-major: host h sits under global leaf
+/// h / hosts_per_leaf; global leaf g sits in pod g / leaves_per_pod.
+struct ThreeLevelInfo {
+  std::uint32_t pods = 4;
+  std::uint32_t leaves_per_pod = 4;
+  std::uint32_t spines_per_pod = 4;
+  std::uint32_t hosts_per_leaf = 1;
+
+  [[nodiscard]] constexpr std::uint32_t cores_per_group() const { return leaves_per_pod; }
+  [[nodiscard]] constexpr std::uint32_t num_cores() const {
+    return spines_per_pod * cores_per_group();
+  }
+  [[nodiscard]] constexpr std::uint32_t num_leaves() const { return pods * leaves_per_pod; }
+  [[nodiscard]] constexpr std::uint32_t num_pod_spines() const { return pods * spines_per_pod; }
+  [[nodiscard]] constexpr std::uint32_t num_hosts() const {
+    return num_leaves() * hosts_per_leaf;
+  }
+  [[nodiscard]] constexpr LeafId leaf_of(HostId h) const { return h / hosts_per_leaf; }
+  [[nodiscard]] constexpr std::uint32_t pod_of_leaf(LeafId l) const {
+    return l / leaves_per_pod;
+  }
+  [[nodiscard]] constexpr std::uint32_t local_leaf(LeafId l) const {
+    return l % leaves_per_pod;
+  }
+  /// Global pod-spine id of (pod, spine index).
+  [[nodiscard]] constexpr std::uint32_t pod_spine_id(std::uint32_t pod,
+                                                     std::uint32_t s) const {
+    return pod * spines_per_pod + s;
+  }
+  /// Global core id of (group = spine index, k within group).
+  [[nodiscard]] constexpr std::uint32_t core_id(std::uint32_t group, std::uint32_t k) const {
+    return group * cores_per_group() + k;
+  }
+};
+
+class ThreeLevelFatTree;
+
+/// Leaf switch of the 3-level fabric: hosts below, one uplink per pod-spine
+/// of its pod. Upstream spraying uses the same congestion-graded,
+/// byte-deficit APS as the 2-level leaf.
+class Leaf3Switch final : public Switch {
+ public:
+  using IngressHook = std::function<void(UplinkIndex, const Packet&)>;
+
+  Leaf3Switch(sim::Simulator& simulator, LeafId id, const ThreeLevelInfo& info,
+              const RoutingState& leaf_spine_routing, PfcConfig pfc, LinkParams host_link,
+              LinkParams fabric_link, std::uint64_t spray_quantum);
+
+  void receive(Packet p, PortIndex in_port) override;
+
+  [[nodiscard]] EgressPort& host_port(std::uint32_t local) { return *host_ports_[local]; }
+  [[nodiscard]] EgressPort& uplink(std::uint32_t s) { return *uplink_ports_[s]; }
+  void set_spine_ingress_hook(IngressHook hook) { hook_ = std::move(hook); }
+  void set_fault_rng(sim::Rng* rng);
+  [[nodiscard]] LeafId id() const { return id_; }
+
+ private:
+  LeafId id_;
+  const ThreeLevelInfo& info_;
+  const RoutingState& routing_;  // (global leaf, pod-spine index) known failures
+  std::uint64_t spray_quantum_;
+  std::vector<std::unique_ptr<EgressPort>> host_ports_;
+  std::vector<std::unique_ptr<EgressPort>> uplink_ports_;
+  std::vector<std::uint64_t> sent_bytes_;  // [dst_leaf * prios + prio][spine]
+  IngressHook hook_;
+};
+
+/// Pod-spine (aggregation) switch: one downlink per leaf of its pod, one
+/// uplink per core of its group. Cross-pod traffic is sprayed over the
+/// cores (per-packet, byte-deficit); same-pod traffic turns around here.
+class PodSpineSwitch final : public Switch {
+ public:
+  using IngressHook = std::function<void(std::uint32_t /*core k*/, const Packet&)>;
+
+  PodSpineSwitch(sim::Simulator& simulator, std::uint32_t pod, std::uint32_t index,
+                 const ThreeLevelInfo& info, PfcConfig pfc, LinkParams fabric_link,
+                 std::uint64_t spray_quantum);
+
+  void receive(Packet p, PortIndex in_port) override;
+
+  [[nodiscard]] EgressPort& down_port(std::uint32_t local_leaf) {
+    return *down_ports_[local_leaf];
+  }
+  [[nodiscard]] EgressPort& core_uplink(std::uint32_t k) { return *up_ports_[k]; }
+  /// Tap on packets arriving from cores (FlowPulse at the spine level, §7).
+  void set_core_ingress_hook(IngressHook hook) { hook_ = std::move(hook); }
+  void set_fault_rng(sim::Rng* rng);
+
+  [[nodiscard]] std::uint32_t pod() const { return pod_; }
+  [[nodiscard]] std::uint32_t index() const { return index_; }
+
+ private:
+  std::uint32_t pod_;
+  std::uint32_t index_;
+  const ThreeLevelInfo& info_;
+  std::uint64_t spray_quantum_;
+  std::vector<std::unique_ptr<EgressPort>> down_ports_;  // per local leaf
+  std::vector<std::unique_ptr<EgressPort>> up_ports_;    // per core of the group
+  std::vector<std::uint64_t> sent_bytes_;  // [dst_leaf * prios + prio][core k]
+  IngressHook hook_;
+};
+
+/// Core switch of group `group`: one bidirectional port per pod.
+class CoreSwitch final : public Switch {
+ public:
+  CoreSwitch(sim::Simulator& simulator, std::uint32_t group, std::uint32_t k,
+             const ThreeLevelInfo& info, PfcConfig pfc, LinkParams fabric_link);
+
+  void receive(Packet p, PortIndex in_port) override;
+
+  [[nodiscard]] EgressPort& down_port(std::uint32_t pod) { return *down_ports_[pod]; }
+  void set_fault_rng(sim::Rng* rng);
+
+ private:
+  std::uint32_t group_;
+  std::uint32_t k_;
+  const ThreeLevelInfo& info_;
+  std::vector<std::unique_ptr<EgressPort>> down_ports_;  // per pod
+};
+
+struct ThreeLevelConfig {
+  ThreeLevelInfo shape{};
+  LinkParams host_link{400.0, sim::Time::nanoseconds(200)};
+  LinkParams fabric_link{400.0, sim::Time::nanoseconds(200)};
+  PfcConfig pfc{};
+  std::uint64_t spray_quantum_bytes = 8192;
+  std::uint64_t seed = 0x5eed;
+};
+
+/// The full 3-level fabric. Fault injection covers both tiers:
+///  * leaf↔pod-spine links — disconnect_known() removes the pod-spine
+///    *index* from routing for that leaf (which transitively removes the
+///    core group for paths through it), mirroring the 2-level semantics;
+///  * pod-spine↔core links — silent faults only (set_core_link_fault),
+///    matching the paper's focus on detecting what routing does not know.
+class ThreeLevelFatTree {
+ public:
+  ThreeLevelFatTree(sim::Simulator& simulator, ThreeLevelConfig config);
+
+  ThreeLevelFatTree(const ThreeLevelFatTree&) = delete;
+  ThreeLevelFatTree& operator=(const ThreeLevelFatTree&) = delete;
+
+  [[nodiscard]] const ThreeLevelInfo& info() const { return config_.shape; }
+  [[nodiscard]] Host& host(HostId h) { return *hosts_[h]; }
+  [[nodiscard]] Leaf3Switch& leaf(LeafId l) { return *leaves_[l]; }
+  [[nodiscard]] PodSpineSwitch& pod_spine(std::uint32_t pod, std::uint32_t s) {
+    return *pod_spines_[config_.shape.pod_spine_id(pod, s)];
+  }
+  [[nodiscard]] CoreSwitch& core(std::uint32_t group, std::uint32_t k) {
+    return *cores_[config_.shape.core_id(group, k)];
+  }
+  [[nodiscard]] std::uint32_t num_hosts() const { return config_.shape.num_hosts(); }
+  [[nodiscard]] RoutingState& routing() { return routing_; }
+  [[nodiscard]] const RoutingState& routing() const { return routing_; }
+
+  /// Known pre-existing failure of a leaf↔pod-spine link (both directions
+  /// dark + removed from routing).
+  void disconnect_known(LeafId leaf, std::uint32_t spine_index);
+  /// Silent fault on a leaf↔pod-spine link.
+  void set_leaf_link_fault(LeafId leaf, std::uint32_t spine_index, FaultSpec fault);
+  /// Silent fault on a pod-spine↔core link (both directions).
+  void set_core_link_fault(std::uint32_t pod, std::uint32_t spine_index, std::uint32_t k,
+                           FaultSpec fault);
+  /// Silent fault on only the core→pod-spine direction.
+  void set_core_downlink_fault(std::uint32_t pod, std::uint32_t spine_index, std::uint32_t k,
+                               FaultSpec fault);
+
+  [[nodiscard]] LinkCounters total_fabric_counters() const;
+
+ private:
+  sim::Simulator& sim_;
+  ThreeLevelConfig config_;
+  RoutingState routing_;  // (global leaf, pod-spine index)
+  sim::Rng fault_rng_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<std::unique_ptr<Leaf3Switch>> leaves_;
+  std::vector<std::unique_ptr<PodSpineSwitch>> pod_spines_;
+  std::vector<std::unique_ptr<CoreSwitch>> cores_;
+};
+
+}  // namespace flowpulse::net

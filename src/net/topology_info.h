@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+
+#include "net/types.h"
+
+namespace flowpulse::net {
+
+/// Shape of a 2-level non-blocking fat tree. Hosts are numbered so that
+/// hosts [l * hosts_per_leaf, (l+1) * hosts_per_leaf) sit under leaf l.
+///
+/// `parallel` models parallel leaf↔spine links (paper §7 "Parallel Links"):
+/// each physical spine is split into `parallel` virtual spines; an uplink
+/// index u identifies (spine u / parallel, lane u % parallel). Packets keep
+/// their lane across the spine (virtual-switch semantics), so each lane
+/// behaves as an independent spine for spraying, monitoring and prediction.
+struct TopologyInfo {
+  std::uint32_t leaves = 32;
+  std::uint32_t spines = 16;
+  std::uint32_t hosts_per_leaf = 1;
+  std::uint32_t parallel = 1;
+
+  [[nodiscard]] constexpr std::uint32_t uplinks_per_leaf() const { return spines * parallel; }
+  [[nodiscard]] constexpr std::uint32_t num_hosts() const { return leaves * hosts_per_leaf; }
+  [[nodiscard]] constexpr LeafId leaf_of(HostId h) const { return h / hosts_per_leaf; }
+  [[nodiscard]] constexpr std::uint32_t local_index(HostId h) const { return h % hosts_per_leaf; }
+  [[nodiscard]] constexpr SpineId spine_of(UplinkIndex u) const { return u / parallel; }
+  [[nodiscard]] constexpr std::uint32_t lane_of(UplinkIndex u) const { return u % parallel; }
+  /// Port index of uplink `u` on its spine switch, for a given leaf.
+  [[nodiscard]] constexpr PortIndex spine_port(LeafId leaf, UplinkIndex u) const {
+    return leaf * parallel + lane_of(u);
+  }
+  /// Leaf-switch port carrying uplink `u`.
+  [[nodiscard]] constexpr PortIndex leaf_uplink_port(UplinkIndex u) const {
+    return hosts_per_leaf + u;
+  }
+};
+
+}  // namespace flowpulse::net

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+
+namespace flowpulse::net {
+
+using HostId = std::uint32_t;    ///< Global host (GPU/NIC) index.
+using LeafId = std::uint32_t;    ///< Leaf switch index.
+using SpineId = std::uint32_t;   ///< Spine switch index.
+using PortIndex = std::uint32_t; ///< Port index local to one device.
+using UplinkIndex = std::uint32_t; ///< "Virtual spine": spine * parallel + lane.
+using FlowId = std::uint64_t;
+
+constexpr PortIndex kInvalidPort = 0xffffffffu;
+
+/// Traffic classes. Lower value = strictly higher scheduling priority.
+/// The measured collective runs above background jobs (paper §5.1) so that
+/// background load cannot perturb its spraying; tiny control packets (ACKs)
+/// run above both.
+enum class Priority : std::uint8_t {
+  kControl = 0,
+  kCollective = 1,
+  kBackground = 2,
+};
+constexpr int kNumPriorities = 3;
+
+[[nodiscard]] constexpr int priority_index(Priority p) { return static_cast<int>(p); }
+
+/// Upstream load-balancing policy at leaf switches.
+enum class SprayPolicy : std::uint8_t {
+  kAdaptive,  ///< per-packet, least-occupied valid uplink (APS, paper default)
+  kRandom,    ///< per-packet, uniform random valid uplink
+  kEcmp,      ///< per-flow hash (classical datacenter baseline)
+  kFlowlet,   ///< flowlet switching (Let-It-Flow-style): a flow keeps its
+              ///< uplink until an idle gap exceeds the flowlet timeout, then
+              ///< re-picks the least-occupied lane
+};
+
+/// flow_id tagging scheme (paper §5.1): collective packets carry a sentinel
+/// in the top bits and the training-iteration number in the low bits, so
+/// switches can both select the measured traffic and delimit iterations
+/// without any control-plane messaging.
+namespace flowid {
+
+constexpr FlowId kSentinelMask = 0xffff000000000000ull;
+constexpr FlowId kCollectiveSentinel = 0xc011000000000000ull;
+constexpr FlowId kIterationMask = 0x00000000ffffffffull;
+// Bits 32..47 distinguish concurrent collectives (e.g. parallel jobs).
+constexpr FlowId kJobShift = 32;
+constexpr FlowId kJobMask = 0x0000ffff00000000ull;
+
+[[nodiscard]] constexpr FlowId make_collective(std::uint32_t iteration, std::uint16_t job = 0) {
+  return kCollectiveSentinel | (static_cast<FlowId>(job) << kJobShift) | iteration;
+}
+[[nodiscard]] constexpr bool is_collective(FlowId f) {
+  return (f & kSentinelMask) == kCollectiveSentinel;
+}
+[[nodiscard]] constexpr std::uint32_t iteration_of(FlowId f) {
+  return static_cast<std::uint32_t>(f & kIterationMask);
+}
+[[nodiscard]] constexpr std::uint16_t job_of(FlowId f) {
+  return static_cast<std::uint16_t>((f & kJobMask) >> kJobShift);
+}
+
+}  // namespace flowid
+
+}  // namespace flowpulse::net

@@ -1,0 +1,45 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace flowpulse::sim {
+
+void EventQueue::schedule(Time at, EventFn fn) {
+  heap_.push_back(HeapEntry{at, next_seq_++, std::move(fn)});
+  sift_up(heap_.size() - 1);
+}
+
+EventQueue::Event EventQueue::pop() {
+  assert(!heap_.empty());
+  Event ev{heap_.front().at, heap_.front().seq, std::move(heap_.front().fn)};
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  return ev;
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!earlier(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t best = i;
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = 2 * i + 2;
+    if (l < n && earlier(heap_[l], heap_[best])) best = l;
+    if (r < n && earlier(heap_[r], heap_[best])) best = r;
+    if (best == i) return;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+}
+
+}  // namespace flowpulse::sim

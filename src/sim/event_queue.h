@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace flowpulse::sim {
+
+using EventFn = std::function<void()>;
+
+/// Min-heap of timed events. Events scheduled for the same instant run in
+/// insertion order (FIFO), which keeps simulations deterministic.
+///
+/// There is deliberately no cancellation: components that need revocable
+/// timers (e.g. retransmission timeouts) check their own state when the
+/// event fires and ignore stale firings. This keeps the hot path a plain
+/// binary-heap push/pop.
+class EventQueue {
+ public:
+  /// Schedule `fn` at absolute time `at`.
+  void schedule(Time at, EventFn fn);
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest event. Must not be called when empty().
+  [[nodiscard]] Time next_time() const { return heap_.front().at; }
+
+  struct Event {
+    Time at;
+    std::uint64_t seq = 0;
+    EventFn fn;
+  };
+  /// Pop and return the earliest event. Must not be called when empty().
+  Event pop();
+
+  /// Total events ever scheduled (for throughput accounting).
+  [[nodiscard]] std::uint64_t scheduled_total() const { return next_seq_; }
+
+ private:
+  struct HeapEntry {
+    Time at;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+
+  // Hand-rolled binary heap so we can move the EventFn out on pop
+  // (std::priority_queue::top() is const).
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  [[nodiscard]] bool earlier(const HeapEntry& a, const HeapEntry& b) const {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;  // FIFO among simultaneous events
+  }
+
+  std::vector<HeapEntry> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace flowpulse::sim

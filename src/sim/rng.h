@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+namespace flowpulse::sim {
+
+/// Deterministic xoshiro256** generator. All randomness in a scenario flows
+/// from one root Rng (or children split from it), so a run is reproducible
+/// from its seed alone.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  [[nodiscard]] std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double next_double();
+
+  /// True with probability p (clamped to [0, 1]).
+  [[nodiscard]] bool bernoulli(double p);
+
+  /// Derive an independent child generator; deterministic given this
+  /// generator's state. Useful to give subsystems their own streams.
+  [[nodiscard]] Rng split();
+
+ private:
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace flowpulse::sim

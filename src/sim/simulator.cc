@@ -1,0 +1,18 @@
+#include "sim/simulator.h"
+
+namespace flowpulse::sim {
+
+void Simulator::run() { run_until(Time::max()); }
+
+void Simulator::run_until(Time deadline) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
+    EventQueue::Event ev = queue_.pop();
+    now_ = ev.at;
+    ++events_executed_;
+    ev.fn();
+  }
+  if (!stopped_ && deadline != Time::max() && now_ < deadline) now_ = deadline;
+}
+
+}  // namespace flowpulse::sim

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace flowpulse::sim {
+
+/// Discrete-event simulation driver: owns the virtual clock, the event
+/// queue, and the root random stream. Every simulated component holds a
+/// reference to its Simulator; there is no global state, so independent
+/// simulations can coexist (the simulation-based load model runs a nested
+/// Simulator inside a live experiment).
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1) : rng_{seed} {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] Time now() const { return now_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  /// Schedule `fn` to run `delay` after the current time.
+  void schedule_in(Time delay, EventFn fn) { queue_.schedule(now_ + delay, std::move(fn)); }
+
+  /// Schedule `fn` at absolute time `at` (must be >= now()).
+  void schedule_at(Time at, EventFn fn) { queue_.schedule(at, std::move(fn)); }
+
+  /// Run until the event queue drains or `stop()` is called.
+  void run();
+
+  /// Run events with time <= `deadline`; the clock ends at
+  /// min(deadline, time of last event) unless stopped.
+  void run_until(Time deadline);
+
+  /// Stop the run loop after the current event returns.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] bool stopped() const { return stopped_; }
+  [[nodiscard]] std::uint64_t events_executed() const { return events_executed_; }
+  [[nodiscard]] std::uint64_t events_scheduled() const { return queue_.scheduled_total(); }
+  [[nodiscard]] std::size_t events_pending() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  Time now_ = Time::zero();
+  Rng rng_;
+  bool stopped_ = false;
+  std::uint64_t events_executed_ = 0;
+};
+
+}  // namespace flowpulse::sim

@@ -1,0 +1,209 @@
+#include "transport/transport.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace flowpulse::transport {
+
+Transport::Transport(sim::Simulator& simulator, net::Host& host, TransportConfig config)
+    : sim_{simulator}, host_{host}, config_{config} {
+  host_.set_rx_handler([this](const net::Packet& p) { on_packet(p); });
+  host_.nic().set_tx_hook([this](const net::Packet& p, net::EgressPort::TxEvent) {
+    // A drop on the host→leaf link still starts the RTO clock: from the
+    // sender's perspective the segment went out and was never acked.
+    on_wire(p);
+  });
+}
+
+std::uint64_t Transport::send_message(const MessageSpec& spec, SendCompleteFn on_complete) {
+  assert(spec.bytes > 0);
+  const std::uint64_t msg_id = next_msg_id_++;
+  SendState st;
+  st.spec = spec;
+  st.msg_id = msg_id;
+  st.total_segments =
+      static_cast<std::uint32_t>((spec.bytes + config_.mtu_payload - 1) / config_.mtu_payload);
+  st.seg_acked.assign(st.total_segments, 0);
+  st.attempts.assign(st.total_segments, 0);
+  st.wire_time.assign(st.total_segments, sim::Time::zero());
+  st.on_complete = std::move(on_complete);
+  auto [it, inserted] = sends_.emplace(msg_id, std::move(st));
+  assert(inserted);
+  pump(it->second);
+  return msg_id;
+}
+
+std::uint32_t Transport::segment_payload(const SendState& st, std::uint32_t seq) const {
+  const std::uint64_t offset = static_cast<std::uint64_t>(seq) * config_.mtu_payload;
+  return static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(config_.mtu_payload, st.spec.bytes - offset));
+}
+
+void Transport::pump(SendState& st) {
+  while (st.outstanding < config_.window && st.next_unsent < st.total_segments) {
+    transmit_segment(st, st.next_unsent);
+    ++st.next_unsent;
+    ++st.outstanding;
+    ++stats_.data_packets_sent;
+  }
+}
+
+void Transport::transmit_segment(SendState& st, std::uint32_t seq) {
+  net::Packet p;
+  p.flow_id = st.spec.flow_id;
+  p.src = host_.id();
+  p.dst = st.spec.dst;
+  p.msg_id = st.msg_id;
+  p.msg_bytes = st.spec.bytes;
+  p.total_segments = st.total_segments;
+  p.seq = seq;
+  p.size_bytes = segment_payload(st, seq) + net::kHeaderBytes;
+  p.kind = net::PacketKind::kData;
+  p.priority = st.spec.priority;
+  p.retx = st.attempts[seq];
+  ++st.attempts[seq];
+  host_.nic().enqueue(p);
+}
+
+sim::Time Transport::effective_rto() const {
+  if (!config_.adaptive_rto) return config_.rto;
+  if (srtt_ == sim::Time::zero()) return config_.rto * config_.initial_rto_multiplier;
+  const sim::Time adaptive = srtt_ + 4 * rttvar_;
+  return adaptive > config_.rto ? adaptive : config_.rto;
+}
+
+void Transport::on_wire(const net::Packet& p) {
+  if (p.kind != net::PacketKind::kData || p.src != host_.id()) return;
+  auto it = sends_.find(p.msg_id);
+  if (it == sends_.end() || it->second.done || it->second.seg_acked[p.seq]) return;
+  it->second.wire_time[p.seq] = sim_.now();
+  const int shift = std::min<int>(p.retx, config_.max_backoff_shift);
+  const sim::Time timeout = sim::Time::picoseconds(effective_rto().ps() << shift);
+  const std::uint8_t attempt = p.retx;
+  const std::uint64_t msg_id = p.msg_id;
+  const std::uint32_t seq = p.seq;
+  sim_.schedule_in(timeout, [this, msg_id, seq, attempt] { on_rto(msg_id, seq, attempt); });
+}
+
+void Transport::on_rto(std::uint64_t msg_id, std::uint32_t seq, std::uint8_t attempt) {
+  auto it = sends_.find(msg_id);
+  if (it == sends_.end()) return;
+  SendState& st = it->second;
+  if (st.done || st.seg_acked[seq]) return;       // stale timer: already acked
+  if (st.attempts[seq] != attempt + 1) return;    // stale timer: newer attempt pending
+  ++stats_.retx_packets_sent;
+  transmit_segment(st, seq);
+}
+
+void Transport::on_packet(const net::Packet& p) {
+  switch (p.kind) {
+    case net::PacketKind::kData:
+      on_data(p);
+      break;
+    case net::PacketKind::kAck:
+      on_ack(p);
+      break;
+    case net::PacketKind::kProbe:
+      if (probe_handler_) probe_handler_(p);
+      break;
+  }
+}
+
+void Transport::on_data(const net::Packet& p) {
+  // Update receive state first so the ACK can carry a SACK bitmap of the
+  // segments below p.seq that have also arrived.
+  RecvState& rs = recvs_[recv_key(p.src, p.msg_id)];
+  bool duplicate = false;
+  if (rs.complete) {
+    duplicate = true;
+  } else {
+    if (rs.got.empty()) {
+      rs.total_segments = p.total_segments;
+      rs.got.assign(p.total_segments, 0);
+    }
+    if (rs.got[p.seq]) {
+      duplicate = true;
+    } else {
+      rs.got[p.seq] = 1;
+      ++rs.received;
+      if (rs.received == rs.total_segments) {
+        rs.complete = true;
+        rs.got.clear();
+        rs.got.shrink_to_fit();
+      }
+    }
+  }
+  if (duplicate) ++stats_.duplicate_data_received;
+
+  // Always acknowledge — late retransmits of a completed message must be
+  // acked or the sender never finishes.
+  net::Packet ack;
+  ack.flow_id = p.flow_id;
+  ack.src = host_.id();
+  ack.dst = p.src;
+  ack.msg_id = p.msg_id;
+  ack.seq = p.seq;
+  ack.size_bytes = net::kControlPacketBytes;
+  ack.kind = net::PacketKind::kAck;
+  ack.priority = net::Priority::kControl;
+  std::uint64_t bitmap = 0;
+  for (std::uint32_t i = 1; i <= 64 && i <= p.seq; ++i) {
+    if (rs.complete || rs.got[p.seq - i]) bitmap |= 1ull << (i - 1);
+  }
+  ack.ack_bitmap = bitmap;
+  host_.nic().enqueue(ack);
+  ++stats_.acks_sent;
+
+  if (rs.complete && !duplicate && rs.received == rs.total_segments) {
+    ++stats_.messages_received;
+    const RecvInfo info{p.src, host_.id(), p.msg_id, p.flow_id, p.msg_bytes};
+    for (const RecvHandler& handler : recv_handlers_) handler(info);
+  }
+}
+
+void Transport::on_ack(const net::Packet& p) {
+  auto it = sends_.find(p.msg_id);
+  if (it == sends_.end()) return;
+  SendState& st = it->second;
+  if (st.done) return;
+
+  // RTT sampling with Karn's rule: only an unambiguous (first-attempt,
+  // not-yet-acked) direct acknowledgement contributes; RFC 6298 smoothing.
+  if (!st.seg_acked[p.seq] && st.attempts[p.seq] == 1 &&
+      st.wire_time[p.seq] > sim::Time::zero()) {
+    const sim::Time sample = sim_.now() - st.wire_time[p.seq];
+    if (srtt_ == sim::Time::zero()) {
+      srtt_ = sample;
+      rttvar_ = sim::Time::picoseconds(sample.ps() / 2);
+    } else {
+      const std::int64_t err = sample.ps() - srtt_.ps();
+      const std::int64_t abs_err = err < 0 ? -err : err;
+      rttvar_ = sim::Time::picoseconds((3 * rttvar_.ps() + abs_err) / 4);
+      srtt_ = sim::Time::picoseconds(srtt_.ps() + err / 8);
+    }
+  }
+
+  auto mark_acked = [&st](std::uint32_t seq) {
+    if (st.seg_acked[seq] || st.attempts[seq] == 0) return;
+    st.seg_acked[seq] = 1;
+    ++st.acked;
+    assert(st.outstanding > 0);
+    --st.outstanding;
+  };
+  mark_acked(p.seq);
+  // SACK bitmap: segments below p.seq the receiver also holds. This keeps
+  // a lost ACK from looking like a lost data segment.
+  for (std::uint32_t i = 1; i <= 64 && i <= p.seq; ++i) {
+    if (p.ack_bitmap & (1ull << (i - 1))) mark_acked(p.seq - i);
+  }
+
+  if (st.acked == st.total_segments) {
+    st.done = true;
+    ++stats_.messages_sent;
+    if (st.on_complete) st.on_complete(st.msg_id);
+    return;
+  }
+  pump(st);
+}
+
+}  // namespace flowpulse::transport

@@ -1,0 +1,177 @@
+// Baseline comparators: the spatial-symmetry check and the Pingmesh-style
+// prober, both exercised against the fabric.
+#include <gtest/gtest.h>
+
+#include "baseline/counter_scraper.h"
+#include "baseline/pingmesh.h"
+#include "baseline/spatial_symmetry.h"
+#include "net/fat_tree.h"
+#include "sim/simulator.h"
+#include "transport/transport_layer.h"
+
+namespace flowpulse::baseline {
+namespace {
+
+using net::FatTree;
+using net::FatTreeConfig;
+using net::TopologyInfo;
+using sim::Simulator;
+using sim::Time;
+
+fp::IterationRecord record_of(const std::vector<double>& bytes) {
+  fp::IterationRecord r;
+  r.bytes = bytes;
+  r.by_src.assign(bytes.size(), std::vector<double>(1, 0.0));
+  return r;
+}
+
+TEST(SpatialSymmetry, EqualLoadPasses) {
+  const auto res = spatial_symmetry_check(record_of({1000, 1000, 1000, 1000}), 0.01);
+  EXPECT_FALSE(res.flagged);
+  EXPECT_DOUBLE_EQ(res.max_rel_dev, 0.0);
+}
+
+TEST(SpatialSymmetry, SmallImbalanceWithinThreshold) {
+  EXPECT_FALSE(spatial_symmetry_check(record_of({1002, 998, 1000, 1000}), 0.01).flagged);
+}
+
+TEST(SpatialSymmetry, DeadPortFlags) {
+  // A disconnected link shows as a silent port: guaranteed flag — this is
+  // exactly why the strategy cannot live with pre-existing faults.
+  const auto res = spatial_symmetry_check(record_of({1333, 1333, 1334, 0}), 0.01);
+  EXPECT_TRUE(res.flagged);
+  EXPECT_NEAR(res.max_rel_dev, 1.0, 1e-9);
+}
+
+TEST(SpatialSymmetry, EmptyAndSilentRecordsPass) {
+  EXPECT_FALSE(spatial_symmetry_check(record_of({}), 0.01).flagged);
+  EXPECT_FALSE(spatial_symmetry_check(record_of({0, 0, 0}), 0.01).flagged);
+}
+
+struct ProbeRig {
+  explicit ProbeRig(std::uint64_t seed = 9)
+      : sim{seed}, net{sim, config()}, transports{sim, net} {}
+  static FatTreeConfig config() {
+    FatTreeConfig cfg;
+    cfg.shape = TopologyInfo{4, 2, 1, 1};
+    return cfg;
+  }
+  Simulator sim;
+  FatTree net;
+  transport::TransportLayer transports;
+};
+
+TEST(Pingmesh, HealthyFabricLosesNothing) {
+  ProbeRig rig;
+  PingmeshConfig cfg;
+  cfg.interval = Time::microseconds(10);
+  cfg.probes_per_round = 2;
+  PingmeshProber prober{rig.sim, rig.net, rig.transports, cfg};
+  prober.start(Time::microseconds(500));
+  rig.sim.run();
+  EXPECT_GT(prober.probes_sent(), 100u);
+  EXPECT_EQ(prober.probes_lost(), 0u);
+  EXPECT_EQ(prober.first_loss_time(), Time::max());
+}
+
+TEST(Pingmesh, BlackHoleEventuallyDetected) {
+  ProbeRig rig;
+  rig.net.set_link_fault(0, 0, net::FaultSpec::black_hole());
+  PingmeshConfig cfg;
+  cfg.interval = Time::microseconds(10);
+  cfg.probes_per_round = 4;
+  PingmeshProber prober{rig.sim, rig.net, rig.transports, cfg};
+  prober.start(Time::milliseconds(2));
+  rig.sim.run();
+  EXPECT_GT(prober.probes_lost(), 0u);
+  // Both directions of the leaf-0↔spine-0 link are dead: probes with leaf 0
+  // as source (1/4 of all) or destination (1/4) die with probability 1/2
+  // (the spray picks the dead spine half the time) → ≈ 25% loss.
+  EXPECT_NEAR(prober.loss_rate(), 0.25, 0.08);
+}
+
+TEST(Pingmesh, LowRateGrayLinkRarelyHit) {
+  // The paper's point: small probes are insensitive to low drop rates.
+  ProbeRig rig;
+  rig.net.set_link_fault(0, 0, net::FaultSpec::random_drop(0.01));
+  PingmeshConfig cfg;
+  cfg.interval = Time::microseconds(10);
+  cfg.probes_per_round = 2;
+  PingmeshProber prober{rig.sim, rig.net, rig.transports, cfg};
+  prober.start(Time::microseconds(400));
+  rig.sim.run();
+  // ~40 rounds x 8 probes, ~1/8 of probes cross the faulty direction, 1%
+  // loss each: expected hits well under 1 — usually nothing seen at all.
+  EXPECT_LT(prober.probes_lost(), 3u);
+}
+
+TEST(Pingmesh, AccountsInjectedBytes) {
+  ProbeRig rig;
+  PingmeshConfig cfg;
+  cfg.interval = Time::microseconds(50);
+  cfg.probes_per_round = 1;
+  cfg.probe_bytes = 64;
+  PingmeshProber prober{rig.sim, rig.net, rig.transports, cfg};
+  prober.start(Time::microseconds(240));
+  rig.sim.run();
+  // 5 rounds x 4 hosts x 1 probe = 20 probes of 64 B.
+  EXPECT_EQ(prober.probes_sent(), 20u);
+  EXPECT_EQ(prober.bytes_injected(), 20u * 64u);
+}
+
+// ---------------------------------------------------------------------------
+// Counter-polling baseline
+// ---------------------------------------------------------------------------
+
+void blast(ProbeRig& rig, net::HostId src, net::HostId dst, int n) {
+  rig.net.host(dst).set_rx_handler([](const net::Packet&) {});
+  for (int i = 0; i < n; ++i) {
+    net::Packet p;
+    p.src = src;
+    p.dst = dst;
+    p.size_bytes = 1000;
+    rig.net.host(src).nic().enqueue(p);
+  }
+}
+
+TEST(CounterScraper, SilentFaultInvisibleToCounters) {
+  ProbeRig rig;
+  rig.net.set_link_fault(0, 0, net::FaultSpec::random_drop(0.10));  // silent
+  CounterScraper scraper{rig.sim, rig.net, {}};
+  scraper.start(Time::milliseconds(1));
+  blast(rig, 0, 2, 2000);
+  rig.sim.run();
+  // Packets really died...
+  EXPECT_GT(rig.net.total_fabric_counters().dropped_packets, 50u);
+  // ...but the error counters never moved: no alarm, ever.
+  EXPECT_TRUE(scraper.alarms().empty());
+  EXPECT_GT(scraper.polls(), 5u);
+}
+
+TEST(CounterScraper, VisibleFaultAlarmsWithinOnePeriod) {
+  ProbeRig rig;
+  net::FaultSpec fault = net::FaultSpec::random_drop(0.10);
+  fault.visible_to_counters = true;  // e.g. CRC errors the port does count
+  rig.net.set_link_fault(0, 0, fault);
+  CounterScraperConfig cfg;
+  cfg.period = Time::microseconds(20);
+  CounterScraper scraper{rig.sim, rig.net, cfg};
+  scraper.start(Time::milliseconds(1));
+  blast(rig, 0, 2, 2000);
+  rig.sim.run();
+  ASSERT_FALSE(scraper.alarms().empty());
+  EXPECT_NEAR(scraper.alarms().front().counted_drop_rate, 0.10, 0.06);
+  EXPECT_EQ(scraper.alarms().front().link.substr(0, 3), "up:");
+}
+
+TEST(CounterScraper, HealthyFabricNeverAlarms) {
+  ProbeRig rig;
+  CounterScraper scraper{rig.sim, rig.net, {}};
+  scraper.start(Time::milliseconds(1));
+  blast(rig, 1, 3, 2000);
+  rig.sim.run();
+  EXPECT_TRUE(scraper.alarms().empty());
+}
+
+}  // namespace
+}  // namespace flowpulse::baseline

@@ -1,0 +1,189 @@
+// Property-style invariants across the stack, mostly parameterized sweeps:
+//  * conservation: predicted load sums to the demand's wire bytes
+//  * measurement equals delivery: monitor totals == downlink delivered bytes
+//  * detection monotonicity across drop rates
+//  * determinism under every spray policy
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exp/metrics.h"
+#include "exp/scenario.h"
+#include "flowpulse/analytical_model.h"
+#include "net/routing.h"
+
+namespace flowpulse::exp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Analytical model conservation: summed over all (leaf, port), the predicted
+// load equals the wire bytes of every inter-leaf demand — regardless of the
+// known-fault pattern (as long as no pair is fully partitioned).
+// ---------------------------------------------------------------------------
+
+class ModelConservation : public ::testing::TestWithParam<int> {};
+
+TEST_P(ModelConservation, PredictionSumsToWireBytes) {
+  const int faults = GetParam();
+  const net::TopologyInfo info{8, 4, 2, 1};
+  net::RoutingState routing{8, 4};
+  for (int i = 0; i < faults; ++i) {
+    routing.set_known_failed((i * 3) % 8, (i * 2 + 1) % 4);
+  }
+  collective::DemandMatrix demand{16};
+  double expected_wire = 0.0;
+  const fp::AnalyticalModel model{info, 4096, 64};
+  sim::Rng rng{static_cast<std::uint64_t>(faults) + 1};
+  for (net::HostId s = 0; s < 16; ++s) {
+    for (net::HostId d = 0; d < 16; ++d) {
+      if (s == d) continue;
+      const std::uint64_t bytes = 10'000 + rng.next_below(100'000);
+      demand.add(s, d, bytes);
+      if (info.leaf_of(s) != info.leaf_of(d)) expected_wire += model.wire_bytes(bytes);
+    }
+  }
+  const fp::PortLoadMap pred = model.predict(demand, routing);
+  EXPECT_NEAR(pred.total(), expected_wire, expected_wire * 1e-12);
+  // Per-sender breakdown must sum to the port totals.
+  for (net::LeafId l = 0; l < 8; ++l) {
+    for (net::UplinkIndex u = 0; u < 4; ++u) {
+      const fp::PortLoad& load = pred.at(l, u);
+      double by_src = 0.0;
+      for (const double v : load.by_src_leaf) by_src += v;
+      EXPECT_NEAR(by_src, load.total, 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultCounts, ModelConservation, ::testing::Values(0, 1, 2, 3));
+
+// ---------------------------------------------------------------------------
+// Monitor vs link counters: everything the monitor counts arrived over the
+// spine→leaf links; in a clean tagged-only run the totals match exactly.
+// ---------------------------------------------------------------------------
+
+TEST(MeasurementIdentity, MonitorTotalsEqualDownlinkDataDelivery) {
+  ScenarioConfig cfg;
+  cfg.fabric.shape = net::TopologyInfo{4, 2, 1, 1};
+  cfg.collective_bytes = 4ull << 20;
+  cfg.iterations = 2;
+  Scenario s{cfg};
+  s.run();
+  for (net::LeafId l = 0; l < 4; ++l) {
+    double monitored = 0.0;
+    for (const fp::IterationRecord& rec : s.flowpulse().monitor(l).history()) {
+      for (const double b : rec.bytes) monitored += b;
+    }
+    // Downlinks also carry ACKs (kControl, 64 B each), which the monitor
+    // filters out; subtract them via packet counts.
+    double delivered = 0.0;
+    for (net::UplinkIndex u = 0; u < 2; ++u) {
+      const auto& c = s.fabric().downlink_counters(l, u);
+      delivered += static_cast<double>(c.delivered_bytes());
+    }
+    EXPECT_LE(monitored, delivered);
+    EXPECT_GT(monitored, delivered * 0.95);  // ACK overhead is ~1.5%
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Detection monotonicity: higher drop rates never produce smaller max
+// deviations (averaged over iterations), and are detected at least as often.
+// ---------------------------------------------------------------------------
+
+TEST(DetectionMonotonicity, DeviationGrowsWithDropRate) {
+  double prev_mean = -1.0;
+  for (const double rate : {0.01, 0.03, 0.08, 0.2}) {
+    ScenarioConfig cfg;
+    cfg.fabric.shape = net::TopologyInfo{8, 4, 1, 1};
+    cfg.collective_bytes = 8ull << 20;
+    cfg.iterations = 3;
+    NewFault f;
+    f.leaf = 3;
+    f.uplink = 2;
+    f.where = NewFault::Where::kBoth;
+    f.spec = net::FaultSpec::random_drop(rate);
+    cfg.new_faults.push_back(f);
+    Scenario s{cfg};
+    const ScenarioResult r = s.run();
+    double mean = 0.0;
+    for (const double d : r.per_iter_max_dev) mean += d;
+    mean /= static_cast<double>(r.per_iter_max_dev.size());
+    EXPECT_GT(mean, prev_mean) << "rate " << rate;
+    prev_mean = mean;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism under every spray policy: identical seeds → identical runs.
+// ---------------------------------------------------------------------------
+
+class PolicyDeterminism : public ::testing::TestWithParam<net::SprayPolicy> {};
+
+TEST_P(PolicyDeterminism, SameSeedSameResult) {
+  auto run_once = [&] {
+    ScenarioConfig cfg;
+    cfg.fabric.shape = net::TopologyInfo{4, 2, 1, 1};
+    cfg.fabric.spray = GetParam();
+    cfg.collective_bytes = 2ull << 20;
+    cfg.iterations = 2;
+    cfg.seed = 77;
+    cfg.new_faults.push_back(NewFault{1, 0, NewFault::Where::kBoth,
+                                      net::FaultSpec::random_drop(0.05)});
+    Scenario s{cfg};
+    return s.run();
+  };
+  const ScenarioResult a = run_once();
+  const ScenarioResult b = run_once();
+  EXPECT_EQ(a.events, b.events);
+  ASSERT_EQ(a.per_iter_max_dev.size(), b.per_iter_max_dev.size());
+  for (std::size_t i = 0; i < a.per_iter_max_dev.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.per_iter_max_dev[i], b.per_iter_max_dev[i]);
+  }
+  EXPECT_EQ(a.transport_stats.retx_packets_sent, b.transport_stats.retx_packets_sent);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, PolicyDeterminism,
+                         ::testing::Values(net::SprayPolicy::kAdaptive,
+                                           net::SprayPolicy::kRandom,
+                                           net::SprayPolicy::kEcmp,
+                                           net::SprayPolicy::kFlowlet));
+
+// ---------------------------------------------------------------------------
+// Detection sweep: every sufficiently-large drop rate is detected at the
+// right port, across seeds (parameterized over rate × seed).
+// ---------------------------------------------------------------------------
+
+class DetectionSweep
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(DetectionSweep, FaultyPortAlwaysNamed) {
+  const auto [rate, seed] = GetParam();
+  ScenarioConfig cfg;
+  cfg.fabric.shape = net::TopologyInfo{8, 4, 1, 1};
+  cfg.collective_bytes = 8ull << 20;
+  cfg.iterations = 3;
+  cfg.seed = seed;
+  NewFault f;
+  f.leaf = 5;
+  f.uplink = 1;
+  f.where = NewFault::Where::kBoth;
+  f.spec = net::FaultSpec::random_drop(rate);
+  cfg.new_faults.push_back(f);
+  Scenario s{cfg};
+  s.run();
+  bool named = false;
+  for (const fp::DetectionResult& d : s.flowpulse().faulty_results()) {
+    for (const fp::PortAlert& a : d.alerts) {
+      if (a.uplink == 1 && a.observed < a.predicted) named = true;
+    }
+  }
+  EXPECT_TRUE(named) << "rate " << rate << " seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(RatesAndSeeds, DetectionSweep,
+                         ::testing::Combine(::testing::Values(0.04, 0.08, 0.15),
+                                            ::testing::Values(1u, 5u, 11u)));
+
+}  // namespace
+}  // namespace flowpulse::exp

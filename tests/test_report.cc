@@ -1,0 +1,111 @@
+// Export/reporting: JSON and CSV serialization of run results and alerts.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "exp/report.h"
+#include "exp/scenario.h"
+
+namespace flowpulse::exp {
+namespace {
+
+ScenarioResult sample_result() {
+  ScenarioResult r;
+  r.iterations_completed = 2;
+  r.data_valid = true;
+  r.per_iter_max_dev = {0.001, 0.034};
+  r.iter_fault_active = {0, 1};
+  r.iter_windows = {{sim::Time::zero(), sim::Time::microseconds(100)},
+                    {sim::Time::microseconds(110), sim::Time::microseconds(220)}};
+  r.transport_stats.data_packets_sent = 1000;
+  r.transport_stats.retx_packets_sent = 7;
+  r.events = 12345;
+  return r;
+}
+
+std::vector<fp::DetectionResult> sample_alerts() {
+  fp::DetectionResult d;
+  d.leaf = 12;
+  d.iteration = 1;
+  d.max_rel_dev = 0.034;
+  fp::PortAlert a;
+  a.uplink = 5;
+  a.observed = 966000;
+  a.predicted = 1000000;
+  a.rel_dev = 0.034;
+  a.localization.verdict = fp::Localization::Verdict::kRemoteLinks;
+  a.localization.suspect_senders = {3};
+  d.alerts.push_back(a);
+  return {d};
+}
+
+// Minimal structural JSON validation: balanced braces/brackets outside of
+// (our exporter emits no strings with brackets) and expected keys present.
+void expect_balanced(const std::string& s) {
+  int brace = 0, bracket = 0;
+  for (const char c : s) {
+    if (c == '{') ++brace;
+    if (c == '}') --brace;
+    if (c == '[') ++bracket;
+    if (c == ']') --bracket;
+    ASSERT_GE(brace, 0);
+    ASSERT_GE(bracket, 0);
+  }
+  EXPECT_EQ(brace, 0);
+  EXPECT_EQ(bracket, 0);
+}
+
+TEST(Report, RunJsonStructure) {
+  const std::string json = to_json(sample_result());
+  expect_balanced(json);
+  EXPECT_NE(json.find("\"iterations_completed\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"data_valid\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"retx_packets\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"fault_active\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"fault_active\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"max_rel_dev\":0.034"), std::string::npos);
+}
+
+TEST(Report, AlertsJson) {
+  const std::string json = alerts_to_json(sample_alerts());
+  expect_balanced(json);
+  EXPECT_NE(json.find("\"leaf\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"port\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"localization\":\"remote\""), std::string::npos);
+  EXPECT_NE(json.find("\"suspect_senders\":[3]"), std::string::npos);
+}
+
+TEST(Report, AlertsJsonEmpty) {
+  EXPECT_EQ(alerts_to_json({}), "[]");
+}
+
+TEST(Report, DeviationsCsv) {
+  const std::string csv = deviations_to_csv(sample_result());
+  EXPECT_EQ(csv,
+            "iteration,max_rel_dev,fault_active\n"
+            "0,0.001,0\n"
+            "1,0.034,1\n");
+}
+
+TEST(Report, VerdictNames) {
+  EXPECT_STREQ(verdict_name(fp::Localization::Verdict::kLocalLink), "local");
+  EXPECT_STREQ(verdict_name(fp::Localization::Verdict::kRemoteLinks), "remote");
+  EXPECT_STREQ(verdict_name(fp::Localization::Verdict::kUnknown), "unknown");
+}
+
+TEST(Report, WriteFileRoundTrip) {
+  const std::string path = "/tmp/fp_report_test.json";
+  ASSERT_TRUE(write_file(path, "{\"x\":1}"));
+  std::ifstream in{path};
+  std::string content{std::istreambuf_iterator<char>{in}, std::istreambuf_iterator<char>{}};
+  EXPECT_EQ(content, "{\"x\":1}");
+  std::remove(path.c_str());
+}
+
+TEST(Report, WriteFileFailsOnBadPath) {
+  EXPECT_FALSE(write_file("/nonexistent-dir/x/y.json", "x"));
+}
+
+}  // namespace
+}  // namespace flowpulse::exp

@@ -1,0 +1,204 @@
+// Unit tests for the discrete-event engine: time arithmetic, event
+// ordering, determinism of the RNG streams.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace flowpulse::sim {
+namespace {
+
+TEST(Time, UnitConversions) {
+  EXPECT_EQ(Time::nanoseconds(1).ps(), 1'000);
+  EXPECT_EQ(Time::microseconds(1).ps(), 1'000'000);
+  EXPECT_EQ(Time::milliseconds(1).ps(), 1'000'000'000);
+  EXPECT_EQ(Time::seconds(1).ps(), 1'000'000'000'000);
+  EXPECT_DOUBLE_EQ(Time::microseconds(3).us(), 3.0);
+  EXPECT_DOUBLE_EQ(Time::nanoseconds(1500).us(), 1.5);
+}
+
+TEST(Time, Arithmetic) {
+  const Time a = Time::nanoseconds(100);
+  const Time b = Time::nanoseconds(40);
+  EXPECT_EQ((a + b).ps(), 140'000);
+  EXPECT_EQ((a - b).ps(), 60'000);
+  EXPECT_EQ((a * 3).ps(), 300'000);
+  EXPECT_LT(b, a);
+  EXPECT_GE(a, a);
+  Time c = a;
+  c += b;
+  EXPECT_EQ(c, Time::nanoseconds(140));
+}
+
+TEST(Time, SerializationTime) {
+  // 4096 bytes at 400 Gbps = 4096*8/400e9 s = 81.92 ns.
+  EXPECT_EQ(serialization_time(4096, 400.0).ps(), 81'920);
+  // 1 byte at 400 Gbps = 20 ps: stays exact in picoseconds.
+  EXPECT_EQ(serialization_time(1, 400.0).ps(), 20);
+  EXPECT_EQ(serialization_time(1500, 100.0).ps(), 120'000);
+}
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(Time::nanoseconds(30), [&] { order.push_back(3); });
+  q.schedule(Time::nanoseconds(10), [&] { order.push_back(1); });
+  q.schedule(Time::nanoseconds(20), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SimultaneousEventsAreFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    q.schedule(Time::nanoseconds(5), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, PopReturnsEarliest) {
+  EventQueue q;
+  q.schedule(Time::nanoseconds(50), [] {});
+  q.schedule(Time::nanoseconds(5), [] {});
+  EXPECT_EQ(q.next_time(), Time::nanoseconds(5));
+  EXPECT_EQ(q.pop().at, Time::nanoseconds(5));
+  EXPECT_EQ(q.pop().at, Time::nanoseconds(50));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator sim;
+  Time seen = Time::zero();
+  sim.schedule_in(Time::microseconds(2), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, Time::microseconds(2));
+  EXPECT_EQ(sim.events_executed(), 1u);
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(Time::nanoseconds(10), [&] {
+    ++fired;
+    sim.schedule_in(Time::nanoseconds(10), [&] {
+      ++fired;
+      sim.schedule_in(Time::nanoseconds(10), [&] { ++fired; });
+    });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.now(), Time::nanoseconds(30));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(Time::nanoseconds(10), [&] { ++fired; });
+  sim.schedule_in(Time::nanoseconds(100), [&] { ++fired; });
+  sim.run_until(Time::nanoseconds(50));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), Time::nanoseconds(50));
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, StopHaltsLoop) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(Time::nanoseconds(1), [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_in(Time::nanoseconds(2), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  sim.run();  // resumes with the pending event
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng{7};
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[rng.next_below(8)];
+  for (const int c : counts) {
+    EXPECT_GT(c, 800);  // roughly uniform: expect 1000 each
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng{9};
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng{11};
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.015)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.015, 0.002);
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng{13};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a{21};
+  Rng child = a.split();
+  // The child must not replay the parent's stream.
+  Rng parent_copy{21};
+  (void)parent_copy.next_u64();  // advance past the split draw
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child.next_u64() == parent_copy.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace flowpulse::sim
