@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_background"
+  "../bench/ablation_background.pdb"
+  "CMakeFiles/ablation_background.dir/ablation_background.cc.o"
+  "CMakeFiles/ablation_background.dir/ablation_background.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_background.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

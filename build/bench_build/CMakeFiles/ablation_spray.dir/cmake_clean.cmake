@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_spray"
+  "../bench/ablation_spray.pdb"
+  "CMakeFiles/ablation_spray.dir/ablation_spray.cc.o"
+  "CMakeFiles/ablation_spray.dir/ablation_spray.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_spray.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

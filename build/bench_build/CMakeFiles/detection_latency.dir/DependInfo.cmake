@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/detection_latency.cc" "bench_build/CMakeFiles/detection_latency.dir/detection_latency.cc.o" "gcc" "bench_build/CMakeFiles/detection_latency.dir/detection_latency.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/fp_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/fp_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/flowpulse/CMakeFiles/fp_flowpulse.dir/DependInfo.cmake"
+  "/root/repo/build/src/collective/CMakeFiles/fp_collective.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/fp_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

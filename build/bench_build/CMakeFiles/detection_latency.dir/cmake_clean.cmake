@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/detection_latency"
+  "../bench/detection_latency.pdb"
+  "CMakeFiles/detection_latency.dir/detection_latency.cc.o"
+  "CMakeFiles/detection_latency.dir/detection_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detection_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

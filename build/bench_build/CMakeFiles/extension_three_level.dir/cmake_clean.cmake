@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_three_level"
+  "../bench/extension_three_level.pdb"
+  "CMakeFiles/extension_three_level.dir/extension_three_level.cc.o"
+  "CMakeFiles/extension_three_level.dir/extension_three_level.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_three_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_analytical_vs_sim"
+  "../bench/fig2_analytical_vs_sim.pdb"
+  "CMakeFiles/fig2_analytical_vs_sim.dir/fig2_analytical_vs_sim.cc.o"
+  "CMakeFiles/fig2_analytical_vs_sim.dir/fig2_analytical_vs_sim.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_analytical_vs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

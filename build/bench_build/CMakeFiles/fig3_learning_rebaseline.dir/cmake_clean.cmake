@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_learning_rebaseline"
+  "../bench/fig3_learning_rebaseline.pdb"
+  "CMakeFiles/fig3_learning_rebaseline.dir/fig3_learning_rebaseline.cc.o"
+  "CMakeFiles/fig3_learning_rebaseline.dir/fig3_learning_rebaseline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_learning_rebaseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_learning_rebaseline.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5a_roc"
+  "../bench/fig5a_roc.pdb"
+  "CMakeFiles/fig5a_roc.dir/fig5a_roc.cc.o"
+  "CMakeFiles/fig5a_roc.dir/fig5a_roc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_roc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

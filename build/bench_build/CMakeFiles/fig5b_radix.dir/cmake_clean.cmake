@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5b_radix"
+  "../bench/fig5b_radix.pdb"
+  "CMakeFiles/fig5b_radix.dir/fig5b_radix.cc.o"
+  "CMakeFiles/fig5b_radix.dir/fig5b_radix.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_radix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

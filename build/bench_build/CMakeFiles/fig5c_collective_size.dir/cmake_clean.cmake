@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5c_collective_size"
+  "../bench/fig5c_collective_size.pdb"
+  "CMakeFiles/fig5c_collective_size.dir/fig5c_collective_size.cc.o"
+  "CMakeFiles/fig5c_collective_size.dir/fig5c_collective_size.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5c_collective_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/headline_detection"
+  "../bench/headline_detection.pdb"
+  "CMakeFiles/headline_detection.dir/headline_detection.cc.o"
+  "CMakeFiles/headline_detection.dir/headline_detection.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headline_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

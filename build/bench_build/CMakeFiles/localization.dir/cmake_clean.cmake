@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/localization"
+  "../bench/localization.pdb"
+  "CMakeFiles/localization.dir/localization.cc.o"
+  "CMakeFiles/localization.dir/localization.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/preexisting_faults"
+  "../bench/preexisting_faults.pdb"
+  "CMakeFiles/preexisting_faults.dir/preexisting_faults.cc.o"
+  "CMakeFiles/preexisting_faults.dir/preexisting_faults.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preexisting_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

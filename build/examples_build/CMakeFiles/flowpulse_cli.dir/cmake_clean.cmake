@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/flowpulse_cli"
+  "../examples/flowpulse_cli.pdb"
+  "CMakeFiles/flowpulse_cli.dir/flowpulse_cli.cpp.o"
+  "CMakeFiles/flowpulse_cli.dir/flowpulse_cli.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowpulse_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/multi_job"
+  "../examples/multi_job.pdb"
+  "CMakeFiles/multi_job.dir/multi_job.cpp.o"
+  "CMakeFiles/multi_job.dir/multi_job.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_job.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/parallel_links"
+  "../examples/parallel_links.pdb"
+  "CMakeFiles/parallel_links.dir/parallel_links.cpp.o"
+  "CMakeFiles/parallel_links.dir/parallel_links.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_links.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

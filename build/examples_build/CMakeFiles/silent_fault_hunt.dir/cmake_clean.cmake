@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/silent_fault_hunt"
+  "../examples/silent_fault_hunt.pdb"
+  "CMakeFiles/silent_fault_hunt.dir/silent_fault_hunt.cpp.o"
+  "CMakeFiles/silent_fault_hunt.dir/silent_fault_hunt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silent_fault_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_baseline.dir/pingmesh.cc.o"
+  "CMakeFiles/fp_baseline.dir/pingmesh.cc.o.d"
+  "CMakeFiles/fp_baseline.dir/spatial_symmetry.cc.o"
+  "CMakeFiles/fp_baseline.dir/spatial_symmetry.cc.o.d"
+  "libfp_baseline.a"
+  "libfp_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collective/demand_matrix.cc" "src/collective/CMakeFiles/fp_collective.dir/demand_matrix.cc.o" "gcc" "src/collective/CMakeFiles/fp_collective.dir/demand_matrix.cc.o.d"
+  "/root/repo/src/collective/runner.cc" "src/collective/CMakeFiles/fp_collective.dir/runner.cc.o" "gcc" "src/collective/CMakeFiles/fp_collective.dir/runner.cc.o.d"
+  "/root/repo/src/collective/schedule.cc" "src/collective/CMakeFiles/fp_collective.dir/schedule.cc.o" "gcc" "src/collective/CMakeFiles/fp_collective.dir/schedule.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transport/CMakeFiles/fp_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

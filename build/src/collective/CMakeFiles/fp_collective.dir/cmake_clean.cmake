@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_collective.dir/demand_matrix.cc.o"
+  "CMakeFiles/fp_collective.dir/demand_matrix.cc.o.d"
+  "CMakeFiles/fp_collective.dir/runner.cc.o"
+  "CMakeFiles/fp_collective.dir/runner.cc.o.d"
+  "CMakeFiles/fp_collective.dir/schedule.cc.o"
+  "CMakeFiles/fp_collective.dir/schedule.cc.o.d"
+  "libfp_collective.a"
+  "libfp_collective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_collective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_exp.dir/metrics.cc.o"
+  "CMakeFiles/fp_exp.dir/metrics.cc.o.d"
+  "CMakeFiles/fp_exp.dir/report.cc.o"
+  "CMakeFiles/fp_exp.dir/report.cc.o.d"
+  "CMakeFiles/fp_exp.dir/scenario.cc.o"
+  "CMakeFiles/fp_exp.dir/scenario.cc.o.d"
+  "libfp_exp.a"
+  "libfp_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

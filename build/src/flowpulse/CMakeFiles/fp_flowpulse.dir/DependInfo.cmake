@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flowpulse/analytical_model.cc" "src/flowpulse/CMakeFiles/fp_flowpulse.dir/analytical_model.cc.o" "gcc" "src/flowpulse/CMakeFiles/fp_flowpulse.dir/analytical_model.cc.o.d"
+  "/root/repo/src/flowpulse/detector.cc" "src/flowpulse/CMakeFiles/fp_flowpulse.dir/detector.cc.o" "gcc" "src/flowpulse/CMakeFiles/fp_flowpulse.dir/detector.cc.o.d"
+  "/root/repo/src/flowpulse/learned_model.cc" "src/flowpulse/CMakeFiles/fp_flowpulse.dir/learned_model.cc.o" "gcc" "src/flowpulse/CMakeFiles/fp_flowpulse.dir/learned_model.cc.o.d"
+  "/root/repo/src/flowpulse/monitor.cc" "src/flowpulse/CMakeFiles/fp_flowpulse.dir/monitor.cc.o" "gcc" "src/flowpulse/CMakeFiles/fp_flowpulse.dir/monitor.cc.o.d"
+  "/root/repo/src/flowpulse/system.cc" "src/flowpulse/CMakeFiles/fp_flowpulse.dir/system.cc.o" "gcc" "src/flowpulse/CMakeFiles/fp_flowpulse.dir/system.cc.o.d"
+  "/root/repo/src/flowpulse/three_level_system.cc" "src/flowpulse/CMakeFiles/fp_flowpulse.dir/three_level_system.cc.o" "gcc" "src/flowpulse/CMakeFiles/fp_flowpulse.dir/three_level_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/collective/CMakeFiles/fp_collective.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/fp_transport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_flowpulse.dir/analytical_model.cc.o"
+  "CMakeFiles/fp_flowpulse.dir/analytical_model.cc.o.d"
+  "CMakeFiles/fp_flowpulse.dir/detector.cc.o"
+  "CMakeFiles/fp_flowpulse.dir/detector.cc.o.d"
+  "CMakeFiles/fp_flowpulse.dir/learned_model.cc.o"
+  "CMakeFiles/fp_flowpulse.dir/learned_model.cc.o.d"
+  "CMakeFiles/fp_flowpulse.dir/monitor.cc.o"
+  "CMakeFiles/fp_flowpulse.dir/monitor.cc.o.d"
+  "CMakeFiles/fp_flowpulse.dir/system.cc.o"
+  "CMakeFiles/fp_flowpulse.dir/system.cc.o.d"
+  "CMakeFiles/fp_flowpulse.dir/three_level_system.cc.o"
+  "CMakeFiles/fp_flowpulse.dir/three_level_system.cc.o.d"
+  "libfp_flowpulse.a"
+  "libfp_flowpulse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_flowpulse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

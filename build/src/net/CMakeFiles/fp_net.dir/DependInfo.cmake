@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/egress_port.cc" "src/net/CMakeFiles/fp_net.dir/egress_port.cc.o" "gcc" "src/net/CMakeFiles/fp_net.dir/egress_port.cc.o.d"
+  "/root/repo/src/net/fat_tree.cc" "src/net/CMakeFiles/fp_net.dir/fat_tree.cc.o" "gcc" "src/net/CMakeFiles/fp_net.dir/fat_tree.cc.o.d"
+  "/root/repo/src/net/routing.cc" "src/net/CMakeFiles/fp_net.dir/routing.cc.o" "gcc" "src/net/CMakeFiles/fp_net.dir/routing.cc.o.d"
+  "/root/repo/src/net/switch.cc" "src/net/CMakeFiles/fp_net.dir/switch.cc.o" "gcc" "src/net/CMakeFiles/fp_net.dir/switch.cc.o.d"
+  "/root/repo/src/net/three_level.cc" "src/net/CMakeFiles/fp_net.dir/three_level.cc.o" "gcc" "src/net/CMakeFiles/fp_net.dir/three_level.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/fp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_net.dir/egress_port.cc.o"
+  "CMakeFiles/fp_net.dir/egress_port.cc.o.d"
+  "CMakeFiles/fp_net.dir/fat_tree.cc.o"
+  "CMakeFiles/fp_net.dir/fat_tree.cc.o.d"
+  "CMakeFiles/fp_net.dir/routing.cc.o"
+  "CMakeFiles/fp_net.dir/routing.cc.o.d"
+  "CMakeFiles/fp_net.dir/switch.cc.o"
+  "CMakeFiles/fp_net.dir/switch.cc.o.d"
+  "CMakeFiles/fp_net.dir/three_level.cc.o"
+  "CMakeFiles/fp_net.dir/three_level.cc.o.d"
+  "libfp_net.a"
+  "libfp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_sim.dir/event_queue.cc.o"
+  "CMakeFiles/fp_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/fp_sim.dir/rng.cc.o"
+  "CMakeFiles/fp_sim.dir/rng.cc.o.d"
+  "CMakeFiles/fp_sim.dir/simulator.cc.o"
+  "CMakeFiles/fp_sim.dir/simulator.cc.o.d"
+  "libfp_sim.a"
+  "libfp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_transport.dir/transport.cc.o"
+  "CMakeFiles/fp_transport.dir/transport.cc.o.d"
+  "libfp_transport.a"
+  "libfp_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baseline.cc" "tests/CMakeFiles/fp_tests.dir/test_baseline.cc.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_baseline.cc.o.d"
+  "/root/repo/tests/test_collective.cc" "tests/CMakeFiles/fp_tests.dir/test_collective.cc.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_collective.cc.o.d"
+  "/root/repo/tests/test_dynamic.cc" "tests/CMakeFiles/fp_tests.dir/test_dynamic.cc.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_dynamic.cc.o.d"
+  "/root/repo/tests/test_exp.cc" "tests/CMakeFiles/fp_tests.dir/test_exp.cc.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_exp.cc.o.d"
+  "/root/repo/tests/test_flowpulse.cc" "tests/CMakeFiles/fp_tests.dir/test_flowpulse.cc.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_flowpulse.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/fp_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_net.cc" "tests/CMakeFiles/fp_tests.dir/test_net.cc.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_net.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/fp_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_report.cc" "tests/CMakeFiles/fp_tests.dir/test_report.cc.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_report.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/fp_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_three_level.cc" "tests/CMakeFiles/fp_tests.dir/test_three_level.cc.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_three_level.cc.o.d"
+  "/root/repo/tests/test_transport.cc" "tests/CMakeFiles/fp_tests.dir/test_transport.cc.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_transport.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/fp_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/fp_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/flowpulse/CMakeFiles/fp_flowpulse.dir/DependInfo.cmake"
+  "/root/repo/build/src/collective/CMakeFiles/fp_collective.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/fp_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_tests.dir/test_baseline.cc.o"
+  "CMakeFiles/fp_tests.dir/test_baseline.cc.o.d"
+  "CMakeFiles/fp_tests.dir/test_collective.cc.o"
+  "CMakeFiles/fp_tests.dir/test_collective.cc.o.d"
+  "CMakeFiles/fp_tests.dir/test_dynamic.cc.o"
+  "CMakeFiles/fp_tests.dir/test_dynamic.cc.o.d"
+  "CMakeFiles/fp_tests.dir/test_exp.cc.o"
+  "CMakeFiles/fp_tests.dir/test_exp.cc.o.d"
+  "CMakeFiles/fp_tests.dir/test_flowpulse.cc.o"
+  "CMakeFiles/fp_tests.dir/test_flowpulse.cc.o.d"
+  "CMakeFiles/fp_tests.dir/test_integration.cc.o"
+  "CMakeFiles/fp_tests.dir/test_integration.cc.o.d"
+  "CMakeFiles/fp_tests.dir/test_net.cc.o"
+  "CMakeFiles/fp_tests.dir/test_net.cc.o.d"
+  "CMakeFiles/fp_tests.dir/test_properties.cc.o"
+  "CMakeFiles/fp_tests.dir/test_properties.cc.o.d"
+  "CMakeFiles/fp_tests.dir/test_report.cc.o"
+  "CMakeFiles/fp_tests.dir/test_report.cc.o.d"
+  "CMakeFiles/fp_tests.dir/test_sim.cc.o"
+  "CMakeFiles/fp_tests.dir/test_sim.cc.o.d"
+  "CMakeFiles/fp_tests.dir/test_three_level.cc.o"
+  "CMakeFiles/fp_tests.dir/test_three_level.cc.o.d"
+  "CMakeFiles/fp_tests.dir/test_transport.cc.o"
+  "CMakeFiles/fp_tests.dir/test_transport.cc.o.d"
+  "fp_tests"
+  "fp_tests.pdb"
+  "fp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
