@@ -35,11 +35,11 @@ int main() {
     cfg.background.bytes = c.bg_bytes;
     cfg.background.priority = c.bg_prio;
 
-    const std::vector<exp::TrialSamples> clean = exp::run_trials(cfg, trials);
+    const std::vector<exp::TrialSamples> clean = bench::run_trials(cfg, trials);
 
     exp::ScenarioConfig faulty_cfg = cfg;
     faulty_cfg.new_faults.push_back(bench::silent_drop(drop));
-    const std::vector<exp::TrialSamples> faulty = exp::run_trials(faulty_cfg, trials);
+    const std::vector<exp::TrialSamples> faulty = bench::run_trials(faulty_cfg, trials);
 
     table.row({c.name, exp::pct(exp::noise_floor(clean)),
                exp::pct(exp::classify(clean, 0.01).fpr()),

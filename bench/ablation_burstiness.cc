@@ -43,7 +43,7 @@ int main() {
     f.spec = c.spec;
     cfg.new_faults.push_back(f);
 
-    const std::vector<exp::TrialSamples> samples = exp::run_trials(cfg, trials);
+    const std::vector<exp::TrialSamples> samples = bench::run_trials(cfg, trials);
     double sum = 0.0, sum2 = 0.0, max_dev = 0.0;
     std::uint32_t n = 0;
     for (const exp::TrialSamples& t : samples) {

@@ -22,11 +22,11 @@ int main() {
     exp::ScenarioConfig cfg = bench::paper_setup(24'000'000);
     cfg.max_jitter = sim::Time::microseconds(jitter_us);
 
-    const std::vector<exp::TrialSamples> clean = exp::run_trials(cfg, trials);
+    const std::vector<exp::TrialSamples> clean = bench::run_trials(cfg, trials);
 
     exp::ScenarioConfig faulty_cfg = cfg;
     faulty_cfg.new_faults.push_back(bench::silent_drop(0.015));
-    const std::vector<exp::TrialSamples> faulty = exp::run_trials(faulty_cfg, trials);
+    const std::vector<exp::TrialSamples> faulty = bench::run_trials(faulty_cfg, trials);
 
     // One representative run for the iteration-time column.
     exp::Scenario probe{cfg};

@@ -35,12 +35,12 @@ int main() {
     exp::ScenarioConfig cfg = bench::paper_setup(24'000'000);
     cfg.fabric.spray = p.policy;
 
-    const std::vector<exp::TrialSamples> clean = exp::run_trials(cfg, trials);
+    const std::vector<exp::TrialSamples> clean = bench::run_trials(cfg, trials);
     const double floor = exp::noise_floor(clean);
 
     exp::ScenarioConfig faulty_cfg = cfg;
     faulty_cfg.new_faults.push_back(bench::silent_drop(drop));
-    const std::vector<exp::TrialSamples> faulty = exp::run_trials(faulty_cfg, trials);
+    const std::vector<exp::TrialSamples> faulty = bench::run_trials(faulty_cfg, trials);
 
     table.row({p.name, exp::pct(floor), exp::pct(exp::classify(clean, 0.01).fpr()),
                exp::pct(exp::classify(faulty, 0.01).fnr()),

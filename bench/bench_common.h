@@ -8,6 +8,11 @@
 //   FLOWPULSE_TRIALS — seeded repetitions per configuration point
 //   FLOWPULSE_SCALE  — multiplier on collective bytes (e.g. 4 for more
 //                      per-port packets → tighter detection statistics)
+//   FLOWPULSE_JOBS   — worker threads for trial sweeps (default:
+//                      hardware_concurrency); every bench routes its seeded
+//                      repetitions through exp::run_trials_parallel /
+//                      exp::parallel_indexed, whose output is bit-identical
+//                      to a serial run regardless of the job count
 
 #include <cstdint>
 #include <iostream>
@@ -60,6 +65,16 @@ inline exp::NewFault silent_drop(double rate, net::LeafId leaf = 12, net::Uplink
 
 inline void print_header(const std::string& title, const std::string& paper_ref) {
   std::cout << "=== " << title << " ===\n" << paper_ref << "\n\n";
+}
+
+/// The benches' trial runner: exp::run_trials_parallel under the
+/// FLOWPULSE_JOBS knob. Deterministic — the samples are bit-identical to
+/// exp::run_trials whatever the job count, so figures never depend on the
+/// machine they were produced on.
+[[nodiscard]] inline std::vector<exp::TrialSamples> run_trials(const exp::ScenarioConfig& config,
+                                                               std::uint32_t n,
+                                                               std::uint32_t skip = 0) {
+  return exp::run_trials_parallel(config, n, skip);
 }
 
 }  // namespace flowpulse::bench

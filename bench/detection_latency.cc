@@ -23,42 +23,53 @@ int main() {
 
   exp::Table table({"drop rate", "seed", "FlowPulse alert after", "probe loss after",
                     "iteration length"});
+  struct Row {
+    std::uint64_t seed = 0;
+    sim::Time alert = sim::Time::max();
+    sim::Time probe_loss = sim::Time::max();
+    double iter_us = 0.0;
+  };
   for (const double drop : {0.02, 0.05}) {
-    for (std::uint32_t t = 0; t < trials; ++t) {
-      exp::ScenarioConfig cfg = bench::paper_setup(24'000'000, 8);
-      cfg.seed = 100 + t * 7919;
-      exp::NewFault f = bench::silent_drop(drop);
-      f.spec.start = onset;
-      cfg.new_faults.push_back(f);
+    // Each trial is a self-contained Scenario + prober; run the seeds on the
+    // parallel trial engine and emit the rows in seed order.
+    const std::vector<Row> rows =
+        exp::parallel_indexed<Row>(trials, 0, [&](std::uint32_t t) {
+          exp::ScenarioConfig cfg = bench::paper_setup(24'000'000, 8);
+          cfg.seed = exp::trial_seed(100, t);
+          exp::NewFault f = bench::silent_drop(drop);
+          f.spec.start = onset;
+          cfg.new_faults.push_back(f);
 
-      exp::Scenario s{cfg};
-      baseline::PingmeshConfig pcfg;
-      pcfg.interval = sim::Time::microseconds(50);
-      pcfg.probes_per_round = 2;
-      baseline::PingmeshProber prober{s.simulator(), s.fabric(), s.transports(), pcfg};
-      prober.start(sim::Time::milliseconds(20));
+          exp::Scenario s{cfg};
+          baseline::PingmeshConfig pcfg;
+          pcfg.interval = sim::Time::microseconds(50);
+          pcfg.probes_per_round = 2;
+          baseline::PingmeshProber prober{s.simulator(), s.fabric(), s.transports(), pcfg};
+          prober.start(sim::Time::milliseconds(20));
 
-      const exp::ScenarioResult r = s.run();
-      sim::Time alert = sim::Time::max();
-      for (std::size_t i = 0; i < r.per_iter_max_dev.size(); ++i) {
-        if (r.per_iter_max_dev[i] > 0.01 && i < r.iter_windows.size() &&
-            r.iter_windows[i].second >= onset) {
-          alert = r.iter_windows[i].second;
-          break;
-        }
-      }
-      double iter_us = 0.0;
-      for (const auto& w : r.iter_windows) iter_us += (w.second - w.first).us();
-      iter_us /= static_cast<double>(r.iter_windows.empty() ? 1 : r.iter_windows.size());
-
-      const sim::Time probe_loss = prober.first_loss_time();
-      table.row({exp::pct(drop, 0), std::to_string(cfg.seed),
-                 alert == sim::Time::max() ? "never"
-                                           : exp::fmt((alert - onset).us(), 0) + " us",
-                 probe_loss == sim::Time::max() || probe_loss < onset
+          const exp::ScenarioResult r = s.run();
+          Row row;
+          row.seed = cfg.seed;
+          for (std::size_t i = 0; i < r.per_iter_max_dev.size(); ++i) {
+            if (r.per_iter_max_dev[i] > 0.01 && i < r.iter_windows.size() &&
+                r.iter_windows[i].second >= onset) {
+              row.alert = r.iter_windows[i].second;
+              break;
+            }
+          }
+          for (const auto& w : r.iter_windows) row.iter_us += (w.second - w.first).us();
+          row.iter_us /= static_cast<double>(r.iter_windows.empty() ? 1 : r.iter_windows.size());
+          row.probe_loss = prober.first_loss_time();
+          return row;
+        });
+    for (const Row& row : rows) {
+      table.row({exp::pct(drop, 0), std::to_string(row.seed),
+                 row.alert == sim::Time::max() ? "never"
+                                               : exp::fmt((row.alert - onset).us(), 0) + " us",
+                 row.probe_loss == sim::Time::max() || row.probe_loss < onset
                      ? "not yet"
-                     : exp::fmt((probe_loss - onset).us(), 0) + " us",
-                 exp::fmt(iter_us, 0) + " us"});
+                     : exp::fmt((row.probe_loss - onset).us(), 0) + " us",
+                 exp::fmt(row.iter_us, 0) + " us"});
     }
   }
   table.print();

@@ -29,7 +29,7 @@ int main() {
   const exp::ScenarioConfig base = bench::paper_setup();
 
   // Clean trials give the FPR column (shared across drop rates).
-  const std::vector<exp::TrialSamples> clean = exp::run_trials(base, trials);
+  const std::vector<exp::TrialSamples> clean = bench::run_trials(base, trials);
   std::cout << "clean-trial noise floor: " << exp::pct(exp::noise_floor(clean)) << "  ("
             << trials << " trials x " << base.iterations << " iterations)\n\n";
 
@@ -41,7 +41,7 @@ int main() {
     exp::ScenarioConfig cfg = base;
     cfg.seed = base.seed + 1000 + static_cast<std::uint64_t>(rate * 1e5);
     cfg.new_faults.push_back(bench::silent_drop(rate));
-    faulty.push_back(exp::run_trials(cfg, trials));
+    faulty.push_back(bench::run_trials(cfg, trials));
   }
 
   exp::Table roc{headers};

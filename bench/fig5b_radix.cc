@@ -38,14 +38,14 @@ int main() {
     // but a higher radix spreads them over more ports, so fewer packets
     // cross each port and the detection statistic gets noisier.
 
-    const std::vector<exp::TrialSamples> clean = exp::run_trials(cfg, trials);
+    const std::vector<exp::TrialSamples> clean = bench::run_trials(cfg, trials);
     const double floor = exp::noise_floor(clean);
     const double calibrated = 2.0 * floor;
 
     exp::ScenarioConfig faulty_cfg = cfg;
     faulty_cfg.new_faults.push_back(
         bench::silent_drop(drop, leaves / 2, spines / 2));
-    const std::vector<exp::TrialSamples> faulty = exp::run_trials(faulty_cfg, trials);
+    const std::vector<exp::TrialSamples> faulty = bench::run_trials(faulty_cfg, trials);
 
     const std::uint64_t pkts = cfg.collective_bytes * (leaves - 1) / leaves / spines / 4096;
     table.row({std::to_string(radix),

@@ -26,7 +26,7 @@ int main() {
   for (const std::uint64_t size : sizes) {
     exp::ScenarioConfig cfg = bench::paper_setup(size);
 
-    const std::vector<exp::TrialSamples> clean = exp::run_trials(cfg, trials);
+    const std::vector<exp::TrialSamples> clean = bench::run_trials(cfg, trials);
     // Per-port packets per iteration: the ring delivers ~B bytes into each
     // leaf, spread over 16 ports of 4 KiB segments.
     const std::uint64_t pkts = cfg.collective_bytes * 31 / 32 / 16 / 4096;
@@ -39,7 +39,7 @@ int main() {
       exp::ScenarioConfig faulty_cfg = cfg;
       faulty_cfg.seed = cfg.seed + static_cast<std::uint64_t>(d * 1e4);
       faulty_cfg.new_faults.push_back(bench::silent_drop(d));
-      const std::vector<exp::TrialSamples> faulty = exp::run_trials(faulty_cfg, trials);
+      const std::vector<exp::TrialSamples> faulty = bench::run_trials(faulty_cfg, trials);
       row.push_back(exp::pct(exp::classify(faulty, 0.01).fnr()));
     }
     table.row(std::move(row));

@@ -7,6 +7,7 @@
 #include "collective/demand_matrix.h"
 #include "collective/schedule.h"
 #include "exp/scenario.h"
+#include "exp/trials.h"
 #include "flowpulse/analytical_model.h"
 #include "flowpulse/detector.h"
 #include "flowpulse/monitor.h"
@@ -67,8 +68,11 @@ void BM_FabricPacketDelivery(benchmark::State& state) {
 BENCHMARK(BM_FabricPacketDelivery)->Unit(benchmark::kMillisecond);
 
 void BM_RingIterationSimulation(benchmark::State& state) {
-  // Whole-stack cost of one training iteration at paper scale.
+  // Whole-stack cost of one training iteration at paper scale. The
+  // events_per_second counter is the repo's headline simulation-throughput
+  // number (see BENCH_perf.json / DESIGN.md "Performance").
   const std::uint64_t bytes = static_cast<std::uint64_t>(state.range(0)) << 20;
+  std::uint64_t events_total = 0;
   for (auto _ : state) {
     exp::ScenarioConfig cfg;
     cfg.fabric.shape = net::TopologyInfo{32, 16, 1, 1};
@@ -78,11 +82,65 @@ void BM_RingIterationSimulation(benchmark::State& state) {
     exp::Scenario s{cfg};
     const exp::ScenarioResult r = s.run();
     benchmark::DoNotOptimize(r.events);
+    events_total += r.events;
     state.counters["events"] = static_cast<double>(r.events);
   }
+  state.counters["events_per_second"] =
+      benchmark::Counter(static_cast<double>(events_total), benchmark::Counter::kIsRate);
   state.SetLabel(std::to_string(state.range(0)) + " MiB collective");
 }
-BENCHMARK(BM_RingIterationSimulation)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RingIterationSimulation)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// Trial-engine throughput: an 8-trial seeded sweep of a small fault
+// scenario, serial vs the parallel engine (jobs = FLOWPULSE_JOBS /
+// hardware_concurrency). Both runners produce bit-identical TrialSamples
+// (asserted in tests/test_parallel_trials.cc); the ratio of these two
+// benches is the trial-level speedup on this machine.
+exp::ScenarioConfig trial_sweep_config() {
+  exp::ScenarioConfig cfg;
+  cfg.fabric.shape = net::TopologyInfo{8, 4, 1, 1};
+  cfg.collective = collective::CollectiveKind::kRingReduceScatter;
+  cfg.collective_bytes = 2ull << 20;
+  cfg.iterations = 2;
+  cfg.new_faults.push_back([] {
+    exp::NewFault f;
+    f.leaf = 3;
+    f.uplink = 1;
+    f.where = exp::NewFault::Where::kBoth;
+    f.spec = net::FaultSpec::random_drop(0.05);
+    return f;
+  }());
+  return cfg;
+}
+constexpr std::uint32_t kSweepTrials = 8;
+
+void BM_TrialSweepSerial(benchmark::State& state) {
+  const exp::ScenarioConfig cfg = trial_sweep_config();
+  std::uint64_t trials_total = 0;
+  for (auto _ : state) {
+    const auto samples = exp::run_trials(cfg, kSweepTrials);
+    benchmark::DoNotOptimize(samples.data());
+    trials_total += samples.size();
+  }
+  state.counters["trials_per_second"] =
+      benchmark::Counter(static_cast<double>(trials_total), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TrialSweepSerial)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_TrialSweepParallel(benchmark::State& state) {
+  const exp::ScenarioConfig cfg = trial_sweep_config();
+  const unsigned jobs = static_cast<unsigned>(state.range(0));
+  std::uint64_t trials_total = 0;
+  for (auto _ : state) {
+    const auto samples = exp::run_trials_parallel(cfg, kSweepTrials, 0, jobs);
+    benchmark::DoNotOptimize(samples.data());
+    trials_total += samples.size();
+  }
+  state.counters["trials_per_second"] =
+      benchmark::Counter(static_cast<double>(trials_total), benchmark::Counter::kIsRate);
+  state.counters["jobs"] = static_cast<double>(jobs);
+}
+BENCHMARK(BM_TrialSweepParallel)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_AnalyticalPredict(benchmark::State& state) {
   const net::TopologyInfo info{32, 16, 1, 1};

@@ -32,14 +32,14 @@ int main() {
       cfg.preexisting.emplace_back((3 + 7 * i) % 32, (1 + 3 * i) % 16);
     }
 
-    const std::vector<exp::TrialSamples> clean = exp::run_trials(cfg, trials);
+    const std::vector<exp::TrialSamples> clean = bench::run_trials(cfg, trials);
     std::vector<std::string> row{std::to_string(n), exp::pct(exp::noise_floor(clean)),
                                  exp::pct(exp::classify(clean, 0.01).fpr())};
     for (const double d : drops) {
       exp::ScenarioConfig faulty_cfg = cfg;
       faulty_cfg.seed = cfg.seed + static_cast<std::uint64_t>(d * 1e4) + n;
       faulty_cfg.new_faults.push_back(bench::silent_drop(d));
-      const std::vector<exp::TrialSamples> faulty = exp::run_trials(faulty_cfg, trials);
+      const std::vector<exp::TrialSamples> faulty = bench::run_trials(faulty_cfg, trials);
       row.push_back(exp::pct(exp::classify(faulty, 0.01).fnr()));
     }
     table.row(std::move(row));

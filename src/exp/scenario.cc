@@ -1,5 +1,6 @@
 #include "exp/scenario.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 
@@ -51,6 +52,19 @@ Scenario::~Scenario() = default;
 void Scenario::build() {
   config_.fabric.seed = config_.seed;
   sim_ = std::make_unique<sim::Simulator>(config_.seed);
+  // Pre-size the event heap from the expected packet population. The
+  // steady-state pending set is bounded by transport windows, not total
+  // packet count: each in-flight segment holds at most an RTO timer plus a
+  // serialization and a propagation event, and earns an ACK with the same
+  // footprint. Tiny collectives are capped by their actual segment count.
+  const std::uint64_t total_segments =
+      (config_.collective_bytes + config_.transport.mtu_payload - 1) /
+      config_.transport.mtu_payload;
+  const std::uint64_t in_flight =
+      std::min<std::uint64_t>(total_segments,
+                              static_cast<std::uint64_t>(config_.fabric.shape.num_hosts()) *
+                                  config_.transport.window);
+  sim_->reserve_events(static_cast<std::size_t>(6 * in_flight + 64));
   fabric_ = std::make_unique<net::FatTree>(*sim_, config_.fabric);
 
   // Known pre-existing failures first: they shape both routing and the

@@ -1,0 +1,24 @@
+#include "exp/trials.h"
+
+namespace flowpulse::exp {
+
+unsigned env_jobs() {
+  if (const char* s = std::getenv("FLOWPULSE_JOBS")) {
+    const long v = std::strtol(s, nullptr, 10);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? hc : 1;
+}
+
+std::vector<TrialSamples> run_trials_parallel(const ScenarioConfig& config, std::uint32_t n,
+                                              std::uint32_t skip, unsigned jobs) {
+  return parallel_indexed<TrialSamples>(n, jobs, [&config, skip](std::uint32_t t) {
+    ScenarioConfig c = config;
+    c.seed = trial_seed(config.seed, t);
+    Scenario scenario{std::move(c)};
+    return samples_from(scenario.run(), skip);
+  });
+}
+
+}  // namespace flowpulse::exp

@@ -1,9 +1,13 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstdlib>
+#include <exception>
 #include <functional>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "exp/metrics.h"
@@ -15,6 +19,8 @@ namespace flowpulse::exp {
 /// laptop in minutes yet scale up for higher-confidence numbers:
 ///   FLOWPULSE_TRIALS  — seeded repetitions per point (default per bench)
 ///   FLOWPULSE_SCALE   — multiplier on collective sizes (default 1.0)
+///   FLOWPULSE_JOBS    — worker threads for parallel sweeps
+///                       (default: hardware_concurrency)
 [[nodiscard]] inline std::uint32_t env_trials(std::uint32_t fallback) {
   if (const char* s = std::getenv("FLOWPULSE_TRIALS")) {
     const long v = std::strtol(s, nullptr, 10);
@@ -31,7 +37,63 @@ namespace flowpulse::exp {
   return fallback;
 }
 
-/// Run `n` seeded repetitions of `config` (seeds base_seed, base_seed+1, …)
+/// Worker-thread count for parallel trial sweeps: FLOWPULSE_JOBS if set,
+/// otherwise std::thread::hardware_concurrency() (at least 1).
+[[nodiscard]] unsigned env_jobs();
+
+/// Seed of trial `t` in a sweep whose first trial uses `base_seed`.
+///
+/// Trials are de-correlated by a stride of 7919 (the 1000th prime) rather
+/// than +1 so that sweeps started at nearby base seeds do not share trial
+/// seeds. This is THE seed schedule: the serial and parallel runners both
+/// call it, which is what makes their outputs bit-identical.
+[[nodiscard]] constexpr std::uint64_t trial_seed(std::uint64_t base_seed, std::uint32_t t) {
+  return base_seed + static_cast<std::uint64_t>(t) * 7919;
+}
+
+/// Deterministic ordered parallel map: evaluates `fn(0) … fn(n-1)` on up to
+/// `jobs` worker threads (0 → env_jobs()) and returns the results in index
+/// order. Indices are handed out by an atomic counter — no work stealing,
+/// no reordering of results — so the output is independent of thread
+/// scheduling; `fn` must not touch shared mutable state. The first
+/// exception thrown by any invocation is rethrown on the caller's thread.
+template <typename T>
+[[nodiscard]] std::vector<T> parallel_indexed(std::uint32_t n, unsigned jobs,
+                                              const std::function<T(std::uint32_t)>& fn) {
+  if (jobs == 0) jobs = env_jobs();
+  if (jobs > n) jobs = n;
+  std::vector<T> out(n);
+  if (jobs <= 1) {
+    for (std::uint32_t t = 0; t < n; ++t) out[t] = fn(t);
+    return out;
+  }
+  std::atomic<std::uint32_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  auto worker = [&] {
+    for (;;) {
+      const std::uint32_t t = next.fetch_add(1, std::memory_order_relaxed);
+      if (t >= n || failed.load(std::memory_order_relaxed)) return;
+      try {
+        out[t] = fn(t);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock{error_mu};
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(jobs);
+  for (unsigned j = 0; j < jobs; ++j) pool.emplace_back(worker);
+  for (std::thread& th : pool) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return out;
+}
+
+/// Run `n` seeded repetitions of `config` (seeds trial_seed(config.seed, t))
 /// and collect per-iteration deviation/truth samples, skipping the first
 /// `skip` iterations of each run.
 [[nodiscard]] inline std::vector<TrialSamples> run_trials(const ScenarioConfig& config,
@@ -41,11 +103,21 @@ namespace flowpulse::exp {
   all.reserve(n);
   for (std::uint32_t t = 0; t < n; ++t) {
     ScenarioConfig c = config;
-    c.seed = config.seed + t * 7919;  // de-correlate seeds
+    c.seed = trial_seed(config.seed, t);
     Scenario scenario{std::move(c)};
     all.push_back(samples_from(scenario.run(), skip));
   }
   return all;
 }
+
+/// run_trials on a thread pool: one self-contained Simulator per trial
+/// (Simulator has no global state — see sim/simulator.h), the shared
+/// trial_seed() schedule, and results merged in trial order, so the output
+/// is bit-identical to run_trials() for every `jobs` value. `jobs` == 0
+/// uses env_jobs() (FLOWPULSE_JOBS, default hardware_concurrency).
+[[nodiscard]] std::vector<TrialSamples> run_trials_parallel(const ScenarioConfig& config,
+                                                            std::uint32_t n,
+                                                            std::uint32_t skip = 0,
+                                                            unsigned jobs = 0);
 
 }  // namespace flowpulse::exp

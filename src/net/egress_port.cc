@@ -74,11 +74,21 @@ void EgressPort::finish_transmission() {
     if (tx_hook_) tx_hook_(pkt, TxEvent::kDropped);
   } else {
     if (tx_hook_) tx_hook_(pkt, TxEvent::kOnWire);
-    sim_.schedule_in(params_.prop_delay,
-                     [this, pkt] { peer_->receive(pkt, peer_port_); });
+    // The propagation event captures only `this`: packets on the wire live
+    // in on_wire_ and, because prop_delay is one constant per link, arrive
+    // in the order they were sent — the event always delivers the front.
+    on_wire_.push_back(pkt);
+    sim_.schedule_in(params_.prop_delay, [this] { deliver_front(); });
   }
 
   try_start();
+}
+
+void EgressPort::deliver_front() {
+  assert(!on_wire_.empty());
+  const Packet pkt = on_wire_.front();
+  on_wire_.pop_front();
+  peer_->receive(pkt, peer_port_);
 }
 
 }  // namespace flowpulse::net

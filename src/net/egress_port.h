@@ -97,6 +97,7 @@ class EgressPort {
  private:
   void try_start();
   void finish_transmission();
+  void deliver_front();
 
   sim::Simulator& sim_;
   LinkParams params_;
@@ -111,6 +112,9 @@ class EgressPort {
 
   bool transmitting_ = false;
   Packet in_flight_{};
+  /// Packets serialized and surviving the fault model, ordered by (equal)
+  /// remaining propagation time; the propagation event delivers the front.
+  std::deque<Packet> on_wire_;
 
   FaultModel fault_{};
   sim::Rng* fault_rng_ = nullptr;

@@ -6,40 +6,45 @@
 namespace flowpulse::sim {
 
 void EventQueue::schedule(Time at, EventFn fn) {
-  heap_.push_back(HeapEntry{at, next_seq_++, std::move(fn)});
-  sift_up(heap_.size() - 1);
+  const std::uint64_t seq = next_seq_++;
+  std::size_t i = heap_.size();
+  heap_.emplace_back();  // open a hole at the end; default EventFn is empty
+  // Hole-based sift-up: shift later parents down into the hole (one move
+  // per level instead of a three-move swap), then settle the new entry.
+  // The new entry carries the largest seq so far, so among equal times the
+  // parent always stays put — comparing times alone is exact.
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!(at < heap_[parent].at)) break;
+    heap_[i] = std::move(heap_[parent]);
+    i = parent;
+  }
+  heap_[i] = HeapEntry{at, seq, std::move(fn)};
 }
 
 EventQueue::Event EventQueue::pop() {
   assert(!heap_.empty());
   Event ev{heap_.front().at, heap_.front().seq, std::move(heap_.front().fn)};
-  heap_.front() = std::move(heap_.back());
+  HeapEntry last = std::move(heap_.back());
   heap_.pop_back();
-  if (!heap_.empty()) sift_down(0);
+  if (!heap_.empty()) sift_down_from(0, std::move(last));
   return ev;
 }
 
-void EventQueue::sift_up(std::size_t i) {
-  while (i > 0) {
-    const std::size_t parent = (i - 1) / 2;
-    if (!earlier(heap_[i], heap_[parent])) break;
-    std::swap(heap_[i], heap_[parent]);
-    i = parent;
-  }
-}
-
-void EventQueue::sift_down(std::size_t i) {
+void EventQueue::sift_down_from(std::size_t i, HeapEntry e) {
+  // Hole-based sift-down: pull earlier children up into the hole, then
+  // settle `e` where it belongs.
   const std::size_t n = heap_.size();
   for (;;) {
-    std::size_t best = i;
-    const std::size_t l = 2 * i + 1;
-    const std::size_t r = 2 * i + 2;
-    if (l < n && earlier(heap_[l], heap_[best])) best = l;
+    std::size_t best = 2 * i + 1;
+    if (best >= n) break;
+    const std::size_t r = best + 1;
     if (r < n && earlier(heap_[r], heap_[best])) best = r;
-    if (best == i) return;
-    std::swap(heap_[i], heap_[best]);
+    if (!earlier(heap_[best], e)) break;
+    heap_[i] = std::move(heap_[best]);
     i = best;
   }
+  heap_[i] = std::move(e);
 }
 
 }  // namespace flowpulse::sim

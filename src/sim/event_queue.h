@@ -1,14 +1,18 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
+#include "sim/inline_fn.h"
 #include "sim/time.h"
 
 namespace flowpulse::sim {
 
-using EventFn = std::function<void()>;
+/// The per-event unit of work. An allocation-free small-buffer callable:
+/// scheduling an event never touches the heap (see inline_fn.h) — the only
+/// allocations on the schedule path are the amortized growth of the heap
+/// vector itself, which reserve() can eliminate too.
+using EventFn = InlineFn;
 
 /// Min-heap of timed events. Events scheduled for the same instant run in
 /// insertion order (FIFO), which keeps simulations deterministic.
@@ -21,6 +25,11 @@ class EventQueue {
  public:
   /// Schedule `fn` at absolute time `at`.
   void schedule(Time at, EventFn fn);
+
+  /// Pre-size the heap storage for `n` simultaneously pending events so the
+  /// steady state never regrows the vector mid-run.
+  void reserve(std::size_t n) { heap_.reserve(n); }
+  [[nodiscard]] std::size_t capacity() const { return heap_.capacity(); }
 
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const { return heap_.size(); }
@@ -45,11 +54,12 @@ class EventQueue {
     std::uint64_t seq;
     EventFn fn;
   };
+  static_assert(sizeof(HeapEntry) <= 64, "heap entry should stay within one cache line");
 
   // Hand-rolled binary heap so we can move the EventFn out on pop
-  // (std::priority_queue::top() is const).
-  void sift_up(std::size_t i);
-  void sift_down(std::size_t i);
+  // (std::priority_queue::top() is const) and sift with hole moves
+  // instead of swaps.
+  void sift_down_from(std::size_t i, HeapEntry e);
   [[nodiscard]] bool earlier(const HeapEntry& a, const HeapEntry& b) const {
     if (a.at != b.at) return a.at < b.at;
     return a.seq < b.seq;  // FIFO among simultaneous events

@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+#include <utility>
+
+namespace flowpulse::sim {
+
+/// Move-only callable with fixed inline storage and **no heap fallback**.
+///
+/// The simulator executes one callable per event — at least one per packet
+/// hop, millions per collective iteration — so the event unit of work must
+/// never allocate. `std::function` heap-allocates any capture larger than
+/// its (implementation-defined, typically 16-byte) small buffer; InlineFn
+/// instead static-asserts at the call site that the capture fits its
+/// fixed buffer, turning an accidental fat capture into a compile error
+/// instead of a silent per-event malloc.
+///
+/// Capacity is 32 bytes: enough for `this` plus a handful of ids (the
+/// largest in-tree event capture is 24 bytes), and it keeps a heap entry
+/// (time + seq + InlineFn) at exactly one 64-byte cache line.
+///
+/// Captures must be nothrow-move-constructible. Trivially-copyable
+/// captures (every in-tree event lambda: pointers + integers) move as a
+/// plain memcpy with no manager dispatch.
+class InlineFn {
+ public:
+  static constexpr std::size_t kCapacity = 32;
+  static constexpr std::size_t kAlign = alignof(std::max_align_t);
+
+  InlineFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, InlineFn>>>
+  InlineFn(F&& f) noexcept {  // NOLINT(google-explicit-constructor): drop-in for std::function
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= kCapacity,
+                  "event capture exceeds InlineFn::kCapacity — it would heap-allocate "
+                  "under std::function; shrink the capture (capture `this` and look "
+                  "state up at fire time) or raise kCapacity deliberately");
+    static_assert(alignof(Fn) <= kAlign, "over-aligned event capture");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "event captures must be nothrow-movable (the event heap sifts by move)");
+    if constexpr (sizeof(Fn) < kCapacity) {
+      // Moves memcpy the whole buffer; keep the tail initialized.
+      std::memset(buf_ + sizeof(Fn), 0, kCapacity - sizeof(Fn));
+    }
+    ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+    invoke_ = [](void* p) { (*static_cast<Fn*>(p))(); };
+    if constexpr (!(std::is_trivially_copyable_v<Fn> && std::is_trivially_destructible_v<Fn>)) {
+      manage_ = &manage_impl<Fn>;
+    }
+  }
+
+  InlineFn(InlineFn&& o) noexcept { move_from(o); }
+  InlineFn& operator=(InlineFn&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      move_from(o);
+    }
+    return *this;
+  }
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+  ~InlineFn() { destroy(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  void operator()() { invoke_(buf_); }
+
+ private:
+  enum class Op : unsigned char { kMoveDestroy, kDestroy };
+
+  template <typename Fn>
+  static void manage_impl(Op op, void* self, void* other) noexcept {
+    switch (op) {
+      case Op::kMoveDestroy: {
+        Fn* src = static_cast<Fn*>(other);
+        ::new (self) Fn(std::move(*src));
+        src->~Fn();
+        break;
+      }
+      case Op::kDestroy:
+        static_cast<Fn*>(self)->~Fn();
+        break;
+    }
+  }
+
+  void move_from(InlineFn& o) noexcept {
+    invoke_ = o.invoke_;
+    manage_ = o.manage_;
+    if (invoke_ != nullptr) {
+      if (manage_ == nullptr) {
+        std::memcpy(buf_, o.buf_, kCapacity);
+      } else {
+        manage_(Op::kMoveDestroy, buf_, o.buf_);
+      }
+    }
+    o.invoke_ = nullptr;
+    o.manage_ = nullptr;
+  }
+
+  void destroy() noexcept {
+    if (manage_ != nullptr) manage_(Op::kDestroy, buf_, nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  alignas(kAlign) unsigned char buf_[kCapacity];
+  void (*invoke_)(void*) = nullptr;
+  void (*manage_)(Op, void*, void*) = nullptr;
+};
+
+}  // namespace flowpulse::sim

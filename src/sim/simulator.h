@@ -29,6 +29,10 @@ class Simulator {
   /// Schedule `fn` at absolute time `at` (must be >= now()).
   void schedule_at(Time at, EventFn fn) { queue_.schedule(at, std::move(fn)); }
 
+  /// Pre-size the event heap for an expected number of simultaneously
+  /// pending events (see EventQueue::reserve).
+  void reserve_events(std::size_t n) { queue_.reserve(n); }
+
   /// Run until the event queue drains or `stop()` is called.
   void run();
 

@@ -1,0 +1,89 @@
+// The parallel trial engine's contract: whatever the job count, a sweep
+// produces bit-identical TrialSamples to the serial runner — same seed
+// schedule (exp::trial_seed), one self-contained Simulator per trial,
+// results merged in trial order.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "exp/trials.h"
+
+namespace flowpulse::exp {
+namespace {
+
+ScenarioConfig small_fault_scenario() {
+  ScenarioConfig cfg;
+  cfg.fabric.shape = net::TopologyInfo{4, 2, 1, 1};
+  cfg.collective_bytes = 1 << 20;
+  cfg.iterations = 3;
+  cfg.seed = 42;
+  NewFault f;
+  f.leaf = 1;
+  f.uplink = 0;
+  f.where = NewFault::Where::kBoth;
+  f.spec = net::FaultSpec::random_drop(0.05);
+  cfg.new_faults.push_back(f);
+  return cfg;
+}
+
+void expect_bit_identical(const std::vector<TrialSamples>& a,
+                          const std::vector<TrialSamples>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    ASSERT_EQ(a[t].dev.size(), b[t].dev.size()) << "trial " << t;
+    ASSERT_EQ(a[t].truth.size(), b[t].truth.size()) << "trial " << t;
+    for (std::size_t i = 0; i < a[t].dev.size(); ++i) {
+      // Bit-identical, not approximately equal: the parallel engine reruns
+      // the exact same deterministic simulation per trial.
+      EXPECT_EQ(a[t].dev[i], b[t].dev[i]) << "trial " << t << " iter " << i;
+    }
+    EXPECT_EQ(a[t].truth, b[t].truth) << "trial " << t;
+  }
+}
+
+TEST(RunTrialsParallel, BitIdenticalToSerialAcrossJobCounts) {
+  const ScenarioConfig cfg = small_fault_scenario();
+  const std::uint32_t n = 6;
+  const auto serial = run_trials(cfg, n);
+  for (const unsigned jobs : {1u, 2u, 4u, 16u}) {
+    const auto parallel = run_trials_parallel(cfg, n, /*skip=*/0, jobs);
+    expect_bit_identical(serial, parallel);
+  }
+}
+
+TEST(RunTrialsParallel, SkipMatchesSerialSkip) {
+  const ScenarioConfig cfg = small_fault_scenario();
+  const auto serial = run_trials(cfg, 3, /*skip=*/1);
+  const auto parallel = run_trials_parallel(cfg, 3, /*skip=*/1, /*jobs=*/3);
+  expect_bit_identical(serial, parallel);
+}
+
+TEST(TrialSeed, MatchesDocumentedSchedule) {
+  EXPECT_EQ(trial_seed(1, 0), 1u);
+  EXPECT_EQ(trial_seed(1, 1), 1u + 7919u);
+  EXPECT_EQ(trial_seed(100, 3), 100u + 3u * 7919u);
+}
+
+TEST(ParallelIndexed, PreservesIndexOrder) {
+  const std::vector<int> out =
+      parallel_indexed<int>(64, 4, [](std::uint32_t i) { return static_cast<int>(i * i); });
+  ASSERT_EQ(out.size(), 64u);
+  for (std::uint32_t i = 0; i < 64; ++i) EXPECT_EQ(out[i], static_cast<int>(i * i));
+}
+
+TEST(ParallelIndexed, PropagatesWorkerExceptions) {
+  EXPECT_THROW(parallel_indexed<int>(8, 4,
+                                     [](std::uint32_t i) -> int {
+                                       if (i == 5) throw std::runtime_error{"trial 5 failed"};
+                                       return static_cast<int>(i);
+                                     }),
+               std::runtime_error);
+}
+
+TEST(EnvJobs, DefaultsToAtLeastOne) { EXPECT_GE(env_jobs(), 1u); }
+
+}  // namespace
+}  // namespace flowpulse::exp

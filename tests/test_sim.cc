@@ -2,6 +2,8 @@
 // ordering, determinism of the RNG streams.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.h"
@@ -60,6 +62,76 @@ TEST(EventQueue, SimultaneousEventsAreFifo) {
   }
   while (!q.empty()) q.pop().fn();
   for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(InlineFn, SimultaneousEventsStayFifoUnderInterleavedPops) {
+  // The InlineFn rework replaced swap-based sifting with hole moves; FIFO
+  // order among same-time events must survive pops interleaved with
+  // schedules (the hot-path pattern: executing one event schedules more).
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(Time::nanoseconds(5), [&order, i] { order.push_back(i); });
+  }
+  for (int i = 10; i < 20; ++i) {
+    q.pop().fn();  // pop one of the earlier batch...
+    q.schedule(Time::nanoseconds(5), [&order, i] { order.push_back(i); });  // ...schedule a later one
+  }
+  while (!q.empty()) q.pop().fn();
+  ASSERT_EQ(order.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(InlineFn, MoveTransfersCallableAndEmptiesSource) {
+  int fired = 0;
+  InlineFn a{[&fired] { ++fired; }};
+  EXPECT_TRUE(static_cast<bool>(a));
+  InlineFn b{std::move(a)};
+  EXPECT_FALSE(static_cast<bool>(a));
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(fired, 1);
+  InlineFn c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(InlineFn, NonTrivialCapturesDestructAndMoveCorrectly) {
+  // A shared_ptr capture exercises the managed (non-memcpy) move/destroy
+  // path: the payload must survive heap sifting and be released exactly
+  // once when the event has run and the queue drains.
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> alive = token;
+  int seen = 0;
+  {
+    EventQueue q;
+    q.schedule(Time::nanoseconds(2), [token, &seen] { seen = *token; });
+    // Force sifting around the shared_ptr capture.
+    for (int i = 0; i < 8; ++i) q.schedule(Time::nanoseconds(1), [] {});
+    token.reset();
+    EXPECT_FALSE(alive.expired());
+    while (!q.empty()) q.pop().fn();
+  }
+  EXPECT_EQ(seen, 7);
+  EXPECT_TRUE(alive.expired());
+}
+
+TEST(EventQueue, ReservePreallocatesWithoutChangingBehavior) {
+  EventQueue q;
+  q.reserve(256);
+  EXPECT_GE(q.capacity(), 256u);
+  EXPECT_TRUE(q.empty());
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) q.schedule(Time::nanoseconds(100 - i), [&fired] { ++fired; });
+  Time last = Time::zero();
+  while (!q.empty()) {
+    EventQueue::Event ev = q.pop();
+    EXPECT_GE(ev.at, last);
+    last = ev.at;
+    ev.fn();
+  }
+  EXPECT_EQ(fired, 100);
 }
 
 TEST(EventQueue, PopReturnsEarliest) {
