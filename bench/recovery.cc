@@ -1,0 +1,106 @@
+// RECOVERY — the closed loop, quantified: a silent black hole appears
+// mid-run; the ctrl::MitigationController debounces the alerts, quarantines
+// the localized uplink (pushes it into RoutingState — APS reroutes at the
+// next packet), re-baselines the analytical model with the link treated as
+// a known fault, and verifies through probation. We report the three
+// recovery milestones per seed, measured from fault onset:
+//
+//   detect   — first iteration whose deviation crossed the threshold
+//   mitigate — the quarantine action
+//   recover  — first post-settle iteration back under the threshold
+//
+// plus the fraction of post-onset iterations still above threshold with and
+// without mitigation: without the controller, every iteration after onset
+// stays hot forever; with it, only the detect→settle window does.
+#include "bench_common.h"
+#include "exp/report.h"
+
+using namespace flowpulse;
+
+int main() {
+  bench::print_header("RECOVERY: detect -> quarantine -> re-baseline -> verify",
+                      "Closes the paper's loop: localized silent faults become known "
+                      "faults mid-run.");
+
+  const std::uint32_t trials = exp::env_trials(3);
+  const sim::Time onset = sim::Time::microseconds(600);
+
+  auto setup = [&](bool mitigate) {
+    exp::ScenarioConfig cfg = bench::paper_setup(24'000'000, 10);
+    exp::NewFault f;
+    f.leaf = 12;
+    f.uplink = 5;
+    f.where = exp::NewFault::Where::kDownlink;
+    f.spec = net::FaultSpec::black_hole(onset);
+    cfg.new_faults.push_back(f);
+    cfg.mitigation.enabled = mitigate;
+    cfg.mitigation.debounce_iterations = 2;
+    cfg.mitigation.settle_iterations = 1;
+    cfg.mitigation.probation_iterations = 2;
+    return cfg;
+  };
+
+  struct Row {
+    std::uint64_t seed = 0;
+    ctrl::RecoveryTimeline timeline{};
+    std::size_t events = 0;
+    bool right_link = false;
+  };
+  const std::vector<Row> rows = exp::parallel_indexed<Row>(trials, 0, [&](std::uint32_t t) {
+    exp::ScenarioConfig cfg = setup(true);
+    cfg.seed = exp::trial_seed(300, t);
+    exp::Scenario s{cfg};
+    const exp::ScenarioResult r = s.run();
+    Row row;
+    row.seed = cfg.seed;
+    row.timeline = r.recovery;
+    row.events = r.mitigation_events.size();
+    for (const ctrl::MitigationEvent& e : r.mitigation_events) {
+      if (e.kind == ctrl::MitigationEvent::Kind::kQuarantine && e.leaf == 12 && e.uplink == 5) {
+        row.right_link = true;
+      }
+    }
+    return row;
+  });
+
+  auto since_onset = [&](sim::Time t) {
+    return t == sim::Time::max() ? std::string{"never"} : exp::fmt((t - onset).us(), 0) + " us";
+  };
+  exp::Table table({"seed", "t_detect", "t_mitigate", "t_recover", "events", "correct link"});
+  for (const Row& row : rows) {
+    table.row({std::to_string(row.seed), since_onset(row.timeline.first_alert),
+               since_onset(row.timeline.first_quarantine), since_onset(row.timeline.recovered),
+               std::to_string(row.events), row.right_link ? "yes" : "NO"});
+  }
+  table.print();
+
+  // Aggregate view, through the same deterministic trial engine the other
+  // benches use: how many post-onset iterations stay hot?
+  auto hot_fraction = [&](bool mitigate) {
+    const std::vector<exp::TrialSamples> samples =
+        bench::run_trials(setup(mitigate), trials);
+    std::uint32_t hot = 0, post_onset = 0;
+    for (const exp::TrialSamples& s : samples) {
+      for (std::size_t i = 0; i < s.dev.size(); ++i) {
+        if (!s.truth[i] && s.dev[i] <= 0.01) continue;  // pre-onset, clean
+        ++post_onset;
+        if (s.dev[i] > 0.01) ++hot;
+      }
+    }
+    return post_onset == 0 ? 0.0 : static_cast<double>(hot) / post_onset;
+  };
+  const double without = hot_fraction(false);
+  const double with = hot_fraction(true);
+  std::cout << "\nIterations above threshold after fault onset: " << exp::pct(without, 1)
+            << " without mitigation, " << exp::pct(with, 1) << " with (the residue is the "
+            << "detect + settle window; re-baselined iterations are clean).\n";
+
+  // The control-plane audit trail of seed 0's run, as a report.
+  exp::ScenarioConfig cfg = setup(true);
+  cfg.seed = exp::trial_seed(300, 0);
+  exp::Scenario s{cfg};
+  const exp::ScenarioResult r = s.run();
+  std::cout << "\nEvent log (seed " << cfg.seed << "):\n";
+  exp::mitigation_table(r.mitigation_events).print();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// self_healing: the closed loop, watched iteration by iteration.
+//
+// A training job runs on a clean 16x8 fat tree; one iteration in, the
+// receive direction of a cable goes gray and silently drops 10% of
+// everything a leaf hears from one spine. The transport retransmits around
+// it, so the job keeps going — just slower. FlowPulse flags the deviation,
+// localizes the link, and the
+// MitigationController quarantines it (APS stops spraying onto it),
+// re-baselines the load model with the link as a known fault, and verifies
+// through probation. Training finishes at full speed on the remaining links,
+// no operator in the loop.
+//
+//   $ ./self_healing
+#include <cmath>
+#include <iostream>
+#include <string>
+
+#include "exp/report.h"
+#include "exp/scenario.h"
+#include "exp/table.h"
+
+using namespace flowpulse;
+
+int main() {
+  std::cout << "FlowPulse self-healing run: 16x8 fat tree, Ring-AllReduce, 24 MB/iter\n"
+               "gray downlink (10% drop) appears on leaf 5 / uplink 3 at t=600 us\n\n";
+
+  const sim::Time onset = sim::Time::microseconds(600);
+
+  exp::ScenarioConfig cfg;
+  cfg.fabric.shape = net::TopologyInfo{16, 8, 1, 1};
+  cfg.collective = collective::CollectiveKind::kRingReduceScatter;
+  cfg.collective_bytes = 24'000'000;
+  cfg.iterations = 12;
+  cfg.seed = 7;
+
+  exp::NewFault f;
+  f.leaf = 5;
+  f.uplink = 3;
+  f.where = exp::NewFault::Where::kDownlink;
+  f.spec = net::FaultSpec::random_drop(0.10, onset);
+  cfg.new_faults.push_back(f);
+
+  cfg.mitigation.enabled = true;
+  cfg.mitigation.debounce_iterations = 2;
+  cfg.mitigation.settle_iterations = 1;
+  cfg.mitigation.probation_iterations = 2;
+
+  exp::Scenario s{cfg};
+  const exp::ScenarioResult r = s.run();
+
+  // Per-iteration timeline: deviation, what the controller did, and how the
+  // iteration reads once you know about the quarantine.
+  exp::Table table({"iter", "window (us)", "max dev", "controller", "verdict"});
+  for (std::size_t i = 0; i < r.per_iter_max_dev.size(); ++i) {
+    std::string actions;
+    for (const ctrl::MitigationEvent& e : r.mitigation_events) {
+      if (e.iteration != i) continue;
+      if (!actions.empty()) actions += ", ";
+      actions += std::string{exp::event_kind_name(e.kind)} + " (" + e.reason + ")";
+    }
+    const double dev = r.per_iter_max_dev[i];
+    std::string verdict;
+    if (dev <= cfg.flowpulse.threshold) {
+      verdict = "clean";
+    } else if (r.recovery.mitigated() && i > r.recovery.first_quarantine_iteration) {
+      // Traffic sprayed under the pre-quarantine routing, judged against the
+      // re-baselined model — the deviation is meaningless (the quarantined
+      // port predicts zero but in-flight bytes still land on it), and the
+      // controller discards the iteration.
+      verdict = "settling (discarded)";
+    } else {
+      verdict = "FAULT";
+    }
+    const auto& w = r.iter_windows[i];
+    table.row({std::to_string(i),
+               exp::fmt(w.first.us(), 0) + " - " + exp::fmt(w.second.us(), 0),
+               std::isfinite(dev) ? exp::pct(dev, 2) : "n/a",
+               actions.empty() ? "-" : actions, verdict});
+  }
+  table.print();
+
+  std::cout << "\nControl-plane event log:\n";
+  exp::mitigation_table(r.mitigation_events).print();
+
+  auto since_onset = [&](sim::Time t) {
+    return t == sim::Time::max() ? std::string{"never"} : exp::fmt((t - onset).us(), 0) + " us";
+  };
+  std::cout << "\nRecovery (measured from fault onset):\n"
+            << "  time to detect:   " << since_onset(r.recovery.first_alert) << "\n"
+            << "  time to mitigate: " << since_onset(r.recovery.first_quarantine) << "\n"
+            << "  time to recover:  " << since_onset(r.recovery.recovered) << "\n";
+
+  std::cout << "\nThe gray link is still broken — but quarantined it carries no traffic,\n"
+               "the re-baselined model expects nothing from it, and every iteration after\n"
+               "the settle window is back under the 1% threshold. The fault became a\n"
+               "known fault, which is exactly the failure mode the fabric already\n"
+               "tolerates.\n";
+  return 0;
+}

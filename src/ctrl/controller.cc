@@ -1,0 +1,197 @@
+#include "ctrl/controller.h"
+
+#include <algorithm>
+
+namespace flowpulse::ctrl {
+
+MitigationController::MitigationController(sim::Simulator& sim, net::RoutingState& routing,
+                                           MitigationPolicy policy)
+    : sim_{sim}, routing_{routing}, policy_{policy} {}
+
+void MitigationController::attach(fp::FlowPulseSystem& system) {
+  if (policy_.threshold <= 0.0) policy_.threshold = system.config().threshold;
+  system.set_alert_hook([this](const fp::DetectionResult& r) { observe(r); });
+}
+
+void MitigationController::observe(const fp::DetectionResult& result) {
+  IterAgg& agg = pending_[result.iteration];
+  ++agg.reports;
+  agg.max_dev = std::max(agg.max_dev, result.max_rel_dev);
+  for (const fp::PortAlert& a : result.alerts) {
+    // Shortfall alerts implicate a link; surplus is the shortfall's traffic
+    // resurfacing elsewhere (retransmissions) and names no culprit.
+    if (a.observed >= a.predicted) continue;
+    auto implicate = [&agg](net::LeafId leaf, net::UplinkIndex uplink) {
+      const LinkKey key{leaf, uplink};
+      if (std::find(agg.suspects.begin(), agg.suspects.end(), key) == agg.suspects.end()) {
+        agg.suspects.push_back(key);
+      }
+    };
+    switch (a.localization.verdict) {
+      case fp::Localization::Verdict::kLocalLink:
+      case fp::Localization::Verdict::kUnknown:
+        implicate(result.leaf, a.uplink);
+        break;
+      case fp::Localization::Verdict::kRemoteLinks:
+        // The missing senders' traffic died on THEIR leaf↔spine link of the
+        // same virtual spine (uplink index is global across leaves).
+        for (const net::LeafId sender : a.localization.suspect_senders) {
+          implicate(sender, a.uplink);
+        }
+        break;
+    }
+  }
+  const std::uint32_t expected =
+      policy_.reports_per_iteration > 0 ? policy_.reports_per_iteration : routing_.leaves();
+  if (agg.reports >= expected) {
+    // Per-leaf results arrive in iteration order, so completions do too.
+    const IterAgg done = std::move(agg);
+    pending_.erase(result.iteration);
+    on_iteration_complete(result.iteration, done);
+  }
+}
+
+void MitigationController::on_iteration_complete(std::uint32_t iteration, const IterAgg& agg) {
+  const bool clean = agg.max_dev <= policy_.threshold;
+  if (!clean && !timeline_.detected()) {
+    timeline_.first_alert = sim_.now();
+    timeline_.first_alert_iteration = iteration;
+  }
+  // Contaminated by a routing action — discard for every link (see
+  // settle_until_): judging these would read the transition itself as a
+  // fault or a recovery.
+  if (static_cast<std::int64_t>(iteration) <= settle_until_) return;
+  if (timeline_.mitigated() && !timeline_.has_recovered() && clean) {
+    timeline_.recovered = sim_.now();
+  }
+  for (const LinkKey& key : agg.suspects) links_.try_emplace(key);
+  for (auto& [key, ctl] : links_) {
+    const bool implicated =
+        std::find(agg.suspects.begin(), agg.suspects.end(), key) != agg.suspects.end();
+    step_link(key, ctl, implicated, clean, iteration);
+  }
+}
+
+void MitigationController::step_link(const LinkKey& key, LinkCtl& ctl, bool implicated,
+                                     bool iteration_clean, std::uint32_t iteration) {
+  switch (ctl.state) {
+    case LinkState::kHealthy:
+      if (!implicated) {
+        ctl.streak = 0;
+        break;
+      }
+      if (++ctl.streak >= policy_.debounce_iterations &&
+          ctl.misfires < policy_.max_strikes && quarantine_allowed(key)) {
+        set_quarantined(key, true, iteration, MitigationEvent::Kind::kQuarantine, "debounce");
+        if (!timeline_.mitigated()) {
+          timeline_.first_quarantine = sim_.now();
+          timeline_.first_quarantine_iteration = iteration;
+        }
+        ctl.state = LinkState::kProbation;
+        ctl.streak = 0;
+        ctl.clean = 0;
+      }
+      break;
+
+    case LinkState::kProbation:
+      // Quarantined; the link itself carries no traffic anymore, so the
+      // verdict rides on the fabric-wide deviation: still hot means the
+      // quarantine cured nothing (wrong target / threshold under the noise
+      // floor) and the link goes back into service.
+      if (iteration_clean) {
+        ctl.streak = 0;
+        if (++ctl.clean >= policy_.probation_iterations) {
+          confirm(key, iteration, "quarantine");
+          ctl.state = LinkState::kQuarantined;
+          ctl.since_confirm = 0;
+        }
+      } else {
+        ctl.clean = 0;
+        if (++ctl.streak >= policy_.debounce_iterations) {
+          ++ctl.misfires;
+          set_quarantined(key, false, iteration, MitigationEvent::Kind::kRestore,
+                          "ineffective");
+          ctl.state = LinkState::kHealthy;
+          ctl.streak = 0;
+        }
+      }
+      break;
+
+    case LinkState::kQuarantined:
+      if (policy_.restore_probe_after == 0 || ctl.relapses >= policy_.max_strikes) break;
+      if (++ctl.since_confirm >= policy_.restore_probe_after) {
+        set_quarantined(key, false, iteration, MitigationEvent::Kind::kRestore, "probe");
+        ctl.state = LinkState::kRestoreProbation;
+        ctl.streak = 0;
+        ctl.clean = 0;
+      }
+      break;
+
+    case LinkState::kRestoreProbation:
+      if (implicated) {
+        ctl.clean = 0;
+        if (++ctl.streak >= policy_.debounce_iterations) {
+          ++ctl.relapses;
+          set_quarantined(key, true, iteration, MitigationEvent::Kind::kQuarantine,
+                          "relapse");
+          if (ctl.relapses >= policy_.max_strikes) {
+            confirm(key, iteration, "permanent");
+            ctl.state = LinkState::kQuarantined;
+            ctl.since_confirm = 0;
+          } else {
+            ctl.state = LinkState::kProbation;
+          }
+          ctl.streak = 0;
+          ctl.clean = 0;
+        }
+      } else {
+        ctl.streak = 0;
+        if (++ctl.clean >= policy_.probation_iterations) {
+          confirm(key, iteration, "restore");
+          ctl.state = LinkState::kHealthy;
+          ctl.clean = 0;
+        }
+      }
+      break;
+  }
+}
+
+bool MitigationController::quarantine_allowed(const LinkKey& key) const {
+  const auto [leaf, uplink] = key;
+  if (routing_.known_failed(leaf, uplink)) return false;  // already out of service
+  const std::uint32_t healthy =
+      routing_.uplinks_per_leaf() - routing_.known_failed_count(leaf);
+  return healthy > policy_.min_healthy_uplinks;
+}
+
+void MitigationController::set_quarantined(const LinkKey& key, bool failed,
+                                           std::uint32_t iteration,
+                                           MitigationEvent::Kind kind, const char* reason) {
+  routing_.set_known_failed(key.first, key.second, failed);
+  if (rebaseline_) rebaseline_();
+  settle_until_ = static_cast<std::int64_t>(iteration) + policy_.settle_iterations;
+  events_.push_back({kind, sim_.now(), iteration, key.first, key.second, reason});
+}
+
+void MitigationController::confirm(const LinkKey& key, std::uint32_t iteration,
+                                   const char* reason) {
+  events_.push_back(
+      {MitigationEvent::Kind::kConfirm, sim_.now(), iteration, key.first, key.second, reason});
+}
+
+std::uint32_t MitigationController::active_quarantines() const {
+  std::uint32_t n = 0;
+  for (const auto& [key, ctl] : links_) {
+    if (ctl.state == LinkState::kProbation || ctl.state == LinkState::kQuarantined) ++n;
+  }
+  return n;
+}
+
+bool MitigationController::quarantined(net::LeafId leaf, net::UplinkIndex uplink) const {
+  const auto it = links_.find(LinkKey{leaf, uplink});
+  if (it == links_.end()) return false;
+  return it->second.state == LinkState::kProbation ||
+         it->second.state == LinkState::kQuarantined;
+}
+
+}  // namespace flowpulse::ctrl

@@ -17,7 +17,73 @@ void json_number(std::ostringstream& os, const char* key, std::uint64_t v,
   if (comma) os << ',';
 }
 
+void json_time_or_null(std::ostringstream& os, const char* key, sim::Time t,
+                       bool comma = true) {
+  os << '"' << key << "\":";
+  if (t == sim::Time::max()) {
+    os << "null";
+  } else {
+    os << t.us();
+  }
+  if (comma) os << ',';
+}
+
+void append_mitigation_json(std::ostringstream& os,
+                            const std::vector<ctrl::MitigationEvent>& events,
+                            const ctrl::RecoveryTimeline& timeline) {
+  os << "{";
+  json_time_or_null(os, "first_alert_us", timeline.first_alert);
+  json_time_or_null(os, "first_quarantine_us", timeline.first_quarantine);
+  json_time_or_null(os, "recovered_us", timeline.recovered);
+  json_number(os, "first_alert_iteration", std::uint64_t{timeline.first_alert_iteration});
+  json_number(os, "first_quarantine_iteration",
+              std::uint64_t{timeline.first_quarantine_iteration});
+  os << "\"events\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const ctrl::MitigationEvent& e = events[i];
+    if (i) os << ',';
+    os << "{";
+    json_number(os, "time_us", e.time.us());
+    json_number(os, "iteration", std::uint64_t{e.iteration});
+    os << "\"kind\":\"" << event_kind_name(e.kind) << "\",";
+    json_number(os, "leaf", std::uint64_t{e.leaf});
+    json_number(os, "uplink", std::uint64_t{e.uplink});
+    os << "\"reason\":\"" << e.reason << "\"}";
+  }
+  os << "]}";
+}
+
 }  // namespace
+
+const char* event_kind_name(ctrl::MitigationEvent::Kind k) {
+  switch (k) {
+    case ctrl::MitigationEvent::Kind::kQuarantine:
+      return "quarantine";
+    case ctrl::MitigationEvent::Kind::kRestore:
+      return "restore";
+    case ctrl::MitigationEvent::Kind::kConfirm:
+      return "confirm";
+  }
+  return "unknown";
+}
+
+std::string mitigation_to_json(const std::vector<ctrl::MitigationEvent>& events,
+                               const ctrl::RecoveryTimeline& timeline) {
+  std::ostringstream os;
+  append_mitigation_json(os, events, timeline);
+  return os.str();
+}
+
+Table mitigation_table(const std::vector<ctrl::MitigationEvent>& events) {
+  Table table{{"time_us", "iter", "action", "link", "reason"}};
+  for (const ctrl::MitigationEvent& e : events) {
+    std::ostringstream link;
+    link << "leaf " << e.leaf << " / uplink " << e.uplink;
+    table.row({fmt(e.time.us(), 1), std::to_string(e.iteration), event_kind_name(e.kind),
+               link.str(), e.reason});
+  }
+  return table;
+}
 
 const char* verdict_name(fp::Localization::Verdict v) {
   switch (v) {
@@ -48,7 +114,9 @@ std::string to_json(const ScenarioResult& result) {
   os << "},\"fabric\":{";
   json_number(os, "tx_packets", result.fabric_counters.tx_packets);
   json_number(os, "dropped_packets", result.fabric_counters.dropped_packets, false);
-  os << "},\"iterations\":[";
+  os << "},\"mitigation\":";
+  append_mitigation_json(os, result.mitigation_events, result.recovery);
+  os << ",\"iterations\":[";
   for (std::size_t i = 0; i < result.per_iter_max_dev.size(); ++i) {
     if (i) os << ',';
     os << "{";

@@ -3,7 +3,9 @@
 #include <string>
 #include <vector>
 
+#include "ctrl/controller.h"
 #include "exp/scenario.h"
+#include "exp/table.h"
 #include "flowpulse/detector.h"
 
 namespace flowpulse::exp {
@@ -25,6 +27,20 @@ namespace flowpulse::exp {
 
 /// Localization verdict as a stable string ("local" / "remote" / "unknown").
 [[nodiscard]] const char* verdict_name(fp::Localization::Verdict v);
+
+/// Mitigation event kind as a stable string ("quarantine" / "restore" /
+/// "confirm").
+[[nodiscard]] const char* event_kind_name(ctrl::MitigationEvent::Kind k);
+
+/// Quarantine/restore/confirm feed plus recovery milestones as one JSON
+/// object — the control-plane audit trail a fabric manager would archive.
+/// Milestones that never happened are emitted as null.
+[[nodiscard]] std::string mitigation_to_json(const std::vector<ctrl::MitigationEvent>& events,
+                                             const ctrl::RecoveryTimeline& timeline);
+
+/// The same feed as an operator-facing table (time, iteration, action,
+/// link, reason).
+[[nodiscard]] Table mitigation_table(const std::vector<ctrl::MitigationEvent>& events);
 
 /// Write `content` to `path` (overwrites). Returns false on I/O failure.
 bool write_file(const std::string& path, const std::string& content);

@@ -89,6 +89,19 @@ void Scenario::build() {
       break;  // the system learns in-band
   }
 
+  if (config_.mitigation.enabled && prediction_ != nullptr) {
+    controller_ = std::make_unique<ctrl::MitigationController>(*sim_, fabric_->routing(),
+                                                               config_.mitigation);
+    // Re-baseline = re-run the closed-form model over the updated failed
+    // set: a quarantined uplink becomes a *known* fault, exactly what
+    // d/(s−f) absorbs.
+    controller_->set_rebaseline([this] {
+      *prediction_ = analytical_prediction();
+      flowpulse_->set_prediction(*prediction_);
+    });
+    controller_->attach(*flowpulse_);
+  }
+
   apply_new_faults();
 
   collective::CollectiveConfig cc;
@@ -187,8 +200,7 @@ void Scenario::apply_new_faults() {
 
 bool Scenario::fault_active_during(sim::Time start, sim::Time end) const {
   for (const NewFault& f : config_.new_faults) {
-    if (f.spec.kind == net::FaultSpec::Kind::kNone) continue;
-    if (f.spec.start < end && start < f.spec.end) return true;
+    if (f.spec.active_during(start, end)) return true;
   }
   return false;
 }
@@ -211,6 +223,10 @@ ScenarioResult Scenario::run() {
   r.iter_fault_active.reserve(iter_windows_.size());
   for (const auto& [start, end] : iter_windows_) {
     r.iter_fault_active.push_back(fault_active_during(start, end) ? 1 : 0);
+  }
+  if (controller_) {
+    r.mitigation_events = controller_->events();
+    r.recovery = controller_->timeline();
   }
   r.transport_stats = transports_->total_stats();
   r.fabric_counters = fabric_->total_fabric_counters();

@@ -7,6 +7,7 @@
 #include "collective/demand_matrix.h"
 #include "collective/runner.h"
 #include "collective/schedule.h"
+#include "ctrl/controller.h"
 #include "flowpulse/system.h"
 #include "net/fat_tree.h"
 #include "sim/simulator.h"
@@ -59,6 +60,11 @@ struct ScenarioConfig {
   /// Iterations the nested prediction run simulates (kSimulation model).
   std::uint32_t sim_model_iterations = 2;
 
+  /// Closed-loop mitigation (ctrl::MitigationController). Only wired for the
+  /// fixed-model modes (kAnalytical / kSimulation): re-baselining means
+  /// re-running the analytical prediction over the updated RoutingState.
+  ctrl::MitigationPolicy mitigation{};
+
   std::uint64_t seed = 1;
   /// Safety cap on simulated time.
   sim::Time horizon = sim::Time::seconds(10);
@@ -78,6 +84,11 @@ struct ScenarioResult {
 
   std::vector<fp::DetectionResult> detections;  ///< every leaf × iteration check
   std::vector<fp::FlowPulseSystem::LearnedOutcome> learned;
+
+  /// Control-plane actions the MitigationController took, in order (empty
+  /// when mitigation is disabled), plus its recovery milestones.
+  std::vector<ctrl::MitigationEvent> mitigation_events;
+  ctrl::RecoveryTimeline recovery{};
 
   transport::TransportStats transport_stats{};
   net::LinkCounters fabric_counters{};
@@ -102,6 +113,9 @@ class Scenario {
   [[nodiscard]] transport::TransportLayer& transports() { return *transports_; }
   [[nodiscard]] collective::CollectiveRunner& runner() { return *runner_; }
   [[nodiscard]] fp::FlowPulseSystem& flowpulse() { return *flowpulse_; }
+  /// Present iff config.mitigation.enabled and the model is fixed
+  /// (kAnalytical / kSimulation).
+  [[nodiscard]] ctrl::MitigationController* controller() { return controller_.get(); }
   [[nodiscard]] const ScenarioConfig& config() const { return config_; }
   [[nodiscard]] const collective::CommSchedule& schedule() const { return schedule_; }
   [[nodiscard]] const collective::DemandMatrix& demand() const { return demand_; }
@@ -125,6 +139,7 @@ class Scenario {
   std::unique_ptr<collective::CollectiveRunner> runner_;
   std::unique_ptr<collective::CollectiveRunner> background_runner_;
   std::unique_ptr<fp::FlowPulseSystem> flowpulse_;
+  std::unique_ptr<ctrl::MitigationController> controller_;
   std::unique_ptr<fp::PortLoadMap> prediction_;
   std::vector<std::pair<sim::Time, sim::Time>> iter_windows_;
 };

@@ -34,12 +34,15 @@ void FlowPulseSystem::on_finalized(const IterationRecord& record) {
     if (provider_) {
       if (const PortLoadMap* prediction = provider_(record.iteration)) {
         results_.push_back(evaluate_record(*prediction, config_.threshold, record));
+        if (alert_hook_) alert_hook_(results_.back());
       }
     }
     return;
   }
   if (detector_ != nullptr) {
     results_.push_back(detector_->evaluate(record));
+    // The hook may swap the detector (re-baseline); evaluation is done.
+    if (alert_hook_) alert_hook_(results_.back());
   }
 }
 

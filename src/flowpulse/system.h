@@ -53,6 +53,16 @@ class FlowPulseSystem {
     provider_ = std::move(provider);
   }
 
+  /// Observer of every evaluated (leaf × iteration) check, fired eagerly as
+  /// monitors finalize iterations mid-run — the subscription point for
+  /// closed-loop consumers (ctrl::MitigationController). Fires for clean
+  /// results too: probation/debounce logic needs to see iterations that did
+  /// NOT alert. Not invoked in kLearned mode (no DetectionResult there).
+  /// The hook may re-arm the system via set_prediction() (re-baselining);
+  /// the result it received stays valid for the duration of the call.
+  using AlertHook = std::function<void(const DetectionResult&)>;
+  void set_alert_hook(AlertHook hook) { alert_hook_ = std::move(hook); }
+
   /// Finalize the in-flight iteration at every leaf (end of training run).
   void flush();
 
@@ -89,6 +99,7 @@ class FlowPulseSystem {
   std::vector<std::unique_ptr<PortMonitor>> monitors_;
   std::unique_ptr<Detector> detector_;
   PredictionProvider provider_;
+  AlertHook alert_hook_;
   std::vector<std::unique_ptr<LearnedModel>> learned_;
   std::vector<DetectionResult> results_;
   std::vector<LearnedOutcome> learned_outcomes_;

@@ -44,9 +44,33 @@ struct FaultSpec {
   double good_loss = 0.0;     ///< kGilbertElliott: loss rate in the good state
   sim::Time start = sim::Time::zero();  ///< fault active in [start, end)
   sim::Time end = sim::Time::max();
+  /// Periodic link flap: within [start, end) the fault is only active during
+  /// the first `flap_on` of every `flap_period`, modelling a cable that
+  /// repeatedly degrades and recovers (the case that makes one-shot
+  /// quarantine wrong and motivates probation/restore logic in ctrl/).
+  /// flap_period == 0 disables flapping (continuously active).
+  sim::Time flap_period = sim::Time::zero();
+  sim::Time flap_on = sim::Time::zero();
 
   [[nodiscard]] bool active_at(sim::Time t) const {
-    return kind != Kind::kNone && t >= start && t < end;
+    if (kind == Kind::kNone || t < start || t >= end) return false;
+    if (flap_period <= sim::Time::zero()) return true;
+    return (t - start).ps() % flap_period.ps() < flap_on.ps();
+  }
+
+  /// Is the fault active at any instant of [window_start, window_end)?
+  /// Ground truth for labelling an iteration as fault-affected.
+  [[nodiscard]] bool active_during(sim::Time window_start, sim::Time window_end) const {
+    if (kind == Kind::kNone) return false;
+    const sim::Time a = window_start < start ? start : window_start;
+    const sim::Time b = window_end < end ? window_end : end;
+    if (a >= b) return false;
+    if (flap_period <= sim::Time::zero()) return true;
+    const std::int64_t period = flap_period.ps();
+    const std::int64_t phase = (a - start).ps() % period;
+    if (phase < flap_on.ps()) return true;  // window opens inside an active burst
+    // Otherwise the next burst begins (period - phase) after `a`.
+    return (b - a).ps() > period - phase;
   }
   [[nodiscard]] bool drops_all() const {
     return kind == Kind::kDisconnect || kind == Kind::kBlackHole;
@@ -96,6 +120,17 @@ struct FaultSpec {
     f.good_loss = in_good_loss;
     f.start = start;
     f.end = end;
+    return f;
+  }
+
+  /// Copy of this fault gated by a periodic flap: active during the first
+  /// `active` of every `period` (within [start, end)). Composes with every
+  /// kind — e.g. `black_hole().with_flap(ms(1), us(200))` is a FIB entry
+  /// that corrupts and self-heals repeatedly.
+  [[nodiscard]] FaultSpec with_flap(sim::Time period, sim::Time active) const {
+    FaultSpec f = *this;
+    f.flap_period = period;
+    f.flap_on = active;
     return f;
   }
 };

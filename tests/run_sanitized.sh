@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Build and run the full test suite under ASan + UBSan in a side build
+# directory (build-asan/). Any leak, overflow, or UB aborts the run.
+#
+#   $ tests/run_sanitized.sh [extra ctest args...]
+set -eu
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build-asan"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DFLOWPULSE_SANITIZE=ON
+cmake --build "${build_dir}" -j
+cd "${build_dir}"
+ctest --output-on-failure -j "$@"

@@ -1,0 +1,444 @@
+// Closed-loop mitigation: unit tests drive the controller's state machine
+// with synthetic DetectionResults; the end-to-end tests run the full
+// detect → localize → quarantine → re-baseline → verify loop on a live
+// scenario (the acceptance path for the ctrl/ subsystem).
+#include <gtest/gtest.h>
+
+#include "ctrl/controller.h"
+#include "exp/scenario.h"
+#include "exp/trials.h"
+#include "net/routing.h"
+#include "sim/simulator.h"
+
+namespace flowpulse::ctrl {
+namespace {
+
+// ---------------------------------------------------------------------------
+// State machine (synthetic feed)
+// ---------------------------------------------------------------------------
+
+fp::DetectionResult clean_result(net::LeafId leaf, std::uint32_t iteration,
+                                 double dev = 0.0) {
+  fp::DetectionResult r;
+  r.leaf = leaf;
+  r.iteration = iteration;
+  r.max_rel_dev = dev;
+  return r;
+}
+
+fp::DetectionResult shortfall_result(net::LeafId leaf, std::uint32_t iteration,
+                                     net::UplinkIndex uplink, double dev = 0.5) {
+  fp::DetectionResult r = clean_result(leaf, iteration, dev);
+  fp::PortAlert a;
+  a.uplink = uplink;
+  a.observed = 50.0;
+  a.predicted = 100.0;
+  a.rel_dev = dev;
+  a.localization.verdict = fp::Localization::Verdict::kLocalLink;
+  r.alerts.push_back(a);
+  return r;
+}
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  MitigationController make(MitigationPolicy policy) {
+    policy.enabled = true;
+    if (policy.threshold <= 0.0) policy.threshold = 0.01;
+    // One synthetic report completes an iteration; the aggregation across
+    // leaves has its own test below.
+    if (policy.reports_per_iteration == 0) policy.reports_per_iteration = 1;
+    return MitigationController{sim_, routing_, policy};
+  }
+
+  sim::Simulator sim_{1};
+  net::RoutingState routing_{4, 4};
+};
+
+TEST_F(ControllerTest, DebouncesBeforeQuarantining) {
+  MitigationPolicy p;
+  p.debounce_iterations = 2;
+  MitigationController c = make(p);
+  c.observe(shortfall_result(1, 0, 2));
+  EXPECT_TRUE(c.events().empty());
+  EXPECT_FALSE(routing_.known_failed(1, 2));
+  c.observe(shortfall_result(1, 1, 2));
+  ASSERT_EQ(c.events().size(), 1u);
+  EXPECT_EQ(c.events()[0].kind, MitigationEvent::Kind::kQuarantine);
+  EXPECT_EQ(c.events()[0].leaf, 1u);
+  EXPECT_EQ(c.events()[0].uplink, 2u);
+  EXPECT_STREQ(c.events()[0].reason, "debounce");
+  EXPECT_TRUE(routing_.known_failed(1, 2));
+  EXPECT_TRUE(c.quarantined(1, 2));
+  EXPECT_EQ(c.active_quarantines(), 1u);
+}
+
+TEST_F(ControllerTest, OneIterationBlipIsIgnored) {
+  MitigationPolicy p;
+  p.debounce_iterations = 2;
+  MitigationController c = make(p);
+  c.observe(shortfall_result(1, 0, 2));
+  c.observe(clean_result(1, 1));
+  c.observe(shortfall_result(1, 2, 2));
+  c.observe(clean_result(1, 3));
+  EXPECT_TRUE(c.events().empty());
+  EXPECT_FALSE(routing_.known_failed(1, 2));
+}
+
+TEST_F(ControllerTest, QuarantineTriggersRebaseline) {
+  MitigationPolicy p;
+  p.debounce_iterations = 1;
+  MitigationController c = make(p);
+  int rebaselines = 0;
+  c.set_rebaseline([&rebaselines] { ++rebaselines; });
+  c.observe(shortfall_result(0, 0, 1));
+  EXPECT_EQ(rebaselines, 1);
+}
+
+TEST_F(ControllerTest, ProbationConfirmsWhenAlertsStop) {
+  MitigationPolicy p;
+  p.debounce_iterations = 1;
+  p.settle_iterations = 1;
+  p.probation_iterations = 2;
+  MitigationController c = make(p);
+  c.observe(shortfall_result(1, 0, 2));  // quarantine at iteration 0
+  c.observe(clean_result(1, 1));         // settle — not judged
+  c.observe(clean_result(1, 2));
+  c.observe(clean_result(1, 3));         // 2nd clean → confirm
+  ASSERT_EQ(c.events().size(), 2u);
+  EXPECT_EQ(c.events()[1].kind, MitigationEvent::Kind::kConfirm);
+  EXPECT_STREQ(c.events()[1].reason, "quarantine");
+  EXPECT_EQ(c.events()[1].iteration, 3u);
+  EXPECT_TRUE(routing_.known_failed(1, 2));
+}
+
+TEST_F(ControllerTest, IneffectiveQuarantineIsRestored) {
+  MitigationPolicy p;
+  p.debounce_iterations = 2;
+  p.settle_iterations = 1;
+  MitigationController c = make(p);
+  c.observe(shortfall_result(1, 0, 2));
+  c.observe(shortfall_result(1, 1, 2));  // quarantine at iteration 1
+  ASSERT_EQ(c.events().size(), 1u);
+  // The deviation does not go away (alerts now elsewhere / global noise):
+  // iteration 2 is settle, 3 and 4 are dirty → restore.
+  c.observe(clean_result(1, 2, 0.5));
+  c.observe(clean_result(1, 3, 0.5));
+  c.observe(clean_result(1, 4, 0.5));
+  ASSERT_EQ(c.events().size(), 2u);
+  EXPECT_EQ(c.events()[1].kind, MitigationEvent::Kind::kRestore);
+  EXPECT_STREQ(c.events()[1].reason, "ineffective");
+  EXPECT_FALSE(routing_.known_failed(1, 2));
+  EXPECT_EQ(c.active_quarantines(), 0u);
+}
+
+TEST_F(ControllerTest, MisfireBudgetBansRepeatOffender) {
+  MitigationPolicy p;
+  p.debounce_iterations = 1;
+  p.settle_iterations = 0;
+  p.probation_iterations = 2;
+  p.max_strikes = 1;
+  MitigationController c = make(p);
+  // Quarantine at 0; dirty at 1 → restore (misfire #1, budget exhausted).
+  c.observe(shortfall_result(1, 0, 2));
+  c.observe(clean_result(1, 1, 0.5));
+  ASSERT_EQ(c.events().size(), 2u);
+  // Implicated again: the ban must hold — no further quarantines.
+  c.observe(shortfall_result(1, 2, 2));
+  c.observe(shortfall_result(1, 3, 2));
+  EXPECT_EQ(c.events().size(), 2u);
+  EXPECT_FALSE(routing_.known_failed(1, 2));
+}
+
+TEST_F(ControllerTest, TrialRestoreConfirmsHealedLink) {
+  MitigationPolicy p;
+  p.debounce_iterations = 1;
+  p.settle_iterations = 1;
+  p.probation_iterations = 1;
+  p.restore_probe_after = 2;
+  MitigationController c = make(p);
+  c.observe(shortfall_result(1, 0, 2));  // quarantine at 0
+  c.observe(clean_result(1, 1));         // settle
+  c.observe(clean_result(1, 2));         // confirm quarantine
+  c.observe(clean_result(1, 3));         // confirmed 1
+  c.observe(clean_result(1, 4));         // confirmed 2 → probe restore
+  c.observe(clean_result(1, 5));         // settle
+  c.observe(clean_result(1, 6));         // clean → confirm restore
+  const auto& ev = c.events();
+  ASSERT_EQ(ev.size(), 4u);
+  EXPECT_EQ(ev[1].kind, MitigationEvent::Kind::kConfirm);
+  EXPECT_EQ(ev[2].kind, MitigationEvent::Kind::kRestore);
+  EXPECT_STREQ(ev[2].reason, "probe");
+  EXPECT_EQ(ev[3].kind, MitigationEvent::Kind::kConfirm);
+  EXPECT_STREQ(ev[3].reason, "restore");
+  EXPECT_FALSE(routing_.known_failed(1, 2));
+  EXPECT_EQ(c.active_quarantines(), 0u);
+}
+
+TEST_F(ControllerTest, RelapseAfterProbeRequarantines) {
+  MitigationPolicy p;
+  p.debounce_iterations = 1;
+  p.settle_iterations = 1;
+  p.probation_iterations = 1;
+  p.restore_probe_after = 1;
+  p.max_strikes = 1;  // first relapse freezes the quarantine
+  MitigationController c = make(p);
+  c.observe(shortfall_result(1, 0, 2));  // quarantine
+  c.observe(clean_result(1, 1));         // settle
+  c.observe(clean_result(1, 2));         // confirm quarantine
+  c.observe(clean_result(1, 3));         // → probe restore
+  c.observe(clean_result(1, 4));         // settle
+  c.observe(shortfall_result(1, 5, 2));  // alert returns → relapse
+  const auto& ev = c.events();
+  ASSERT_EQ(ev.size(), 5u);
+  EXPECT_EQ(ev[3].kind, MitigationEvent::Kind::kQuarantine);
+  EXPECT_STREQ(ev[3].reason, "relapse");
+  EXPECT_EQ(ev[4].kind, MitigationEvent::Kind::kConfirm);
+  EXPECT_STREQ(ev[4].reason, "permanent");
+  EXPECT_TRUE(routing_.known_failed(1, 2));
+  // Permanent: no more probes however long it stays clean.
+  for (std::uint32_t i = 6; i < 12; ++i) c.observe(clean_result(1, i));
+  EXPECT_EQ(c.events().size(), 5u);
+  EXPECT_TRUE(routing_.known_failed(1, 2));
+}
+
+TEST_F(ControllerTest, RemoteVerdictBlamesSenderSideLink) {
+  MitigationPolicy p;
+  p.debounce_iterations = 1;
+  MitigationController c = make(p);
+  fp::DetectionResult r = clean_result(0, 0, 0.4);
+  fp::PortAlert a;
+  a.uplink = 3;
+  a.observed = 60.0;
+  a.predicted = 100.0;
+  a.rel_dev = 0.4;
+  a.localization.verdict = fp::Localization::Verdict::kRemoteLinks;
+  a.localization.suspect_senders = {2};
+  r.alerts.push_back(a);
+  c.observe(r);
+  ASSERT_EQ(c.events().size(), 1u);
+  EXPECT_EQ(c.events()[0].leaf, 2u);  // the sender's link, not the observer's
+  EXPECT_EQ(c.events()[0].uplink, 3u);
+  EXPECT_TRUE(routing_.known_failed(2, 3));
+}
+
+TEST_F(ControllerTest, SurplusAlertNamesNoSuspect) {
+  MitigationPolicy p;
+  p.debounce_iterations = 1;
+  MitigationController c = make(p);
+  fp::DetectionResult r = clean_result(0, 0, 0.4);
+  fp::PortAlert a;
+  a.uplink = 3;
+  a.observed = 140.0;  // surplus: retransmitted traffic resurfacing
+  a.predicted = 100.0;
+  a.rel_dev = 0.4;
+  r.alerts.push_back(a);
+  c.observe(r);
+  c.observe(r);
+  EXPECT_TRUE(c.events().empty());
+}
+
+TEST_F(ControllerTest, NeverPartitionsALeaf) {
+  MitigationPolicy p;
+  p.debounce_iterations = 1;
+  p.min_healthy_uplinks = 3;
+  MitigationController c = make(p);
+  routing_.set_known_failed(1, 0);  // pre-existing: 3 healthy uplinks left
+  c.observe(shortfall_result(1, 0, 2));
+  c.observe(shortfall_result(1, 1, 2));
+  EXPECT_TRUE(c.events().empty());
+  EXPECT_FALSE(routing_.known_failed(1, 2));
+}
+
+TEST_F(ControllerTest, IterationCompletesOnlyWhenEveryLeafReported) {
+  MitigationPolicy p;
+  p.debounce_iterations = 1;
+  p.reports_per_iteration = 0;  // one report per leaf (4 here)
+  p.enabled = true;
+  p.threshold = 0.01;
+  MitigationController c{sim_, routing_, p};
+  c.observe(shortfall_result(1, 0, 2));
+  c.observe(clean_result(0, 0));
+  c.observe(clean_result(2, 0));
+  EXPECT_TRUE(c.events().empty());  // 3 of 4 leaves in
+  c.observe(clean_result(3, 0));
+  EXPECT_EQ(c.events().size(), 1u);
+}
+
+TEST_F(ControllerTest, TimelineMilestonesAreOrdered) {
+  MitigationPolicy p;
+  p.debounce_iterations = 2;
+  p.settle_iterations = 1;
+  MitigationController c = make(p);
+  EXPECT_FALSE(c.timeline().detected());
+  sim_.schedule_at(sim::Time::microseconds(10),
+                   [&] { c.observe(shortfall_result(1, 0, 2)); });
+  sim_.schedule_at(sim::Time::microseconds(20),
+                   [&] { c.observe(shortfall_result(1, 1, 2)); });
+  sim_.schedule_at(sim::Time::microseconds(30), [&] { c.observe(clean_result(1, 2)); });
+  sim_.schedule_at(sim::Time::microseconds(40), [&] { c.observe(clean_result(1, 3)); });
+  sim_.run();
+  const RecoveryTimeline& t = c.timeline();
+  ASSERT_TRUE(t.detected());
+  ASSERT_TRUE(t.mitigated());
+  ASSERT_TRUE(t.has_recovered());
+  EXPECT_EQ(t.first_alert_iteration, 0u);
+  EXPECT_EQ(t.first_quarantine_iteration, 1u);
+  EXPECT_EQ(t.first_alert, sim::Time::microseconds(10));
+  EXPECT_EQ(t.first_quarantine, sim::Time::microseconds(20));
+  // Iteration 2 is inside the settle window; recovery lands on iteration 3.
+  EXPECT_EQ(t.recovered, sim::Time::microseconds(40));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: the full loop on a live fabric
+// ---------------------------------------------------------------------------
+
+exp::ScenarioConfig mitigated_scenario(std::uint64_t seed = 1) {
+  exp::ScenarioConfig cfg;
+  cfg.fabric.shape = net::TopologyInfo{8, 4, 1, 1};
+  cfg.collective = collective::CollectiveKind::kRingReduceScatter;
+  cfg.collective_bytes = 8ull << 20;
+  cfg.iterations = 12;
+  cfg.seed = seed;
+  cfg.mitigation.enabled = true;
+  cfg.mitigation.debounce_iterations = 2;
+  cfg.mitigation.settle_iterations = 1;
+  cfg.mitigation.probation_iterations = 2;
+  return cfg;
+}
+
+TEST(MitigationE2E, QuarantinesBlackHoleAndRecovers) {
+  exp::ScenarioConfig cfg = mitigated_scenario();
+  exp::NewFault f;
+  f.leaf = 5;
+  f.uplink = 1;
+  f.where = exp::NewFault::Where::kDownlink;
+  f.spec = net::FaultSpec::black_hole(sim::Time::microseconds(150));  // mid-run
+  cfg.new_faults.push_back(f);
+  exp::Scenario s{cfg};
+  const exp::ScenarioResult r = s.run();
+  EXPECT_EQ(r.iterations_completed, 12u);
+
+  // (a) the controller quarantined the right link.
+  ASSERT_FALSE(r.mitigation_events.empty());
+  const MitigationEvent& q = r.mitigation_events.front();
+  EXPECT_EQ(q.kind, MitigationEvent::Kind::kQuarantine);
+  EXPECT_EQ(q.leaf, 5u);
+  EXPECT_EQ(q.uplink, 1u);
+  EXPECT_TRUE(s.fabric().routing().known_failed(5, 1));
+
+  // (b) with the re-baselined model, post-settle iterations return under
+  // the 1% threshold.
+  ASSERT_TRUE(r.recovery.mitigated());
+  const std::uint32_t judge_from =
+      r.recovery.first_quarantine_iteration + cfg.mitigation.settle_iterations + 1;
+  ASSERT_LT(judge_from, r.per_iter_max_dev.size());
+  for (std::uint32_t i = judge_from; i < r.per_iter_max_dev.size(); ++i) {
+    EXPECT_LT(r.per_iter_max_dev[i], 0.01) << "iteration " << i;
+  }
+
+  // Milestones exist and are ordered: detect ≤ mitigate < recover.
+  ASSERT_TRUE(r.recovery.detected());
+  ASSERT_TRUE(r.recovery.has_recovered());
+  EXPECT_LE(r.recovery.first_alert, r.recovery.first_quarantine);
+  EXPECT_LT(r.recovery.first_quarantine, r.recovery.recovered);
+  EXPECT_GE(r.recovery.first_alert, f.spec.start);
+
+  // The probation closed with a confirmation.
+  bool confirmed = false;
+  for (const MitigationEvent& e : r.mitigation_events) {
+    if (e.kind == MitigationEvent::Kind::kConfirm && e.leaf == 5 && e.uplink == 1) {
+      confirmed = true;
+    }
+  }
+  EXPECT_TRUE(confirmed);
+}
+
+TEST(MitigationE2E, FalsePositiveQuarantineIsRestored) {
+  // No fault at all, threshold far below the spray-quantization noise floor:
+  // the detector alerts every iteration, the controller quarantines — and
+  // probation must then catch that the quarantine cured nothing and restore
+  // the link. AlltoAll supplies the noise: per-(sender, port) quantization
+  // of a few packets (ring traffic splits exactly evenly and has none).
+  exp::ScenarioConfig cfg = mitigated_scenario();
+  cfg.collective = collective::CollectiveKind::kAllToAll;
+  cfg.collective_bytes = 24ull << 20;
+  cfg.iterations = 10;
+  cfg.flowpulse.threshold = 1e-6;
+  cfg.mitigation.max_strikes = 1;  // one misfire per link, then banned
+  exp::Scenario s{cfg};
+  const exp::ScenarioResult r = s.run();
+  EXPECT_EQ(r.iterations_completed, 10u);
+
+  ASSERT_FALSE(r.mitigation_events.empty());
+  bool restored_same_link = false;
+  for (const MitigationEvent& e : r.mitigation_events) {
+    if (e.kind != MitigationEvent::Kind::kRestore) continue;
+    EXPECT_STREQ(e.reason, "ineffective");
+    for (const MitigationEvent& q : r.mitigation_events) {
+      if (q.kind == MitigationEvent::Kind::kQuarantine && q.leaf == e.leaf &&
+          q.uplink == e.uplink && q.iteration < e.iteration) {
+        restored_same_link = true;
+      }
+    }
+  }
+  EXPECT_TRUE(restored_same_link);
+}
+
+TEST(MitigationE2E, FlappingLinkProbedAndRequarantined) {
+  // A link that black-holes for ~3 iterations out of every ~6: one-shot
+  // quarantine would be wrong in both directions; the controller must
+  // quarantine while it misbehaves and trial-restore when it heals.
+  exp::ScenarioConfig cfg = mitigated_scenario();
+  cfg.iterations = 18;
+  cfg.mitigation.restore_probe_after = 2;
+  exp::NewFault f;
+  f.leaf = 3;
+  f.uplink = 2;
+  f.where = exp::NewFault::Where::kDownlink;
+  f.spec = net::FaultSpec::black_hole(sim::Time::microseconds(150))
+               .with_flap(sim::Time::microseconds(720), sim::Time::microseconds(360));
+  cfg.new_faults.push_back(f);
+  exp::Scenario s{cfg};
+  const exp::ScenarioResult r = s.run();
+  EXPECT_EQ(r.iterations_completed, 18u);
+
+  std::uint32_t quarantines = 0, restores = 0;
+  for (const MitigationEvent& e : r.mitigation_events) {
+    if (e.kind == MitigationEvent::Kind::kQuarantine) {
+      EXPECT_EQ(e.leaf, 3u);
+      EXPECT_EQ(e.uplink, 2u);
+      ++quarantines;
+    }
+    if (e.kind == MitigationEvent::Kind::kRestore) ++restores;
+  }
+  EXPECT_GE(quarantines, 1u);
+  EXPECT_GE(restores, 1u);  // at least the trial-restore probe fired
+  ASSERT_TRUE(r.recovery.detected());
+  ASSERT_TRUE(r.recovery.mitigated());
+}
+
+TEST(MitigationE2E, ParallelTrialsBitIdenticalWithMitigation) {
+  // The controller mutates RoutingState mid-run; that must stay inside the
+  // trial's own Simulator so parallel sweeps remain bit-identical.
+  exp::ScenarioConfig cfg = mitigated_scenario(7);
+  cfg.iterations = 8;
+  exp::NewFault f;
+  f.leaf = 2;
+  f.uplink = 0;
+  f.where = exp::NewFault::Where::kDownlink;
+  f.spec = net::FaultSpec::black_hole(sim::Time::microseconds(150));
+  cfg.new_faults.push_back(f);
+  const auto serial = exp::run_trials_parallel(cfg, 4, 0, 1);
+  const auto parallel = exp::run_trials_parallel(cfg, 4, 0, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t t = 0; t < serial.size(); ++t) {
+    ASSERT_EQ(serial[t].dev.size(), parallel[t].dev.size());
+    for (std::size_t i = 0; i < serial[t].dev.size(); ++i) {
+      EXPECT_DOUBLE_EQ(serial[t].dev[i], parallel[t].dev[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flowpulse::ctrl

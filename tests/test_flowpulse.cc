@@ -221,7 +221,7 @@ IterationRecord record_with(std::uint32_t uplinks, std::uint32_t leaves,
 }
 
 TEST(Detector, NoAlertWithinThreshold) {
-  PortLoadMap pred{1, 2};
+  PortLoadMap pred{2, 2};
   pred.add(0, 0, 1, 1000.0);
   pred.add(0, 1, 1, 1000.0);
   Detector det{pred, 0.01};
@@ -231,7 +231,7 @@ TEST(Detector, NoAlertWithinThreshold) {
 }
 
 TEST(Detector, AlertBeyondThreshold) {
-  PortLoadMap pred{1, 2};
+  PortLoadMap pred{2, 2};
   pred.add(0, 0, 1, 1000.0);
   pred.add(0, 1, 1, 1000.0);
   Detector det{pred, 0.01};
@@ -250,7 +250,7 @@ TEST(Detector, SurplusTrafficAlsoAlerts) {
 }
 
 TEST(Detector, TrafficOnSilentPortIsInfinitelyDeviant) {
-  PortLoadMap pred{1, 2};
+  PortLoadMap pred{2, 2};
   pred.add(0, 1, 1, 1000.0);  // port 0 predicted silent
   Detector det{pred, 0.01};
   const DetectionResult res = det.evaluate(record_with(2, 2, {50.0, 1000.0}));

@@ -196,6 +196,42 @@ TEST(FaultModel, GilbertElliottLongRunLossMatches) {
   EXPECT_NEAR(static_cast<double>(drops) / n, 0.05, 0.01);
 }
 
+TEST(FaultModel, GilbertElliottPartialLossMatchesStationaryProduct) {
+  // 20% of packets in the bad state at 50% loss → long-run loss ≈ 10%.
+  sim::Rng rng{11};
+  FaultModel m;
+  m.set_spec(FaultSpec::gilbert_elliott(0.2, 15.0, 0.5));
+  const int n = 200000;
+  int drops = 0;
+  for (int i = 0; i < n; ++i) {
+    if (m.should_drop(Time::zero(), rng)) ++drops;
+  }
+  EXPECT_NEAR(static_cast<double>(drops) / n, 0.2 * 0.5, 0.01);
+}
+
+TEST(FaultModel, GilbertElliottMeanBurstLengthMatches) {
+  // The bad-state sojourn is geometric with mean 1/P(bad→good); measure it
+  // from the chain itself (in_bad_state) so loss sampling can't blur it.
+  sim::Rng rng{13};
+  FaultModel m;
+  m.set_spec(FaultSpec::gilbert_elliott(0.05, 20.0));
+  int bursts = 0;
+  std::int64_t bad_packets = 0;
+  bool prev_bad = false;
+  for (int i = 0; i < 400000; ++i) {
+    (void)m.should_drop(Time::zero(), rng);
+    const bool bad = m.in_bad_state();
+    if (bad) {
+      ++bad_packets;
+      if (!prev_bad) ++bursts;
+    }
+    prev_bad = bad;
+  }
+  ASSERT_GT(bursts, 100);  // enough bursts for a stable mean
+  const double mean_burst = static_cast<double>(bad_packets) / bursts;
+  EXPECT_NEAR(mean_burst, 20.0, 2.0);
+}
+
 TEST(FaultModel, GilbertElliottLossesAreBursty) {
   // Compare run-length statistics against an independent-drop link with the
   // same average rate: bursts make consecutive drops far more likely.
@@ -217,6 +253,53 @@ TEST(FaultModel, GilbertElliottLossesAreBursty) {
   const int ge_pairs = consecutive_pairs(ge);
   const int iid_pairs = consecutive_pairs(iid);
   EXPECT_GT(ge_pairs, iid_pairs * 5);
+}
+
+TEST(FaultSpec, FlapWindowsGateActivity) {
+  // Active the first 200 µs of every 1 ms, starting at 10 µs.
+  const FaultSpec f = FaultSpec::black_hole(Time::microseconds(10))
+                          .with_flap(Time::milliseconds(1), Time::microseconds(200));
+  EXPECT_FALSE(f.active_at(Time::microseconds(9)));
+  EXPECT_TRUE(f.active_at(Time::microseconds(10)));
+  EXPECT_TRUE(f.active_at(Time::microseconds(209)));
+  EXPECT_FALSE(f.active_at(Time::microseconds(210)));
+  EXPECT_FALSE(f.active_at(Time::microseconds(1009)));
+  EXPECT_TRUE(f.active_at(Time::microseconds(1010)));  // second burst
+  EXPECT_FALSE(f.active_at(Time::microseconds(1210)));
+}
+
+TEST(FaultSpec, ActiveDuringSeesBurstsInsideWindow) {
+  const FaultSpec f = FaultSpec::black_hole()
+                          .with_flap(Time::milliseconds(1), Time::microseconds(200));
+  // Fully inside an idle stretch.
+  EXPECT_FALSE(f.active_during(Time::microseconds(300), Time::microseconds(900)));
+  // Overlaps the start of the second burst.
+  EXPECT_TRUE(f.active_during(Time::microseconds(300), Time::microseconds(1100)));
+  // Opens inside a burst.
+  EXPECT_TRUE(f.active_during(Time::microseconds(100), Time::microseconds(150)));
+  // Clipped by the fault's own [start, end) bounds.
+  const FaultSpec g = FaultSpec::black_hole(Time::microseconds(10), Time::microseconds(20))
+                          .with_flap(Time::milliseconds(1), Time::microseconds(200));
+  EXPECT_FALSE(g.active_during(Time::microseconds(30), Time::microseconds(500)));
+  EXPECT_TRUE(g.active_during(Time::zero(), Time::microseconds(15)));
+}
+
+TEST_F(EgressPortTest, FlappingFaultDropsOnlyDuringBursts) {
+  // Black hole active the first 1 µs of every 3 µs: a packet sent inside a
+  // burst dies, packets in the idle stretches and later bursts behave the
+  // same way.
+  port_.set_fault(FaultSpec::black_hole().with_flap(Time::microseconds(3),
+                                                    Time::microseconds(1)));
+  port_.enqueue(make_packet(4096));  // t≈0: inside burst 1 → dropped
+  sim_.schedule_at(Time::microseconds(2),
+                   [this] { port_.enqueue(make_packet(4096)); });  // idle → delivered
+  sim_.schedule_at(Time::microseconds(3),
+                   [this] { port_.enqueue(make_packet(4096)); });  // burst 2 → dropped
+  sim_.schedule_at(Time::microseconds(5),
+                   [this] { port_.enqueue(make_packet(4096)); });  // idle → delivered
+  sim_.run();
+  EXPECT_EQ(sink_.packets.size(), 2u);
+  EXPECT_EQ(port_.counters().dropped_packets, 2u);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,8 +1,10 @@
 // Export/reporting: JSON and CSV serialization of run results and alerts.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include "exp/report.h"
 #include "exp/scenario.h"
@@ -86,6 +88,75 @@ TEST(Report, DeviationsCsv) {
             "iteration,max_rel_dev,fault_active\n"
             "0,0.001,0\n"
             "1,0.034,1\n");
+}
+
+std::vector<ctrl::MitigationEvent> sample_events() {
+  ctrl::MitigationEvent q;
+  q.kind = ctrl::MitigationEvent::Kind::kQuarantine;
+  q.time = sim::Time::microseconds(340);
+  q.iteration = 2;
+  q.leaf = 5;
+  q.uplink = 1;
+  q.reason = "debounce";
+  ctrl::MitigationEvent c;
+  c.kind = ctrl::MitigationEvent::Kind::kConfirm;
+  c.time = sim::Time::microseconds(700);
+  c.iteration = 5;
+  c.leaf = 5;
+  c.uplink = 1;
+  c.reason = "quarantine";
+  return {q, c};
+}
+
+TEST(Report, MitigationJsonListsEventsAndTimeline) {
+  ctrl::RecoveryTimeline t;
+  t.first_alert = sim::Time::microseconds(220);
+  t.first_alert_iteration = 1;
+  t.first_quarantine = sim::Time::microseconds(340);
+  t.first_quarantine_iteration = 2;
+  // `recovered` left at the never-happened sentinel → null.
+  const std::string json = mitigation_to_json(sample_events(), t);
+  expect_balanced(json);
+  EXPECT_NE(json.find("\"first_alert_us\":220"), std::string::npos);
+  EXPECT_NE(json.find("\"first_quarantine_us\":340"), std::string::npos);
+  EXPECT_NE(json.find("\"recovered_us\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"quarantine\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"confirm\""), std::string::npos);
+  EXPECT_NE(json.find("\"reason\":\"debounce\""), std::string::npos);
+  EXPECT_NE(json.find("\"leaf\":5"), std::string::npos);
+}
+
+TEST(Report, RunJsonEmbedsMitigation) {
+  ScenarioResult r = sample_result();
+  r.mitigation_events = sample_events();
+  r.recovery.first_quarantine = sim::Time::microseconds(340);
+  const std::string json = to_json(r);
+  expect_balanced(json);
+  EXPECT_NE(json.find("\"mitigation\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"quarantine\""), std::string::npos);
+  // Disabled mitigation still yields a well-formed (empty) section.
+  const std::string empty = to_json(sample_result());
+  expect_balanced(empty);
+  EXPECT_NE(empty.find("\"events\":[]"), std::string::npos);
+  EXPECT_NE(empty.find("\"first_alert_us\":null"), std::string::npos);
+}
+
+TEST(Report, MitigationTableRowsMatchEvents) {
+  std::ostringstream os;
+  mitigation_table(sample_events()).print(os);
+  const std::string table = os.str();
+  EXPECT_NE(table.find("quarantine"), std::string::npos);
+  EXPECT_NE(table.find("confirm"), std::string::npos);
+  EXPECT_NE(table.find("leaf 5 / uplink 1"), std::string::npos);
+  EXPECT_NE(table.find("debounce"), std::string::npos);
+  // Header + separator + one line per event.
+  EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 4);
+}
+
+TEST(Report, EventKindNames) {
+  EXPECT_STREQ(event_kind_name(ctrl::MitigationEvent::Kind::kQuarantine), "quarantine");
+  EXPECT_STREQ(event_kind_name(ctrl::MitigationEvent::Kind::kRestore), "restore");
+  EXPECT_STREQ(event_kind_name(ctrl::MitigationEvent::Kind::kConfirm), "confirm");
 }
 
 TEST(Report, VerdictNames) {
