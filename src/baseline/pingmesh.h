@@ -1,7 +1,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "net/fat_tree.h"
@@ -65,7 +65,9 @@ class PingmeshProber {
   sim::Time horizon_ = sim::Time::zero();
 
   std::uint64_t next_probe_id_ = 1;
-  std::unordered_map<std::uint64_t, bool> outstanding_;  // id → received
+  // Ordered container: probe bookkeeping is simulation state (loss counts
+  // feed detection-latency results), so iteration order must be stable.
+  std::map<std::uint64_t, bool> outstanding_;  // id → received
   std::uint64_t probes_sent_ = 0;
   std::uint64_t probes_lost_ = 0;
   sim::Time first_loss_ = sim::Time::max();

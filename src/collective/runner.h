@@ -108,6 +108,9 @@ class CollectiveRunner {
   std::vector<std::uint32_t> stages_clear_;  // rank → # leading stages fully received
   std::vector<std::uint32_t> next_stage_;    // rank → next stage to launch
   std::uint64_t total_recv_remaining_ = 0;
+  // detlint: ok(unordered): keyed emplace/find/erase only, never iterated
+  // (enforced by detlint's iteration rule); progress is driven by message
+  // arrival order, so hash order cannot reach results. Hot per-message path.
   std::unordered_map<std::uint64_t, PendingMsg> pending_;
 
   // Data validation (one double per chunk is algebraically equivalent to a

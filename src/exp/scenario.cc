@@ -206,11 +206,14 @@ bool Scenario::fault_active_during(sim::Time start, sim::Time end) const {
 }
 
 ScenarioResult Scenario::run() {
+  // detlint: ok(wall-clock): wall_seconds is throughput reporting only; it
+  // never feeds simulation state or results, and steady_clock is monotonic.
   const auto wall_start = std::chrono::steady_clock::now();
   runner_->start();
   if (background_runner_) background_runner_->start();
   sim_->run_until(config_.horizon);
   flowpulse_->flush();
+  // detlint: ok(wall-clock): end stamp of the reporting-only wall duration.
   const auto wall_end = std::chrono::steady_clock::now();
 
   ScenarioResult r;

@@ -1,7 +1,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "collective/runner.h"
@@ -58,7 +58,9 @@ class DynamicDemandTracker {
   net::TopologyInfo info_;
   const net::RoutingState& routing_;
   AnalyticalModel model_;
-  std::unordered_map<std::uint32_t, PortLoadMap> predictions_;
+  // Ordered container: iteration-keyed simulation state stays deterministic
+  // even if a future consumer iterates it (detlint bans unordered here).
+  std::map<std::uint32_t, PortLoadMap> predictions_;
 };
 
 }  // namespace flowpulse::fp

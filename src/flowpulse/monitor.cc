@@ -32,6 +32,9 @@ void PortMonitor::record(net::UplinkIndex port, const net::Packet& p) {
   accum_.bytes[port] += p.size_bytes;
   accum_.by_src[port][p.src / hosts_per_leaf_] += p.size_bytes;
   accum_.packets += 1;
+#if FP_AUDIT_ENABLED
+  audit_bytes_[port] += p.size_bytes;
+#endif
 }
 
 void PortMonitor::finalize() {

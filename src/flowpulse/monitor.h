@@ -9,6 +9,7 @@
 #include "net/switch.h"
 #include "net/topology_info.h"
 #include "net/types.h"
+#include "sim/audit.h"
 
 namespace flowpulse::fp {
 
@@ -47,7 +48,11 @@ class PortMonitor {
   /// src_host / hosts_per_leaf over `leaves` leaves.
   PortMonitor(std::uint32_t id, std::uint32_t ports, std::uint32_t leaves,
               std::uint32_t hosts_per_leaf, std::uint16_t job = 0)
-      : id_{id}, ports_{ports}, leaves_{leaves}, hosts_per_leaf_{hosts_per_leaf}, job_{job} {}
+      : id_{id}, ports_{ports}, leaves_{leaves}, hosts_per_leaf_{hosts_per_leaf}, job_{job} {
+#if FP_AUDIT_ENABLED
+    audit_bytes_.assign(ports_, 0);
+#endif
+  }
 
   /// Install this monitor on a leaf switch's spine-ingress tap.
   void attach(net::LeafSwitch& sw) {
@@ -67,6 +72,15 @@ class PortMonitor {
   [[nodiscard]] net::LeafId leaf() const { return id_; }
   [[nodiscard]] bool accumulating() const { return current_.has_value(); }
 
+#if FP_AUDIT_ENABLED
+  /// Exact wire bytes this monitor counted on `port` across the whole run
+  /// (all iterations plus the one still accumulating) — the monitor-side
+  /// ledger for monitor-vs-switch reconciliation.
+  [[nodiscard]] std::uint64_t audit_bytes(std::uint32_t port) const {
+    return audit_bytes_[port];
+  }
+#endif
+
  private:
   void begin_iteration(std::uint32_t iteration);
   void finalize();
@@ -80,6 +94,9 @@ class PortMonitor {
   IterationRecord accum_;
   std::vector<IterationRecord> history_;
   FinalizeHook finalize_hook_;
+#if FP_AUDIT_ENABLED
+  std::vector<std::uint64_t> audit_bytes_;
+#endif
 };
 
 }  // namespace flowpulse::fp

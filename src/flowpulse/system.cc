@@ -48,6 +48,23 @@ void FlowPulseSystem::on_finalized(const IterationRecord& record) {
 
 void FlowPulseSystem::flush() {
   for (auto& m : monitors_) m->flush();
+#if FP_AUDIT_ENABLED
+  // Monitor-vs-switch reconciliation: each monitor's per-port byte ledger
+  // must equal the delivering downlink's independent count of tagged
+  // collective data bytes for this job — every monitored packet was really
+  // delivered, and every delivered tagged packet was monitored.
+  const net::TopologyInfo& info = fabric_.info();
+  for (net::LeafId l = 0; l < info.leaves; ++l) {
+    for (net::UplinkIndex u = 0; u < info.uplinks_per_leaf(); ++u) {
+      const std::uint64_t monitored = monitors_[l]->audit_bytes(u);
+      const std::uint64_t delivered = fabric_.audit_downlink_tagged_bytes(l, u, config_.job);
+      FP_AUDIT(monitored == delivered, "monitor-reconciliation",
+               "leaf" + std::to_string(l) + ".up" + std::to_string(u), config_.job, 0,
+               "monitor counted " + std::to_string(monitored) +
+                   " tagged bytes but the switch delivered " + std::to_string(delivered));
+    }
+  }
+#endif
 }
 
 std::vector<double> FlowPulseSystem::per_iteration_max_dev() const {

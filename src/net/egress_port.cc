@@ -6,7 +6,11 @@
 namespace flowpulse::net {
 
 EgressPort::EgressPort(sim::Simulator& simulator, LinkParams params, std::string name)
-    : sim_{simulator}, params_{params}, name_{std::move(name)} {}
+    : sim_{simulator}, params_{params}, name_{std::move(name)} {
+#if FP_AUDIT_ENABLED
+  sim_.audit_register_quiesce([this] { audit_verify_quiescent(); });
+#endif
+}
 
 void EgressPort::connect(Device* peer, PortIndex peer_port) {
   peer_ = peer;
@@ -20,6 +24,9 @@ std::size_t EgressPort::queued_packets() const {
 }
 
 void EgressPort::enqueue(Packet p) {
+#if FP_AUDIT_ENABLED
+  audit_enqueued_bytes_ += p.size_bytes;
+#endif
   const int pi = priority_index(p.priority);
   queued_bytes_[pi] += p.size_bytes;
   queued_bytes_total_ += p.size_bytes;
@@ -88,7 +95,48 @@ void EgressPort::deliver_front() {
   assert(!on_wire_.empty());
   const Packet pkt = on_wire_.front();
   on_wire_.pop_front();
+#if FP_AUDIT_ENABLED
+  audit_delivered_bytes_ += pkt.size_bytes;
+  audit_delivered_packets_ += 1;
+  // Mirror the PortMonitor's selection filter (kind + collective sentinel)
+  // so monitor-vs-switch reconciliation compares like with like.
+  if (pkt.kind == PacketKind::kData && flowid::is_collective(pkt.flow_id)) {
+    audit_tagged_bytes_by_job_[flowid::job_of(pkt.flow_id)] += pkt.size_bytes;
+  }
+#endif
   peer_->receive(pkt, peer_port_);
 }
+
+#if FP_AUDIT_ENABLED
+void EgressPort::audit_verify_quiescent() const {
+  FP_AUDIT(!transmitting_ && on_wire_.empty(), "link-conservation", name_,
+           counters_.tx_packets, sim_.now().ps(),
+           "packets stranded mid-link at quiesce: transmitting=" +
+               std::to_string(transmitting_) + " on_wire=" + std::to_string(on_wire_.size()));
+  std::uint64_t queued = 0;
+  for (const auto& q : queues_) {
+    for (const Packet& p : q) queued += p.size_bytes;
+  }
+  FP_AUDIT(queued == queued_bytes_total_, "link-conservation", name_, counters_.tx_packets,
+           sim_.now().ps(),
+           "queue ledger mismatch: recount=" + std::to_string(queued) +
+               " ledger=" + std::to_string(queued_bytes_total_));
+  FP_AUDIT(audit_enqueued_bytes_ == queued_bytes_total_ + counters_.tx_bytes,
+           "link-conservation", name_, counters_.tx_packets, sim_.now().ps(),
+           "enqueued=" + std::to_string(audit_enqueued_bytes_) + " != queued=" +
+               std::to_string(queued_bytes_total_) + " + serialized=" +
+               std::to_string(counters_.tx_bytes));
+  FP_AUDIT(counters_.tx_bytes == counters_.dropped_bytes + audit_delivered_bytes_,
+           "link-conservation", name_, counters_.tx_packets, sim_.now().ps(),
+           "serialized=" + std::to_string(counters_.tx_bytes) + " != dropped=" +
+               std::to_string(counters_.dropped_bytes) + " + delivered=" +
+               std::to_string(audit_delivered_bytes_));
+  FP_AUDIT(counters_.tx_packets == counters_.dropped_packets + audit_delivered_packets_,
+           "link-conservation", name_, counters_.tx_packets, sim_.now().ps(),
+           "serialized pkts=" + std::to_string(counters_.tx_packets) + " != dropped=" +
+               std::to_string(counters_.dropped_packets) + " + delivered=" +
+               std::to_string(audit_delivered_packets_));
+}
+#endif
 
 }  // namespace flowpulse::net

@@ -11,9 +11,14 @@
 #include "net/fault.h"
 #include "net/packet.h"
 #include "net/types.h"
+#include "sim/audit.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
+
+#if FP_AUDIT_ENABLED
+#include <map>
+#endif
 
 namespace flowpulse::net {
 
@@ -94,6 +99,26 @@ class EgressPort {
   [[nodiscard]] const LinkParams& params() const { return params_; }
   [[nodiscard]] const std::string& name() const { return name_; }
 
+#if FP_AUDIT_ENABLED
+  /// Byte-conservation invariant, checked automatically at quiesce:
+  /// enqueued == queued + serialized, serialized == dropped + delivered,
+  /// nothing in flight. Public so tests can force a check mid-run.
+  void audit_verify_quiescent() const;
+  /// Wire bytes of tagged collective data packets delivered to the peer,
+  /// per job — the independent switch-side count the FlowPulse monitors
+  /// are reconciled against.
+  [[nodiscard]] std::uint64_t audit_tagged_bytes(std::uint16_t job) const {
+    const auto it = audit_tagged_bytes_by_job_.find(job);
+    return it == audit_tagged_bytes_by_job_.end() ? 0 : it->second;
+  }
+  /// Test-only: corrupt the delivered-byte ledger so the negative-invariant
+  /// tests can prove the conservation check fires.
+  void audit_tamper_delivered_bytes(std::int64_t delta) {
+    audit_delivered_bytes_ = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(audit_delivered_bytes_) + delta);
+  }
+#endif
+
  private:
   void try_start();
   void finish_transmission();
@@ -121,6 +146,13 @@ class EgressPort {
   LinkCounters counters_{};
   TxHook tx_hook_;
   DepartHook depart_hook_;
+
+#if FP_AUDIT_ENABLED
+  std::uint64_t audit_enqueued_bytes_ = 0;
+  std::uint64_t audit_delivered_bytes_ = 0;
+  std::uint64_t audit_delivered_packets_ = 0;
+  std::map<std::uint16_t, std::uint64_t> audit_tagged_bytes_by_job_;
+#endif
 };
 
 }  // namespace flowpulse::net

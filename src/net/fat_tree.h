@@ -75,6 +75,15 @@ class FatTree {
   /// Sum of tx/dropped over every link in the fabric (conservation tests).
   [[nodiscard]] LinkCounters total_fabric_counters() const;
 
+#if FP_AUDIT_ENABLED
+  /// Tagged collective data bytes `job` delivered on the spine→leaf
+  /// direction of uplink u at `leaf` (monitor-vs-switch reconciliation).
+  [[nodiscard]] std::uint64_t audit_downlink_tagged_bytes(LeafId leaf, UplinkIndex u,
+                                                          std::uint16_t job) {
+    return downlink(leaf, u).audit_tagged_bytes(job);
+  }
+#endif
+
  private:
   [[nodiscard]] EgressPort& downlink(LeafId leaf, UplinkIndex u);
 

@@ -33,7 +33,12 @@ Switch::Switch(sim::Simulator& simulator, std::string name, std::uint32_t num_po
       pfc_{pfc},
       ingress_bytes_(num_ports),
       upstream_paused_(num_ports),
-      upstream_(num_ports, nullptr) {}
+      upstream_(num_ports, nullptr) {
+#if FP_AUDIT_ENABLED
+  audit_pause_epoch_.resize(num_ports);
+  sim_.audit_register_quiesce([this] { audit_verify_ingress_drained(); });
+#endif
+}
 
 void Switch::set_upstream(PortIndex in_port, EgressPort* upstream) {
   assert(in_port < upstream_.size());
@@ -49,6 +54,19 @@ void Switch::pfc_on_arrival(const Packet& p, PortIndex in_port) {
   if (bytes > pfc_.xoff_bytes && !upstream_paused_[in_port][pi]) {
     upstream_paused_[in_port][pi] = true;
     send_pause(in_port, p.priority, true);
+#if FP_AUDIT_ENABLED
+    // Deadlock watchdog: if this pause is still continuously asserted when
+    // the watchdog fires, the ingress class never drained below XON.
+    const std::uint64_t epoch = ++audit_pause_epoch_[in_port][pi];
+    sim_.schedule_in(kPfcStuckPauseTimeout, [this, in_port, pi, epoch] {
+      FP_AUDIT(!(upstream_paused_[in_port][pi] && audit_pause_epoch_[in_port][pi] == epoch),
+               "pfc-stuck-pause", name_ + ".in" + std::to_string(in_port), pi,
+               sim_.now().ps(),
+               "PAUSE held continuously for " +
+                   std::to_string(kPfcStuckPauseTimeout.us()) + "us; ingress class holds " +
+                   std::to_string(ingress_bytes_[in_port][pi]) + " bytes");
+    });
+#endif
   }
 }
 
@@ -61,9 +79,28 @@ void Switch::pfc_on_depart(const Packet& p) {
   bytes -= p.size_bytes;
   if (bytes <= pfc_.xon_bytes && upstream_paused_[p.pfc_ingress][pi]) {
     upstream_paused_[p.pfc_ingress][pi] = false;
+#if FP_AUDIT_ENABLED
+    ++audit_pause_epoch_[p.pfc_ingress][pi];  // resume: disarm the watchdog
+#endif
     send_pause(p.pfc_ingress, p.priority, false);
   }
 }
+
+#if FP_AUDIT_ENABLED
+void Switch::audit_verify_ingress_drained() const {
+  // At quiesce every arrived packet has departed its egress queue, so the
+  // shared-buffer ledger must read zero on every (port, class) — leftover
+  // bytes mean a lost or double-counted departure.
+  for (std::size_t port = 0; port < ingress_bytes_.size(); ++port) {
+    for (int pi = 0; pi < kNumPriorities; ++pi) {
+      FP_AUDIT(ingress_bytes_[port][pi] == 0, "pfc-buffer-accounting",
+               name_ + ".in" + std::to_string(port), pi, sim_.now().ps(),
+               std::to_string(ingress_bytes_[port][pi]) +
+                   " bytes still accounted in the ingress buffer at quiesce");
+    }
+  }
+}
+#endif
 
 void Switch::send_pause(PortIndex in_port, Priority prio, bool pause) {
   EgressPort* up = upstream_[in_port];

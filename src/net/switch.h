@@ -25,6 +25,14 @@ struct PfcConfig {
   std::uint64_t xon_bytes = 96 * 1024;    ///< resume upstream below this
 };
 
+#if FP_AUDIT_ENABLED
+/// Audit watchdog: a PAUSE asserted continuously toward the same upstream
+/// for longer than this is treated as a PFC deadlock. Legitimate pauses
+/// resolve in microseconds (draining one xoff worth of bytes at fabric
+/// rate); 50 ms of continuous back-pressure means the buffer never drained.
+constexpr sim::Time kPfcStuckPauseTimeout = sim::Time::milliseconds(50);
+#endif
+
 /// Common switch machinery: ingress-buffer accounting and PFC pause/resume
 /// toward upstream egress ports. A packet occupies its ingress-port counter
 /// from arrival until it starts serialization on this switch's egress port
@@ -63,6 +71,14 @@ class Switch : public Device {
   std::vector<std::array<std::uint64_t, kNumPriorities>> ingress_bytes_;
   std::vector<std::array<bool, kNumPriorities>> upstream_paused_;
   std::vector<EgressPort*> upstream_;
+
+#if FP_AUDIT_ENABLED
+  void audit_verify_ingress_drained() const;
+  /// Bumped on every pause *and* resume; a watchdog event compares its
+  /// captured epoch so only a pause held continuously past the timeout
+  /// trips it.
+  std::vector<std::array<std::uint64_t, kNumPriorities>> audit_pause_epoch_;
+#endif
 };
 
 /// Leaf (top-of-rack) switch. Ports [0, hosts_per_leaf) face hosts; port

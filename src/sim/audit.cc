@@ -1,0 +1,37 @@
+#include "sim/audit.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace flowpulse::sim::audit {
+namespace {
+
+// Written only by ScopedHandler on the test thread while no simulation
+// runs; read on the failure path. A plain pointer keeps the passing path
+// free of synchronization (parallel trial workers never touch it unless a
+// violation fires, which is already a dead run).
+Handler g_handler = nullptr;
+
+}  // namespace
+
+void fail(Violation v) {
+  if (g_handler != nullptr) {
+    g_handler(v);
+    // A test handler that returns instead of throwing is a test bug; fall
+    // through to the fatal path rather than resuming a broken simulation.
+  }
+  std::fprintf(stderr,
+               "[flowpulse-audit] invariant=%s entity=%s iteration=%llu t=%lldps detail=%s\n",
+               v.invariant.c_str(), v.entity.c_str(),
+               static_cast<unsigned long long>(v.iteration),
+               static_cast<long long>(v.sim_time_ps), v.detail.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+ScopedHandler::ScopedHandler(Handler handler) : previous_{g_handler} { g_handler = handler; }
+
+ScopedHandler::~ScopedHandler() { g_handler = previous_; }
+
+}  // namespace flowpulse::sim::audit

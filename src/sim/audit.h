@@ -1,0 +1,92 @@
+#pragma once
+
+// Runtime invariant auditor (compile-time gated).
+//
+// Configure with -DFLOWPULSE_AUDIT=ON (the `audit` leg of
+// tests/run_sanitized.sh) to compile conservation / monotonicity /
+// exactly-once / PFC-liveness checks into every runtime layer. In the
+// default build the FP_AUDIT macro expands to nothing, so the hot path
+// carries zero cost and no audit state.
+//
+// A failing check produces a structured diagnostic naming the invariant,
+// the entity (port / switch / transport / monitor) and the iteration or
+// event index it was caught at, then aborts. Tests install a scoped
+// handler that throws audit::ViolationError instead, which is how the
+// negative-invariant tests in tests/test_audit.cc assert that each check
+// actually fires (and with the right diagnostic).
+
+#include <cstdint>
+#include <string>
+
+#if defined(FLOWPULSE_AUDIT) && FLOWPULSE_AUDIT
+#define FP_AUDIT_ENABLED 1
+#else
+#define FP_AUDIT_ENABLED 0
+#endif
+
+namespace flowpulse::sim::audit {
+
+/// One failed invariant, fully described.
+struct Violation {
+  std::string invariant;  ///< stable id, e.g. "link-conservation"
+  std::string entity;     ///< which simulated object, e.g. "leaf3.up1"
+  std::uint64_t iteration = 0;  ///< collective iteration / event index / msg id
+  std::int64_t sim_time_ps = 0;
+  std::string detail;     ///< the numbers that disagreed
+};
+
+/// Thrown by the scoped test handler so negative tests can catch and
+/// inspect the diagnostic instead of dying.
+class ViolationError : public std::exception {
+ public:
+  explicit ViolationError(Violation v) : v_{std::move(v)} {
+    what_ = "[flowpulse-audit] invariant=" + v_.invariant + " entity=" + v_.entity;
+  }
+  [[nodiscard]] const char* what() const noexcept override { return what_.c_str(); }
+  [[nodiscard]] const Violation& violation() const { return v_; }
+
+ private:
+  Violation v_;
+  std::string what_;
+};
+
+/// Report a violation: runs the installed handler (tests), else prints the
+/// structured diagnostic to stderr and aborts. Never returns normally —
+/// either the handler throws or the process dies; continuing past a broken
+/// invariant would report garbage results.
+[[noreturn]] void fail(Violation v);
+
+using Handler = void (*)(const Violation&);
+
+/// RAII test hook: while alive, fail() calls `handler` (which must throw)
+/// instead of aborting. Install/remove only while no simulation is running
+/// on another thread.
+class ScopedHandler {
+ public:
+  explicit ScopedHandler(Handler handler);
+  ~ScopedHandler();
+  ScopedHandler(const ScopedHandler&) = delete;
+  ScopedHandler& operator=(const ScopedHandler&) = delete;
+
+ private:
+  Handler previous_;
+};
+
+}  // namespace flowpulse::sim::audit
+
+// FP_AUDIT(cond, invariant, entity, iteration, sim_time_ps, detail)
+//
+// `detail` is only evaluated when the condition fails, so building the
+// diagnostic string costs nothing on the passing path.
+#if FP_AUDIT_ENABLED
+#define FP_AUDIT(cond, invariant_, entity_, iteration_, sim_time_ps_, detail_)               \
+  do {                                                                                       \
+    if (!(cond)) {                                                                           \
+      ::flowpulse::sim::audit::fail(::flowpulse::sim::audit::Violation{                      \
+          (invariant_), (entity_), static_cast<std::uint64_t>(iteration_),                   \
+          static_cast<std::int64_t>(sim_time_ps_), (detail_)});                              \
+    }                                                                                        \
+  } while (0)
+#else
+#define FP_AUDIT(cond, invariant_, entity_, iteration_, sim_time_ps_, detail_) ((void)0)
+#endif

@@ -8,11 +8,25 @@ void Simulator::run_until(Time deadline) {
   stopped_ = false;
   while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
     EventQueue::Event ev = queue_.pop();
+    FP_AUDIT(ev.at >= now_, "event-monotonicity", "simulator", events_executed_, now_.ps(),
+             "popped event at " + std::to_string(ev.at.ps()) + "ps behind clock");
     now_ = ev.at;
     ++events_executed_;
     ev.fn();
   }
   if (!stopped_ && deadline != Time::max() && now_ < deadline) now_ = deadline;
+#if FP_AUDIT_ENABLED
+  // Quiesce = the queue drained on its own. A stop() or a deadline exit
+  // leaves work in flight, where conservation legitimately has bytes on
+  // the wire.
+  if (!stopped_ && queue_.empty()) audit_on_quiesce();
+#endif
 }
+
+#if FP_AUDIT_ENABLED
+void Simulator::audit_on_quiesce() {
+  for (const std::function<void()>& check : audit_quiesce_checks_) check();
+}
+#endif
 
 }  // namespace flowpulse::sim

@@ -2,9 +2,15 @@
 
 #include <cstdint>
 
+#include "sim/audit.h"
 #include "sim/event_queue.h"
 #include "sim/rng.h"
 #include "sim/time.h"
+
+#if FP_AUDIT_ENABLED
+#include <functional>
+#include <vector>
+#endif
 
 namespace flowpulse::sim {
 
@@ -24,10 +30,18 @@ class Simulator {
   [[nodiscard]] Rng& rng() { return rng_; }
 
   /// Schedule `fn` to run `delay` after the current time.
-  void schedule_in(Time delay, EventFn fn) { queue_.schedule(now_ + delay, std::move(fn)); }
+  void schedule_in(Time delay, EventFn fn) {
+    FP_AUDIT(delay >= Time::zero(), "event-monotonicity", "simulator", events_executed_,
+             now_.ps(), "negative delay " + std::to_string(delay.ps()) + "ps");
+    queue_.schedule(now_ + delay, std::move(fn));
+  }
 
   /// Schedule `fn` at absolute time `at` (must be >= now()).
-  void schedule_at(Time at, EventFn fn) { queue_.schedule(at, std::move(fn)); }
+  void schedule_at(Time at, EventFn fn) {
+    FP_AUDIT(at >= now_, "event-monotonicity", "simulator", events_executed_, now_.ps(),
+             "schedule_at " + std::to_string(at.ps()) + "ps is before now");
+    queue_.schedule(at, std::move(fn));
+  }
 
   /// Pre-size the event heap for an expected number of simultaneously
   /// pending events (see EventQueue::reserve).
@@ -48,7 +62,20 @@ class Simulator {
   [[nodiscard]] std::uint64_t events_scheduled() const { return queue_.scheduled_total(); }
   [[nodiscard]] std::size_t events_pending() const { return queue_.size(); }
 
+#if FP_AUDIT_ENABLED
+  /// Register an invariant checked whenever the simulation quiesces (the
+  /// event queue drains without stop()). Components register at wiring time
+  /// and must outlive every subsequent run of this simulator.
+  void audit_register_quiesce(std::function<void()> check) {
+    audit_quiesce_checks_.push_back(std::move(check));
+  }
+#endif
+
  private:
+#if FP_AUDIT_ENABLED
+  void audit_on_quiesce();
+  std::vector<std::function<void()>> audit_quiesce_checks_;
+#endif
   EventQueue queue_;
   Time now_ = Time::zero();
   Rng rng_;

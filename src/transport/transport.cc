@@ -46,6 +46,10 @@ void Transport::pump(SendState& st) {
     ++st.outstanding;
     ++stats_.data_packets_sent;
   }
+  FP_AUDIT(st.outstanding <= config_.window, "message-accounting",
+           "host" + std::to_string(host_.id()) + ".transport", st.msg_id, sim_.now().ps(),
+           "window overrun: outstanding=" + std::to_string(st.outstanding) + " window=" +
+               std::to_string(config_.window));
 }
 
 void Transport::transmit_segment(SendState& st, std::uint32_t seq) {
@@ -157,9 +161,34 @@ void Transport::on_data(const net::Packet& p) {
   if (rs.complete && !duplicate && rs.received == rs.total_segments) {
     ++stats_.messages_received;
     const RecvInfo info{p.src, host_.id(), p.msg_id, p.flow_id, p.msg_bytes};
+#if FP_AUDIT_ENABLED
+    rs.audit_src = p.src;
+    rs.audit_flow = p.flow_id;
+    rs.audit_bytes = p.msg_bytes;
+    ++rs.audit_deliveries;
+    FP_AUDIT(rs.audit_deliveries == 1, "message-exactly-once",
+             "host" + std::to_string(host_.id()) + ".transport", p.msg_id, sim_.now().ps(),
+             "message from host" + std::to_string(p.src) + " delivered " +
+                 std::to_string(rs.audit_deliveries) + " times");
+#endif
     for (const RecvHandler& handler : recv_handlers_) handler(info);
   }
 }
+
+#if FP_AUDIT_ENABLED
+void Transport::audit_redeliver(net::HostId src, std::uint64_t msg_id) {
+  auto it = recvs_.find(recv_key(src, msg_id));
+  if (it == recvs_.end() || !it->second.complete) return;
+  RecvState& rs = it->second;
+  ++rs.audit_deliveries;
+  FP_AUDIT(rs.audit_deliveries == 1, "message-exactly-once",
+           "host" + std::to_string(host_.id()) + ".transport", msg_id, sim_.now().ps(),
+           "message from host" + std::to_string(src) + " delivered " +
+               std::to_string(rs.audit_deliveries) + " times");
+  const RecvInfo info{rs.audit_src, host_.id(), msg_id, rs.audit_flow, rs.audit_bytes};
+  for (const RecvHandler& handler : recv_handlers_) handler(info);
+}
+#endif
 
 void Transport::on_ack(const net::Packet& p) {
   auto it = sends_.find(p.msg_id);
@@ -199,6 +228,12 @@ void Transport::on_ack(const net::Packet& p) {
 
   if (st.acked == st.total_segments) {
     st.done = true;
+    FP_AUDIT(st.outstanding == 0 && st.next_unsent == st.total_segments,
+             "message-accounting", "host" + std::to_string(host_.id()) + ".transport",
+             st.msg_id, sim_.now().ps(),
+             "completed with outstanding=" + std::to_string(st.outstanding) +
+                 " next_unsent=" + std::to_string(st.next_unsent) + " of " +
+                 std::to_string(st.total_segments) + " segments");
     ++stats_.messages_sent;
     if (st.on_complete) st.on_complete(st.msg_id);
     return;

@@ -3,12 +3,12 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "net/host.h"
 #include "net/packet.h"
 #include "net/types.h"
+#include "sim/audit.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
 
@@ -107,6 +107,13 @@ class Transport {
   /// Effective retransmission timeout: max(config floor, srtt + 4·rttvar).
   [[nodiscard]] sim::Time effective_rto() const;
 
+#if FP_AUDIT_ENABLED
+  /// Test-only: re-fire the completion handlers of an already-delivered
+  /// message, simulating a double-delivery bug so the negative-invariant
+  /// tests can prove the exactly-once check fires.
+  void audit_redeliver(net::HostId src, std::uint64_t msg_id);
+#endif
+
  private:
   struct SendState {
     MessageSpec spec;
@@ -127,6 +134,12 @@ class Transport {
     std::uint64_t received = 0;
     std::vector<std::uint8_t> got;
     bool complete = false;
+#if FP_AUDIT_ENABLED
+    std::uint32_t audit_deliveries = 0;  ///< recv-handler firings; must be exactly 1
+    net::HostId audit_src = 0;
+    net::FlowId audit_flow = 0;
+    std::uint64_t audit_bytes = 0;
+#endif
   };
 
   void pump(SendState& st);
@@ -148,7 +161,12 @@ class Transport {
   std::uint64_t next_msg_id_ = 1;
   sim::Time srtt_ = sim::Time::zero();
   sim::Time rttvar_ = sim::Time::zero();
+  // detlint: ok(unordered): keyed lookup/insert/erase only, never iterated
+  // (enforced by detlint's iteration rule), so hash order cannot reach
+  // results; kept unordered for the per-segment hot path.
   std::unordered_map<std::uint64_t, SendState> sends_;
+  // detlint: ok(unordered): keyed lookup only, never iterated; hash order
+  // cannot affect delivery order, which is driven by packet arrival events.
   std::unordered_map<std::uint64_t, RecvState> recvs_;
   std::vector<RecvHandler> recv_handlers_;
   ProbeHandler probe_handler_;

@@ -1,0 +1,297 @@
+#!/usr/bin/env python3
+"""detlint: project-specific determinism lint for the FlowPulse simulator.
+
+Every FlowPulse result must be reproducible from its seed alone, and a
+serial run must be bit-identical to a parallel one. That property is easy
+to break with one innocent line — iterating a hash map, reading a wall
+clock, constructing a std:: RNG — so this lint makes the determinism rules
+machine-checked instead of tribal knowledge. All findings are errors.
+
+Rules
+-----
+  unordered            Declaring a std::unordered_* container. Hash order is
+                       seeded per-process on some standard libraries, so any
+                       iteration over one can leak nondeterminism into
+                       results. Declarations are allowed only with a
+                       justification that the container is never iterated
+                       (which the unordered-iteration rule then enforces).
+  unordered-iteration  Range-for / begin()/end() over an identifier that is
+                       declared anywhere in the tree as an unordered
+                       container. This is the rule that makes `ok(unordered)`
+                       waivers sound.
+  pointer-key          Ordered or unordered container keyed by a pointer.
+                       Pointer order is allocation order, which varies run
+                       to run (ASLR, allocator state).
+  wall-clock           std::chrono clocks, ::time(), gettimeofday(),
+                       clock(). Simulation state must advance only on
+                       sim::Time. steady_clock may be waived for
+                       reporting-only wall durations.
+  banned-rng           std::rand/srand, std::random_device, and all
+                       <random> engines/distributions. All randomness must
+                       flow from the seeded sim::Rng (which has no default
+                       constructor, so it cannot be created unseeded).
+  par-float-accum      += / -= accumulation into a float/double identifier
+                       in a file that uses threading primitives. Floating
+                       point addition is not associative; merge order must
+                       be made deterministic (e.g. parallel_indexed writes
+                       per-index slots, then a serial reduction).
+
+Waivers
+-------
+A finding is waived by a justified comment on the same line or on the
+comment block immediately above:
+
+    // detlint: ok(<rule>): <non-empty justification>
+
+An unknown rule id or an empty justification is itself an error.
+
+Usage: detlint.py <dir-or-file> [more paths...]
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+RULES = {
+    "unordered",
+    "unordered-iteration",
+    "pointer-key",
+    "wall-clock",
+    "banned-rng",
+    "par-float-accum",
+}
+
+DIRECTIVE_RE = re.compile(r"//\s*detlint:\s*ok\(([\w-]+)\)\s*:?\s*(.*\S)?")
+
+UNORDERED_DECL_RE = re.compile(r"\bstd::unordered_(?:multi)?(?:map|set)\b")
+# Identifier of a (possibly member) variable declared with an unordered
+# container type: the last identifier on the declaration before ; { or =.
+UNORDERED_IDENT_RE = re.compile(
+    r"\bstd::unordered_(?:multi)?(?:map|set)\s*<.*>\s+(\w+)\s*(?:;|\{|=)")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;)]*:\s*(?:\w+(?:\.|->))*(\w+)\s*\)")
+# end() alone is a find()-sentinel comparison; traversal always needs begin().
+BEGIN_RE = re.compile(r"\b(\w+)\s*(?:\.|->)\s*c?r?begin\s*\(")
+POINTER_KEY_RE = re.compile(
+    r"\bstd::(?:unordered_)?(?:multi)?(?:map|set)\s*<\s*(?:const\s+)?[\w:]+"
+    r"(?:\s*<[^<>]*>)?\s*\*")
+WALL_CLOCK_RES = [
+    (re.compile(r"\bstd::chrono::system_clock\b"), "std::chrono::system_clock"),
+    (re.compile(r"\bstd::chrono::high_resolution_clock\b"),
+     "std::chrono::high_resolution_clock"),
+    (re.compile(r"\bstd::chrono::steady_clock\b"), "std::chrono::steady_clock"),
+    (re.compile(r"\bgettimeofday\s*\("), "gettimeofday()"),
+    (re.compile(r"(?<![\w.>])time\s*\(\s*(?:NULL|nullptr|0)\s*\)"), "time()"),
+    (re.compile(r"(?<![\w.>])clock\s*\(\s*\)"), "clock()"),
+]
+BANNED_RNG_RES = [
+    (re.compile(r"\bstd::s?rand\b"), "std::rand/srand"),
+    (re.compile(r"(?<![\w.>])s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"\bstd::random_device\b"), "std::random_device"),
+    (re.compile(r"\bstd::mt19937(?:_64)?\b"), "std::mt19937"),
+    (re.compile(r"\bstd::minstd_rand0?\b"), "std::minstd_rand"),
+    (re.compile(r"\bstd::default_random_engine\b"), "std::default_random_engine"),
+    (re.compile(r"\bstd::ranlux\w+\b"), "std::ranlux*"),
+    (re.compile(r"\bstd::knuth_b\b"), "std::knuth_b"),
+    (re.compile(r"\bstd::\w+_distribution\b"), "std::*_distribution"),
+]
+THREADING_RE = re.compile(r"\bstd::(?:thread|jthread|atomic|mutex|async)\b")
+FLOAT_DECL_RE = re.compile(r"\b(?:float|double)\s+(\w+)\s*(?:;|=|\{)")
+ACCUM_RE = re.compile(r"(?<![\w.>])(\w+)\s*[+\-]\*?=")
+
+
+def strip_code(line: str, in_block: bool) -> tuple[str, bool]:
+    """Blank out comments and string/char literals, preserving length."""
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if in_block:
+            if line.startswith("*/", i):
+                in_block = False
+                out.append("  ")
+                i += 2
+            else:
+                out.append(" ")
+                i += 1
+        elif line.startswith("//", i):
+            out.append(" " * (n - i))
+            break
+        elif line.startswith("/*", i):
+            in_block = True
+            out.append("  ")
+            i += 2
+        elif c in "\"'":
+            quote = c
+            out.append(" ")
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    out.append("  ")
+                    i += 2
+                elif line[i] == quote:
+                    out.append(" ")
+                    i += 1
+                    break
+                else:
+                    out.append(" ")
+                    i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out), in_block
+
+
+class File:
+    def __init__(self, path: Path):
+        self.path = path
+        self.raw = path.read_text(encoding="utf-8", errors="replace").splitlines()
+        self.code: list[str] = []
+        in_block = False
+        for line in self.raw:
+            stripped, in_block = strip_code(line, in_block)
+            self.code.append(stripped)
+        # waivers[lineno (1-based)] = {rule: (directive_lineno, justification)}
+        self.waivers: dict[int, dict[int, str]] = {}
+        self.errors: list[tuple[int, str, str]] = []
+        self._collect_waivers()
+
+    def _collect_waivers(self) -> None:
+        self.waiver_map: dict[int, dict[str, str]] = {}
+        pending: dict[str, str] = {}
+        for idx, raw in enumerate(self.raw):
+            lineno = idx + 1
+            m = DIRECTIVE_RE.search(raw)
+            code = self.code[idx].strip()
+            if m:
+                rule, justification = m.group(1), (m.group(2) or "").strip()
+                if rule not in RULES:
+                    self.errors.append(
+                        (lineno, "bad-waiver",
+                         f"unknown detlint rule '{rule}' in waiver"))
+                elif not justification:
+                    self.errors.append(
+                        (lineno, "bad-waiver",
+                         f"waiver for '{rule}' has no justification"))
+                elif code:  # same-line waiver
+                    self.waiver_map.setdefault(lineno, {})[rule] = justification
+                else:  # waiver in a comment block: applies to next code line
+                    pending[rule] = justification
+            elif code:
+                if pending:
+                    self.waiver_map.setdefault(lineno, {}).update(pending)
+                    pending = {}
+            elif not raw.strip():
+                pending = {}  # blank line detaches a pending waiver
+
+    def waived(self, lineno: int, rule: str) -> bool:
+        return rule in self.waiver_map.get(lineno, {})
+
+    def report(self, lineno: int, rule: str, message: str) -> None:
+        if rule != "bad-waiver" and self.waived(lineno, rule):
+            return
+        self.errors.append((lineno, rule, message))
+
+
+def collect_unordered_idents(files: list[File]) -> set[str]:
+    idents: set[str] = set()
+    for f in files:
+        for code in f.code:
+            for m in UNORDERED_IDENT_RE.finditer(code):
+                idents.add(m.group(1))
+    return idents
+
+
+def lint_file(f: File, unordered_idents: set[str]) -> None:
+    parallel_file = any(THREADING_RE.search(code) for code in f.code)
+    float_idents: set[str] = set()
+    if parallel_file:
+        for code in f.code:
+            for m in FLOAT_DECL_RE.finditer(code):
+                float_idents.add(m.group(1))
+
+    for idx, code in enumerate(f.code):
+        lineno = idx + 1
+
+        if UNORDERED_DECL_RE.search(code):
+            f.report(lineno, "unordered",
+                     "unordered container in simulation code: hash order can "
+                     "leak into results; use std::map/std::set or waive with "
+                     "a justification that it is never iterated")
+
+        for m in RANGE_FOR_RE.finditer(code):
+            if m.group(1) in unordered_idents:
+                f.report(lineno, "unordered-iteration",
+                         f"range-for over '{m.group(1)}', declared as an "
+                         "unordered container: iteration order is hash order")
+        for m in BEGIN_RE.finditer(code):
+            if m.group(1) in unordered_idents:
+                f.report(lineno, "unordered-iteration",
+                         f"begin() on '{m.group(1)}', declared as an "
+                         "unordered container: iteration order is hash order")
+
+        if POINTER_KEY_RE.search(code):
+            f.report(lineno, "pointer-key",
+                     "container keyed by pointer: pointer order is "
+                     "allocation order and varies across runs")
+
+        for pattern, what in WALL_CLOCK_RES:
+            if pattern.search(code):
+                f.report(lineno, "wall-clock",
+                         f"{what}: simulation state must advance only on "
+                         "sim::Time (steady_clock may be waived for "
+                         "reporting-only wall durations)")
+
+        for pattern, what in BANNED_RNG_RES:
+            if pattern.search(code):
+                f.report(lineno, "banned-rng",
+                         f"{what}: all randomness must flow from the seeded "
+                         "sim::Rng")
+
+        if parallel_file:
+            for m in ACCUM_RE.finditer(code):
+                if m.group(1) in float_idents:
+                    f.report(lineno, "par-float-accum",
+                             f"accumulation into float '{m.group(1)}' in a "
+                             "threaded file: float addition is not "
+                             "associative, merge order must be serial and "
+                             "deterministic")
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    paths: list[Path] = []
+    for arg in argv[1:]:
+        p = Path(arg)
+        if p.is_dir():
+            paths.extend(sorted(q for q in p.rglob("*")
+                                if q.suffix in {".h", ".hpp", ".cc", ".cpp"}))
+        elif p.is_file():
+            paths.append(p)
+        else:
+            print(f"detlint: no such path: {p}", file=sys.stderr)
+            return 2
+
+    files = [File(p) for p in paths]
+    unordered_idents = collect_unordered_idents(files)
+    for f in files:
+        lint_file(f, unordered_idents)
+
+    count = 0
+    for f in files:
+        for lineno, rule, message in sorted(f.errors):
+            print(f"{f.path}:{lineno}: error[{rule}]: {message}")
+            count += 1
+    if count:
+        print(f"detlint: {count} error(s) in {len(files)} file(s)")
+        return 1
+    print(f"detlint: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
