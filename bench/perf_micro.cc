@@ -12,6 +12,9 @@
 #include "flowpulse/detector.h"
 #include "flowpulse/monitor.h"
 #include "net/fat_tree.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/event_queue.h"
 #include "sim/simulator.h"
 
@@ -175,6 +178,128 @@ void BM_MonitorRecord(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_MonitorRecord);
+
+// --------------------------------------------------------------------------
+// Observability. BM_TraceOffOverhead runs in every build: in the default
+// configuration the FP_TRACE call sites inside the fabric are preprocessed
+// away, so its numbers must match BM_FabricPacketDelivery-style runs bit
+// for bit (the trace_zero_cost_symbols test asserts the stronger property
+// that the hot-path libraries reference no obs symbols at all). The
+// FP_TRACE_ENABLED benches price the enabled-but-recording path and the
+// offline exporters.
+exp::ScenarioConfig trace_bench_config() {
+  // A faulted iteration, so a live recorder has real drop/RTO events to
+  // capture — identical simulation in the off and on benches.
+  exp::ScenarioConfig cfg;
+  cfg.fabric.shape = net::TopologyInfo{8, 4, 1, 1};
+  cfg.collective = collective::CollectiveKind::kRingReduceScatter;
+  cfg.collective_bytes = 2ull << 20;
+  cfg.iterations = 1;
+  cfg.new_faults.push_back([] {
+    exp::NewFault f;
+    f.leaf = 3;
+    f.uplink = 1;
+    f.where = exp::NewFault::Where::kDownlink;
+    f.spec = net::FaultSpec::random_drop(0.10);
+    return f;
+  }());
+  return cfg;
+}
+
+void BM_TraceOffOverhead(benchmark::State& state) {
+  // One traced-in-principle iteration with tracing not runtime-enabled —
+  // the exact cost instrumented builds pay when the recorder is off.
+  for (auto _ : state) {
+    exp::Scenario s{trace_bench_config()};
+    const exp::ScenarioResult r = s.run();
+    benchmark::DoNotOptimize(r.events);
+    state.counters["events"] = static_cast<double>(r.events);
+  }
+  state.SetLabel(FP_TRACE_ENABLED ? "trace compiled in (level off)" : "trace compiled out");
+}
+BENCHMARK(BM_TraceOffOverhead)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+#if FP_TRACE_ENABLED
+void BM_TraceEmit(benchmark::State& state) {
+  // The hot-path cost when recording: one level check + a bounded struct
+  // copy into a preallocated ring slot.
+  obs::FlightRecorder rec{obs::FlightRecorder::kDefaultCapacity};
+  rec.set_level(obs::TraceLevel::kEvents);
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    rec.emit(obs::EventKind::kPacketDrop, sim::Time::nanoseconds(static_cast<std::int64_t>(n)),
+             "leaf3.up1", 3, 1, 4160, 0.0, "silent");
+    ++n;
+  }
+  benchmark::DoNotOptimize(rec.total());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceEmit);
+
+void BM_TracedIteration(benchmark::State& state) {
+  // BM_TraceOffOverhead's scenario with the recorder live at level=events:
+  // the delta is the full-system cost of always-on flight recording.
+  std::uint64_t recorded_total = 0;
+  for (auto _ : state) {
+    exp::ScenarioConfig cfg = trace_bench_config();
+    cfg.trace.level = obs::TraceLevel::kEvents;
+    exp::Scenario s{cfg};
+    const exp::ScenarioResult r = s.run();
+    benchmark::DoNotOptimize(r.events);
+    recorded_total += r.trace_events.size();
+    state.counters["events"] = static_cast<double>(r.events);
+  }
+  state.counters["trace_events_recorded"] = static_cast<double>(recorded_total);
+}
+BENCHMARK(BM_TracedIteration)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+std::vector<obs::TraceEvent> bench_trace_window(std::size_t n) {
+  obs::FlightRecorder rec{n};
+  rec.set_level(obs::TraceLevel::kEvents);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto t = sim::Time::nanoseconds(static_cast<std::int64_t>(i * 337));
+    switch (i % 4) {
+      case 0:
+        rec.emit(obs::EventKind::kPacketDrop, t, "spine1.down5", 4,
+                 static_cast<std::uint32_t>(i % 8), 4160, 0.0, "silent");
+        break;
+      case 1:
+        rec.emit(obs::EventKind::kPfcPause, t, "leaf3", static_cast<std::uint32_t>(i % 4), 0,
+                 150000, 0.0, "xoff");
+        break;
+      case 2:
+        rec.emit(obs::EventKind::kPfcResume, t, "leaf3", static_cast<std::uint32_t>(i % 4), 0,
+                 90000, 0.0, "xon");
+        break;
+      default:
+        rec.emit(obs::EventKind::kRtoFire, t, "", static_cast<std::uint32_t>(i % 32),
+                 static_cast<std::uint32_t>(i), i, 0.0, "");
+        break;
+    }
+  }
+  return rec.snapshot();
+}
+
+void BM_ChromeExport(benchmark::State& state) {
+  const auto window = bench_trace_window(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obs::chrome_trace_json(window));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ChromeExport)->Arg(1 << 12);
+
+void BM_TraceMetricsSummarize(benchmark::State& state) {
+  // The counter/histogram registry reduction exp::report embeds.
+  const auto window = bench_trace_window(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const obs::TraceMetrics m = obs::TraceMetrics::from_events(window);
+    benchmark::DoNotOptimize(m.to_json());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TraceMetricsSummarize)->Arg(1 << 12);
+#endif  // FP_TRACE_ENABLED
 
 void BM_DetectorEvaluate(benchmark::State& state) {
   // The per-iteration cost: compare 16 ports against prediction.

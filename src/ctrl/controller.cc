@@ -171,12 +171,16 @@ void MitigationController::set_quarantined(const LinkKey& key, bool failed,
   if (rebaseline_) rebaseline_();
   settle_until_ = static_cast<std::int64_t>(iteration) + policy_.settle_iterations;
   events_.push_back({kind, sim_.now(), iteration, key.first, key.second, reason});
+  FP_TRACE(sim_, kMitigation, "", key.first, key.second, iteration,
+           static_cast<double>(static_cast<int>(kind)), reason);
 }
 
 void MitigationController::confirm(const LinkKey& key, std::uint32_t iteration,
                                    const char* reason) {
   events_.push_back(
       {MitigationEvent::Kind::kConfirm, sim_.now(), iteration, key.first, key.second, reason});
+  FP_TRACE(sim_, kMitigation, "", key.first, key.second, iteration,
+           static_cast<double>(static_cast<int>(MitigationEvent::Kind::kConfirm)), reason);
 }
 
 std::uint32_t MitigationController::active_quarantines() const {

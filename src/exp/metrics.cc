@@ -1,6 +1,7 @@
 #include "exp/metrics.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace flowpulse::exp {
 
@@ -41,13 +42,18 @@ std::vector<RocPoint> roc_sweep(const std::vector<TrialSamples>& trials,
 }
 
 double noise_floor(const std::vector<TrialSamples>& clean_trials) {
+  bool any_clean = false;
   double floor = 0.0;
   for (const TrialSamples& t : clean_trials) {
     for (std::size_t i = 0; i < t.dev.size(); ++i) {
-      if (t.truth[i] == 0) floor = std::max(floor, t.dev[i]);
+      if (t.truth[i] == 0) {
+        any_clean = true;
+        floor = std::max(floor, t.dev[i]);
+      }
     }
   }
-  return floor;
+  // Max over nothing is undefined, not 0.0 — see the header comment.
+  return any_clean ? floor : std::numeric_limits<double>::quiet_NaN();
 }
 
 }  // namespace flowpulse::exp

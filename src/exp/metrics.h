@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "exp/scenario.h"
@@ -14,13 +15,19 @@ namespace flowpulse::exp {
 struct Rates {
   std::uint64_t tp = 0, fp = 0, tn = 0, fn = 0;
 
+  // Zero-denominator rates are undefined, not zero: a sweep with no
+  // negative (or no positive) samples must not read as a perfect 0% rate.
+  // NaN propagates loudly through downstream math and renders as "n/a" in
+  // tables (exp::fmt / exp::pct).
   [[nodiscard]] double fpr() const {
     const std::uint64_t n = fp + tn;
-    return n == 0 ? 0.0 : static_cast<double>(fp) / static_cast<double>(n);
+    return n == 0 ? std::numeric_limits<double>::quiet_NaN()
+                  : static_cast<double>(fp) / static_cast<double>(n);
   }
   [[nodiscard]] double fnr() const {
     const std::uint64_t n = fn + tp;
-    return n == 0 ? 0.0 : static_cast<double>(fn) / static_cast<double>(n);
+    return n == 0 ? std::numeric_limits<double>::quiet_NaN()
+                  : static_cast<double>(fn) / static_cast<double>(n);
   }
   [[nodiscard]] double tpr() const { return 1.0 - fnr(); }
 
@@ -57,7 +64,8 @@ struct RocPoint {
 /// The largest deviation observed across all clean-trial iterations — the
 /// noise floor a calibrated deployment would set its threshold just above
 /// (§6: "the threshold is set empirically in a given network when
-/// calibrating the system").
+/// calibrating the system"). NaN when there are no clean samples at all:
+/// a floor of 0.0 would silently calibrate the threshold to zero.
 [[nodiscard]] double noise_floor(const std::vector<TrialSamples>& clean_trials);
 
 }  // namespace flowpulse::exp

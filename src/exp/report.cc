@@ -1,13 +1,26 @@
 #include "exp/report.h"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
 
 namespace flowpulse::exp {
 namespace {
 
 void json_number(std::ostringstream& os, const char* key, double v, bool comma = true) {
-  os << '"' << key << "\":" << v;
+  // JSON has no inf/nan literals, and both occur here: rel_dev is +inf for
+  // a port predicted silent but carrying traffic (every mitigated run's
+  // settle iterations), and empty-input rates are NaN. Emit null instead
+  // of an unparseable token.
+  os << '"' << key << "\":";
+  if (std::isfinite(v)) {
+    os << v;
+  } else {
+    os << "null";
+  }
   if (comma) os << ',';
 }
 
@@ -48,7 +61,7 @@ void append_mitigation_json(std::ostringstream& os,
     os << "\"kind\":\"" << event_kind_name(e.kind) << "\",";
     json_number(os, "leaf", std::uint64_t{e.leaf});
     json_number(os, "uplink", std::uint64_t{e.uplink});
-    os << "\"reason\":\"" << e.reason << "\"}";
+    os << "\"reason\":" << obs::json_quote(e.reason) << "}";
   }
   os << "]}";
 }
@@ -116,6 +129,31 @@ std::string to_json(const ScenarioResult& result) {
   json_number(os, "dropped_packets", result.fabric_counters.dropped_packets, false);
   os << "},\"mitigation\":";
   append_mitigation_json(os, result.mitigation_events, result.recovery);
+  // Flight-recorder window (null unless the run traced): the counter /
+  // histogram registry reduced from the retained events, plus one summary
+  // line per automatic dump. Raw events ship via obs::chrome_trace_json,
+  // not the run summary.
+  os << ",\"trace\":";
+  if (result.trace_events.empty() && result.trace_dumps.empty()) {
+    os << "null";
+  } else {
+    os << "{";
+    json_number(os, "recorded", std::uint64_t{result.trace_events.size()});
+    json_number(os, "ring_dropped", result.trace_dropped);
+    os << "\"dumps\":[";
+    for (std::size_t i = 0; i < result.trace_dumps.size(); ++i) {
+      const obs::TraceDump& d = result.trace_dumps[i];
+      if (i) os << ',';
+      os << "{\"reason\":" << obs::json_quote(d.reason) << ',';
+      json_number(os, "time_us", d.at.us());
+      json_number(os, "iteration", std::uint64_t{d.iteration});
+      json_number(os, "ring_dropped", d.dropped);
+      json_number(os, "events", std::uint64_t{d.events.size()}, false);
+      os << "}";
+    }
+    os << "],\"metrics\":" << obs::TraceMetrics::from_events(result.trace_events).to_json()
+       << "}";
+  }
   os << ",\"iterations\":[";
   for (std::size_t i = 0; i < result.per_iter_max_dev.size(); ++i) {
     if (i) os << ',';

@@ -11,8 +11,9 @@
 namespace flowpulse::exp {
 
 /// Machine-readable exports of run results — what a deployment would ship
-/// to the fabric manager / alerting pipeline. Hand-rolled JSON (the values
-/// are all numbers and fixed enum strings; no escaping concerns).
+/// to the fabric manager / alerting pipeline. Hand-rolled JSON; every
+/// free-form string (event reasons, dump labels) goes through
+/// obs::json_escape so hostile content cannot break the document.
 
 /// Full run summary: workload, per-iteration deviations with ground truth,
 /// transport and fabric counters.

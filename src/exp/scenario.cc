@@ -3,10 +3,32 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cstdio>
+#include <optional>
+#include <string>
 
 #include "flowpulse/analytical_model.h"
+#include "obs/export.h"
 
 namespace flowpulse::exp {
+namespace {
+
+// audit::ScopedDumpHook target: when an invariant dies mid-run, write the
+// flight recorder's retained window to stderr before the abort / test
+// throw, so the causal event trail survives the crash.
+void dump_recorder_on_audit_failure(void* ctx, const sim::audit::Violation& v) {
+  const auto* recorder = static_cast<const obs::FlightRecorder*>(ctx);
+  std::fprintf(stderr,
+               "[flowpulse-trace] flight recorder at %s failure (%zu events, %llu lost "
+               "to ring wrap):\n",
+               v.invariant.c_str(), recorder->size(),
+               static_cast<unsigned long long>(recorder->dropped()));
+  const std::string timeline = obs::text_timeline(recorder->snapshot());
+  std::fputs(timeline.c_str(), stderr);
+  std::fflush(stderr);
+}
+
+}  // namespace
 
 std::vector<net::HostId> all_hosts_ring(const net::TopologyInfo& info) {
   std::vector<net::HostId> hosts(info.num_hosts());
@@ -65,6 +87,19 @@ void Scenario::build() {
                               static_cast<std::uint64_t>(config_.fabric.shape.num_hosts()) *
                                   config_.transport.window);
   sim_->reserve_events(static_cast<std::size_t>(6 * in_flight + 64));
+#if FP_TRACE_ENABLED
+  // Tracing is armed before any component exists so even wiring-time and
+  // first-iteration events land in the ring. An explicit config level wins;
+  // kOff defers to the FLOWPULSE_TRACE environment variable.
+  const obs::TraceLevel trace_level = config_.trace.level != obs::TraceLevel::kOff
+                                          ? config_.trace.level
+                                          : obs::env_level();
+  if (trace_level != obs::TraceLevel::kOff) {
+    recorder_ = std::make_unique<obs::FlightRecorder>(config_.trace.capacity);
+    recorder_->set_level(trace_level);
+    sim_->set_trace(recorder_.get());
+  }
+#endif
   fabric_ = std::make_unique<net::FatTree>(*sim_, config_.fabric);
 
   // Known pre-existing failures first: they shape both routing and the
@@ -100,6 +135,17 @@ void Scenario::build() {
       flowpulse_->set_prediction(*prediction_);
     });
     controller_->attach(*flowpulse_);
+  }
+
+  if (recorder_ != nullptr && config_.trace.dump_on_alert) {
+    // Replace the alert hook (controller_->attach installed its own) with a
+    // wrapper that runs the controller first: any quarantine the result
+    // triggers is already in the ring when the dump snapshots it.
+    ctrl::MitigationController* controller = controller_.get();
+    flowpulse_->set_alert_hook([this, controller](const fp::DetectionResult& r) {
+      if (controller != nullptr) controller->observe(r);
+      maybe_dump(r);
+    });
   }
 
   apply_new_faults();
@@ -205,10 +251,35 @@ bool Scenario::fault_active_during(sim::Time start, sim::Time end) const {
   return false;
 }
 
+// Snapshot the ring when a (leaf × iteration) check flagged ports or drove
+// the controller to act — the retained window is the causal context of the
+// alert. One dump per iteration (every leaf reports each iteration), capped
+// at trace.max_dumps per run.
+void Scenario::maybe_dump(const fp::DetectionResult& result) {
+  const std::size_t mitigations = controller_ != nullptr ? controller_->events().size() : 0;
+  const bool mitigated = mitigations > traced_mitigations_;
+  traced_mitigations_ = mitigations;
+  if (!result.faulty() && !mitigated) return;
+  if (trace_dumps_.size() >= config_.trace.max_dumps) return;
+  if (!trace_dumps_.empty() && trace_dumps_.back().iteration == result.iteration) return;
+  obs::TraceDump d;
+  d.reason = (mitigated ? "mitigation leaf" : "detector-flag leaf") +
+             std::to_string(result.leaf) + " iter" + std::to_string(result.iteration);
+  d.at = sim_->now();
+  d.iteration = result.iteration;
+  d.dropped = recorder_->dropped();
+  d.events = recorder_->snapshot();
+  trace_dumps_.push_back(std::move(d));
+}
+
 ScenarioResult Scenario::run() {
   // detlint: ok(wall-clock): wall_seconds is throughput reporting only; it
   // never feeds simulation state or results, and steady_clock is monotonic.
   const auto wall_start = std::chrono::steady_clock::now();
+  std::optional<sim::audit::ScopedDumpHook> audit_dump;
+  if (recorder_ != nullptr) {
+    audit_dump.emplace(&dump_recorder_on_audit_failure, recorder_.get());
+  }
   runner_->start();
   if (background_runner_) background_runner_->start();
   sim_->run_until(config_.horizon);
@@ -238,6 +309,11 @@ ScenarioResult Scenario::run() {
   r.sim_end = iter_windows_.empty() ? sim_->now() : iter_windows_.back().second;
   r.events = sim_->events_executed();
   r.wall_seconds = std::chrono::duration<double>(wall_end - wall_start).count();
+  if (recorder_ != nullptr) {
+    r.trace_events = recorder_->snapshot();
+    r.trace_dropped = recorder_->dropped();
+    r.trace_dumps = trace_dumps_;
+  }
   return r;
 }
 

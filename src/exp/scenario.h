@@ -10,6 +10,7 @@
 #include "ctrl/controller.h"
 #include "flowpulse/system.h"
 #include "net/fat_tree.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "transport/transport_layer.h"
 
@@ -65,6 +66,12 @@ struct ScenarioConfig {
   /// re-running the analytical prediction over the updated RoutingState.
   ctrl::MitigationPolicy mitigation{};
 
+  /// Flight-recorder tracing. Only honored in builds configured with
+  /// -DFLOWPULSE_TRACE=ON; trace.level == kOff additionally defers to the
+  /// FLOWPULSE_TRACE environment variable (obs::env_level()), so a traced
+  /// build can be flipped on per-run without code changes.
+  obs::TraceConfig trace{};
+
   std::uint64_t seed = 1;
   /// Safety cap on simulated time.
   sim::Time horizon = sim::Time::seconds(10);
@@ -95,6 +102,12 @@ struct ScenarioResult {
   sim::Time sim_end = sim::Time::zero();
   std::uint64_t events = 0;
   double wall_seconds = 0.0;
+
+  /// Flight-recorder output. Empty unless the build traces
+  /// (-DFLOWPULSE_TRACE=ON) and a runtime level was set.
+  std::vector<obs::TraceEvent> trace_events;  ///< final retained window
+  std::uint64_t trace_dropped = 0;            ///< ring overflow across the run
+  std::vector<obs::TraceDump> trace_dumps;    ///< automatic on-alert snapshots
 };
 
 /// Builds and runs one experiment. The pieces stay accessible between
@@ -123,12 +136,16 @@ class Scenario {
   /// The prediction FlowPulse was armed with (empty for kLearned).
   [[nodiscard]] const fp::PortLoadMap* prediction() const { return prediction_.get(); }
 
+  /// The flight recorder feeding the run, nullptr when tracing is off.
+  [[nodiscard]] obs::FlightRecorder* recorder() { return recorder_.get(); }
+
  private:
   void build();
   [[nodiscard]] fp::PortLoadMap analytical_prediction() const;
   [[nodiscard]] fp::PortLoadMap simulation_prediction() const;
   void apply_new_faults();
   [[nodiscard]] bool fault_active_during(sim::Time start, sim::Time end) const;
+  void maybe_dump(const fp::DetectionResult& result);
 
   ScenarioConfig config_;
   collective::CommSchedule schedule_;
@@ -142,6 +159,9 @@ class Scenario {
   std::unique_ptr<ctrl::MitigationController> controller_;
   std::unique_ptr<fp::PortLoadMap> prediction_;
   std::vector<std::pair<sim::Time, sim::Time>> iter_windows_;
+  std::unique_ptr<obs::FlightRecorder> recorder_;
+  std::vector<obs::TraceDump> trace_dumps_;
+  std::size_t traced_mitigations_ = 0;
 };
 
 /// The ring placement used throughout the paper's evaluation: one rank per

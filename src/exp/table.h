@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cmath>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
@@ -47,15 +48,19 @@ class Table {
   std::vector<std::vector<std::string>> rows_;
 };
 
-/// Format a double with fixed precision.
+/// Format a double with fixed precision. NaN (e.g. a Rates rate with a
+/// zero denominator, or a noise floor with no clean samples) renders as
+/// "n/a" instead of implementation-defined "nan" spellings.
 [[nodiscard]] inline std::string fmt(double v, int precision = 4) {
+  if (std::isnan(v)) return "n/a";
   std::ostringstream os;
   os << std::fixed << std::setprecision(precision) << v;
   return os.str();
 }
 
-/// Format a percentage.
+/// Format a percentage ("n/a" for NaN, like fmt).
 [[nodiscard]] inline std::string pct(double v, int precision = 2) {
+  if (std::isnan(v)) return "n/a";
   std::ostringstream os;
   os << std::fixed << std::setprecision(precision) << v * 100.0 << '%';
   return os.str();

@@ -43,12 +43,25 @@ namespace flowpulse::exp {
 
 /// Seed of trial `t` in a sweep whose first trial uses `base_seed`.
 ///
-/// Trials are de-correlated by a stride of 7919 (the 1000th prime) rather
-/// than +1 so that sweeps started at nearby base seeds do not share trial
-/// seeds. This is THE seed schedule: the serial and parallel runners both
-/// call it, which is what makes their outputs bit-identical.
+/// The base is pushed through a splitmix64 finalizer before the per-trial
+/// stride is added, and the sum is finalized again. The earlier linear
+/// schedule (base + t·7919) collided whenever two sweeps' base seeds
+/// differed by a multiple of the stride: trial t of a sweep at base b was
+/// trial t−k of a sweep at base b + k·7919, so "independent" sweeps partly
+/// reran each other's simulations. Mixing the base first starts each
+/// sweep's stride walk from an uncorrelated point; the second finalize
+/// de-correlates consecutive trials within a sweep. Still THE seed
+/// schedule: the serial and parallel runners both call it, which is what
+/// makes their outputs bit-identical.
 [[nodiscard]] constexpr std::uint64_t trial_seed(std::uint64_t base_seed, std::uint32_t t) {
-  return base_seed + static_cast<std::uint64_t>(t) * 7919;
+  std::uint64_t z = base_seed ^ 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  z += (static_cast<std::uint64_t>(t) + 1) * 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
 }
 
 /// Deterministic ordered parallel map: evaluates `fn(0) … fn(n-1)` on up to

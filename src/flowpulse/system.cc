@@ -25,6 +25,8 @@ void FlowPulseSystem::set_prediction(PortLoadMap prediction) {
 }
 
 void FlowPulseSystem::on_finalized(const IterationRecord& record) {
+  FP_TRACE(fabric_.simulator(), kIteration, "", record.leaf, 0, record.iteration, 0.0,
+           "finalized");
   if (config_.model == ModelKind::kLearned) {
     learned_outcomes_.push_back(
         LearnedOutcome{record.leaf, record.iteration, learned_[record.leaf]->observe(record)});
@@ -34,6 +36,7 @@ void FlowPulseSystem::on_finalized(const IterationRecord& record) {
     if (provider_) {
       if (const PortLoadMap* prediction = provider_(record.iteration)) {
         results_.push_back(evaluate_record(*prediction, config_.threshold, record));
+        trace_result(results_.back());
         if (alert_hook_) alert_hook_(results_.back());
       }
     }
@@ -41,9 +44,36 @@ void FlowPulseSystem::on_finalized(const IterationRecord& record) {
   }
   if (detector_ != nullptr) {
     results_.push_back(detector_->evaluate(record));
+    trace_result(results_.back());
     // The hook may swap the detector (re-baseline); evaluation is done.
     if (alert_hook_) alert_hook_(results_.back());
   }
+}
+
+// One kDetectorFlag + one kLocalization event per alerted port. Separate
+// events on purpose: the flag is the raw deviation signal, the localization
+// is the verdict layered on top, and the timeline should show both.
+void FlowPulseSystem::trace_result([[maybe_unused]] const DetectionResult& r) {
+#if FP_TRACE_ENABLED
+  constexpr auto verdict_name = [](Localization::Verdict v) {
+    switch (v) {
+      case Localization::Verdict::kLocalLink:
+        return "local-link";
+      case Localization::Verdict::kRemoteLinks:
+        return "remote-links";
+      case Localization::Verdict::kUnknown:
+        return "unknown";
+    }
+    return "unknown";
+  };
+  sim::Simulator& sim = fabric_.simulator();
+  for (const PortAlert& a : r.alerts) {
+    FP_TRACE(sim, kDetectorFlag, "", r.leaf, a.uplink, r.iteration, a.rel_dev,
+             a.observed < a.predicted ? "shortfall" : "surplus");
+    FP_TRACE(sim, kLocalization, "", r.leaf, a.uplink, r.iteration, a.rel_dev,
+             verdict_name(a.localization.verdict));
+  }
+#endif
 }
 
 void FlowPulseSystem::flush() {

@@ -93,6 +93,7 @@ class FlowPulseSystem {
 
  private:
   void on_finalized(const IterationRecord& record);
+  void trace_result(const DetectionResult& r);
 
   net::FatTree& fabric_;
   SystemConfig config_;

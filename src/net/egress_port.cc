@@ -78,6 +78,8 @@ void EgressPort::finish_transmission() {
     counters_.dropped_packets += 1;
     counters_.dropped_bytes += pkt.size_bytes;
     if (fault_.spec().visible_to_counters) counters_.telemetry_dropped_packets += 1;
+    FP_TRACE(sim_, kPacketDrop, name_.c_str(), pkt.src, pkt.dst, pkt.size_bytes, 0.0,
+             fault_.spec().visible_to_counters ? "counted" : "silent");
     if (tx_hook_) tx_hook_(pkt, TxEvent::kDropped);
   } else {
     if (tx_hook_) tx_hook_(pkt, TxEvent::kOnWire);

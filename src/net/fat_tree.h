@@ -47,6 +47,7 @@ class FatTree {
 
   [[nodiscard]] const TopologyInfo& info() const { return config_.shape; }
   [[nodiscard]] const FatTreeConfig& config() const { return config_; }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
 
   [[nodiscard]] Host& host(HostId h) { return *hosts_[h]; }
   [[nodiscard]] LeafSwitch& leaf(LeafId l) { return *leaves_[l]; }

@@ -53,6 +53,8 @@ void Switch::pfc_on_arrival(const Packet& p, PortIndex in_port) {
   bytes += p.size_bytes;
   if (bytes > pfc_.xoff_bytes && !upstream_paused_[in_port][pi]) {
     upstream_paused_[in_port][pi] = true;
+    FP_TRACE(sim_, kPfcPause, name_.c_str(), in_port, static_cast<std::uint32_t>(pi),
+             bytes, 0.0, "xoff");
     send_pause(in_port, p.priority, true);
 #if FP_AUDIT_ENABLED
     // Deadlock watchdog: if this pause is still continuously asserted when
@@ -79,6 +81,8 @@ void Switch::pfc_on_depart(const Packet& p) {
   bytes -= p.size_bytes;
   if (bytes <= pfc_.xon_bytes && upstream_paused_[p.pfc_ingress][pi]) {
     upstream_paused_[p.pfc_ingress][pi] = false;
+    FP_TRACE(sim_, kPfcResume, name_.c_str(), p.pfc_ingress,
+             static_cast<std::uint32_t>(pi), bytes, 0.0, "xon");
 #if FP_AUDIT_ENABLED
     ++audit_pause_epoch_[p.pfc_ingress][pi];  // resume: disarm the watchdog
 #endif

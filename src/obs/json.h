@@ -1,0 +1,19 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace flowpulse::obs {
+
+/// Escape `s` for inclusion inside a JSON string literal (RFC 8259):
+/// quotes and backslashes are backslash-escaped, control characters become
+/// \n \t \r \b \f or \u00XX. Every hand-rolled JSON emitter in this repo
+/// (exp::report, the chrome-trace exporter) must route free-form strings —
+/// event reasons, entity names, details — through this; only fixed enum
+/// names and numbers may be written raw.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// `"` + json_escape(s) + `"` — the common whole-literal case.
+[[nodiscard]] std::string json_quote(std::string_view s);
+
+}  // namespace flowpulse::obs

@@ -13,9 +13,15 @@ namespace {
 // violation fires, which is already a dead run).
 Handler g_handler = nullptr;
 
+// Same discipline as g_handler: installed before a run, read only on the
+// failure path.
+DumpHook g_dump_hook = nullptr;
+void* g_dump_ctx = nullptr;
+
 }  // namespace
 
 void fail(Violation v) {
+  if (g_dump_hook != nullptr) g_dump_hook(g_dump_ctx, v);
   if (g_handler != nullptr) {
     g_handler(v);
     // A test handler that returns instead of throwing is a test bug; fall
@@ -33,5 +39,16 @@ void fail(Violation v) {
 ScopedHandler::ScopedHandler(Handler handler) : previous_{g_handler} { g_handler = handler; }
 
 ScopedHandler::~ScopedHandler() { g_handler = previous_; }
+
+ScopedDumpHook::ScopedDumpHook(DumpHook hook, void* ctx)
+    : previous_hook_{g_dump_hook}, previous_ctx_{g_dump_ctx} {
+  g_dump_hook = hook;
+  g_dump_ctx = ctx;
+}
+
+ScopedDumpHook::~ScopedDumpHook() {
+  g_dump_hook = previous_hook_;
+  g_dump_ctx = previous_ctx_;
+}
 
 }  // namespace flowpulse::sim::audit

@@ -72,6 +72,25 @@ class ScopedHandler {
   Handler previous_;
 };
 
+using DumpHook = void (*)(void* ctx, const Violation& v);
+
+/// RAII diagnostics hook: while alive, fail() invokes `hook(ctx, v)` before
+/// the handler / abort path. exp::Scenario uses this to dump the flight
+/// recorder's event window to stderr when an invariant dies mid-run, so the
+/// causal trace survives the abort. Install/remove only while no simulation
+/// is running on another thread; the hook must not throw.
+class ScopedDumpHook {
+ public:
+  ScopedDumpHook(DumpHook hook, void* ctx);
+  ~ScopedDumpHook();
+  ScopedDumpHook(const ScopedDumpHook&) = delete;
+  ScopedDumpHook& operator=(const ScopedDumpHook&) = delete;
+
+ private:
+  DumpHook previous_hook_;
+  void* previous_ctx_;
+};
+
 }  // namespace flowpulse::sim::audit
 
 // FP_AUDIT(cond, invariant, entity, iteration, sim_time_ps, detail)

@@ -6,6 +6,7 @@ void Simulator::run() { run_until(Time::max()); }
 
 void Simulator::run_until(Time deadline) {
   stopped_ = false;
+  FP_TRACE(*this, kRunStart, "sim", 0, 0, queue_.size(), 0.0, "");
   while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
     EventQueue::Event ev = queue_.pop();
     FP_AUDIT(ev.at >= now_, "event-monotonicity", "simulator", events_executed_, now_.ps(),
@@ -15,6 +16,8 @@ void Simulator::run_until(Time deadline) {
     ev.fn();
   }
   if (!stopped_ && deadline != Time::max() && now_ < deadline) now_ = deadline;
+  FP_TRACE(*this, kRunStop, "sim", 0, 0, events_executed_, 0.0,
+           stopped_ ? "stopped" : "drained");
 #if FP_AUDIT_ENABLED
   // Quiesce = the queue drained on its own. A stop() or a deadline exit
   // leaves work in flight, where conservation legitimately has bytes on

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 
+#include "obs/trace.h"
 #include "sim/audit.h"
 #include "sim/event_queue.h"
 #include "sim/rng.h"
@@ -71,10 +72,21 @@ class Simulator {
   }
 #endif
 
+#if FP_TRACE_ENABLED
+  /// Install (or clear, with nullptr) the flight-recorder sink that FP_TRACE
+  /// call sites across all layers emit into. The sink must outlive every
+  /// subsequent run of this simulator. Trace-enabled builds only.
+  void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+  [[nodiscard]] obs::TraceSink* trace() const { return trace_; }
+#endif
+
  private:
 #if FP_AUDIT_ENABLED
   void audit_on_quiesce();
   std::vector<std::function<void()>> audit_quiesce_checks_;
+#endif
+#if FP_TRACE_ENABLED
+  obs::TraceSink* trace_ = nullptr;
 #endif
   EventQueue queue_;
   Time now_ = Time::zero();

@@ -96,6 +96,7 @@ void Transport::on_rto(std::uint64_t msg_id, std::uint32_t seq, std::uint8_t att
   if (st.done || st.seg_acked[seq]) return;       // stale timer: already acked
   if (st.attempts[seq] != attempt + 1) return;    // stale timer: newer attempt pending
   ++stats_.retx_packets_sent;
+  FP_TRACE(sim_, kRtoFire, "", host_.id(), seq, msg_id, static_cast<double>(attempt), "");
   transmit_segment(st, seq);
 }
 

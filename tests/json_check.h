@@ -1,0 +1,163 @@
+#pragma once
+
+// Strict RFC 8259 JSON validity checker for tests. Hand-rolled recursive
+// descent over the full grammar — objects, arrays, strings with escape
+// sequences, numbers, literals — so serializer tests can assert "a real
+// parser accepts this" instead of merely counting braces (which hostile
+// string content like `"}{"` defeats).
+
+#include <cctype>
+#include <cstddef>
+#include <string_view>
+
+namespace flowpulse::testjson {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view s) : s_{s} {}
+
+  /// Whole input is exactly one JSON value (with surrounding whitespace).
+  [[nodiscard]] bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  [[nodiscard]] bool done() const { return pos_ >= s_.size(); }
+  [[nodiscard]] char peek() const { return s_[pos_]; }
+  bool consume(char c) {
+    if (done() || s_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (!done() && (peek() == ' ' || peek() == '\t' || peek() == '\n' || peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(std::string_view kw) {
+    if (s_.substr(pos_, kw.size()) != kw) return false;
+    pos_ += kw.size();
+    return true;
+  }
+
+  bool string() {
+    if (!consume('"')) return false;
+    while (!done()) {
+      const unsigned char c = static_cast<unsigned char>(s_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return false;  // raw control characters are invalid
+      if (c == '\\') {
+        ++pos_;
+        if (done()) return false;
+        const char e = s_[pos_];
+        if (e == '"' || e == '\\' || e == '/' || e == 'b' || e == 'f' || e == 'n' ||
+            e == 'r' || e == 't') {
+          ++pos_;
+        } else if (e == 'u') {
+          ++pos_;
+          for (int i = 0; i < 4; ++i, ++pos_) {
+            if (done() || std::isxdigit(static_cast<unsigned char>(s_[pos_])) == 0) {
+              return false;
+            }
+          }
+        } else {
+          return false;
+        }
+      } else {
+        ++pos_;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool digits() {
+    if (done() || std::isdigit(static_cast<unsigned char>(peek())) == 0) return false;
+    while (!done() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    return true;
+  }
+
+  bool number() {
+    consume('-');
+    if (done()) return false;
+    if (peek() == '0') {
+      ++pos_;  // leading zero may not be followed by more digits
+      if (!done() && std::isdigit(static_cast<unsigned char>(peek())) != 0) return false;
+    } else if (!digits()) {
+      return false;
+    }
+    if (!done() && peek() == '.') {
+      ++pos_;
+      if (!digits()) return false;
+    }
+    if (!done() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!done() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  bool object() {
+    if (!consume('{')) return false;
+    skip_ws();
+    if (consume('}')) return true;
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (consume('}')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool array() {
+    if (!consume('[')) return false;
+    skip_ws();
+    if (consume(']')) return true;
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (consume(']')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool value() {
+    if (done()) return false;
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+[[nodiscard]] inline bool valid_json(std::string_view s) { return Parser{s}.valid(); }
+
+}  // namespace flowpulse::testjson

@@ -10,10 +10,13 @@
 #   tsan   ThreadSanitizer in build-tsan/. After the full suite, reruns the
 #          parallel trial-engine tests with FLOWPULSE_JOBS=8 so the
 #          worker-pool merge paths race-check under real contention.
-#   audit  FLOWPULSE_AUDIT=ON in build-audit/: the runtime invariant
-#          auditor (byte conservation, event monotonicity, PFC liveness,
-#          exactly-once delivery, monitor reconciliation) checks every
-#          test's simulation from the inside.
+#   audit  FLOWPULSE_AUDIT=ON + FLOWPULSE_TRACE=ON in build-audit/: the
+#          runtime invariant auditor (byte conservation, event
+#          monotonicity, PFC liveness, exactly-once delivery, monitor
+#          reconciliation) checks every test's simulation from the inside,
+#          and the flight-recorder instrumentation is compiled in so the
+#          obs tests' end-to-end capture paths run and audit failures dump
+#          the recorded event window.
 #
 # A first argument that is not a known mode is passed to ctest (back-compat
 # with the old `tests/run_sanitized.sh -R <regex>` usage, which ran asan).
@@ -37,7 +40,7 @@ case "${mode}" in
     ;;
   audit)
     build_dir="${repo_root}/build-audit"
-    cmake_flags="-DFLOWPULSE_AUDIT=ON"
+    cmake_flags="-DFLOWPULSE_AUDIT=ON -DFLOWPULSE_TRACE=ON"
     ;;
 esac
 

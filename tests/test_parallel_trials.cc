@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <set>
 #include <stdexcept>
 #include <vector>
 
@@ -61,10 +62,37 @@ TEST(RunTrialsParallel, SkipMatchesSerialSkip) {
   expect_bit_identical(serial, parallel);
 }
 
-TEST(TrialSeed, MatchesDocumentedSchedule) {
-  EXPECT_EQ(trial_seed(1, 0), 1u);
-  EXPECT_EQ(trial_seed(1, 1), 1u + 7919u);
-  EXPECT_EQ(trial_seed(100, 3), 100u + 3u * 7919u);
+TEST(TrialSeed, IsDeterministicAndConstexpr) {
+  // The schedule is a pure function of (base, t), computable at compile time.
+  static_assert(trial_seed(1, 0) == trial_seed(1, 0));
+  static_assert(trial_seed(1, 0) != trial_seed(1, 1));
+  static_assert(trial_seed(1, 0) != trial_seed(2, 0));
+  EXPECT_EQ(trial_seed(42, 7), trial_seed(42, 7));
+}
+
+TEST(TrialSeed, NoCollisionsAcrossOverlappingSweeps) {
+  // The old schedule base + t * 7919 collided whenever two sweeps' bases
+  // differed by a multiple of the stride: trial_seed(1, 5) == trial_seed(
+  // 1 + 7919, 4), so "independent" experiments replayed each other's
+  // trials. The mixed schedule must keep such sweeps fully disjoint.
+  std::set<std::uint64_t> seen;
+  std::size_t n = 0;
+  for (const std::uint64_t base : {1ull, 1ull + 7919, 1ull + 5 * 7919, 42ull, 43ull}) {
+    for (std::uint32_t t = 0; t < 64; ++t) {
+      seen.insert(trial_seed(base, t));
+      ++n;
+    }
+  }
+  EXPECT_EQ(seen.size(), n);
+}
+
+TEST(TrialSeed, NeverYieldsDegenerateSeeds) {
+  // Raw base seeds 0 and 1 are fine inputs; outputs must be well mixed
+  // (never 0, which some PRNG seedings treat as a degenerate state).
+  for (std::uint32_t t = 0; t < 256; ++t) {
+    EXPECT_NE(trial_seed(0, t), 0u);
+    EXPECT_NE(trial_seed(1, t), 0u);
+  }
 }
 
 TEST(ParallelIndexed, PreservesIndexOrder) {

@@ -8,6 +8,7 @@
 
 #include "exp/report.h"
 #include "exp/scenario.h"
+#include "json_check.h"
 
 namespace flowpulse::exp {
 namespace {
@@ -139,6 +140,37 @@ TEST(Report, RunJsonEmbedsMitigation) {
   expect_balanced(empty);
   EXPECT_NE(empty.find("\"events\":[]"), std::string::npos);
   EXPECT_NE(empty.find("\"first_alert_us\":null"), std::string::npos);
+}
+
+TEST(Report, AllJsonOutputsPassStrictParser) {
+  // Every emitter, validated by a real RFC 8259 parser rather than brace
+  // counting (which hostile string content defeats).
+  ScenarioResult r = sample_result();
+  r.detections = sample_alerts();
+  r.mitigation_events = sample_events();
+  EXPECT_TRUE(testjson::valid_json(to_json(r)));
+  EXPECT_TRUE(testjson::valid_json(alerts_to_json(sample_alerts())));
+  EXPECT_TRUE(testjson::valid_json(alerts_to_json({})));
+  EXPECT_TRUE(testjson::valid_json(
+      mitigation_to_json(sample_events(), ctrl::RecoveryTimeline{})));
+}
+
+TEST(Report, HostileReasonStringsStayValidJson) {
+  // Regression: e.reason used to be emitted raw, so a reason containing a
+  // quote or backslash produced unparseable run-summary JSON. All reasons
+  // now route through obs::json_escape.
+  std::vector<ctrl::MitigationEvent> events = sample_events();
+  events[0].reason = "say \"no\" \\ and\nbreak\tout\x01";
+  events[1].reason = "}{\"][";
+  const std::string json = mitigation_to_json(events, ctrl::RecoveryTimeline{});
+  EXPECT_TRUE(testjson::valid_json(json)) << json;
+  EXPECT_NE(json.find("\\\"no\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+
+  ScenarioResult r = sample_result();
+  r.mitigation_events = events;
+  EXPECT_TRUE(testjson::valid_json(to_json(r)));
 }
 
 TEST(Report, MitigationTableRowsMatchEvents) {
