@@ -27,14 +27,15 @@ int main() {
   for (const std::uint32_t n : {0u, 1u, 2u, 4u}) {
     exp::ScenarioConfig cfg = bench::paper_setup(16ull << 20);
     for (std::uint32_t i = 0; i < n; ++i) {
-      cfg.preexisting.emplace_back((5 + 11 * i) % 32, (2 + 5 * i) % 16);
+      cfg.preexisting.emplace_back(net::LeafId{(5 + 11 * i) % 32},
+                                   net::UplinkIndex{(2 + 5 * i) % 16});
     }
     exp::Scenario s{cfg};
     const exp::ScenarioResult r = s.run();
 
     std::uint32_t spatial_flagged = 0, spatial_total = 0;
     double max_dev = 0.0;
-    for (net::LeafId l = 0; l < 32; ++l) {
+    for (const net::LeafId l : core::ids<net::LeafId>(32)) {
       for (const fp::IterationRecord& rec : s.flowpulse().monitor(l).history()) {
         const auto res = baseline::spatial_symmetry_check(rec, 0.01);
         ++spatial_total;
@@ -77,7 +78,7 @@ int main() {
       }
     }
     tb.row({std::to_string(interval_us) + " us", std::to_string(prober.probes_sent()),
-            std::to_string(prober.bytes_injected()) + " B",
+            std::to_string(prober.bytes_injected().v()) + " B",
             exp::pct(prober.loss_rate(), 3),
             prober.first_loss_time() == sim::Time::max()
                 ? "never"
@@ -105,7 +106,7 @@ int main() {
       if (dev > 0.01) ++flagged;
     }
     tc.row({visible ? "counted (e.g. CRC errs)" : "SILENT (paper's target)",
-            std::to_string(r.fabric_counters.dropped_packets),
+            std::to_string(r.fabric_counters.dropped_packets.v()),
             std::to_string(scraper.alarms().size()),
             std::to_string(flagged) + "/" + std::to_string(r.per_iter_max_dev.size())});
   }

@@ -37,8 +37,8 @@ int main() {
   for (const Case& c : cases) {
     exp::ScenarioConfig cfg = bench::paper_setup(24'000'000, 4);
     exp::NewFault f;
-    f.leaf = 12;
-    f.uplink = 5;
+    f.leaf = net::LeafId{12};
+    f.uplink = net::UplinkIndex{5};
     f.where = exp::NewFault::Where::kBoth;
     f.spec = c.spec;
     cfg.new_faults.push_back(f);

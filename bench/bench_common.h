@@ -54,7 +54,8 @@ inline exp::ScenarioConfig paper_setup(std::uint64_t collective_bytes = kDefault
 /// both directions, so both see the drop rate; the downlink direction
 /// starves the local leaf's ingress port, the uplink direction starves the
 /// ring successor's.
-inline exp::NewFault silent_drop(double rate, net::LeafId leaf = 12, net::UplinkIndex u = 5) {
+inline exp::NewFault silent_drop(double rate, net::LeafId leaf = net::LeafId{12},
+                                 net::UplinkIndex u = net::UplinkIndex{5}) {
   exp::NewFault f;
   f.leaf = leaf;
   f.uplink = u;

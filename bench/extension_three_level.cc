@@ -35,22 +35,24 @@ Result run_case(int fault_tier, double drop) {
   fp::ThreeLevelFlowPulse fps{net, 0.01};
 
   collective::CollectiveConfig cc;
-  for (net::HostId h = 0; h < net.num_hosts(); ++h) cc.hosts.push_back(h);
+  for (const net::HostId h : core::ids<net::HostId>(net.num_hosts())) {
+    cc.hosts.push_back(h);
+  }
   cc.schedule = collective::ring_reduce_scatter(
       net.num_hosts(),
       static_cast<std::uint64_t>(24'000'000 * exp::env_scale()));
   cc.iterations = 3;
   collective::CollectiveRunner runner{sim, transports, std::move(cc)};
 
-  std::vector<net::HostId> hosts(net.num_hosts());
-  for (net::HostId h = 0; h < net.num_hosts(); ++h) hosts[h] = h;
+  std::vector<net::HostId> hosts(net.num_hosts(), net::HostId{});
+  for (const net::HostId h : core::ids<net::HostId>(net.num_hosts())) hosts[h.v()] = h;
   const auto demand = collective::DemandMatrix::from_schedule(runner.current_schedule(),
                                                               hosts, net.num_hosts());
   const fp::ThreeLevelAnalyticalModel model{net.info(), 4096, net::kHeaderBytes};
   fps.set_prediction(model.predict(demand, net.routing()));
 
   if (fault_tier == 1) {
-    net.set_leaf_link_fault(/*leaf=*/6, /*spine=*/2, net::FaultSpec::random_drop(drop));
+    net.set_leaf_link_fault(net::LeafId{6}, /*spine=*/2, net::FaultSpec::random_drop(drop));
   } else if (fault_tier == 2) {
     net.set_core_link_fault(/*pod=*/1, /*spine=*/2, /*k=*/3,
                             net::FaultSpec::random_drop(drop));
@@ -71,16 +73,16 @@ Result run_case(int fault_tier, double drop) {
   for (const auto& dr : fps.faulty_leaf_results()) {
     for (const auto& a : dr.alerts) {
       if (a.observed < a.predicted) {
-        r.leaf_verdict = "FAULT @ leaf " + std::to_string(dr.leaf) + " / spine idx " +
-                         std::to_string(a.uplink);
+        r.leaf_verdict = "FAULT @ leaf " + std::to_string(dr.leaf.v()) + " / spine idx " +
+                         std::to_string(a.uplink.v());
       }
     }
   }
   for (const auto& dr : fps.faulty_spine_results()) {
     for (const auto& a : dr.alerts) {
       if (a.observed < a.predicted) {
-        r.spine_verdict = "FAULT @ podspine " + std::to_string(dr.leaf) + " / core " +
-                          std::to_string(a.uplink);
+        r.spine_verdict = "FAULT @ podspine " + std::to_string(dr.leaf.v()) + " / core " +
+                          std::to_string(a.uplink.v());
       }
     }
   }

@@ -24,7 +24,7 @@ double run_point(const Point& pt, double* out_port_pred, double* out_port_obs) {
   // we examine only the 3→20 direction at leaf 20.
   cfg.fabric.shape = net::TopologyInfo{32, 16, 1, 1};
   for (std::uint32_t i = 0; i < pt.preexisting; ++i) {
-    cfg.preexisting.emplace_back(20, i);  // failed links at the dst leaf
+    cfg.preexisting.emplace_back(net::LeafId{20}, net::UplinkIndex{i});  // failed links at the dst leaf
   }
   cfg.collective = collective::CollectiveKind::kAllToAll;
   cfg.max_jitter = sim::Time::zero();
@@ -36,30 +36,31 @@ double run_point(const Point& pt, double* out_port_pred, double* out_port_obs) {
   auto& transports = scenario.transports();
 
   collective::DemandMatrix demand{fabric.num_hosts()};
-  demand.add(3, 20, pt.bytes);
+  demand.add(net::HostId{3}, net::HostId{20}, pt.bytes);
   const fp::AnalyticalModel model{fabric.info(), 4096, net::kHeaderBytes};
   const fp::PortLoadMap pred = model.predict(demand, fabric.routing());
 
   transport::MessageSpec spec;
-  spec.dst = 20;
+  spec.dst = net::HostId{20};
   spec.bytes = pt.bytes;
-  spec.flow_id = net::flowid::make_collective(0);
-  transports.at(3).send_message(spec);
+  spec.flow_id = net::flowid::make_collective(net::IterIndex{0});
+  transports.at(net::HostId{3}).send_message(spec);
   sim.run();
   scenario.flowpulse().flush();
 
-  const auto& history = scenario.flowpulse().monitor(20).history();
+  const auto& history = scenario.flowpulse().monitor(net::LeafId{20}).history();
   double worst = -1.0;
   if (!history.empty()) {
     const fp::IterationRecord& rec = history.back();
-    for (net::UplinkIndex u = 0; u < fabric.info().uplinks_per_leaf(); ++u) {
-      const double p = pred.at(20, u).total;
+    for (const net::UplinkIndex u :
+         core::ids<net::UplinkIndex>(fabric.info().uplinks_per_leaf())) {
+      const double p = pred.at(net::LeafId{20}, u).total;
       if (p <= 0.0) continue;
-      const double dev = fp::relative_deviation(rec.bytes[u], p);
+      const double dev = fp::relative_deviation(rec.bytes[u.v()], p);
       if (dev > worst) {
         worst = dev;
         *out_port_pred = p;
-        *out_port_obs = rec.bytes[u];
+        *out_port_obs = rec.bytes[u.v()];
       }
     }
   }

@@ -40,36 +40,36 @@ int main() {
   cfg.flowpulse.learned.learn_iterations = 3;
   cfg.flowpulse.learned.threshold = 0.01;
 
-  const net::LeafId leaf = 12;
-  const net::UplinkIndex port = 5;
+  const net::LeafId leaf{12};
+  const net::UplinkIndex port{5};
   // Transient 6% gray fault during learning; heals around iteration 5.
   exp::NewFault transient = bench::silent_drop(0.06, leaf, port);
   transient.spec.end = sim::Time::microseconds(2200);
   cfg.new_faults.push_back(transient);
   // A genuinely new fault appears on another port near the end.
-  exp::NewFault late = bench::silent_drop(0.05, leaf, 9);
+  exp::NewFault late = bench::silent_drop(0.05, leaf, net::UplinkIndex{9});
   late.spec.start = sim::Time::microseconds(4200);
   cfg.new_faults.push_back(late);
 
   exp::Scenario scenario{cfg};
   const exp::ScenarioResult result = scenario.run();
 
-  exp::Table table({"iteration", "window", "port " + std::to_string(port) + " bytes",
+  exp::Table table({"iteration", "window", "port " + std::to_string(port.v()) + " bytes",
                     "port 9 bytes", "model outcome", "max dev"});
   const auto& history = scenario.flowpulse().monitor(leaf).history();
   for (const auto& lo : result.learned) {
     if (lo.leaf != leaf) continue;
     std::string window = "?";
-    if (lo.iteration < result.iter_windows.size()) {
-      const auto& w = result.iter_windows[lo.iteration];
+    if (lo.iteration.v() < result.iter_windows.size()) {
+      const auto& w = result.iter_windows[lo.iteration.v()];
       window = exp::fmt(w.first.us(), 0) + "-" + exp::fmt(w.second.us(), 0) + "us";
     }
     const fp::IterationRecord* rec = nullptr;
     for (const auto& r : history) {
       if (r.iteration == lo.iteration) rec = &r;
     }
-    table.row({std::to_string(lo.iteration), window,
-               rec ? exp::fmt(rec->bytes[port], 0) : "-",
+    table.row({std::to_string(lo.iteration.v()), window,
+               rec ? exp::fmt(rec->bytes[port.v()], 0) : "-",
                rec ? exp::fmt(rec->bytes[9], 0) : "-", kind_name(lo.outcome.kind),
                exp::pct(lo.outcome.max_rel_dev)});
   }

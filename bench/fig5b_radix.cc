@@ -44,7 +44,7 @@ int main() {
 
     exp::ScenarioConfig faulty_cfg = cfg;
     faulty_cfg.new_faults.push_back(
-        bench::silent_drop(drop, leaves / 2, spines / 2));
+        bench::silent_drop(drop, net::LeafId{leaves / 2}, net::UplinkIndex{spines / 2}));
     const std::vector<exp::TrialSamples> faulty = bench::run_trials(faulty_cfg, trials);
 
     const std::uint64_t pkts = cfg.collective_bytes * (leaves - 1) / leaves / spines / 4096;

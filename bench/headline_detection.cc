@@ -17,8 +17,8 @@ int main() {
   bench::print_header("HEADLINE: 1.5% corrupting link in a 32-leaf fat tree, Ring-AllReduce",
                       "Paper abstract: single faulty link at 1.5% corruption detected.");
 
-  const net::LeafId fault_leaf = 12;
-  const net::UplinkIndex fault_port = 5;
+  const net::LeafId fault_leaf{12};
+  const net::UplinkIndex fault_port{5};
   exp::ScenarioConfig cfg = bench::paper_setup(256ull << 20, 3);
 
   exp::Scenario clean{cfg};

@@ -32,8 +32,8 @@ LocalizationScore run_case(bool remote, double drop) {
   cfg.iterations = 2;
   cfg.flowpulse.threshold = 0.01;
 
-  const net::LeafId fault_leaf = 1;
-  const net::UplinkIndex fault_port = 0;
+  const net::LeafId fault_leaf{1};
+  const net::UplinkIndex fault_port{0};
   exp::NewFault f;
   f.leaf = fault_leaf;
   f.uplink = fault_port;

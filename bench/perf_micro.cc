@@ -53,15 +53,15 @@ void BM_FabricPacketDelivery(benchmark::State& state) {
     cfg.shape = net::TopologyInfo{8, 4, 1, 1};
     net::FatTree net{sim, cfg};
     int got = 0;
-    net.host(7).set_rx_handler([&](const net::Packet&) { ++got; });
+    net.host(net::HostId{7}).set_rx_handler([&](const net::Packet&) { ++got; });
     const int n = 4096;
     state.ResumeTiming();
     for (int i = 0; i < n; ++i) {
       net::Packet p;
-      p.src = 0;
-      p.dst = 7;
-      p.size_bytes = 4160;
-      net.host(0).nic().enqueue(p);
+      p.src = net::HostId{0};
+      p.dst = net::HostId{7};
+      p.size_bytes = core::Bytes{4160};
+      net.host(net::HostId{0}).nic().enqueue(p);
     }
     sim.run();
     benchmark::DoNotOptimize(got);
@@ -107,8 +107,8 @@ exp::ScenarioConfig trial_sweep_config() {
   cfg.iterations = 2;
   cfg.new_faults.push_back([] {
     exp::NewFault f;
-    f.leaf = 3;
-    f.uplink = 1;
+    f.leaf = net::LeafId{3};
+    f.uplink = net::UplinkIndex{1};
     f.where = exp::NewFault::Where::kBoth;
     f.spec = net::FaultSpec::random_drop(0.05);
     return f;
@@ -148,12 +148,12 @@ BENCHMARK(BM_TrialSweepParallel)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)-
 void BM_AnalyticalPredict(benchmark::State& state) {
   const net::TopologyInfo info{32, 16, 1, 1};
   net::RoutingState routing{32, 16};
-  routing.set_known_failed(3, 7);
+  routing.set_known_failed(net::LeafId{3}, net::UplinkIndex{7});
   const auto schedule = collective::ring_reduce_scatter(32, 64ull << 20);
-  std::vector<net::HostId> hosts(32);
-  for (net::HostId h = 0; h < 32; ++h) hosts[h] = h;
+  std::vector<net::HostId> hosts(32, net::HostId{});
+  for (const net::HostId h : core::ids<net::HostId>(32)) hosts[h.v()] = h;
   const auto demand = collective::DemandMatrix::from_schedule(schedule, hosts, 32);
-  const fp::AnalyticalModel model{info, 4096, 64};
+  const fp::AnalyticalModel model{info, 4096, core::Bytes{64}};
   for (auto _ : state) {
     benchmark::DoNotOptimize(model.predict(demand, routing));
   }
@@ -164,16 +164,16 @@ BENCHMARK(BM_AnalyticalPredict);
 void BM_MonitorRecord(benchmark::State& state) {
   // The per-packet cost a programmable switch pays: one filter + two adds.
   const net::TopologyInfo info{32, 16, 1, 1};
-  fp::PortMonitor mon{5, info};
+  fp::PortMonitor mon{net::LeafId{5}, info};
   net::Packet p;
-  p.flow_id = net::flowid::make_collective(0);
-  p.src = 4;
-  p.size_bytes = 4160;
+  p.flow_id = net::flowid::make_collective(net::IterIndex{0});
+  p.src = net::HostId{4};
+  p.size_bytes = core::Bytes{4160};
   p.kind = net::PacketKind::kData;
-  std::uint32_t u = 0;
+  net::UplinkIndex u{0};
   for (auto _ : state) {
     mon.record(u, p);
-    u = (u + 1) % 16;
+    u = net::UplinkIndex{(u.v() + 1) % 16};
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -197,8 +197,8 @@ exp::ScenarioConfig trace_bench_config() {
   cfg.iterations = 1;
   cfg.new_faults.push_back([] {
     exp::NewFault f;
-    f.leaf = 3;
-    f.uplink = 1;
+    f.leaf = net::LeafId{3};
+    f.uplink = net::UplinkIndex{1};
     f.where = exp::NewFault::Where::kDownlink;
     f.spec = net::FaultSpec::random_drop(0.10);
     return f;
@@ -303,13 +303,14 @@ BENCHMARK(BM_TraceMetricsSummarize)->Arg(1 << 12);
 
 void BM_DetectorEvaluate(benchmark::State& state) {
   // The per-iteration cost: compare 16 ports against prediction.
-  const net::TopologyInfo info{32, 16, 1, 1};
   fp::PortLoadMap pred{32, 16};
-  for (net::UplinkIndex u = 0; u < 16; ++u) pred.add(5, u, 4, 1.0e6);
+  for (const net::UplinkIndex u : core::ids<net::UplinkIndex>(16)) {
+    pred.add(net::LeafId{5}, u, net::LeafId{4}, 1.0e6);
+  }
   fp::Detector det{pred, 0.01};
   fp::IterationRecord rec;
-  rec.leaf = 5;
-  rec.iteration = 1;
+  rec.leaf = net::LeafId{5};
+  rec.iteration = net::IterIndex{1};
   rec.bytes.assign(16, 1.0e6);
   rec.by_src.assign(16, std::vector<double>(32, 0.0));
   for (auto& v : rec.by_src) v[4] = 1.0e6;

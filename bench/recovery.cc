@@ -28,8 +28,8 @@ int main() {
   auto setup = [&](bool mitigate) {
     exp::ScenarioConfig cfg = bench::paper_setup(24'000'000, 10);
     exp::NewFault f;
-    f.leaf = 12;
-    f.uplink = 5;
+    f.leaf = net::LeafId{12};
+    f.uplink = net::UplinkIndex{5};
     f.where = exp::NewFault::Where::kDownlink;
     f.spec = net::FaultSpec::black_hole(onset);
     cfg.new_faults.push_back(f);
@@ -56,7 +56,7 @@ int main() {
     row.timeline = r.recovery;
     row.events = r.mitigation_events.size();
     for (const ctrl::MitigationEvent& e : r.mitigation_events) {
-      if (e.kind == ctrl::MitigationEvent::Kind::kQuarantine && e.leaf == 12 && e.uplink == 5) {
+      if (e.kind == ctrl::MitigationEvent::Kind::kQuarantine && e.leaf == net::LeafId{12} && e.uplink == net::UplinkIndex{5}) {
         row.right_link = true;
       }
     }

@@ -145,13 +145,13 @@ int main(int argc, char** argv) {
   }
 
   for (std::uint32_t i = 0; i < o.preexisting; ++i) {
-    cfg.preexisting.emplace_back((3 + 7 * i) % o.leaves,
-                                 (1 + 3 * i) % (o.spines * o.parallel));
+    cfg.preexisting.emplace_back(net::LeafId{(3 + 7 * i) % o.leaves},
+                                 net::UplinkIndex{(1 + 3 * i) % (o.spines * o.parallel)});
   }
   if (o.drop > 0.0 || o.fault_kind == "blackhole") {
     exp::NewFault f;
-    f.leaf = o.fault_leaf;
-    f.uplink = o.fault_spine;
+    f.leaf = net::LeafId{o.fault_leaf};
+    f.uplink = net::UplinkIndex{o.fault_spine};
     f.where = exp::NewFault::Where::kBoth;
     if (o.fault_kind == "blackhole") {
       f.spec = net::FaultSpec::black_hole();

@@ -36,8 +36,8 @@ int main() {
   // the two jobs by hand on top of the scenario's fabric and transports.
   cfg.iterations = 0;  // disable the built-in runner (we drive our own)
   exp::NewFault fault;
-  fault.leaf = 6;
-  fault.uplink = 2;
+  fault.leaf = net::LeafId{6};
+  fault.uplink = net::UplinkIndex{2};
   fault.where = exp::NewFault::Where::kBoth;
   fault.spec = net::FaultSpec::random_drop(0.025);
   cfg.new_faults.push_back(fault);
@@ -47,7 +47,7 @@ int main() {
   // Job A: ring over the even hosts — one non-local sender/receiver per
   // leaf, the condition §5.1 needs. Tagged and prioritized.
   collective::CollectiveConfig job_a;
-  for (net::HostId h = 0; h < 32; h += 2) job_a.hosts.push_back(h);
+  for (std::uint32_t h = 0; h < 32; h += 2) job_a.hosts.push_back(net::HostId{h});
   job_a.schedule = collective::ring_reduce_scatter(16, 24'000'000);
   job_a.iterations = 4;
   job_a.priority = net::Priority::kCollective;
@@ -56,7 +56,7 @@ int main() {
 
   // Job B: ring over the odd hosts — lower priority, untagged.
   collective::CollectiveConfig job_b;
-  for (net::HostId h = 1; h < 32; h += 2) job_b.hosts.push_back(h);
+  for (std::uint32_t h = 1; h < 32; h += 2) job_b.hosts.push_back(net::HostId{h});
   job_b.schedule = collective::ring_reduce_scatter(16, 16'000'000);
   job_b.iterations = 5;
   job_b.priority = net::Priority::kBackground;

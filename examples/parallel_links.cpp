@@ -26,9 +26,9 @@ int main() {
   cfg.iterations = 3;
 
   // Virtual spine index = spine * parallel + lane: spine 1, lane 1 → 3.
-  const net::UplinkIndex faulty_lane = 1 * 2 + 1;
+  const net::UplinkIndex faulty_lane{1 * 2 + 1};
   exp::NewFault fault;
-  fault.leaf = 2;
+  fault.leaf = net::LeafId{2};
   fault.uplink = faulty_lane;
   fault.where = exp::NewFault::Where::kBoth;
   fault.spec = net::FaultSpec::random_drop(0.04);
@@ -41,16 +41,16 @@ int main() {
             << " iterations (a lane fault only costs bandwidth, not reachability)\n\n";
 
   // Show leaf 2's per-lane view for the last finalized iteration.
-  const auto& history = scenario.flowpulse().monitor(2).history();
+  const auto& history = scenario.flowpulse().monitor(net::LeafId{2}).history();
   if (!history.empty()) {
     const fp::IterationRecord& rec = history.back();
     exp::Table table({"virtual spine (spine.lane)", "observed B", "predicted B", "deviation"});
-    for (net::UplinkIndex u = 0; u < 8; ++u) {
-      const double pred = scenario.prediction()->at(2, u).total;
-      table.row({std::to_string(scenario.fabric().info().spine_of(u)) + "." +
+    for (const net::UplinkIndex u : core::ids<net::UplinkIndex>(8)) {
+      const double pred = scenario.prediction()->at(net::LeafId{2}, u).total;
+      table.row({std::to_string(scenario.fabric().info().spine_of(u).v()) + "." +
                      std::to_string(scenario.fabric().info().lane_of(u)),
-                 exp::fmt(rec.bytes[u], 0), exp::fmt(pred, 0),
-                 exp::pct(fp::relative_deviation(rec.bytes[u], pred))});
+                 exp::fmt(rec.bytes[u.v()], 0), exp::fmt(pred, 0),
+                 exp::pct(fp::relative_deviation(rec.bytes[u.v()], pred))});
     }
     table.print();
   }
@@ -58,7 +58,7 @@ int main() {
   bool localized = false;
   for (const fp::DetectionResult& d : scenario.flowpulse().faulty_results()) {
     for (const fp::PortAlert& a : d.alerts) {
-      if (d.leaf == 2 && a.uplink == faulty_lane && a.observed < a.predicted) {
+      if (d.leaf == net::LeafId{2} && a.uplink == faulty_lane && a.observed < a.predicted) {
         std::cout << "\nalert: leaf 2, spine "
                   << scenario.fabric().info().spine_of(a.uplink) << " lane "
                   << scenario.fabric().info().lane_of(a.uplink) << " — deviation "

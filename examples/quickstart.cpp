@@ -24,8 +24,8 @@ int main(int argc, char** argv) {
   // Iteration 0 and 1 run clean; the link from spine 5 down to leaf 12 then
   // silently starts dropping `drop_rate` of its packets.
   exp::NewFault fault;
-  fault.leaf = 12;
-  fault.uplink = 5;
+  fault.leaf = net::LeafId{12};
+  fault.uplink = net::UplinkIndex{5};
   fault.where = exp::NewFault::Where::kDownlink;
   fault.spec = net::FaultSpec::random_drop(drop_rate, sim::Time::microseconds(800));
   cfg.new_faults.push_back(fault);

@@ -35,8 +35,8 @@ int main() {
   cfg.seed = 7;
 
   exp::NewFault f;
-  f.leaf = 5;
-  f.uplink = 3;
+  f.leaf = net::LeafId{5};
+  f.uplink = net::UplinkIndex{3};
   f.where = exp::NewFault::Where::kDownlink;
   f.spec = net::FaultSpec::random_drop(0.10, onset);
   cfg.new_faults.push_back(f);
@@ -55,7 +55,7 @@ int main() {
   for (std::size_t i = 0; i < r.per_iter_max_dev.size(); ++i) {
     std::string actions;
     for (const ctrl::MitigationEvent& e : r.mitigation_events) {
-      if (e.iteration != i) continue;
+      if (e.iteration.v() != i) continue;
       if (!actions.empty()) actions += ", ";
       actions += std::string{exp::event_kind_name(e.kind)} + " (" + e.reason + ")";
     }
@@ -63,7 +63,7 @@ int main() {
     std::string verdict;
     if (dev <= cfg.flowpulse.threshold) {
       verdict = "clean";
-    } else if (r.recovery.mitigated() && i > r.recovery.first_quarantine_iteration) {
+    } else if (r.recovery.mitigated() && i > r.recovery.first_quarantine_iteration.v()) {
       // Traffic sprayed under the pre-quarantine routing, judged against the
       // re-baselined model — the deviation is meaningless (the quarantined
       // port predicts zero but in-flight bytes still land on it), and the

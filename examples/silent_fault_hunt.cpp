@@ -29,8 +29,8 @@ struct Case {
 int main() {
   std::cout << "FlowPulse silent-fault hunt: 16x8 fat tree, Ring-AllReduce, 24 MB/iter\n\n";
 
-  const net::LeafId leaf = 5;
-  const net::UplinkIndex port = 3;
+  const net::LeafId leaf{5};
+  const net::UplinkIndex port{3};
 
   exp::ScenarioConfig base;
   base.fabric.shape = net::TopologyInfo{16, 8, 1, 1};
@@ -86,8 +86,8 @@ int main() {
       for (const fp::PortAlert& a : d.alerts) {
         if (a.observed < a.predicted &&
             a.localization.verdict != fp::Localization::Verdict::kUnknown) {
-          localized = "leaf " + std::to_string(d.leaf) + " / spine " +
-                      std::to_string(s.fabric().info().spine_of(a.uplink)) +
+          localized = "leaf " + std::to_string(d.leaf.v()) + " / spine " +
+                      std::to_string(s.fabric().info().spine_of(a.uplink).v()) +
                       (a.localization.verdict == fp::Localization::Verdict::kLocalLink
                            ? " (local)"
                            : " (remote)");

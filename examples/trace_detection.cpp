@@ -54,8 +54,8 @@ int main(int argc, char** argv) {
   cfg.fabric.pfc.xon_bytes = 4 * 1024;
 
   exp::NewFault f;
-  f.leaf = 5;
-  f.uplink = 1;
+  f.leaf = net::LeafId{5};
+  f.uplink = net::UplinkIndex{1};
   f.where = exp::NewFault::Where::kDownlink;
   f.spec = net::FaultSpec::random_drop(0.15, sim::Time::microseconds(150));
   cfg.new_faults.push_back(f);

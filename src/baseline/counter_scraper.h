@@ -61,22 +61,27 @@ class CounterScraper {
     ++polls_;
     const net::TopologyInfo& info = fabric_.info();
     std::size_t idx = 0;
-    for (net::LeafId l = 0; l < info.leaves; ++l) {
-      for (net::UplinkIndex u = 0; u < info.uplinks_per_leaf(); ++u) {
+    for (const net::LeafId l : core::ids<net::LeafId>(info.leaves)) {
+      for (const net::UplinkIndex u : core::ids<net::UplinkIndex>(info.uplinks_per_leaf())) {
+        // Alarm names label the far end with the *spine*, not the uplink
+        // index (they only coincide when parallel == 1).
+        // detlint: ok(raw-scalar-id): formatting-only local; the id-space
+        // crossing is the explicit spine_of(u).v() on the same line
+        const std::uint32_t spine = info.spine_of(u).v();
         check(fabric_.uplink_counters(l, u),
-              "up:leaf" + std::to_string(l) + "-spine" + std::to_string(u), idx++);
+              "up:leaf" + std::to_string(l.v()) + "-spine" + std::to_string(spine), idx++);
         check(fabric_.downlink_counters(l, u),
-              "down:spine" + std::to_string(u) + "-leaf" + std::to_string(l), idx++);
+              "down:spine" + std::to_string(spine) + "-leaf" + std::to_string(l.v()), idx++);
       }
     }
     sim_.schedule_in(config_.period, [this] { poll(); });
   }
 
   void check(const net::LinkCounters& counters, const std::string& name, std::size_t idx) {
-    const std::uint64_t tx = counters.tx_packets - last_tx_[idx];
-    const std::uint64_t dropped = counters.telemetry_dropped_packets - last_dropped_[idx];
-    last_tx_[idx] = counters.tx_packets;
-    last_dropped_[idx] = counters.telemetry_dropped_packets;
+    const std::uint64_t tx = counters.tx_packets.v() - last_tx_[idx];
+    const std::uint64_t dropped = counters.telemetry_dropped_packets.v() - last_dropped_[idx];
+    last_tx_[idx] = counters.tx_packets.v();
+    last_dropped_[idx] = counters.telemetry_dropped_packets.v();
     if (tx == 0) return;
     const double rate = static_cast<double>(dropped) / static_cast<double>(tx);
     if (rate > config_.drop_rate_threshold) {

@@ -7,7 +7,7 @@ namespace flowpulse::baseline {
 PingmeshProber::PingmeshProber(sim::Simulator& simulator, net::FatTree& fabric,
                                transport::TransportLayer& transports, PingmeshConfig config)
     : sim_{simulator}, fabric_{fabric}, config_{config}, rng_{simulator.rng().split()} {
-  for (net::HostId h = 0; h < fabric.num_hosts(); ++h) {
+  for (const net::HostId h : core::ids<net::HostId>(fabric.num_hosts())) {
     transports.at(h).set_probe_handler(
         [this](const net::Packet& p) { on_probe_received(p.msg_id); });
   }
@@ -21,9 +21,9 @@ void PingmeshProber::start(sim::Time horizon) {
 void PingmeshProber::round() {
   if (sim_.now() >= horizon_) return;
   const std::uint32_t hosts = fabric_.num_hosts();
-  for (net::HostId src = 0; src < hosts; ++src) {
+  for (const net::HostId src : core::ids<net::HostId>(hosts)) {
     for (std::uint32_t i = 0; i < config_.probes_per_round; ++i) {
-      net::HostId dst = static_cast<net::HostId>(rng_.next_below(hosts - 1));
+      net::HostId dst{static_cast<std::uint32_t>(rng_.next_below(hosts - 1))};
       if (dst >= src) ++dst;  // uniform over peers != src
 
       net::Packet probe;

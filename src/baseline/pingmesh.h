@@ -4,6 +4,7 @@
 #include <map>
 #include <vector>
 
+#include "core/units.h"
 #include "net/fat_tree.h"
 #include "net/types.h"
 #include "sim/rng.h"
@@ -28,7 +29,7 @@ struct PingmeshConfig {
   sim::Time interval = sim::Time::microseconds(50);
   std::uint32_t probes_per_round = 4;   ///< destinations per host per round
   sim::Time timeout = sim::Time::microseconds(50);
-  std::uint32_t probe_bytes = 64;       ///< wire size of one probe
+  core::Bytes probe_bytes{64};          ///< wire size of one probe
   net::Priority priority = net::Priority::kBackground;
 };
 
@@ -42,8 +43,8 @@ class PingmeshProber {
 
   [[nodiscard]] std::uint64_t probes_sent() const { return probes_sent_; }
   [[nodiscard]] std::uint64_t probes_lost() const { return probes_lost_; }
-  [[nodiscard]] std::uint64_t bytes_injected() const {
-    return probes_sent_ * config_.probe_bytes;
+  [[nodiscard]] core::Bytes bytes_injected() const {
+    return config_.probe_bytes * probes_sent_;
   }
   [[nodiscard]] double loss_rate() const {
     return probes_sent_ == 0 ? 0.0

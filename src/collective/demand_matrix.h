@@ -24,10 +24,10 @@ class DemandMatrix {
                                     std::uint32_t num_hosts);
 
   [[nodiscard]] std::uint64_t at(net::HostId src, net::HostId dst) const {
-    return bytes_[static_cast<std::size_t>(src) * hosts_ + dst];
+    return bytes_[static_cast<std::size_t>(src.v()) * hosts_ + dst.v()];
   }
   void add(net::HostId src, net::HostId dst, std::uint64_t bytes) {
-    bytes_[static_cast<std::size_t>(src) * hosts_ + dst] += bytes;
+    bytes_[static_cast<std::size_t>(src.v()) * hosts_ + dst.v()] += bytes;
   }
 
   [[nodiscard]] std::uint32_t hosts() const { return hosts_; }

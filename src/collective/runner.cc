@@ -25,7 +25,9 @@ CollectiveRunner::CollectiveRunner(sim::Simulator& simulator,
 }
 
 net::FlowId CollectiveRunner::flow_id_for(std::uint32_t iteration) const {
-  if (config_.tag_flow) return net::flowid::make_collective(iteration, config_.job_id);
+  if (config_.tag_flow) {
+    return net::flowid::make_collective(net::IterIndex{iteration}, config_.job_id);
+  }
   // Untagged (background) job: any id without the collective sentinel.
   return (static_cast<net::FlowId>(config_.job_id) + 1) << 32 | iteration;
 }
@@ -178,7 +180,7 @@ void CollectiveRunner::finish_iteration() {
   iteration_durations_.push_back(sim_.now() - iteration_start_);
   if (config_.validate_data) validate_iteration();
   for (const IterationHook& hook : iteration_hooks_) {
-    hook(iteration_, iteration_start_, sim_.now());
+    hook(net::IterIndex{iteration_}, iteration_start_, sim_.now());
   }
 
   if (completed_iterations_ < config_.iterations) {

@@ -45,7 +45,7 @@ struct CollectiveConfig {
 class CollectiveRunner {
  public:
   /// (iteration index, start time, completion time)
-  using IterationHook = std::function<void(std::uint32_t, sim::Time, sim::Time)>;
+  using IterationHook = std::function<void(net::IterIndex, sim::Time, sim::Time)>;
 
   CollectiveRunner(sim::Simulator& simulator, transport::TransportLayer& transports,
                    CollectiveConfig config);
@@ -87,7 +87,7 @@ class CollectiveRunner {
   [[nodiscard]] net::FlowId flow_id_for(std::uint32_t iteration) const;
   [[nodiscard]] double original_value(std::uint32_t rank, std::uint32_t chunk) const;
   [[nodiscard]] static std::uint64_t msg_key(net::HostId src, std::uint64_t msg_id) {
-    return (static_cast<std::uint64_t>(src) << 40) ^ msg_id;
+    return (static_cast<std::uint64_t>(src.v()) << 40) ^ msg_id;
   }
 
   sim::Simulator& sim_;

@@ -22,7 +22,7 @@ void MitigationController::observe(const fp::DetectionResult& result) {
     // resurfacing elsewhere (retransmissions) and names no culprit.
     if (a.observed >= a.predicted) continue;
     auto implicate = [&agg](net::LeafId leaf, net::UplinkIndex uplink) {
-      const LinkKey key{leaf, uplink};
+      const net::LinkId key = net::LinkId::of(leaf, uplink);
       if (std::find(agg.suspects.begin(), agg.suspects.end(), key) == agg.suspects.end()) {
         agg.suspects.push_back(key);
       }
@@ -51,7 +51,8 @@ void MitigationController::observe(const fp::DetectionResult& result) {
   }
 }
 
-void MitigationController::on_iteration_complete(std::uint32_t iteration, const IterAgg& agg) {
+void MitigationController::on_iteration_complete(net::IterIndex iteration,
+                                                 const IterAgg& agg) {
   const bool clean = agg.max_dev <= policy_.threshold;
   if (!clean && !timeline_.detected()) {
     timeline_.first_alert = sim_.now();
@@ -60,11 +61,11 @@ void MitigationController::on_iteration_complete(std::uint32_t iteration, const 
   // Contaminated by a routing action — discard for every link (see
   // settle_until_): judging these would read the transition itself as a
   // fault or a recovery.
-  if (static_cast<std::int64_t>(iteration) <= settle_until_) return;
+  if (static_cast<std::int64_t>(iteration.v()) <= settle_until_) return;
   if (timeline_.mitigated() && !timeline_.has_recovered() && clean) {
     timeline_.recovered = sim_.now();
   }
-  for (const LinkKey& key : agg.suspects) links_.try_emplace(key);
+  for (const net::LinkId key : agg.suspects) links_.try_emplace(key);
   for (auto& [key, ctl] : links_) {
     const bool implicated =
         std::find(agg.suspects.begin(), agg.suspects.end(), key) != agg.suspects.end();
@@ -72,8 +73,8 @@ void MitigationController::on_iteration_complete(std::uint32_t iteration, const 
   }
 }
 
-void MitigationController::step_link(const LinkKey& key, LinkCtl& ctl, bool implicated,
-                                     bool iteration_clean, std::uint32_t iteration) {
+void MitigationController::step_link(net::LinkId key, LinkCtl& ctl, bool implicated,
+                                     bool iteration_clean, net::IterIndex iteration) {
   switch (ctl.state) {
     case LinkState::kHealthy:
       if (!implicated) {
@@ -156,30 +157,31 @@ void MitigationController::step_link(const LinkKey& key, LinkCtl& ctl, bool impl
   }
 }
 
-bool MitigationController::quarantine_allowed(const LinkKey& key) const {
-  const auto [leaf, uplink] = key;
-  if (routing_.known_failed(leaf, uplink)) return false;  // already out of service
+bool MitigationController::quarantine_allowed(net::LinkId key) const {
+  if (routing_.known_failed(key.leaf(), key.uplink())) {
+    return false;  // already out of service
+  }
   const std::uint32_t healthy =
-      routing_.uplinks_per_leaf() - routing_.known_failed_count(leaf);
+      routing_.uplinks_per_leaf() - routing_.known_failed_count(key.leaf());
   return healthy > policy_.min_healthy_uplinks;
 }
 
-void MitigationController::set_quarantined(const LinkKey& key, bool failed,
-                                           std::uint32_t iteration,
+void MitigationController::set_quarantined(net::LinkId key, bool failed,
+                                           net::IterIndex iteration,
                                            MitigationEvent::Kind kind, const char* reason) {
-  routing_.set_known_failed(key.first, key.second, failed);
+  routing_.set_known_failed(key.leaf(), key.uplink(), failed);
   if (rebaseline_) rebaseline_();
-  settle_until_ = static_cast<std::int64_t>(iteration) + policy_.settle_iterations;
-  events_.push_back({kind, sim_.now(), iteration, key.first, key.second, reason});
-  FP_TRACE(sim_, kMitigation, "", key.first, key.second, iteration,
+  settle_until_ = static_cast<std::int64_t>(iteration.v()) + policy_.settle_iterations;
+  events_.push_back({kind, sim_.now(), iteration, key.leaf(), key.uplink(), reason});
+  FP_TRACE(sim_, kMitigation, "", key.leaf().v(), key.uplink().v(), iteration.v(),
            static_cast<double>(static_cast<int>(kind)), reason);
 }
 
-void MitigationController::confirm(const LinkKey& key, std::uint32_t iteration,
+void MitigationController::confirm(net::LinkId key, net::IterIndex iteration,
                                    const char* reason) {
-  events_.push_back(
-      {MitigationEvent::Kind::kConfirm, sim_.now(), iteration, key.first, key.second, reason});
-  FP_TRACE(sim_, kMitigation, "", key.first, key.second, iteration,
+  events_.push_back({MitigationEvent::Kind::kConfirm, sim_.now(), iteration, key.leaf(),
+                     key.uplink(), reason});
+  FP_TRACE(sim_, kMitigation, "", key.leaf().v(), key.uplink().v(), iteration.v(),
            static_cast<double>(static_cast<int>(MitigationEvent::Kind::kConfirm)), reason);
 }
 
@@ -192,7 +194,7 @@ std::uint32_t MitigationController::active_quarantines() const {
 }
 
 bool MitigationController::quarantined(net::LeafId leaf, net::UplinkIndex uplink) const {
-  const auto it = links_.find(LinkKey{leaf, uplink});
+  const auto it = links_.find(net::LinkId::of(leaf, uplink));
   if (it == links_.end()) return false;
   return it->second.state == LinkState::kProbation ||
          it->second.state == LinkState::kQuarantined;

@@ -69,9 +69,9 @@ struct MitigationEvent {
   };
   Kind kind = Kind::kQuarantine;
   sim::Time time = sim::Time::zero();
-  std::uint32_t iteration = 0;  ///< completed iteration that triggered it
-  net::LeafId leaf = 0;
-  net::UplinkIndex uplink = 0;
+  net::IterIndex iteration{};  ///< completed iteration that triggered it
+  net::LeafId leaf{};
+  net::UplinkIndex uplink{};
   /// Static string: "debounce" / "relapse" (quarantines), "ineffective" /
   /// "probe" (restores), "quarantine" / "restore" / "permanent" (confirms).
   const char* reason = "";
@@ -84,8 +84,8 @@ struct RecoveryTimeline {
   sim::Time first_alert = sim::Time::max();       ///< detect
   sim::Time first_quarantine = sim::Time::max();  ///< mitigate
   sim::Time recovered = sim::Time::max();         ///< first clean post-settle iter
-  std::uint32_t first_alert_iteration = 0;
-  std::uint32_t first_quarantine_iteration = 0;
+  net::IterIndex first_alert_iteration{};
+  net::IterIndex first_quarantine_iteration{};
   [[nodiscard]] bool detected() const { return first_alert != sim::Time::max(); }
   [[nodiscard]] bool mitigated() const { return first_quarantine != sim::Time::max(); }
   [[nodiscard]] bool has_recovered() const { return recovered != sim::Time::max(); }
@@ -136,8 +136,6 @@ class MitigationController {
   [[nodiscard]] bool quarantined(net::LeafId leaf, net::UplinkIndex uplink) const;
 
  private:
-  using LinkKey = std::pair<net::LeafId, net::UplinkIndex>;
-
   enum class LinkState : std::uint8_t {
     kHealthy,           ///< in service, counting alert streaks
     kProbation,         ///< quarantined, verifying the alerts stop
@@ -157,23 +155,23 @@ class MitigationController {
   struct IterAgg {
     std::uint32_t reports = 0;
     double max_dev = 0.0;
-    std::vector<LinkKey> suspects;  ///< deduplicated shortfall culprits
+    std::vector<net::LinkId> suspects;  ///< deduplicated shortfall culprits
   };
 
-  void on_iteration_complete(std::uint32_t iteration, const IterAgg& agg);
-  void step_link(const LinkKey& key, LinkCtl& ctl, bool implicated, bool iteration_clean,
-                 std::uint32_t iteration);
-  [[nodiscard]] bool quarantine_allowed(const LinkKey& key) const;
-  void set_quarantined(const LinkKey& key, bool failed, std::uint32_t iteration,
+  void on_iteration_complete(net::IterIndex iteration, const IterAgg& agg);
+  void step_link(net::LinkId key, LinkCtl& ctl, bool implicated, bool iteration_clean,
+                 net::IterIndex iteration);
+  [[nodiscard]] bool quarantine_allowed(net::LinkId key) const;
+  void set_quarantined(net::LinkId key, bool failed, net::IterIndex iteration,
                        MitigationEvent::Kind kind, const char* reason);
-  void confirm(const LinkKey& key, std::uint32_t iteration, const char* reason);
+  void confirm(net::LinkId key, net::IterIndex iteration, const char* reason);
 
   sim::Simulator& sim_;
   net::RoutingState& routing_;
   MitigationPolicy policy_;
   Rebaseline rebaseline_;
-  std::map<LinkKey, LinkCtl> links_;
-  std::map<std::uint32_t, IterAgg> pending_;  ///< iteration → partial aggregate
+  std::map<net::LinkId, LinkCtl> links_;
+  std::map<net::IterIndex, IterAgg> pending_;  ///< iteration → partial aggregate
   std::vector<MitigationEvent> events_;
   RecoveryTimeline timeline_;
   /// Every routing action contaminates the next iteration(s) fabric-wide:

@@ -48,19 +48,19 @@ void append_mitigation_json(std::ostringstream& os,
   json_time_or_null(os, "first_alert_us", timeline.first_alert);
   json_time_or_null(os, "first_quarantine_us", timeline.first_quarantine);
   json_time_or_null(os, "recovered_us", timeline.recovered);
-  json_number(os, "first_alert_iteration", std::uint64_t{timeline.first_alert_iteration});
+  json_number(os, "first_alert_iteration", std::uint64_t{timeline.first_alert_iteration.v()});
   json_number(os, "first_quarantine_iteration",
-              std::uint64_t{timeline.first_quarantine_iteration});
+              std::uint64_t{timeline.first_quarantine_iteration.v()});
   os << "\"events\":[";
   for (std::size_t i = 0; i < events.size(); ++i) {
     const ctrl::MitigationEvent& e = events[i];
     if (i) os << ',';
     os << "{";
     json_number(os, "time_us", e.time.us());
-    json_number(os, "iteration", std::uint64_t{e.iteration});
+    json_number(os, "iteration", std::uint64_t{e.iteration.v()});
     os << "\"kind\":\"" << event_kind_name(e.kind) << "\",";
-    json_number(os, "leaf", std::uint64_t{e.leaf});
-    json_number(os, "uplink", std::uint64_t{e.uplink});
+    json_number(os, "leaf", std::uint64_t{e.leaf.v()});
+    json_number(os, "uplink", std::uint64_t{e.uplink.v()});
     os << "\"reason\":" << obs::json_quote(e.reason) << "}";
   }
   os << "]}";
@@ -92,7 +92,7 @@ Table mitigation_table(const std::vector<ctrl::MitigationEvent>& events) {
   for (const ctrl::MitigationEvent& e : events) {
     std::ostringstream link;
     link << "leaf " << e.leaf << " / uplink " << e.uplink;
-    table.row({fmt(e.time.us(), 1), std::to_string(e.iteration), event_kind_name(e.kind),
+    table.row({fmt(e.time.us(), 1), std::to_string(e.iteration.v()), event_kind_name(e.kind),
                link.str(), e.reason});
   }
   return table;
@@ -125,8 +125,8 @@ std::string to_json(const ScenarioResult& result) {
   json_number(os, "duplicates", result.transport_stats.duplicate_data_received);
   json_number(os, "messages", result.transport_stats.messages_received, false);
   os << "},\"fabric\":{";
-  json_number(os, "tx_packets", result.fabric_counters.tx_packets);
-  json_number(os, "dropped_packets", result.fabric_counters.dropped_packets, false);
+  json_number(os, "tx_packets", result.fabric_counters.tx_packets.v());
+  json_number(os, "dropped_packets", result.fabric_counters.dropped_packets.v(), false);
   os << "},\"mitigation\":";
   append_mitigation_json(os, result.mitigation_events, result.recovery);
   // Flight-recorder window (null unless the run traced): the counter /
@@ -182,9 +182,9 @@ std::string alerts_to_json(const std::vector<fp::DetectionResult>& results) {
       if (!first) os << ',';
       first = false;
       os << "{";
-      json_number(os, "leaf", std::uint64_t{r.leaf});
-      json_number(os, "iteration", std::uint64_t{r.iteration});
-      json_number(os, "port", std::uint64_t{a.uplink});
+      json_number(os, "leaf", std::uint64_t{r.leaf.v()});
+      json_number(os, "iteration", std::uint64_t{r.iteration.v()});
+      json_number(os, "port", std::uint64_t{a.uplink.v()});
       json_number(os, "observed_bytes", a.observed);
       json_number(os, "predicted_bytes", a.predicted);
       json_number(os, "rel_dev", a.rel_dev);

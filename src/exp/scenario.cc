@@ -31,8 +31,8 @@ void dump_recorder_on_audit_failure(void* ctx, const sim::audit::Violation& v) {
 }  // namespace
 
 std::vector<net::HostId> all_hosts_ring(const net::TopologyInfo& info) {
-  std::vector<net::HostId> hosts(info.num_hosts());
-  for (net::HostId h = 0; h < info.num_hosts(); ++h) hosts[h] = h;
+  std::vector<net::HostId> hosts(info.num_hosts(), net::HostId{});
+  for (const net::HostId h : core::ids<net::HostId>(info.num_hosts())) hosts[h.v()] = h;
   return hosts;
 }
 
@@ -158,7 +158,7 @@ void Scenario::build() {
   cc.max_jitter = config_.max_jitter;
   cc.validate_data = config_.validate_data;
   runner_ = std::make_unique<collective::CollectiveRunner>(*sim_, *transports_, std::move(cc));
-  runner_->add_iteration_hook([this](std::uint32_t, sim::Time start, sim::Time end) {
+  runner_->add_iteration_hook([this](net::IterIndex, sim::Time start, sim::Time end) {
     iter_windows_.emplace_back(start, end);
   });
 
@@ -177,8 +177,8 @@ void Scenario::build() {
         std::make_unique<collective::CollectiveRunner>(*sim_, *transports_, std::move(bg));
     // Stop the whole simulation shortly after the measured job completes so
     // the background job cannot spin forever.
-    runner_->add_iteration_hook([this](std::uint32_t iteration, sim::Time, sim::Time) {
-      if (iteration + 1 == config_.iterations) {
+    runner_->add_iteration_hook([this](net::IterIndex iteration, sim::Time, sim::Time) {
+      if (iteration.v() + 1 == config_.iterations) {
         sim_->schedule_in(sim::Time::microseconds(1), [this] { sim_->stop(); });
       }
     });
@@ -206,20 +206,20 @@ fp::PortLoadMap Scenario::simulation_prediction() const {
 
   const net::TopologyInfo& info = config_.fabric.shape;
   fp::PortLoadMap map{info.leaves, info.uplinks_per_leaf()};
-  for (net::LeafId l = 0; l < info.leaves; ++l) {
+  for (const net::LeafId l : core::ids<net::LeafId>(info.leaves)) {
     const auto& history = inner.flowpulse().monitor(l).history();
     if (history.empty()) continue;
     for (const fp::IterationRecord& rec : history) {
-      for (net::UplinkIndex u = 0; u < info.uplinks_per_leaf(); ++u) {
+      for (const net::UplinkIndex u : core::ids<net::UplinkIndex>(info.uplinks_per_leaf())) {
         fp::PortLoad& load = map.at(l, u);
-        load.total += rec.bytes[u];
-        for (net::LeafId s = 0; s < info.leaves; ++s) {
-          load.by_src_leaf[s] += rec.by_src[u][s];
+        load.total += rec.bytes[u.v()];
+        for (const net::LeafId s : core::ids<net::LeafId>(info.leaves)) {
+          load.by_src_leaf[s.v()] += rec.by_src[u.v()][s.v()];
         }
       }
     }
     const double n = static_cast<double>(history.size());
-    for (net::UplinkIndex u = 0; u < info.uplinks_per_leaf(); ++u) {
+    for (const net::UplinkIndex u : core::ids<net::UplinkIndex>(info.uplinks_per_leaf())) {
       fp::PortLoad& load = map.at(l, u);
       load.total /= n;
       for (double& v : load.by_src_leaf) v /= n;
@@ -261,12 +261,12 @@ void Scenario::maybe_dump(const fp::DetectionResult& result) {
   traced_mitigations_ = mitigations;
   if (!result.faulty() && !mitigated) return;
   if (trace_dumps_.size() >= config_.trace.max_dumps) return;
-  if (!trace_dumps_.empty() && trace_dumps_.back().iteration == result.iteration) return;
+  if (!trace_dumps_.empty() && trace_dumps_.back().iteration == result.iteration.v()) return;
   obs::TraceDump d;
   d.reason = (mitigated ? "mitigation leaf" : "detector-flag leaf") +
-             std::to_string(result.leaf) + " iter" + std::to_string(result.iteration);
+             std::to_string(result.leaf.v()) + " iter" + std::to_string(result.iteration.v());
   d.at = sim_->now();
-  d.iteration = result.iteration;
+  d.iteration = result.iteration.v();
   d.dropped = recorder_->dropped();
   d.events = recorder_->snapshot();
   trace_dumps_.push_back(std::move(d));

@@ -19,8 +19,8 @@ namespace flowpulse::exp {
 /// A silent fault to inject during the run.
 struct NewFault {
   enum class Where : std::uint8_t { kDownlink, kUplink, kBoth };
-  net::LeafId leaf = 0;
-  net::UplinkIndex uplink = 0;
+  net::LeafId leaf{};
+  net::UplinkIndex uplink{};
   Where where = Where::kBoth;
   net::FaultSpec spec{};
 };
@@ -36,6 +36,8 @@ struct ScenarioConfig {
 
   // Workload.
   collective::CollectiveKind collective = collective::CollectiveKind::kRingReduceScatter;
+  // detlint: ok(raw-scalar-id): payload size handed to the unconverted
+  // collective layer; becomes core::Bytes with the ROADMAP follow-up
   std::uint64_t collective_bytes = 8ull << 20;
   std::uint32_t iterations = 6;
   sim::Time compute_gap = sim::Time::microseconds(10);
@@ -47,6 +49,8 @@ struct ScenarioConfig {
   /// priority over the same hosts, continuously re-iterating until the
   /// measured job finishes. bytes == 0 disables it.
   struct BackgroundJob {
+    // detlint: ok(raw-scalar-id): payload size handed to the unconverted
+    // collective layer; becomes core::Bytes with the ROADMAP follow-up
     std::uint64_t bytes = 0;
     net::Priority priority = net::Priority::kBackground;
   };
@@ -172,6 +176,6 @@ class Scenario {
 /// Build the schedule for a ScenarioConfig over all hosts of the topology.
 [[nodiscard]] collective::CommSchedule make_schedule(collective::CollectiveKind kind,
                                                      const net::TopologyInfo& shape,
-                                                     std::uint64_t total_bytes);
+                                                     std::uint64_t total_bytes);  // detlint: ok(raw-scalar-id): mirrors the unconverted collective:: schedule API; becomes core::Bytes with the ROADMAP follow-up
 
 }  // namespace flowpulse::exp

@@ -6,9 +6,9 @@ PortLoadMap AnalyticalModel::predict(const collective::DemandMatrix& demand,
                                      const net::RoutingState& routing) const {
   PortLoadMap map{info_.leaves, info_.uplinks_per_leaf()};
   const std::uint32_t hosts = demand.hosts();
-  for (net::HostId src = 0; src < hosts; ++src) {
+  for (const net::HostId src : core::ids<net::HostId>(hosts)) {
     const net::LeafId src_leaf = info_.leaf_of(src);
-    for (net::HostId dst = 0; dst < hosts; ++dst) {
+    for (const net::HostId dst : core::ids<net::HostId>(hosts)) {
       const std::uint64_t d = demand.at(src, dst);
       if (d == 0) continue;
       const net::LeafId dst_leaf = info_.leaf_of(dst);

@@ -3,6 +3,7 @@
 #include <cstdint>
 
 #include "collective/demand_matrix.h"
+#include "core/units.h"
 #include "flowpulse/port_load.h"
 #include "net/routing.h"
 #include "net/topology_info.h"
@@ -24,14 +25,14 @@ namespace flowpulse::fp {
 class AnalyticalModel {
  public:
   AnalyticalModel(const net::TopologyInfo& info, std::uint32_t mtu_payload,
-                  std::uint32_t header_bytes)
+                  core::Bytes header_bytes)
       : info_{info}, mtu_payload_{mtu_payload}, header_bytes_{header_bytes} {}
 
   /// Wire bytes for a message of `payload` bytes after segmentation.
   [[nodiscard]] double wire_bytes(std::uint64_t payload) const {
     if (payload == 0) return 0.0;
     const std::uint64_t segments = (payload + mtu_payload_ - 1) / mtu_payload_;
-    return static_cast<double>(payload + segments * header_bytes_);
+    return static_cast<double>(payload + segments * header_bytes_.v());
   }
 
   /// Predict per-port loads for one iteration of the given demand.
@@ -41,7 +42,7 @@ class AnalyticalModel {
  private:
   net::TopologyInfo info_;
   std::uint32_t mtu_payload_;
-  std::uint32_t header_bytes_;
+  core::Bytes header_bytes_;
 };
 
 }  // namespace flowpulse::fp

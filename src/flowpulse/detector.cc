@@ -9,11 +9,12 @@ Localization localize(const IterationRecord& record, const PortLoad& predicted,
   Localization loc;
   std::uint32_t senders_expected = 0;
   std::uint32_t senders_short = 0;
-  for (net::LeafId src = 0; src < predicted.by_src_leaf.size(); ++src) {
-    const double pred = predicted.by_src_leaf[src];
+  const std::uint32_t num_src = static_cast<std::uint32_t>(predicted.by_src_leaf.size());
+  for (const net::LeafId src : core::ids<net::LeafId>(num_src)) {
+    const double pred = predicted.by_src_leaf[src.v()];
     if (pred <= 0.0) continue;
     ++senders_expected;
-    const double obs = record.by_src[uplink][src];
+    const double obs = record.by_src[uplink.v()][src.v()];
     if (pred - obs > threshold * pred) {
       ++senders_short;
       loc.suspect_senders.push_back(src);
@@ -51,9 +52,9 @@ DetectionResult evaluate_record(const PortLoadMap& prediction, double threshold,
   result.leaf = record.leaf;
   result.iteration = record.iteration;
   const std::uint32_t uplinks = prediction.uplinks();
-  for (net::UplinkIndex u = 0; u < uplinks; ++u) {
+  for (const net::UplinkIndex u : core::ids<net::UplinkIndex>(uplinks)) {
     const PortLoad& pred = prediction.at(record.leaf, u);
-    const double observed = record.bytes[u];
+    const double observed = record.bytes[u.v()];
     const double dev = relative_deviation(observed, pred.total);
     result.max_rel_dev = std::max(result.max_rel_dev, dev);
     if (dev > threshold) {

@@ -25,7 +25,7 @@ struct Localization {
 
 /// One port whose observed volume deviated beyond the threshold.
 struct PortAlert {
-  net::UplinkIndex uplink = 0;
+  net::UplinkIndex uplink{};
   double observed = 0.0;
   double predicted = 0.0;
   double rel_dev = 0.0;
@@ -34,8 +34,8 @@ struct PortAlert {
 
 /// Result of checking one finalized iteration at one leaf.
 struct DetectionResult {
-  net::LeafId leaf = 0;
-  std::uint32_t iteration = 0;
+  net::LeafId leaf{};
+  net::IterIndex iteration{};
   double max_rel_dev = 0.0;  ///< across all ports (for threshold sweeps)
   std::vector<PortAlert> alerts;
   [[nodiscard]] bool faulty() const { return !alerts.empty(); }

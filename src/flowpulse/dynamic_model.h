@@ -26,18 +26,18 @@ namespace flowpulse::fp {
 class DynamicDemandTracker {
  public:
   DynamicDemandTracker(const net::TopologyInfo& info, const net::RoutingState& routing,
-                       std::uint32_t mtu_payload, std::uint32_t header_bytes)
+                       std::uint32_t mtu_payload, core::Bytes header_bytes)
       : info_{info}, routing_{routing}, model_{info, mtu_payload, header_bytes} {}
 
   /// Register the prediction for one iteration from its schedule.
-  void record_schedule(std::uint32_t iteration, const collective::CommSchedule& schedule,
+  void record_schedule(net::IterIndex iteration, const collective::CommSchedule& schedule,
                        const std::vector<net::HostId>& rank_to_host) {
     const auto demand =
         collective::DemandMatrix::from_schedule(schedule, rank_to_host, info_.num_hosts());
     predictions_.emplace(iteration, model_.predict(demand, routing_));
   }
 
-  [[nodiscard]] const PortLoadMap* prediction_for(std::uint32_t iteration) const {
+  [[nodiscard]] const PortLoadMap* prediction_for(net::IterIndex iteration) const {
     auto it = predictions_.find(iteration);
     return it == predictions_.end() ? nullptr : &it->second;
   }
@@ -45,11 +45,11 @@ class DynamicDemandTracker {
   /// Wire a runner (whose schedule may regenerate each iteration) to a
   /// FlowPulseSystem configured with ModelKind::kDynamic.
   void attach(collective::CollectiveRunner& runner, FlowPulseSystem& system) {
-    runner.add_iteration_hook([this, &runner](std::uint32_t iter, sim::Time, sim::Time) {
+    runner.add_iteration_hook([this, &runner](net::IterIndex iter, sim::Time, sim::Time) {
       record_schedule(iter, runner.current_schedule(), runner.config().hosts);
     });
     system.set_prediction_provider(
-        [this](std::uint32_t iter) { return prediction_for(iter); });
+        [this](net::IterIndex iter) { return prediction_for(iter); });
   }
 
   [[nodiscard]] std::size_t tracked_iterations() const { return predictions_.size(); }
@@ -60,7 +60,7 @@ class DynamicDemandTracker {
   AnalyticalModel model_;
   // Ordered container: iteration-keyed simulation state stays deterministic
   // even if a future consumer iterates it (detlint bans unordered here).
-  std::map<std::uint32_t, PortLoadMap> predictions_;
+  std::map<net::IterIndex, PortLoadMap> predictions_;
 };
 
 }  // namespace flowpulse::fp

@@ -70,8 +70,8 @@ LearnedModel::Outcome LearnedModel::observe(const IterationRecord& record) {
     return out;
   }
 
-  for (std::uint32_t u = 0; u < uplinks_; ++u) {
-    const double dev = relative_deviation(record.bytes[u], baseline_[u]);
+  for (const net::UplinkIndex u : core::ids<net::UplinkIndex>(uplinks_)) {
+    const double dev = relative_deviation(record.bytes[u.v()], baseline_[u.v()]);
     out.max_rel_dev = std::max(out.max_rel_dev, dev);
     if (dev > config_.threshold) out.deviating_ports.push_back(u);
   }
@@ -108,9 +108,9 @@ LearnedModel::Outcome LearnedModel::observe(const IterationRecord& record) {
   // Localize each deviating port against the learned per-sender baseline
   // (same per-sender comparison as the fixed models, Fig. 4).
   for (const net::UplinkIndex u : out.deviating_ports) {
-    PortLoad learned_load{static_cast<std::uint32_t>(baseline_by_src_[u].size())};
-    learned_load.total = baseline_[u];
-    learned_load.by_src_leaf = baseline_by_src_[u];
+    PortLoad learned_load{static_cast<std::uint32_t>(baseline_by_src_[u.v()].size())};
+    learned_load.total = baseline_[u.v()];
+    learned_load.by_src_leaf = baseline_by_src_[u.v()];
     out.localizations.push_back(localize(record, learned_load, u, config_.threshold));
   }
   return out;

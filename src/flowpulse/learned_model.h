@@ -58,7 +58,7 @@ class LearnedModel {
   /// Learned per-sender expectation of port `u` (empty before the first
   /// baseline is complete).
   [[nodiscard]] const std::vector<double>& baseline_by_src(net::UplinkIndex u) const {
-    return baseline_by_src_[u];
+    return baseline_by_src_[u.v()];
   }
   [[nodiscard]] std::uint32_t rebaseline_count() const { return rebaseline_count_; }
 

@@ -2,10 +2,10 @@
 
 namespace flowpulse::fp {
 
-void PortMonitor::begin_iteration(std::uint32_t iteration) {
+void PortMonitor::begin_iteration(net::IterIndex iteration) {
   current_ = iteration;
   accum_ = IterationRecord{};
-  accum_.leaf = id_;
+  accum_.leaf = net::LeafId{id_};
   accum_.iteration = iteration;
   accum_.bytes.assign(ports_, 0.0);
   accum_.by_src.assign(ports_, std::vector<double>(leaves_, 0.0));
@@ -18,7 +18,7 @@ void PortMonitor::record(net::UplinkIndex port, const net::Packet& p) {
   if (!net::flowid::is_collective(p.flow_id)) return;
   if (net::flowid::job_of(p.flow_id) != job_) return;
 
-  const std::uint32_t iter = net::flowid::iteration_of(p.flow_id);
+  const net::IterIndex iter = net::flowid::iteration_of(p.flow_id);
   if (!current_.has_value()) {
     begin_iteration(iter);
   } else if (iter > *current_) {
@@ -29,11 +29,11 @@ void PortMonitor::record(net::UplinkIndex port, const net::Packet& p) {
   // (late duplicates) are counted into the current window — the switch has
   // already closed their iteration and cannot rewrite history.
 
-  accum_.bytes[port] += p.size_bytes;
-  accum_.by_src[port][p.src / hosts_per_leaf_] += p.size_bytes;
+  accum_.bytes[port.v()] += p.size_bytes.dbl();
+  accum_.by_src[port.v()][p.src.v() / hosts_per_leaf_] += p.size_bytes.dbl();
   accum_.packets += 1;
 #if FP_AUDIT_ENABLED
-  audit_bytes_[port] += p.size_bytes;
+  audit_bytes_[port.v()] += p.size_bytes.v();
 #endif
 }
 

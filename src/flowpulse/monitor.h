@@ -15,8 +15,8 @@ namespace flowpulse::fp {
 
 /// Everything one monitored switch measured about one collective iteration.
 struct IterationRecord {
-  net::LeafId leaf = 0;  ///< monitor id (leaf id, or pod-spine id at level 2)
-  std::uint32_t iteration = 0;
+  net::LeafId leaf{};  ///< monitor id (leaf id, or pod-spine id at level 2)
+  net::IterIndex iteration{};
   std::vector<double> bytes;                  ///< per monitored port, wire bytes
   std::vector<std::vector<double>> by_src;    ///< [port][src leaf] wire bytes
   std::uint64_t packets = 0;
@@ -41,7 +41,8 @@ class PortMonitor {
 
   /// Leaf-switch deployment on a 2-level fat tree.
   PortMonitor(net::LeafId leaf, const net::TopologyInfo& info, std::uint16_t job = 0)
-      : PortMonitor(leaf, info.uplinks_per_leaf(), info.leaves, info.hosts_per_leaf, job) {}
+      : PortMonitor(leaf.v(), info.uplinks_per_leaf(), info.leaves, info.hosts_per_leaf, job) {
+  }
 
   /// Generic deployment: `id` names the monitored switch, `ports` is how
   /// many ingress ports it watches, senders are attributed to leaves via
@@ -69,20 +70,20 @@ class PortMonitor {
   void set_finalize_hook(FinalizeHook hook) { finalize_hook_ = std::move(hook); }
 
   [[nodiscard]] const std::vector<IterationRecord>& history() const { return history_; }
-  [[nodiscard]] net::LeafId leaf() const { return id_; }
+  [[nodiscard]] net::LeafId leaf() const { return net::LeafId{id_}; }
   [[nodiscard]] bool accumulating() const { return current_.has_value(); }
 
 #if FP_AUDIT_ENABLED
   /// Exact wire bytes this monitor counted on `port` across the whole run
   /// (all iterations plus the one still accumulating) — the monitor-side
   /// ledger for monitor-vs-switch reconciliation.
-  [[nodiscard]] std::uint64_t audit_bytes(std::uint32_t port) const {
-    return audit_bytes_[port];
+  [[nodiscard]] std::uint64_t audit_bytes(net::UplinkIndex port) const {
+    return audit_bytes_[port.v()];
   }
 #endif
 
  private:
-  void begin_iteration(std::uint32_t iteration);
+  void begin_iteration(net::IterIndex iteration);
   void finalize();
 
   std::uint32_t id_;
@@ -90,7 +91,7 @@ class PortMonitor {
   std::uint32_t leaves_;
   std::uint32_t hosts_per_leaf_;
   std::uint16_t job_;
-  std::optional<std::uint32_t> current_;
+  std::optional<net::IterIndex> current_;
   IterationRecord accum_;
   std::vector<IterationRecord> history_;
   FinalizeHook finalize_hook_;

@@ -27,16 +27,16 @@ class PortLoadMap {
         loads_(static_cast<std::size_t>(leaves) * uplinks, PortLoad{leaves}) {}
 
   [[nodiscard]] PortLoad& at(net::LeafId leaf, net::UplinkIndex u) {
-    return loads_[static_cast<std::size_t>(leaf) * uplinks_ + u];
+    return loads_[static_cast<std::size_t>(leaf.v()) * uplinks_ + u.v()];
   }
   [[nodiscard]] const PortLoad& at(net::LeafId leaf, net::UplinkIndex u) const {
-    return loads_[static_cast<std::size_t>(leaf) * uplinks_ + u];
+    return loads_[static_cast<std::size_t>(leaf.v()) * uplinks_ + u.v()];
   }
 
   void add(net::LeafId dst_leaf, net::UplinkIndex u, net::LeafId src_leaf, double bytes) {
     PortLoad& load = at(dst_leaf, u);
     load.total += bytes;
-    load.by_src_leaf[src_leaf] += bytes;
+    load.by_src_leaf[src_leaf.v()] += bytes;
   }
 
   [[nodiscard]] std::uint32_t leaves() const { return leaves_; }

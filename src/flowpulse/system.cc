@@ -8,7 +8,7 @@ FlowPulseSystem::FlowPulseSystem(net::FatTree& fabric, SystemConfig config)
     : fabric_{fabric}, config_{config} {
   const net::TopologyInfo& info = fabric.info();
   monitors_.reserve(info.leaves);
-  for (net::LeafId l = 0; l < info.leaves; ++l) {
+  for (const net::LeafId l : core::ids<net::LeafId>(info.leaves)) {
     monitors_.push_back(std::make_unique<PortMonitor>(l, info, config_.job));
     monitors_.back()->attach(fabric.leaf(l));
     monitors_.back()->set_finalize_hook(
@@ -25,11 +25,11 @@ void FlowPulseSystem::set_prediction(PortLoadMap prediction) {
 }
 
 void FlowPulseSystem::on_finalized(const IterationRecord& record) {
-  FP_TRACE(fabric_.simulator(), kIteration, "", record.leaf, 0, record.iteration, 0.0,
+  FP_TRACE(fabric_.simulator(), kIteration, "", record.leaf.v(), 0, record.iteration.v(), 0.0,
            "finalized");
   if (config_.model == ModelKind::kLearned) {
-    learned_outcomes_.push_back(
-        LearnedOutcome{record.leaf, record.iteration, learned_[record.leaf]->observe(record)});
+    learned_outcomes_.push_back(LearnedOutcome{record.leaf, record.iteration,
+                                               learned_[record.leaf.v()]->observe(record)});
     return;
   }
   if (config_.model == ModelKind::kDynamic) {
@@ -68,9 +68,9 @@ void FlowPulseSystem::trace_result([[maybe_unused]] const DetectionResult& r) {
   };
   sim::Simulator& sim = fabric_.simulator();
   for (const PortAlert& a : r.alerts) {
-    FP_TRACE(sim, kDetectorFlag, "", r.leaf, a.uplink, r.iteration, a.rel_dev,
+    FP_TRACE(sim, kDetectorFlag, "", r.leaf.v(), a.uplink.v(), r.iteration.v(), a.rel_dev,
              a.observed < a.predicted ? "shortfall" : "surplus");
-    FP_TRACE(sim, kLocalization, "", r.leaf, a.uplink, r.iteration, a.rel_dev,
+    FP_TRACE(sim, kLocalization, "", r.leaf.v(), a.uplink.v(), r.iteration.v(), a.rel_dev,
              verdict_name(a.localization.verdict));
   }
 #endif
@@ -84,12 +84,13 @@ void FlowPulseSystem::flush() {
   // collective data bytes for this job — every monitored packet was really
   // delivered, and every delivered tagged packet was monitored.
   const net::TopologyInfo& info = fabric_.info();
-  for (net::LeafId l = 0; l < info.leaves; ++l) {
-    for (net::UplinkIndex u = 0; u < info.uplinks_per_leaf(); ++u) {
-      const std::uint64_t monitored = monitors_[l]->audit_bytes(u);
-      const std::uint64_t delivered = fabric_.audit_downlink_tagged_bytes(l, u, config_.job);
+  for (const net::LeafId l : core::ids<net::LeafId>(info.leaves)) {
+    for (const net::UplinkIndex u : core::ids<net::UplinkIndex>(info.uplinks_per_leaf())) {
+      const std::uint64_t monitored = monitors_[l.v()]->audit_bytes(u);
+      const std::uint64_t delivered =
+          fabric_.audit_downlink_tagged_bytes(l, u, config_.job).v();
       FP_AUDIT(monitored == delivered, "monitor-reconciliation",
-               "leaf" + std::to_string(l) + ".up" + std::to_string(u), config_.job, 0,
+               "leaf" + std::to_string(l.v()) + ".up" + std::to_string(u.v()), config_.job, 0,
                "monitor counted " + std::to_string(monitored) +
                    " tagged bytes but the switch delivered " + std::to_string(delivered));
     }
@@ -99,9 +100,9 @@ void FlowPulseSystem::flush() {
 
 std::vector<double> FlowPulseSystem::per_iteration_max_dev() const {
   std::vector<double> devs;
-  auto note = [&devs](std::uint32_t iteration, double dev) {
-    if (iteration >= devs.size()) devs.resize(iteration + 1, 0.0);
-    devs[iteration] = std::max(devs[iteration], dev);
+  auto note = [&devs](net::IterIndex iteration, double dev) {
+    if (iteration.v() >= devs.size()) devs.resize(iteration.v() + 1, 0.0);
+    devs[iteration.v()] = std::max(devs[iteration.v()], dev);
   };
   for (const DetectionResult& r : results_) note(r.iteration, r.max_rel_dev);
   for (const LearnedOutcome& o : learned_outcomes_) note(o.iteration, o.outcome.max_rel_dev);

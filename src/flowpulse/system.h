@@ -48,7 +48,7 @@ class FlowPulseSystem {
   /// returns that iteration's prediction (nullptr → skip the iteration,
   /// e.g. the demand is not known yet). The pointee must stay alive until
   /// the next finalize.
-  using PredictionProvider = std::function<const PortLoadMap*(std::uint32_t iteration)>;
+  using PredictionProvider = std::function<const PortLoadMap*(net::IterIndex iteration)>;
   void set_prediction_provider(PredictionProvider provider) {
     provider_ = std::move(provider);
   }
@@ -71,7 +71,7 @@ class FlowPulseSystem {
   /// Learned-model outcomes (kLearned mode), in finalize order.
   struct LearnedOutcome {
     net::LeafId leaf;
-    std::uint32_t iteration;
+    net::IterIndex iteration;
     LearnedModel::Outcome outcome;
   };
   [[nodiscard]] const std::vector<LearnedOutcome>& learned_outcomes() const {
@@ -85,8 +85,8 @@ class FlowPulseSystem {
   /// Alerts (ports beyond threshold) across all leaves and iterations.
   [[nodiscard]] std::vector<DetectionResult> faulty_results() const;
 
-  [[nodiscard]] PortMonitor& monitor(net::LeafId leaf) { return *monitors_[leaf]; }
-  [[nodiscard]] LearnedModel& learned_model(net::LeafId leaf) { return *learned_[leaf]; }
+  [[nodiscard]] PortMonitor& monitor(net::LeafId leaf) { return *monitors_[leaf.v()]; }
+  [[nodiscard]] LearnedModel& learned_model(net::LeafId leaf) { return *learned_[leaf.v()]; }
   [[nodiscard]] const SystemConfig& config() const { return config_; }
   [[nodiscard]] bool has_prediction() const { return detector_ != nullptr; }
   [[nodiscard]] const Detector& detector() const { return *detector_; }

@@ -9,9 +9,9 @@ ThreeLevelPrediction ThreeLevelAnalyticalModel::predict(
   ThreeLevelPrediction pred{info_.num_leaves(), info_.spines_per_pod, info_.num_pod_spines(),
                             info_.cores_per_group()};
   const std::uint32_t hosts = demand.hosts();
-  for (net::HostId src = 0; src < hosts; ++src) {
+  for (const net::HostId src : core::ids<net::HostId>(hosts)) {
     const net::LeafId src_leaf = info_.leaf_of(src);
-    for (net::HostId dst = 0; dst < hosts; ++dst) {
+    for (const net::HostId dst : core::ids<net::HostId>(hosts)) {
       const std::uint64_t d = demand.at(src, dst);
       if (d == 0) continue;
       const net::LeafId dst_leaf = info_.leaf_of(dst);
@@ -25,9 +25,11 @@ ThreeLevelPrediction ThreeLevelAnalyticalModel::predict(
         pred.leaf_level.add(dst_leaf, s, src_leaf, per_spine);
         if (cross_pod) {
           const double per_core = per_spine / info_.cores_per_group();
-          const std::uint32_t ps_id = info_.pod_spine_id(dst_pod, s);
+          // spine_level rows live in monitor-id space: the global pod-spine
+          // id plays the row role LeafId plays at the leaf tier.
+          const net::LeafId ps_row{info_.pod_spine_id(dst_pod, s.v())};
           for (std::uint32_t k = 0; k < info_.cores_per_group(); ++k) {
-            pred.spine_level.add(ps_id, k, src_leaf, per_core);
+            pred.spine_level.add(ps_row, net::UplinkIndex{k}, src_leaf, per_core);
           }
         }
       }
@@ -40,9 +42,9 @@ ThreeLevelFlowPulse::ThreeLevelFlowPulse(net::ThreeLevelFatTree& fabric, double 
                                          std::uint16_t job)
     : fabric_{fabric}, threshold_{threshold} {
   const net::ThreeLevelInfo& info = fabric.info();
-  for (net::LeafId l = 0; l < info.num_leaves(); ++l) {
+  for (const net::LeafId l : core::ids<net::LeafId>(info.num_leaves())) {
     leaf_monitors_.push_back(std::make_unique<PortMonitor>(
-        l, info.spines_per_pod, info.num_leaves(), info.hosts_per_leaf, job));
+        l.v(), info.spines_per_pod, info.num_leaves(), info.hosts_per_leaf, job));
     PortMonitor* mon = leaf_monitors_.back().get();
     fabric.leaf(l).set_spine_ingress_hook(
         [mon](net::UplinkIndex u, const net::Packet& p) { mon->record(u, p); });
@@ -59,7 +61,9 @@ ThreeLevelFlowPulse::ThreeLevelFlowPulse(net::ThreeLevelFatTree& fabric, double 
           id, info.cores_per_group(), info.num_leaves(), info.hosts_per_leaf, job));
       PortMonitor* mon = spine_monitors_.back().get();
       fabric.pod_spine(pod, s).set_core_ingress_hook(
-          [mon](std::uint32_t k, const net::Packet& p) { mon->record(k, p); });
+          [mon](std::uint32_t k, const net::Packet& p) {
+            mon->record(net::UplinkIndex{k}, p);
+          });
       mon->set_finalize_hook([this](const IterationRecord& rec) {
         if (prediction_) {
           spine_results_.push_back(
@@ -97,8 +101,8 @@ std::vector<double> ThreeLevelFlowPulse::max_dev_series(
     const std::vector<DetectionResult>& results) {
   std::vector<double> devs;
   for (const DetectionResult& r : results) {
-    if (r.iteration >= devs.size()) devs.resize(r.iteration + 1, 0.0);
-    devs[r.iteration] = std::max(devs[r.iteration], r.max_rel_dev);
+    if (r.iteration.v() >= devs.size()) devs.resize(r.iteration.v() + 1, 0.0);
+    devs[r.iteration.v()] = std::max(devs[r.iteration.v()], r.max_rel_dev);
   }
   return devs;
 }

@@ -36,7 +36,7 @@ struct ThreeLevelPrediction {
 class ThreeLevelAnalyticalModel {
  public:
   ThreeLevelAnalyticalModel(const net::ThreeLevelInfo& info, std::uint32_t mtu_payload,
-                            std::uint32_t header_bytes)
+                            core::Bytes header_bytes)
       : info_{info}, mtu_payload_{mtu_payload}, header_bytes_{header_bytes} {}
 
   [[nodiscard]] ThreeLevelPrediction predict(const collective::DemandMatrix& demand,
@@ -46,12 +46,12 @@ class ThreeLevelAnalyticalModel {
   [[nodiscard]] double wire_bytes(std::uint64_t payload) const {
     if (payload == 0) return 0.0;
     const std::uint64_t segments = (payload + mtu_payload_ - 1) / mtu_payload_;
-    return static_cast<double>(payload + segments * header_bytes_);
+    return static_cast<double>(payload + segments * header_bytes_.v());
   }
 
   net::ThreeLevelInfo info_;
   std::uint32_t mtu_payload_;
-  std::uint32_t header_bytes_;
+  core::Bytes header_bytes_;
 };
 
 /// FlowPulse deployed at BOTH tiers of a 3-level fabric: every leaf watches
@@ -79,7 +79,9 @@ class ThreeLevelFlowPulse {
   [[nodiscard]] std::vector<double> leaf_iteration_max_dev() const;
   [[nodiscard]] std::vector<double> spine_iteration_max_dev() const;
 
-  [[nodiscard]] PortMonitor& leaf_monitor(net::LeafId l) { return *leaf_monitors_[l]; }
+  [[nodiscard]] PortMonitor& leaf_monitor(net::LeafId l) { return *leaf_monitors_[l.v()]; }
+  // detlint: ok(raw-scalar-id): pod-spine ordinal from
+  // ThreeLevelInfo::pod_spine_id — documented raw-index boundary
   [[nodiscard]] PortMonitor& spine_monitor(std::uint32_t pod_spine_id) {
     return *spine_monitors_[pod_spine_id];
   }

@@ -1,6 +1,6 @@
 #pragma once
 
-#include <cstdint>
+#include "core/units.h"
 
 namespace flowpulse::net {
 
@@ -8,25 +8,27 @@ namespace flowpulse::net {
 /// serialization; `dropped_*` the subset lost to the link's fault; the rest
 /// were delivered to the peer. Invariant (tested):
 ///   tx == dropped + delivered.
+/// Byte and packet tallies are distinct strong types (core::Bytes /
+/// core::Packets): adding one to the other does not compile.
 struct LinkCounters {
-  std::uint64_t tx_packets = 0;
-  std::uint64_t tx_bytes = 0;
-  std::uint64_t dropped_packets = 0;
-  std::uint64_t dropped_bytes = 0;
+  core::Packets tx_packets{};
+  core::Bytes tx_bytes{};
+  core::Packets dropped_packets{};
+  core::Bytes dropped_bytes{};
   /// The subset of drops the switch OS's error counters actually register
   /// (see FaultSpec::visible_to_counters). Silent faults drop packets
   /// without moving this — which is why counter-polling telemetry misses
   /// them (paper §1/§3).
-  std::uint64_t telemetry_dropped_packets = 0;
+  core::Packets telemetry_dropped_packets{};
 
-  [[nodiscard]] std::uint64_t delivered_packets() const { return tx_packets - dropped_packets; }
-  [[nodiscard]] std::uint64_t delivered_bytes() const { return tx_bytes - dropped_bytes; }
+  [[nodiscard]] core::Packets delivered_packets() const { return tx_packets - dropped_packets; }
+  [[nodiscard]] core::Bytes delivered_bytes() const { return tx_bytes - dropped_bytes; }
 };
 
 /// Per-switch statistics.
 struct SwitchCounters {
-  std::uint64_t forwarded_packets = 0;
-  std::uint64_t no_route_drops = 0;  ///< no valid uplink toward destination
+  core::Packets forwarded_packets{};
+  core::Packets no_route_drops{};  ///< no valid uplink toward destination
 };
 
 }  // namespace flowpulse::net

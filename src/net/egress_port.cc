@@ -49,7 +49,7 @@ void EgressPort::try_start() {
     queued_bytes_total_ -= in_flight_.size_bytes;
     transmitting_ = true;
     if (depart_hook_) depart_hook_(in_flight_);
-    sim_.schedule_in(sim::serialization_time(in_flight_.size_bytes, params_.bandwidth_gbps),
+      sim_.schedule_in(core::serialization_time(in_flight_.size_bytes, params_.bandwidth),
                      [this] { finish_transmission(); });
     return;
   }
@@ -60,7 +60,7 @@ void EgressPort::finish_transmission() {
   const Packet pkt = in_flight_;
   transmitting_ = false;
 
-  counters_.tx_packets += 1;
+  ++counters_.tx_packets;
   counters_.tx_bytes += pkt.size_bytes;
 
   bool dropped = false;
@@ -75,10 +75,10 @@ void EgressPort::finish_transmission() {
   }
 
   if (dropped) {
-    counters_.dropped_packets += 1;
+    ++counters_.dropped_packets;
     counters_.dropped_bytes += pkt.size_bytes;
-    if (fault_.spec().visible_to_counters) counters_.telemetry_dropped_packets += 1;
-    FP_TRACE(sim_, kPacketDrop, name_.c_str(), pkt.src, pkt.dst, pkt.size_bytes, 0.0,
+    if (fault_.spec().visible_to_counters) ++counters_.telemetry_dropped_packets;
+    FP_TRACE(sim_, kPacketDrop, name_.c_str(), pkt.src.v(), pkt.dst.v(), pkt.size_bytes.v(), 0.0,
              fault_.spec().visible_to_counters ? "counted" : "silent");
     if (tx_hook_) tx_hook_(pkt, TxEvent::kDropped);
   } else {
@@ -99,7 +99,7 @@ void EgressPort::deliver_front() {
   on_wire_.pop_front();
 #if FP_AUDIT_ENABLED
   audit_delivered_bytes_ += pkt.size_bytes;
-  audit_delivered_packets_ += 1;
+  ++audit_delivered_packets_;
   // Mirror the PortMonitor's selection filter (kind + collective sentinel)
   // so monitor-vs-switch reconciliation compares like with like.
   if (pkt.kind == PacketKind::kData && flowid::is_collective(pkt.flow_id)) {
@@ -112,32 +112,32 @@ void EgressPort::deliver_front() {
 #if FP_AUDIT_ENABLED
 void EgressPort::audit_verify_quiescent() const {
   FP_AUDIT(!transmitting_ && on_wire_.empty(), "link-conservation", name_,
-           counters_.tx_packets, sim_.now().ps(),
+           counters_.tx_packets.v(), sim_.now().ps(),
            "packets stranded mid-link at quiesce: transmitting=" +
                std::to_string(transmitting_) + " on_wire=" + std::to_string(on_wire_.size()));
-  std::uint64_t queued = 0;
+  core::Bytes queued{};
   for (const auto& q : queues_) {
     for (const Packet& p : q) queued += p.size_bytes;
   }
-  FP_AUDIT(queued == queued_bytes_total_, "link-conservation", name_, counters_.tx_packets,
-           sim_.now().ps(),
-           "queue ledger mismatch: recount=" + std::to_string(queued) +
-               " ledger=" + std::to_string(queued_bytes_total_));
+  FP_AUDIT(queued == queued_bytes_total_, "link-conservation", name_,
+           counters_.tx_packets.v(), sim_.now().ps(),
+           "queue ledger mismatch: recount=" + std::to_string(queued.v()) +
+               " ledger=" + std::to_string(queued_bytes_total_.v()));
   FP_AUDIT(audit_enqueued_bytes_ == queued_bytes_total_ + counters_.tx_bytes,
-           "link-conservation", name_, counters_.tx_packets, sim_.now().ps(),
-           "enqueued=" + std::to_string(audit_enqueued_bytes_) + " != queued=" +
-               std::to_string(queued_bytes_total_) + " + serialized=" +
-               std::to_string(counters_.tx_bytes));
+           "link-conservation", name_, counters_.tx_packets.v(), sim_.now().ps(),
+           "enqueued=" + std::to_string(audit_enqueued_bytes_.v()) + " != queued=" +
+               std::to_string(queued_bytes_total_.v()) + " + serialized=" +
+               std::to_string(counters_.tx_bytes.v()));
   FP_AUDIT(counters_.tx_bytes == counters_.dropped_bytes + audit_delivered_bytes_,
-           "link-conservation", name_, counters_.tx_packets, sim_.now().ps(),
-           "serialized=" + std::to_string(counters_.tx_bytes) + " != dropped=" +
-               std::to_string(counters_.dropped_bytes) + " + delivered=" +
-               std::to_string(audit_delivered_bytes_));
+           "link-conservation", name_, counters_.tx_packets.v(), sim_.now().ps(),
+           "serialized=" + std::to_string(counters_.tx_bytes.v()) + " != dropped=" +
+               std::to_string(counters_.dropped_bytes.v()) + " + delivered=" +
+               std::to_string(audit_delivered_bytes_.v()));
   FP_AUDIT(counters_.tx_packets == counters_.dropped_packets + audit_delivered_packets_,
-           "link-conservation", name_, counters_.tx_packets, sim_.now().ps(),
-           "serialized pkts=" + std::to_string(counters_.tx_packets) + " != dropped=" +
-               std::to_string(counters_.dropped_packets) + " + delivered=" +
-               std::to_string(audit_delivered_packets_));
+           "link-conservation", name_, counters_.tx_packets.v(), sim_.now().ps(),
+           "serialized pkts=" + std::to_string(counters_.tx_packets.v()) + " != dropped=" +
+               std::to_string(counters_.dropped_packets.v()) + " + delivered=" +
+               std::to_string(audit_delivered_packets_.v()));
 }
 #endif
 

@@ -6,6 +6,7 @@
 #include <functional>
 #include <string>
 
+#include "core/units.h"
 #include "net/counters.h"
 #include "net/device.h"
 #include "net/fault.h"
@@ -24,7 +25,7 @@ namespace flowpulse::net {
 
 /// Physical parameters of one unidirectional link.
 struct LinkParams {
-  double bandwidth_gbps = 400.0;
+  core::GbitsPerSec bandwidth{400.0};
   sim::Time prop_delay = sim::Time::nanoseconds(200);
 };
 
@@ -62,8 +63,8 @@ class EgressPort {
   void set_paused(Priority prio, bool paused);
   [[nodiscard]] bool paused(Priority prio) const { return paused_[priority_index(prio)]; }
 
-  [[nodiscard]] std::uint64_t queued_bytes() const { return queued_bytes_total_; }
-  [[nodiscard]] std::uint64_t queued_bytes(Priority prio) const {
+  [[nodiscard]] core::Bytes queued_bytes() const { return queued_bytes_total_; }
+  [[nodiscard]] core::Bytes queued_bytes(Priority prio) const {
     return queued_bytes_[priority_index(prio)];
   }
   /// Bytes a packet of priority `prio` would wait behind under strict
@@ -72,8 +73,8 @@ class EgressPort {
   /// backlog does not delay the packet, so it must not steer it (paper
   /// §5.1: prioritizing the measured collective isolates its spraying from
   /// background load).
-  [[nodiscard]] std::uint64_t queued_bytes_at_or_above(Priority prio) const {
-    std::uint64_t bytes = 0;
+  [[nodiscard]] core::Bytes queued_bytes_at_or_above(Priority prio) const {
+    core::Bytes bytes{};
     for (int pi = 0; pi <= priority_index(prio); ++pi) bytes += queued_bytes_[pi];
     return bytes;
   }
@@ -107,15 +108,15 @@ class EgressPort {
   /// Wire bytes of tagged collective data packets delivered to the peer,
   /// per job — the independent switch-side count the FlowPulse monitors
   /// are reconciled against.
-  [[nodiscard]] std::uint64_t audit_tagged_bytes(std::uint16_t job) const {
+  [[nodiscard]] core::Bytes audit_tagged_bytes(std::uint16_t job) const {
     const auto it = audit_tagged_bytes_by_job_.find(job);
-    return it == audit_tagged_bytes_by_job_.end() ? 0 : it->second;
+    return it == audit_tagged_bytes_by_job_.end() ? core::Bytes{0} : it->second;
   }
   /// Test-only: corrupt the delivered-byte ledger so the negative-invariant
   /// tests can prove the conservation check fires.
   void audit_tamper_delivered_bytes(std::int64_t delta) {
-    audit_delivered_bytes_ = static_cast<std::uint64_t>(
-        static_cast<std::int64_t>(audit_delivered_bytes_) + delta);
+    audit_delivered_bytes_ = core::Bytes{static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(audit_delivered_bytes_.v()) + delta)};
   }
 #endif
 
@@ -131,8 +132,8 @@ class EgressPort {
   PortIndex peer_port_ = kInvalidPort;
 
   std::array<std::deque<Packet>, kNumPriorities> queues_;
-  std::array<std::uint64_t, kNumPriorities> queued_bytes_{};
-  std::uint64_t queued_bytes_total_ = 0;
+  std::array<core::Bytes, kNumPriorities> queued_bytes_{};
+  core::Bytes queued_bytes_total_{};
   std::array<bool, kNumPriorities> paused_{};
 
   bool transmitting_ = false;
@@ -148,10 +149,10 @@ class EgressPort {
   DepartHook depart_hook_;
 
 #if FP_AUDIT_ENABLED
-  std::uint64_t audit_enqueued_bytes_ = 0;
-  std::uint64_t audit_delivered_bytes_ = 0;
-  std::uint64_t audit_delivered_packets_ = 0;
-  std::map<std::uint16_t, std::uint64_t> audit_tagged_bytes_by_job_;
+  core::Bytes audit_enqueued_bytes_{};
+  core::Bytes audit_delivered_bytes_{};
+  core::Packets audit_delivered_packets_{};
+  std::map<std::uint16_t, core::Bytes> audit_tagged_bytes_by_job_;
 #endif
 };
 

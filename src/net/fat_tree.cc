@@ -13,11 +13,11 @@ FatTree::FatTree(sim::Simulator& simulator, FatTreeConfig config)
   sim::Rng spray_seeder{config_.seed};
 
   hosts_.reserve(shape.num_hosts());
-  for (HostId h = 0; h < shape.num_hosts(); ++h) {
+  for (const HostId h : core::ids<HostId>(shape.num_hosts())) {
     hosts_.push_back(std::make_unique<Host>(simulator, h, config_.host_link));
   }
   leaves_.reserve(shape.leaves);
-  for (LeafId l = 0; l < shape.leaves; ++l) {
+  for (const LeafId l : core::ids<LeafId>(shape.leaves)) {
     leaves_.push_back(std::make_unique<LeafSwitch>(simulator, l, config_.shape, routing_,
                                                    config_.spray, config_.pfc,
                                                    config_.host_link, config_.fabric_link,
@@ -25,28 +25,28 @@ FatTree::FatTree(sim::Simulator& simulator, FatTreeConfig config)
                                                    config_.spray_quantum_bytes));
   }
   spines_.reserve(shape.spines);
-  for (SpineId s = 0; s < shape.spines; ++s) {
+  for (const SpineId s : core::ids<SpineId>(shape.spines)) {
     spines_.push_back(
         std::make_unique<SpineSwitch>(simulator, s, config_.shape, config_.pfc,
                                       config_.fabric_link));
   }
 
   // Wire host <-> leaf.
-  for (HostId h = 0; h < shape.num_hosts(); ++h) {
+  for (const HostId h : core::ids<HostId>(shape.num_hosts())) {
     const LeafId l = shape.leaf_of(h);
     const std::uint32_t local = shape.local_index(h);
-    Host& host = *hosts_[h];
-    LeafSwitch& leaf_sw = *leaves_[l];
-    host.nic().connect(&leaf_sw, local);
-    leaf_sw.set_upstream(local, &host.nic());  // leaf can PFC-pause the NIC
-    leaf_sw.host_port(local).connect(&host, 0);
+    Host& host = *hosts_[h.v()];
+    LeafSwitch& leaf_sw = *leaves_[l.v()];
+    host.nic().connect(&leaf_sw, PortIndex{local});
+    leaf_sw.set_upstream(PortIndex{local}, &host.nic());  // leaf can PFC-pause the NIC
+    leaf_sw.host_port(local).connect(&host, PortIndex{0});
   }
 
   // Wire leaf <-> spine, one link pair per (leaf, uplink).
-  for (LeafId l = 0; l < shape.leaves; ++l) {
-    LeafSwitch& leaf_sw = *leaves_[l];
-    for (UplinkIndex u = 0; u < shape.uplinks_per_leaf(); ++u) {
-      SpineSwitch& spine_sw = *spines_[shape.spine_of(u)];
+  for (const LeafId l : core::ids<LeafId>(shape.leaves)) {
+    LeafSwitch& leaf_sw = *leaves_[l.v()];
+    for (const UplinkIndex u : core::ids<UplinkIndex>(shape.uplinks_per_leaf())) {
+      SpineSwitch& spine_sw = *spines_[shape.spine_of(u).v()];
       const PortIndex spine_port = shape.spine_port(l, u);
       const PortIndex leaf_port = shape.leaf_uplink_port(u);
       leaf_sw.uplink(u).connect(&spine_sw, spine_port);
@@ -56,17 +56,21 @@ FatTree::FatTree(sim::Simulator& simulator, FatTreeConfig config)
     }
     leaf_sw.set_fault_rng(&fault_rng_);
   }
-  for (SpineId s = 0; s < shape.spines; ++s) spines_[s]->set_fault_rng(&fault_rng_);
-  for (HostId h = 0; h < shape.num_hosts(); ++h) hosts_[h]->nic().set_fault_rng(&fault_rng_);
+  for (const SpineId s : core::ids<SpineId>(shape.spines)) {
+    spines_[s.v()]->set_fault_rng(&fault_rng_);
+  }
+  for (const HostId h : core::ids<HostId>(shape.num_hosts())) {
+    hosts_[h.v()]->nic().set_fault_rng(&fault_rng_);
+  }
 }
 
 EgressPort& FatTree::downlink(LeafId leaf, UplinkIndex u) {
-  SpineSwitch& spine_sw = *spines_[config_.shape.spine_of(u)];
+  SpineSwitch& spine_sw = *spines_[config_.shape.spine_of(u).v()];
   return spine_sw.down_port(config_.shape.spine_port(leaf, u));
 }
 
 void FatTree::set_uplink_fault(LeafId leaf, UplinkIndex u, FaultSpec fault) {
-  leaves_[leaf]->uplink(u).set_fault(fault);
+  leaves_[leaf.v()]->uplink(u).set_fault(fault);
 }
 
 void FatTree::set_downlink_fault(LeafId leaf, UplinkIndex u, FaultSpec fault) {
@@ -84,12 +88,12 @@ void FatTree::disconnect_known(LeafId leaf, UplinkIndex u) {
 }
 
 const LinkCounters& FatTree::downlink_counters(LeafId leaf, UplinkIndex u) const {
-  const SpineSwitch& spine_sw = *spines_[config_.shape.spine_of(u)];
+  const SpineSwitch& spine_sw = *spines_[config_.shape.spine_of(u).v()];
   return spine_sw.down_port(config_.shape.spine_port(leaf, u)).counters();
 }
 
 const LinkCounters& FatTree::uplink_counters(LeafId leaf, UplinkIndex u) const {
-  return leaves_[leaf]->uplink(u).counters();
+  return leaves_[leaf.v()]->uplink(u).counters();
 }
 
 LinkCounters FatTree::total_fabric_counters() const {
@@ -101,15 +105,15 @@ LinkCounters FatTree::total_fabric_counters() const {
     total.dropped_bytes += c.dropped_bytes;
   };
   const TopologyInfo& shape = config_.shape;
-  for (HostId h = 0; h < shape.num_hosts(); ++h) {
-    add(hosts_[h]->nic().counters());
+  for (const HostId h : core::ids<HostId>(shape.num_hosts())) {
+    add(hosts_[h.v()]->nic().counters());
   }
-  for (LeafId l = 0; l < shape.leaves; ++l) {
+  for (const LeafId l : core::ids<LeafId>(shape.leaves)) {
     for (std::uint32_t i = 0; i < shape.hosts_per_leaf; ++i) {
-      add(leaves_[l]->host_port(i).counters());
+      add(leaves_[l.v()]->host_port(i).counters());
     }
-    for (UplinkIndex u = 0; u < shape.uplinks_per_leaf(); ++u) {
-      add(leaves_[l]->uplink(u).counters());
+    for (const UplinkIndex u : core::ids<UplinkIndex>(shape.uplinks_per_leaf())) {
+      add(leaves_[l.v()]->uplink(u).counters());
       add(downlink_counters(l, u));
     }
   }

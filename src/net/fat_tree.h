@@ -20,12 +20,12 @@ namespace flowpulse::net {
 /// 32 leaves × 16 spines, one host per leaf).
 struct FatTreeConfig {
   TopologyInfo shape{};
-  LinkParams host_link{400.0, sim::Time::nanoseconds(200)};
-  LinkParams fabric_link{400.0, sim::Time::nanoseconds(200)};
+  LinkParams host_link{core::GbitsPerSec{400.0}, sim::Time::nanoseconds(200)};
+  LinkParams fabric_link{core::GbitsPerSec{400.0}, sim::Time::nanoseconds(200)};
   SprayPolicy spray = SprayPolicy::kAdaptive;
   /// Adaptive spraying compares queue occupancy in grades of this many
   /// bytes (coarse congestion levels, as adaptive-routing ASICs do).
-  std::uint64_t spray_quantum_bytes = 8192;
+  core::Bytes spray_quantum_bytes{8192};
   PfcConfig pfc{};
   std::uint64_t seed = 0x5eed;  ///< seeds spray tie-breaks and fault sampling
 };
@@ -49,9 +49,9 @@ class FatTree {
   [[nodiscard]] const FatTreeConfig& config() const { return config_; }
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
 
-  [[nodiscard]] Host& host(HostId h) { return *hosts_[h]; }
-  [[nodiscard]] LeafSwitch& leaf(LeafId l) { return *leaves_[l]; }
-  [[nodiscard]] SpineSwitch& spine(SpineId s) { return *spines_[s]; }
+  [[nodiscard]] Host& host(HostId h) { return *hosts_[h.v()]; }
+  [[nodiscard]] LeafSwitch& leaf(LeafId l) { return *leaves_[l.v()]; }
+  [[nodiscard]] SpineSwitch& spine(SpineId s) { return *spines_[s.v()]; }
   [[nodiscard]] std::uint32_t num_hosts() const { return config_.shape.num_hosts(); }
 
   [[nodiscard]] RoutingState& routing() { return routing_; }
@@ -79,8 +79,8 @@ class FatTree {
 #if FP_AUDIT_ENABLED
   /// Tagged collective data bytes `job` delivered on the spine→leaf
   /// direction of uplink u at `leaf` (monitor-vs-switch reconciliation).
-  [[nodiscard]] std::uint64_t audit_downlink_tagged_bytes(LeafId leaf, UplinkIndex u,
-                                                          std::uint16_t job) {
+  [[nodiscard]] core::Bytes audit_downlink_tagged_bytes(LeafId leaf, UplinkIndex u,
+                                                        std::uint16_t job) {
     return downlink(leaf, u).audit_tagged_bytes(job);
   }
 #endif

@@ -19,7 +19,7 @@ class Host final : public Device {
   using RxHandler = std::function<void(const Packet&)>;
 
   Host(sim::Simulator& simulator, HostId id, LinkParams to_leaf)
-      : id_{id}, nic_{simulator, to_leaf, "host" + std::to_string(id) + ".nic"} {}
+      : id_{id}, nic_{simulator, to_leaf, "host" + std::to_string(id.v()) + ".nic"} {}
 
   void receive(Packet p, PortIndex /*in_port*/) override {
     if (rx_) rx_(p);

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 
+#include "core/units.h"
 #include "net/types.h"
 
 namespace flowpulse::net {
@@ -13,9 +14,9 @@ enum class PacketKind : std::uint8_t {
 };
 
 /// Per-packet wire header overhead we account for (Eth + IP + UDP + BTH-ish).
-constexpr std::uint32_t kHeaderBytes = 64;
+inline constexpr core::Bytes kHeaderBytes{64};
 /// Size of a pure control packet (ACK / probe) on the wire.
-constexpr std::uint32_t kControlPacketBytes = 64;
+inline constexpr core::Bytes kControlPacketBytes{64};
 
 /// A simulated packet. Payload contents are never modeled — only sizes and
 /// identifiers — since every consumer (switch counters, FlowPulse monitors,
@@ -23,10 +24,10 @@ constexpr std::uint32_t kControlPacketBytes = 64;
 /// numerical correctness is validated at the message layer instead.
 struct Packet {
   FlowId flow_id = 0;
-  HostId src = 0;
-  HostId dst = 0;
+  HostId src{};
+  HostId dst{};
   std::uint64_t msg_id = 0;  ///< unique per (src, message)
-  std::uint64_t msg_bytes = 0;       ///< total payload bytes of the message
+  core::Bytes msg_bytes{};       ///< total payload bytes of the message
   std::uint32_t total_segments = 0;  ///< segments the message was split into
   std::uint32_t seq = 0;     ///< segment index within the message
   /// For ACKs: SACK bitmap — bit i set means segment (seq - 1 - i) was also
@@ -35,7 +36,7 @@ struct Packet {
   /// bitmaps of the following ones instead of forcing a spurious data
   /// retransmission.
   std::uint64_t ack_bitmap = 0;
-  std::uint32_t size_bytes = 0;  ///< wire size including kHeaderBytes
+  core::Bytes size_bytes{};  ///< wire size including kHeaderBytes
   /// Scratch rewritten at each switch hop: ingress port the packet entered
   /// on, used for PFC ingress accounting on departure.
   PortIndex pfc_ingress = kInvalidPort;
@@ -45,8 +46,8 @@ struct Packet {
 };
 
 /// Payload bytes carried by a data packet of the given wire size.
-[[nodiscard]] constexpr std::uint32_t payload_bytes(const Packet& p) {
-  return p.size_bytes > kHeaderBytes ? p.size_bytes - kHeaderBytes : 0;
+[[nodiscard]] constexpr core::Bytes payload_bytes(const Packet& p) {
+  return p.size_bytes > kHeaderBytes ? p.size_bytes - kHeaderBytes : core::Bytes{0};
 }
 
 }  // namespace flowpulse::net

@@ -11,19 +11,19 @@ RoutingState::RoutingState(std::uint32_t leaves, std::uint32_t uplinks_per_leaf)
       cache_(static_cast<std::size_t>(leaves) * leaves) {}
 
 void RoutingState::set_known_failed(LeafId leaf, UplinkIndex uplink, bool failed) {
-  assert(leaf < leaves_ && uplink < uplinks_);
-  failed_[static_cast<std::size_t>(leaf) * uplinks_ + uplink] = failed;
+  assert(leaf.v() < leaves_ && uplink.v() < uplinks_);
+  failed_[static_cast<std::size_t>(leaf.v()) * uplinks_ + uplink.v()] = failed;
   ++version_;
 }
 
 bool RoutingState::known_failed(LeafId leaf, UplinkIndex uplink) const {
-  assert(leaf < leaves_ && uplink < uplinks_);
-  return failed_[static_cast<std::size_t>(leaf) * uplinks_ + uplink];
+  assert(leaf.v() < leaves_ && uplink.v() < uplinks_);
+  return failed_[static_cast<std::size_t>(leaf.v()) * uplinks_ + uplink.v()];
 }
 
 std::uint32_t RoutingState::known_failed_count(LeafId leaf) const {
   std::uint32_t n = 0;
-  for (UplinkIndex u = 0; u < uplinks_; ++u) {
+  for (const UplinkIndex u : core::ids<UplinkIndex>(uplinks_)) {
     if (known_failed(leaf, u)) ++n;
   }
   return n;
@@ -31,11 +31,11 @@ std::uint32_t RoutingState::known_failed_count(LeafId leaf) const {
 
 const std::vector<UplinkIndex>& RoutingState::valid_uplinks(LeafId src_leaf,
                                                             LeafId dst_leaf) const {
-  assert(src_leaf < leaves_ && dst_leaf < leaves_);
-  CacheEntry& entry = cache_[static_cast<std::size_t>(src_leaf) * leaves_ + dst_leaf];
+  assert(src_leaf.v() < leaves_ && dst_leaf.v() < leaves_);
+  CacheEntry& entry = cache_[static_cast<std::size_t>(src_leaf.v()) * leaves_ + dst_leaf.v()];
   if (entry.version != version_) {
     entry.uplinks.clear();
-    for (UplinkIndex u = 0; u < uplinks_; ++u) {
+    for (const UplinkIndex u : core::ids<UplinkIndex>(uplinks_)) {
       if (!known_failed(src_leaf, u) && !known_failed(dst_leaf, u)) {
         entry.uplinks.push_back(u);
       }

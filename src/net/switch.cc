@@ -16,7 +16,7 @@ std::uint64_t mix64(std::uint64_t z) {
 
 std::uint64_t flow_hash(const Packet& p) {
   std::uint64_t h = mix64(p.flow_id ^ 0x9e3779b97f4a7c15ULL);
-  h = mix64(h ^ (static_cast<std::uint64_t>(p.src) << 32 | p.dst));
+  h = mix64(h ^ (static_cast<std::uint64_t>(p.src.v()) << 32 | p.dst.v()));
   return h;
 }
 
@@ -41,32 +41,33 @@ Switch::Switch(sim::Simulator& simulator, std::string name, std::uint32_t num_po
 }
 
 void Switch::set_upstream(PortIndex in_port, EgressPort* upstream) {
-  assert(in_port < upstream_.size());
-  upstream_[in_port] = upstream;
+  assert(in_port.v() < upstream_.size());
+  upstream_[in_port.v()] = upstream;
 }
 
 void Switch::pfc_on_arrival(const Packet& p, PortIndex in_port) {
   if (!pfc_.enabled) return;
-  assert(in_port < ingress_bytes_.size());
+  assert(in_port.v() < ingress_bytes_.size());
   const int pi = priority_index(p.priority);
-  auto& bytes = ingress_bytes_[in_port][pi];
+  auto& bytes = ingress_bytes_[in_port.v()][pi];
   bytes += p.size_bytes;
-  if (bytes > pfc_.xoff_bytes && !upstream_paused_[in_port][pi]) {
-    upstream_paused_[in_port][pi] = true;
-    FP_TRACE(sim_, kPfcPause, name_.c_str(), in_port, static_cast<std::uint32_t>(pi),
-             bytes, 0.0, "xoff");
+  if (bytes > pfc_.xoff_bytes && !upstream_paused_[in_port.v()][pi]) {
+    upstream_paused_[in_port.v()][pi] = true;
+    FP_TRACE(sim_, kPfcPause, name_.c_str(), in_port.v(), static_cast<std::uint32_t>(pi),
+             bytes.v(), 0.0, "xoff");
     send_pause(in_port, p.priority, true);
 #if FP_AUDIT_ENABLED
     // Deadlock watchdog: if this pause is still continuously asserted when
     // the watchdog fires, the ingress class never drained below XON.
-    const std::uint64_t epoch = ++audit_pause_epoch_[in_port][pi];
+    const std::uint64_t epoch = ++audit_pause_epoch_[in_port.v()][pi];
     sim_.schedule_in(kPfcStuckPauseTimeout, [this, in_port, pi, epoch] {
-      FP_AUDIT(!(upstream_paused_[in_port][pi] && audit_pause_epoch_[in_port][pi] == epoch),
-               "pfc-stuck-pause", name_ + ".in" + std::to_string(in_port), pi,
+      FP_AUDIT(!(upstream_paused_[in_port.v()][pi] &&
+                 audit_pause_epoch_[in_port.v()][pi] == epoch),
+               "pfc-stuck-pause", name_ + ".in" + std::to_string(in_port.v()), pi,
                sim_.now().ps(),
                "PAUSE held continuously for " +
                    std::to_string(kPfcStuckPauseTimeout.us()) + "us; ingress class holds " +
-                   std::to_string(ingress_bytes_[in_port][pi]) + " bytes");
+                   std::to_string(ingress_bytes_[in_port.v()][pi].v()) + " bytes");
     });
 #endif
   }
@@ -74,17 +75,17 @@ void Switch::pfc_on_arrival(const Packet& p, PortIndex in_port) {
 
 void Switch::pfc_on_depart(const Packet& p) {
   if (!pfc_.enabled || p.pfc_ingress == kInvalidPort) return;
-  assert(p.pfc_ingress < ingress_bytes_.size());
+  assert(p.pfc_ingress.v() < ingress_bytes_.size());
   const int pi = priority_index(p.priority);
-  auto& bytes = ingress_bytes_[p.pfc_ingress][pi];
+  auto& bytes = ingress_bytes_[p.pfc_ingress.v()][pi];
   assert(bytes >= p.size_bytes);
   bytes -= p.size_bytes;
-  if (bytes <= pfc_.xon_bytes && upstream_paused_[p.pfc_ingress][pi]) {
-    upstream_paused_[p.pfc_ingress][pi] = false;
-    FP_TRACE(sim_, kPfcResume, name_.c_str(), p.pfc_ingress,
-             static_cast<std::uint32_t>(pi), bytes, 0.0, "xon");
+  if (bytes <= pfc_.xon_bytes && upstream_paused_[p.pfc_ingress.v()][pi]) {
+    upstream_paused_[p.pfc_ingress.v()][pi] = false;
+    FP_TRACE(sim_, kPfcResume, name_.c_str(), p.pfc_ingress.v(),
+             static_cast<std::uint32_t>(pi), bytes.v(), 0.0, "xon");
 #if FP_AUDIT_ENABLED
-    ++audit_pause_epoch_[p.pfc_ingress][pi];  // resume: disarm the watchdog
+    ++audit_pause_epoch_[p.pfc_ingress.v()][pi];  // resume: disarm the watchdog
 #endif
     send_pause(p.pfc_ingress, p.priority, false);
   }
@@ -97,9 +98,9 @@ void Switch::audit_verify_ingress_drained() const {
   // bytes mean a lost or double-counted departure.
   for (std::size_t port = 0; port < ingress_bytes_.size(); ++port) {
     for (int pi = 0; pi < kNumPriorities; ++pi) {
-      FP_AUDIT(ingress_bytes_[port][pi] == 0, "pfc-buffer-accounting",
+      FP_AUDIT(ingress_bytes_[port][pi].v() == 0, "pfc-buffer-accounting",
                name_ + ".in" + std::to_string(port), pi, sim_.now().ps(),
-               std::to_string(ingress_bytes_[port][pi]) +
+               std::to_string(ingress_bytes_[port][pi].v()) +
                    " bytes still accounted in the ingress buffer at quiesce");
     }
   }
@@ -107,7 +108,7 @@ void Switch::audit_verify_ingress_drained() const {
 #endif
 
 void Switch::send_pause(PortIndex in_port, Priority prio, bool pause) {
-  EgressPort* up = upstream_[in_port];
+  EgressPort* up = upstream_[in_port.v()];
   if (up == nullptr) return;  // host-facing port with no pausable upstream
   // The PAUSE frame crosses the reverse link; model its propagation delay.
   sim_.schedule_in(up->params().prop_delay, [up, prio, pause] { up->set_paused(prio, pause); });
@@ -124,18 +125,18 @@ void Switch::hook_depart(EgressPort& port) {
 LeafSwitch::LeafSwitch(sim::Simulator& simulator, LeafId id, const TopologyInfo& info,
                        const RoutingState& routing, SprayPolicy spray, PfcConfig pfc,
                        LinkParams host_link, LinkParams fabric_link, sim::Rng rng,
-                       std::uint64_t spray_quantum_bytes)
-    : Switch{simulator, "leaf" + std::to_string(id),
+                       core::Bytes spray_quantum_bytes)
+    : Switch{simulator, "leaf" + std::to_string(id.v()),
              info.hosts_per_leaf + info.uplinks_per_leaf(), pfc},
       id_{id},
       info_{info},
       routing_{routing},
       spray_{spray},
       rng_{rng},
-      spray_quantum_{spray_quantum_bytes == 0 ? 1 : spray_quantum_bytes},
+      spray_quantum_{spray_quantum_bytes.v() == 0 ? core::Bytes{1} : spray_quantum_bytes},
       sent_bytes_(static_cast<std::size_t>(info.leaves) * kNumPriorities *
                       info.uplinks_per_leaf(),
-                  0) {
+                  core::Bytes{}) {
   host_ports_.reserve(info.hosts_per_leaf);
   for (std::uint32_t h = 0; h < info.hosts_per_leaf; ++h) {
     host_ports_.push_back(std::make_unique<EgressPort>(
@@ -143,9 +144,9 @@ LeafSwitch::LeafSwitch(sim::Simulator& simulator, LeafId id, const TopologyInfo&
     hook_depart(*host_ports_.back());
   }
   uplink_ports_.reserve(info.uplinks_per_leaf());
-  for (UplinkIndex u = 0; u < info.uplinks_per_leaf(); ++u) {
+  for (const UplinkIndex u : core::ids<UplinkIndex>(info.uplinks_per_leaf())) {
     uplink_ports_.push_back(std::make_unique<EgressPort>(
-        simulator, fabric_link, name() + ".up" + std::to_string(u)));
+        simulator, fabric_link, name() + ".up" + std::to_string(u.v())));
     hook_depart(*uplink_ports_.back());
   }
 }
@@ -157,8 +158,8 @@ void LeafSwitch::set_fault_rng(sim::Rng* rng) {
 
 void LeafSwitch::receive(Packet p, PortIndex in_port) {
   pfc_on_arrival(p, in_port);
-  if (spine_hook_ && in_port >= info_.hosts_per_leaf) {
-    spine_hook_(in_port - info_.hosts_per_leaf, p);
+  if (spine_hook_ && in_port.v() >= info_.hosts_per_leaf) {
+    spine_hook_(info_.uplink_of_leaf_port(in_port), p);
   }
 
   const LeafId dst_leaf = info_.leaf_of(p.dst);
@@ -174,7 +175,7 @@ void LeafSwitch::receive(Packet p, PortIndex in_port) {
       pfc_on_depart(p);
       return;
     }
-    out = uplink_ports_[u].get();
+    out = uplink_ports_[u.v()].get();
   }
   ++counters_.forwarded_packets;
   p.pfc_ingress = in_port;
@@ -203,9 +204,9 @@ UplinkIndex LeafSwitch::choose_uplink(const Packet& p, LeafId dst_leaf) {
       const bool fresh = entry.key != key || now - entry.last > flowlet_gap_;
       if (fresh || routing_.known_failed(id_, entry.uplink)) {
         UplinkIndex pick = valid[0];
-        std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+        core::Bytes best{std::numeric_limits<std::uint64_t>::max()};
         for (const UplinkIndex u : valid) {
-          const std::uint64_t occ = uplink_ports_[u]->queued_bytes_at_or_above(p.priority);
+          const core::Bytes occ = uplink_ports_[u.v()]->queued_bytes_at_or_above(p.priority);
           if (occ < best) {
             best = occ;
             pick = u;
@@ -229,27 +230,27 @@ UplinkIndex LeafSwitch::choose_uplink(const Packet& p, LeafId dst_leaf) {
       // through the lanes, giving the near-perfect balance real APS
       // hardware achieves instead of multinomial sampling noise.
       auto grade = [this, &p](UplinkIndex u) {
-        return uplink_ports_[u]->queued_bytes_at_or_above(p.priority) / spray_quantum_;
+        return uplink_ports_[u.v()]->queued_bytes_at_or_above(p.priority) / spray_quantum_;
       };
-      std::uint64_t* deficit =
-          &sent_bytes_[(static_cast<std::size_t>(dst_leaf) * kNumPriorities +
+      core::Bytes* deficit =
+          &sent_bytes_[(static_cast<std::size_t>(dst_leaf.v()) * kNumPriorities +
                         priority_index(p.priority)) *
                        info_.uplinks_per_leaf()];
       // Least congestion grade first; among those, least bytes already
       // carried for this (destination, class); port index as final tiebreak.
       UplinkIndex pick = valid[0];
       std::uint64_t best_grade = std::numeric_limits<std::uint64_t>::max();
-      std::uint64_t best_deficit = std::numeric_limits<std::uint64_t>::max();
+      core::Bytes best_deficit{std::numeric_limits<std::uint64_t>::max()};
       for (const UplinkIndex u : valid) {
         const std::uint64_t g = grade(u);
         if (g > best_grade) continue;
-        if (g < best_grade || deficit[u] < best_deficit) {
+        if (g < best_grade || deficit[u.v()] < best_deficit) {
           best_grade = g;
-          best_deficit = deficit[u];
+          best_deficit = deficit[u.v()];
           pick = u;
         }
       }
-      deficit[pick] += p.size_bytes;
+      deficit[pick.v()] += p.size_bytes;
       return pick;
     }
   }
@@ -262,14 +263,14 @@ UplinkIndex LeafSwitch::choose_uplink(const Packet& p, LeafId dst_leaf) {
 
 SpineSwitch::SpineSwitch(sim::Simulator& simulator, SpineId id, const TopologyInfo& info,
                          PfcConfig pfc, LinkParams fabric_link)
-    : Switch{simulator, "spine" + std::to_string(id), info.leaves * info.parallel, pfc},
+    : Switch{simulator, "spine" + std::to_string(id.v()), info.leaves * info.parallel, pfc},
       id_{id},
       info_{info} {
   const std::uint32_t ports = info.leaves * info.parallel;
   down_ports_.reserve(ports);
-  for (PortIndex port = 0; port < ports; ++port) {
+  for (const PortIndex port : core::ids<PortIndex>(ports)) {
     down_ports_.push_back(std::make_unique<EgressPort>(
-        simulator, fabric_link, name() + ".down" + std::to_string(port)));
+        simulator, fabric_link, name() + ".down" + std::to_string(port.v())));
     hook_depart(*down_ports_.back());
   }
 }
@@ -282,11 +283,11 @@ void SpineSwitch::receive(Packet p, PortIndex in_port) {
   pfc_on_arrival(p, in_port);
   // Arrival port encodes (src leaf, lane); keep the lane downstream so each
   // lane behaves as an independent virtual spine.
-  const std::uint32_t lane = in_port % info_.parallel;
+  const std::uint32_t lane = in_port.v() % info_.parallel;
   const LeafId dst_leaf = info_.leaf_of(p.dst);
   ++counters_.forwarded_packets;
   p.pfc_ingress = in_port;
-  down_ports_[dst_leaf * info_.parallel + lane]->enqueue(p);
+  down_ports_[dst_leaf.v() * info_.parallel + lane]->enqueue(p);
 }
 
 }  // namespace flowpulse::net

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "core/units.h"
 #include "net/counters.h"
 #include "net/device.h"
 #include "net/egress_port.h"
@@ -21,8 +22,8 @@ namespace flowpulse::net {
 /// Priority Flow Control parameters, applied per (ingress port, priority).
 struct PfcConfig {
   bool enabled = true;
-  std::uint64_t xoff_bytes = 128 * 1024;  ///< pause upstream above this
-  std::uint64_t xon_bytes = 96 * 1024;    ///< resume upstream below this
+  core::Bytes xoff_bytes{128 * 1024};  ///< pause upstream above this
+  core::Bytes xon_bytes{96 * 1024};    ///< resume upstream below this
 };
 
 #if FP_AUDIT_ENABLED
@@ -41,8 +42,8 @@ class Switch : public Device {
  public:
   void set_upstream(PortIndex in_port, EgressPort* upstream);
   [[nodiscard]] const SwitchCounters& counters() const { return counters_; }
-  [[nodiscard]] std::uint64_t ingress_bytes(PortIndex port, Priority prio) const {
-    return ingress_bytes_[port][priority_index(prio)];
+  [[nodiscard]] core::Bytes ingress_bytes(PortIndex port, Priority prio) const {
+    return ingress_bytes_[port.v()][priority_index(prio)];
   }
   [[nodiscard]] const std::string& name() const { return name_; }
 
@@ -68,7 +69,7 @@ class Switch : public Device {
 
   std::string name_;
   PfcConfig pfc_;
-  std::vector<std::array<std::uint64_t, kNumPriorities>> ingress_bytes_;
+  std::vector<std::array<core::Bytes, kNumPriorities>> ingress_bytes_;
   std::vector<std::array<bool, kNumPriorities>> upstream_paused_;
   std::vector<EgressPort*> upstream_;
 
@@ -96,15 +97,15 @@ class LeafSwitch final : public Switch {
   LeafSwitch(sim::Simulator& simulator, LeafId id, const TopologyInfo& info,
              const RoutingState& routing, SprayPolicy spray, PfcConfig pfc,
              LinkParams host_link, LinkParams fabric_link, sim::Rng rng,
-             std::uint64_t spray_quantum_bytes);
+             core::Bytes spray_quantum_bytes);
 
   void receive(Packet p, PortIndex in_port) override;
 
   [[nodiscard]] EgressPort& host_port(std::uint32_t local_index) {
     return *host_ports_[local_index];
   }
-  [[nodiscard]] EgressPort& uplink(UplinkIndex u) { return *uplink_ports_[u]; }
-  [[nodiscard]] const EgressPort& uplink(UplinkIndex u) const { return *uplink_ports_[u]; }
+  [[nodiscard]] EgressPort& uplink(UplinkIndex u) { return *uplink_ports_[u.v()]; }
+  [[nodiscard]] const EgressPort& uplink(UplinkIndex u) const { return *uplink_ports_[u.v()]; }
 
   void set_spine_ingress_hook(SpineIngressHook hook) { spine_hook_ = std::move(hook); }
   void set_fault_rng(sim::Rng* rng);
@@ -113,7 +114,7 @@ class LeafSwitch final : public Switch {
   [[nodiscard]] SprayPolicy spray_policy() const { return spray_; }
 
  private:
-  static constexpr UplinkIndex kNoUplink = 0xffffffffu;
+  static constexpr UplinkIndex kNoUplink{0xffffffffu};
   [[nodiscard]] UplinkIndex choose_uplink(const Packet& p, LeafId dst_leaf);
 
   LeafId id_;
@@ -128,13 +129,13 @@ class LeafSwitch final : public Switch {
   /// a prioritized collective's distribution independent of background
   /// phase — the isolation property §5.1 relies on. Genuine congestion
   /// (multi-packet queues) still redirects packets.
-  std::uint64_t spray_quantum_;
+  core::Bytes spray_quantum_;
 
   /// kFlowlet: fixed-size flowlet table (collisions overwrite, as in real
   /// hardware tables) and the idle gap after which a flow may re-route.
   struct FlowletEntry {
     std::uint64_t key = 0;
-    UplinkIndex uplink = 0;
+    UplinkIndex uplink{};
     sim::Time last = sim::Time::zero();
   };
   static constexpr std::size_t kFlowletTableSize = 4096;
@@ -151,7 +152,7 @@ class LeafSwitch final : public Switch {
   /// packet-count round-robin parks those tails on the same lanes whenever
   /// segments-per-message and lane count share a factor, leaving a
   /// deterministic byte imbalance the load model cannot predict.
-  std::vector<std::uint64_t> sent_bytes_;  // [(dst_leaf * kNumPriorities + prio) * uplinks + u]
+  std::vector<core::Bytes> sent_bytes_;  // [(dst_leaf * kNumPriorities + prio) * uplinks + u]
   std::vector<std::unique_ptr<EgressPort>> host_ports_;
   std::vector<std::unique_ptr<EgressPort>> uplink_ports_;
   SpineIngressHook spine_hook_;
@@ -167,10 +168,12 @@ class SpineSwitch final : public Switch {
 
   void receive(Packet p, PortIndex in_port) override;
 
-  [[nodiscard]] EgressPort& down_port(PortIndex port) { return *down_ports_[port]; }
-  [[nodiscard]] const EgressPort& down_port(PortIndex port) const { return *down_ports_[port]; }
+  [[nodiscard]] EgressPort& down_port(PortIndex port) { return *down_ports_[port.v()]; }
+  [[nodiscard]] const EgressPort& down_port(PortIndex port) const {
+    return *down_ports_[port.v()];
+  }
   [[nodiscard]] EgressPort& down_port_to(LeafId leaf, std::uint32_t lane) {
-    return *down_ports_[leaf * info_.parallel + lane];
+    return *down_ports_[leaf.v() * info_.parallel + lane];
   }
   void set_fault_rng(sim::Rng* rng);
 

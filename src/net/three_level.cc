@@ -11,28 +11,28 @@ namespace {
 /// 2-level leaf, see LeafSwitch): least congestion grade first, then least
 /// cumulative bytes carried for this (destination, class).
 template <typename Ports>
-std::uint32_t pick_byte_deficit(const Ports& ports, const std::vector<UplinkIndex>& candidates,
-                                const Packet& p, std::uint64_t quantum,
-                                std::uint64_t* deficit) {
-  std::uint32_t pick = candidates[0];
+UplinkIndex pick_byte_deficit(const Ports& ports, const std::vector<UplinkIndex>& candidates,
+                              const Packet& p, core::Bytes quantum, core::Bytes* deficit) {
+  UplinkIndex pick = candidates[0];
   std::uint64_t best_grade = std::numeric_limits<std::uint64_t>::max();
-  std::uint64_t best_deficit = std::numeric_limits<std::uint64_t>::max();
-  for (const std::uint32_t u : candidates) {
-    const std::uint64_t g = ports[u]->queued_bytes_at_or_above(p.priority) / quantum;
+  core::Bytes best_deficit{std::numeric_limits<std::uint64_t>::max()};
+  for (const UplinkIndex u : candidates) {
+    const std::uint64_t g = ports[u.v()]->queued_bytes_at_or_above(p.priority) / quantum;
     if (g > best_grade) continue;
-    if (g < best_grade || deficit[u] < best_deficit) {
+    if (g < best_grade || deficit[u.v()] < best_deficit) {
       best_grade = g;
-      best_deficit = deficit[u];
+      best_deficit = deficit[u.v()];
       pick = u;
     }
   }
-  deficit[pick] += p.size_bytes;
+  deficit[pick.v()] += p.size_bytes;
   return pick;
 }
 
 std::vector<UplinkIndex> iota_candidates(std::uint32_t n) {
-  std::vector<UplinkIndex> v(n);
-  for (std::uint32_t i = 0; i < n; ++i) v[i] = i;
+  std::vector<UplinkIndex> v;
+  v.reserve(n);
+  for (const UplinkIndex u : core::ids<UplinkIndex>(n)) v.push_back(u);
   return v;
 }
 
@@ -45,16 +45,16 @@ std::vector<UplinkIndex> iota_candidates(std::uint32_t n) {
 Leaf3Switch::Leaf3Switch(sim::Simulator& simulator, LeafId id, const ThreeLevelInfo& info,
                          const RoutingState& leaf_spine_routing, PfcConfig pfc,
                          LinkParams host_link, LinkParams fabric_link,
-                         std::uint64_t spray_quantum)
-    : Switch{simulator, "leaf3_" + std::to_string(id),
+                         core::Bytes spray_quantum)
+    : Switch{simulator, "leaf3_" + std::to_string(id.v()),
              info.hosts_per_leaf + info.spines_per_pod, pfc},
       id_{id},
       info_{info},
       routing_{leaf_spine_routing},
-      spray_quantum_{spray_quantum == 0 ? 1 : spray_quantum},
+      spray_quantum_{spray_quantum.v() == 0 ? core::Bytes{1} : spray_quantum},
       sent_bytes_(static_cast<std::size_t>(info.num_leaves()) * kNumPriorities *
                       info.spines_per_pod,
-                  0) {
+                  core::Bytes{}) {
   for (std::uint32_t h = 0; h < info.hosts_per_leaf; ++h) {
     host_ports_.push_back(std::make_unique<EgressPort>(
         simulator, host_link, name() + ".down" + std::to_string(h)));
@@ -74,14 +74,14 @@ void Leaf3Switch::set_fault_rng(sim::Rng* rng) {
 
 void Leaf3Switch::receive(Packet p, PortIndex in_port) {
   pfc_on_arrival(p, in_port);
-  if (hook_ && in_port >= info_.hosts_per_leaf) {
-    hook_(in_port - info_.hosts_per_leaf, p);
+  if (hook_ && in_port.v() >= info_.hosts_per_leaf) {
+    hook_(UplinkIndex{in_port.v() - info_.hosts_per_leaf}, p);
   }
 
   const LeafId dst_leaf = info_.leaf_of(p.dst);
   EgressPort* out = nullptr;
   if (dst_leaf == id_) {
-    out = host_ports_[p.dst % info_.hosts_per_leaf].get();
+    out = host_ports_[p.dst.v() % info_.hosts_per_leaf].get();
   } else {
     const auto& valid = routing_.valid_uplinks(id_, dst_leaf);
     if (valid.empty()) {
@@ -90,11 +90,12 @@ void Leaf3Switch::receive(Packet p, PortIndex in_port) {
       pfc_on_depart(p);
       return;
     }
-    std::uint64_t* deficit =
-        &sent_bytes_[(static_cast<std::size_t>(dst_leaf) * kNumPriorities +
+    core::Bytes* deficit =
+        &sent_bytes_[(static_cast<std::size_t>(dst_leaf.v()) * kNumPriorities +
                       priority_index(p.priority)) *
                      info_.spines_per_pod];
-    out = uplink_ports_[pick_byte_deficit(uplink_ports_, valid, p, spray_quantum_, deficit)]
+    out = uplink_ports_[pick_byte_deficit(uplink_ports_, valid, p, spray_quantum_, deficit)
+                            .v()]
               .get();
   }
   ++counters_.forwarded_packets;
@@ -108,17 +109,17 @@ void Leaf3Switch::receive(Packet p, PortIndex in_port) {
 
 PodSpineSwitch::PodSpineSwitch(sim::Simulator& simulator, std::uint32_t pod,
                                std::uint32_t index, const ThreeLevelInfo& info, PfcConfig pfc,
-                               LinkParams fabric_link, std::uint64_t spray_quantum)
+                               LinkParams fabric_link, core::Bytes spray_quantum)
     : Switch{simulator,
              "podspine" + std::to_string(pod) + "_" + std::to_string(index),
              info.leaves_per_pod + info.cores_per_group(), pfc},
       pod_{pod},
       index_{index},
       info_{info},
-      spray_quantum_{spray_quantum == 0 ? 1 : spray_quantum},
+      spray_quantum_{spray_quantum.v() == 0 ? core::Bytes{1} : spray_quantum},
       sent_bytes_(static_cast<std::size_t>(info.num_leaves()) * kNumPriorities *
                       info.cores_per_group(),
-                  0) {
+                  core::Bytes{}) {
   for (std::uint32_t l = 0; l < info.leaves_per_pod; ++l) {
     down_ports_.push_back(std::make_unique<EgressPort>(
         simulator, fabric_link, name() + ".down" + std::to_string(l)));
@@ -138,8 +139,8 @@ void PodSpineSwitch::set_fault_rng(sim::Rng* rng) {
 
 void PodSpineSwitch::receive(Packet p, PortIndex in_port) {
   pfc_on_arrival(p, in_port);
-  const bool from_core = in_port >= info_.leaves_per_pod;
-  if (hook_ && from_core) hook_(in_port - info_.leaves_per_pod, p);
+  const bool from_core = in_port.v() >= info_.leaves_per_pod;
+  if (hook_ && from_core) hook_(in_port.v() - info_.leaves_per_pod, p);
 
   const LeafId dst_leaf = info_.leaf_of(p.dst);
   const std::uint32_t dst_pod = info_.pod_of_leaf(dst_leaf);
@@ -154,12 +155,12 @@ void PodSpineSwitch::receive(Packet p, PortIndex in_port) {
     if (candidates.size() != info_.cores_per_group()) {
       candidates = iota_candidates(info_.cores_per_group());
     }
-    std::uint64_t* deficit =
-        &sent_bytes_[(static_cast<std::size_t>(dst_leaf) * kNumPriorities +
+    core::Bytes* deficit =
+        &sent_bytes_[(static_cast<std::size_t>(dst_leaf.v()) * kNumPriorities +
                       priority_index(p.priority)) *
                      info_.cores_per_group()];
-    out =
-        up_ports_[pick_byte_deficit(up_ports_, candidates, p, spray_quantum_, deficit)].get();
+    out = up_ports_[pick_byte_deficit(up_ports_, candidates, p, spray_quantum_, deficit).v()]
+              .get();
   }
   ++counters_.forwarded_packets;
   p.pfc_ingress = in_port;
@@ -207,10 +208,10 @@ ThreeLevelFatTree::ThreeLevelFatTree(sim::Simulator& simulator, ThreeLevelConfig
       fault_rng_{config.seed ^ 0x3fa017ull} {
   const ThreeLevelInfo& shape = config_.shape;
 
-  for (HostId h = 0; h < shape.num_hosts(); ++h) {
+  for (const HostId h : core::ids<HostId>(shape.num_hosts())) {
     hosts_.push_back(std::make_unique<Host>(simulator, h, config_.host_link));
   }
-  for (LeafId l = 0; l < shape.num_leaves(); ++l) {
+  for (const LeafId l : core::ids<LeafId>(shape.num_leaves())) {
     leaves_.push_back(std::make_unique<Leaf3Switch>(
         simulator, l, config_.shape, routing_, config_.pfc, config_.host_link,
         config_.fabric_link, config_.spray_quantum_bytes));
@@ -230,28 +231,28 @@ ThreeLevelFatTree::ThreeLevelFatTree(sim::Simulator& simulator, ThreeLevelConfig
   }
 
   // Hosts ↔ leaves.
-  for (HostId h = 0; h < shape.num_hosts(); ++h) {
+  for (const HostId h : core::ids<HostId>(shape.num_hosts())) {
     const LeafId l = shape.leaf_of(h);
-    const std::uint32_t local = h % shape.hosts_per_leaf;
-    hosts_[h]->nic().connect(leaves_[l].get(), local);
-    leaves_[l]->set_upstream(local, &hosts_[h]->nic());
-    leaves_[l]->host_port(local).connect(hosts_[h].get(), 0);
-    hosts_[h]->nic().set_fault_rng(&fault_rng_);
+    const std::uint32_t local = h.v() % shape.hosts_per_leaf;
+    hosts_[h.v()]->nic().connect(leaves_[l.v()].get(), PortIndex{local});
+    leaves_[l.v()]->set_upstream(PortIndex{local}, &hosts_[h.v()]->nic());
+    leaves_[l.v()]->host_port(local).connect(hosts_[h.v()].get(), PortIndex{0});
+    hosts_[h.v()]->nic().set_fault_rng(&fault_rng_);
   }
 
   // Leaves ↔ pod-spines.
-  for (LeafId l = 0; l < shape.num_leaves(); ++l) {
+  for (const LeafId l : core::ids<LeafId>(shape.num_leaves())) {
     const std::uint32_t pod = shape.pod_of_leaf(l);
     const std::uint32_t local = shape.local_leaf(l);
     for (std::uint32_t s = 0; s < shape.spines_per_pod; ++s) {
       PodSpineSwitch& ps = *pod_spines_[shape.pod_spine_id(pod, s)];
-      const PortIndex leaf_port = shape.hosts_per_leaf + s;
-      leaves_[l]->uplink(s).connect(&ps, local);
-      ps.set_upstream(local, &leaves_[l]->uplink(s));
-      ps.down_port(local).connect(leaves_[l].get(), leaf_port);
-      leaves_[l]->set_upstream(leaf_port, &ps.down_port(local));
+      const PortIndex leaf_port{shape.hosts_per_leaf + s};
+      leaves_[l.v()]->uplink(s).connect(&ps, PortIndex{local});
+      ps.set_upstream(PortIndex{local}, &leaves_[l.v()]->uplink(s));
+      ps.down_port(local).connect(leaves_[l.v()].get(), leaf_port);
+      leaves_[l.v()]->set_upstream(leaf_port, &ps.down_port(local));
     }
-    leaves_[l]->set_fault_rng(&fault_rng_);
+    leaves_[l.v()]->set_fault_rng(&fault_rng_);
   }
 
   // Pod-spines ↔ cores.
@@ -260,9 +261,9 @@ ThreeLevelFatTree::ThreeLevelFatTree(sim::Simulator& simulator, ThreeLevelConfig
       PodSpineSwitch& ps = *pod_spines_[shape.pod_spine_id(pod, s)];
       for (std::uint32_t k = 0; k < shape.cores_per_group(); ++k) {
         CoreSwitch& c = *cores_[shape.core_id(s, k)];
-        const PortIndex ps_port = shape.leaves_per_pod + k;
-        ps.core_uplink(k).connect(&c, pod);
-        c.set_upstream(pod, &ps.core_uplink(k));
+        const PortIndex ps_port{shape.leaves_per_pod + k};
+        ps.core_uplink(k).connect(&c, PortIndex{pod});
+        c.set_upstream(PortIndex{pod}, &ps.core_uplink(k));
         c.down_port(pod).connect(&ps, ps_port);
         ps.set_upstream(ps_port, &c.down_port(pod));
       }
@@ -274,13 +275,13 @@ ThreeLevelFatTree::ThreeLevelFatTree(sim::Simulator& simulator, ThreeLevelConfig
 
 void ThreeLevelFatTree::disconnect_known(LeafId leaf, std::uint32_t spine_index) {
   set_leaf_link_fault(leaf, spine_index, FaultSpec::disconnect());
-  routing_.set_known_failed(leaf, spine_index);
+  routing_.set_known_failed(leaf, UplinkIndex{spine_index});
 }
 
 void ThreeLevelFatTree::set_leaf_link_fault(LeafId leaf, std::uint32_t spine_index,
                                             FaultSpec fault) {
   const ThreeLevelInfo& shape = config_.shape;
-  leaves_[leaf]->uplink(spine_index).set_fault(fault);
+  leaves_[leaf.v()]->uplink(spine_index).set_fault(fault);
   PodSpineSwitch& ps = *pod_spines_[shape.pod_spine_id(shape.pod_of_leaf(leaf), spine_index)];
   ps.down_port(shape.local_leaf(leaf)).set_fault(fault);
 }
@@ -306,12 +307,12 @@ LinkCounters ThreeLevelFatTree::total_fabric_counters() const {
   };
   const ThreeLevelInfo& shape = config_.shape;
   for (const auto& h : hosts_) add(h->nic().counters());
-  for (LeafId l = 0; l < shape.num_leaves(); ++l) {
+  for (const LeafId l : core::ids<LeafId>(shape.num_leaves())) {
     for (std::uint32_t i = 0; i < shape.hosts_per_leaf; ++i) {
-      add(leaves_[l]->host_port(i).counters());
+      add(leaves_[l.v()]->host_port(i).counters());
     }
     for (std::uint32_t s = 0; s < shape.spines_per_pod; ++s) {
-      add(leaves_[l]->uplink(s).counters());
+      add(leaves_[l.v()]->uplink(s).counters());
     }
   }
   for (const auto& ps : pod_spines_) {

@@ -41,12 +41,14 @@ struct ThreeLevelInfo {
   [[nodiscard]] constexpr std::uint32_t num_hosts() const {
     return num_leaves() * hosts_per_leaf;
   }
-  [[nodiscard]] constexpr LeafId leaf_of(HostId h) const { return h / hosts_per_leaf; }
+  [[nodiscard]] constexpr LeafId leaf_of(HostId h) const {
+    return LeafId{h.v() / hosts_per_leaf};
+  }
   [[nodiscard]] constexpr std::uint32_t pod_of_leaf(LeafId l) const {
-    return l / leaves_per_pod;
+    return l.v() / leaves_per_pod;
   }
   [[nodiscard]] constexpr std::uint32_t local_leaf(LeafId l) const {
-    return l % leaves_per_pod;
+    return l.v() % leaves_per_pod;
   }
   /// Global pod-spine id of (pod, spine index).
   [[nodiscard]] constexpr std::uint32_t pod_spine_id(std::uint32_t pod,
@@ -70,7 +72,7 @@ class Leaf3Switch final : public Switch {
 
   Leaf3Switch(sim::Simulator& simulator, LeafId id, const ThreeLevelInfo& info,
               const RoutingState& leaf_spine_routing, PfcConfig pfc, LinkParams host_link,
-              LinkParams fabric_link, std::uint64_t spray_quantum);
+              LinkParams fabric_link, core::Bytes spray_quantum);
 
   void receive(Packet p, PortIndex in_port) override;
 
@@ -84,10 +86,10 @@ class Leaf3Switch final : public Switch {
   LeafId id_;
   const ThreeLevelInfo& info_;
   const RoutingState& routing_;  // (global leaf, pod-spine index) known failures
-  std::uint64_t spray_quantum_;
+  core::Bytes spray_quantum_;
   std::vector<std::unique_ptr<EgressPort>> host_ports_;
   std::vector<std::unique_ptr<EgressPort>> uplink_ports_;
-  std::vector<std::uint64_t> sent_bytes_;  // [dst_leaf * prios + prio][spine]
+  std::vector<core::Bytes> sent_bytes_;  // [dst_leaf * prios + prio][spine]
   IngressHook hook_;
 };
 
@@ -100,10 +102,12 @@ class PodSpineSwitch final : public Switch {
 
   PodSpineSwitch(sim::Simulator& simulator, std::uint32_t pod, std::uint32_t index,
                  const ThreeLevelInfo& info, PfcConfig pfc, LinkParams fabric_link,
-                 std::uint64_t spray_quantum);
+                 core::Bytes spray_quantum);
 
   void receive(Packet p, PortIndex in_port) override;
 
+  // detlint: ok(raw-scalar-id): pod-local ordinal, not a global id — the
+  // documented raw-index face of the three-level API
   [[nodiscard]] EgressPort& down_port(std::uint32_t local_leaf) {
     return *down_ports_[local_leaf];
   }
@@ -119,10 +123,10 @@ class PodSpineSwitch final : public Switch {
   std::uint32_t pod_;
   std::uint32_t index_;
   const ThreeLevelInfo& info_;
-  std::uint64_t spray_quantum_;
+  core::Bytes spray_quantum_;
   std::vector<std::unique_ptr<EgressPort>> down_ports_;  // per local leaf
   std::vector<std::unique_ptr<EgressPort>> up_ports_;    // per core of the group
-  std::vector<std::uint64_t> sent_bytes_;  // [dst_leaf * prios + prio][core k]
+  std::vector<core::Bytes> sent_bytes_;  // [dst_leaf * prios + prio][core k]
   IngressHook hook_;
 };
 
@@ -146,10 +150,10 @@ class CoreSwitch final : public Switch {
 
 struct ThreeLevelConfig {
   ThreeLevelInfo shape{};
-  LinkParams host_link{400.0, sim::Time::nanoseconds(200)};
-  LinkParams fabric_link{400.0, sim::Time::nanoseconds(200)};
+  LinkParams host_link{core::GbitsPerSec{400.0}, sim::Time::nanoseconds(200)};
+  LinkParams fabric_link{core::GbitsPerSec{400.0}, sim::Time::nanoseconds(200)};
   PfcConfig pfc{};
-  std::uint64_t spray_quantum_bytes = 8192;
+  core::Bytes spray_quantum_bytes{8192};
   std::uint64_t seed = 0x5eed;
 };
 
@@ -167,8 +171,8 @@ class ThreeLevelFatTree {
   ThreeLevelFatTree& operator=(const ThreeLevelFatTree&) = delete;
 
   [[nodiscard]] const ThreeLevelInfo& info() const { return config_.shape; }
-  [[nodiscard]] Host& host(HostId h) { return *hosts_[h]; }
-  [[nodiscard]] Leaf3Switch& leaf(LeafId l) { return *leaves_[l]; }
+  [[nodiscard]] Host& host(HostId h) { return *hosts_[h.v()]; }
+  [[nodiscard]] Leaf3Switch& leaf(LeafId l) { return *leaves_[l.v()]; }
   [[nodiscard]] PodSpineSwitch& pod_spine(std::uint32_t pod, std::uint32_t s) {
     return *pod_spines_[config_.shape.pod_spine_id(pod, s)];
   }
@@ -181,13 +185,15 @@ class ThreeLevelFatTree {
 
   /// Known pre-existing failure of a leaf↔pod-spine link (both directions
   /// dark + removed from routing).
-  void disconnect_known(LeafId leaf, std::uint32_t spine_index);
+  void disconnect_known(LeafId leaf, std::uint32_t spine_index);  // detlint: ok(raw-scalar-id): pod-local ordinal — documented raw-index boundary
   /// Silent fault on a leaf↔pod-spine link.
-  void set_leaf_link_fault(LeafId leaf, std::uint32_t spine_index, FaultSpec fault);
+  void set_leaf_link_fault(LeafId leaf, std::uint32_t spine_index, FaultSpec fault);  // detlint: ok(raw-scalar-id): pod-local ordinal — documented raw-index boundary
   /// Silent fault on a pod-spine↔core link (both directions).
+  // detlint: ok(raw-scalar-id): pod-local ordinals — documented raw-index boundary
   void set_core_link_fault(std::uint32_t pod, std::uint32_t spine_index, std::uint32_t k,
                            FaultSpec fault);
   /// Silent fault on only the core→pod-spine direction.
+  // detlint: ok(raw-scalar-id): pod-local ordinals — documented raw-index boundary
   void set_core_downlink_fault(std::uint32_t pod, std::uint32_t spine_index, std::uint32_t k,
                                FaultSpec fault);
 

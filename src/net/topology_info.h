@@ -14,6 +14,11 @@ namespace flowpulse::net {
 /// index u identifies (spine u / parallel, lane u % parallel). Packets keep
 /// their lane across the spine (virtual-switch semantics), so each lane
 /// behaves as an independent spine for spraying, monitoring and prediction.
+///
+/// These methods are the ONLY sanctioned conversions between the strong
+/// index spaces (host → leaf, uplink → spine/lane, uplink → port); ad-hoc
+/// arithmetic on raw .v() values elsewhere is what the strong types exist
+/// to eliminate.
 struct TopologyInfo {
   std::uint32_t leaves = 32;
   std::uint32_t spines = 16;
@@ -22,17 +27,30 @@ struct TopologyInfo {
 
   [[nodiscard]] constexpr std::uint32_t uplinks_per_leaf() const { return spines * parallel; }
   [[nodiscard]] constexpr std::uint32_t num_hosts() const { return leaves * hosts_per_leaf; }
-  [[nodiscard]] constexpr LeafId leaf_of(HostId h) const { return h / hosts_per_leaf; }
-  [[nodiscard]] constexpr std::uint32_t local_index(HostId h) const { return h % hosts_per_leaf; }
-  [[nodiscard]] constexpr SpineId spine_of(UplinkIndex u) const { return u / parallel; }
-  [[nodiscard]] constexpr std::uint32_t lane_of(UplinkIndex u) const { return u % parallel; }
+  [[nodiscard]] constexpr LeafId leaf_of(HostId h) const {
+    return LeafId{h.v() / hosts_per_leaf};
+  }
+  [[nodiscard]] constexpr std::uint32_t local_index(HostId h) const {
+    return h.v() % hosts_per_leaf;
+  }
+  [[nodiscard]] constexpr HostId host_under(LeafId leaf, std::uint32_t local) const {
+    return HostId{leaf.v() * hosts_per_leaf + local};
+  }
+  [[nodiscard]] constexpr SpineId spine_of(UplinkIndex u) const {
+    return SpineId{u.v() / parallel};
+  }
+  [[nodiscard]] constexpr std::uint32_t lane_of(UplinkIndex u) const { return u.v() % parallel; }
   /// Port index of uplink `u` on its spine switch, for a given leaf.
   [[nodiscard]] constexpr PortIndex spine_port(LeafId leaf, UplinkIndex u) const {
-    return leaf * parallel + lane_of(u);
+    return PortIndex{leaf.v() * parallel + lane_of(u)};
   }
   /// Leaf-switch port carrying uplink `u`.
   [[nodiscard]] constexpr PortIndex leaf_uplink_port(UplinkIndex u) const {
-    return hosts_per_leaf + u;
+    return PortIndex{hosts_per_leaf + u.v()};
+  }
+  /// Inverse of leaf_uplink_port: which uplink a leaf port carries.
+  [[nodiscard]] constexpr UplinkIndex uplink_of_leaf_port(PortIndex port) const {
+    return UplinkIndex{port.v() - hosts_per_leaf};
   }
 };
 

@@ -2,16 +2,58 @@
 
 #include <cstdint>
 
+#include "core/strong_id.h"
+
 namespace flowpulse::net {
 
-using HostId = std::uint32_t;    ///< Global host (GPU/NIC) index.
-using LeafId = std::uint32_t;    ///< Leaf switch index.
-using SpineId = std::uint32_t;   ///< Spine switch index.
-using PortIndex = std::uint32_t; ///< Port index local to one device.
-using UplinkIndex = std::uint32_t; ///< "Virtual spine": spine * parallel + lane.
+/// Distinct, explicitly-constructed index types (core::StrongId). Mixing
+/// any two — the PR 2 bug class, a sender-leaf index used as a port index —
+/// is a compile error; every strong→raw crossing is an explicit .v().
+
+/// Global host (GPU/NIC) index.
+struct HostId final : core::StrongId<HostId> {
+  using StrongId::StrongId;
+};
+/// Leaf switch index.
+struct LeafId final : core::StrongId<LeafId> {
+  using StrongId::StrongId;
+};
+/// Spine switch index.
+struct SpineId final : core::StrongId<SpineId> {
+  using StrongId::StrongId;
+};
+/// Port index local to one device.
+struct PortId final : core::StrongId<PortId> {
+  using StrongId::StrongId;
+};
+using PortIndex = PortId;
+/// "Virtual spine": spine * parallel + lane. Distinct from PortId — the
+/// same uplink has different port numbers at its leaf and its spine
+/// (TopologyInfo::leaf_uplink_port / spine_port do the conversions).
+struct UplinkIndex final : core::StrongId<UplinkIndex> {
+  using StrongId::StrongId;
+};
+/// Collective training-iteration number (the flow_id-embedded delimiter).
+struct IterIndex final : core::StrongId<IterIndex> {
+  using StrongId::StrongId;
+};
+
+/// One leaf↔spine fabric link, the unit localization blames and mitigation
+/// quarantines: (leaf, uplink) packed so LinkId orders by leaf then uplink.
+struct LinkId final : core::StrongId<LinkId, std::uint64_t> {
+  using StrongId::StrongId;
+  [[nodiscard]] static constexpr LinkId of(LeafId leaf, UplinkIndex uplink) {
+    return LinkId{(static_cast<std::uint64_t>(leaf.v()) << 32) | uplink.v()};
+  }
+  [[nodiscard]] constexpr LeafId leaf() const { return LeafId{static_cast<std::uint32_t>(v() >> 32)}; }
+  [[nodiscard]] constexpr UplinkIndex uplink() const {
+    return UplinkIndex{static_cast<std::uint32_t>(v())};
+  }
+};
+
 using FlowId = std::uint64_t;
 
-constexpr PortIndex kInvalidPort = 0xffffffffu;
+inline constexpr PortIndex kInvalidPort{0xffffffffu};
 
 /// Traffic classes. Lower value = strictly higher scheduling priority.
 /// The measured collective runs above background jobs (paper §5.1) so that
@@ -49,14 +91,14 @@ constexpr FlowId kIterationMask = 0x00000000ffffffffull;
 constexpr FlowId kJobShift = 32;
 constexpr FlowId kJobMask = 0x0000ffff00000000ull;
 
-[[nodiscard]] constexpr FlowId make_collective(std::uint32_t iteration, std::uint16_t job = 0) {
-  return kCollectiveSentinel | (static_cast<FlowId>(job) << kJobShift) | iteration;
+[[nodiscard]] constexpr FlowId make_collective(IterIndex iteration, std::uint16_t job = 0) {
+  return kCollectiveSentinel | (static_cast<FlowId>(job) << kJobShift) | iteration.v();
 }
 [[nodiscard]] constexpr bool is_collective(FlowId f) {
   return (f & kSentinelMask) == kCollectiveSentinel;
 }
-[[nodiscard]] constexpr std::uint32_t iteration_of(FlowId f) {
-  return static_cast<std::uint32_t>(f & kIterationMask);
+[[nodiscard]] constexpr IterIndex iteration_of(FlowId f) {
+  return IterIndex{static_cast<std::uint32_t>(f & kIterationMask)};
 }
 [[nodiscard]] constexpr std::uint16_t job_of(FlowId f) {
   return static_cast<std::uint16_t>((f & kJobMask) >> kJobShift);

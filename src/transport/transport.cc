@@ -47,7 +47,7 @@ void Transport::pump(SendState& st) {
     ++stats_.data_packets_sent;
   }
   FP_AUDIT(st.outstanding <= config_.window, "message-accounting",
-           "host" + std::to_string(host_.id()) + ".transport", st.msg_id, sim_.now().ps(),
+           "host" + std::to_string(host_.id().v()) + ".transport", st.msg_id, sim_.now().ps(),
            "window overrun: outstanding=" + std::to_string(st.outstanding) + " window=" +
                std::to_string(config_.window));
 }
@@ -58,10 +58,10 @@ void Transport::transmit_segment(SendState& st, std::uint32_t seq) {
   p.src = host_.id();
   p.dst = st.spec.dst;
   p.msg_id = st.msg_id;
-  p.msg_bytes = st.spec.bytes;
+  p.msg_bytes = core::Bytes{st.spec.bytes};
   p.total_segments = st.total_segments;
   p.seq = seq;
-  p.size_bytes = segment_payload(st, seq) + net::kHeaderBytes;
+  p.size_bytes = core::Bytes{segment_payload(st, seq)} + net::kHeaderBytes;
   p.kind = net::PacketKind::kData;
   p.priority = st.spec.priority;
   p.retx = st.attempts[seq];
@@ -96,7 +96,7 @@ void Transport::on_rto(std::uint64_t msg_id, std::uint32_t seq, std::uint8_t att
   if (st.done || st.seg_acked[seq]) return;       // stale timer: already acked
   if (st.attempts[seq] != attempt + 1) return;    // stale timer: newer attempt pending
   ++stats_.retx_packets_sent;
-  FP_TRACE(sim_, kRtoFire, "", host_.id(), seq, msg_id, static_cast<double>(attempt), "");
+  FP_TRACE(sim_, kRtoFire, "", host_.id().v(), seq, msg_id, static_cast<double>(attempt), "");
   transmit_segment(st, seq);
 }
 
@@ -161,15 +161,15 @@ void Transport::on_data(const net::Packet& p) {
 
   if (rs.complete && !duplicate && rs.received == rs.total_segments) {
     ++stats_.messages_received;
-    const RecvInfo info{p.src, host_.id(), p.msg_id, p.flow_id, p.msg_bytes};
+    const RecvInfo info{p.src, host_.id(), p.msg_id, p.flow_id, p.msg_bytes.v()};
 #if FP_AUDIT_ENABLED
     rs.audit_src = p.src;
     rs.audit_flow = p.flow_id;
-    rs.audit_bytes = p.msg_bytes;
+    rs.audit_bytes = p.msg_bytes.v();
     ++rs.audit_deliveries;
     FP_AUDIT(rs.audit_deliveries == 1, "message-exactly-once",
-             "host" + std::to_string(host_.id()) + ".transport", p.msg_id, sim_.now().ps(),
-             "message from host" + std::to_string(p.src) + " delivered " +
+             "host" + std::to_string(host_.id().v()) + ".transport", p.msg_id, sim_.now().ps(),
+             "message from host" + std::to_string(p.src.v()) + " delivered " +
                  std::to_string(rs.audit_deliveries) + " times");
 #endif
     for (const RecvHandler& handler : recv_handlers_) handler(info);
@@ -183,8 +183,8 @@ void Transport::audit_redeliver(net::HostId src, std::uint64_t msg_id) {
   RecvState& rs = it->second;
   ++rs.audit_deliveries;
   FP_AUDIT(rs.audit_deliveries == 1, "message-exactly-once",
-           "host" + std::to_string(host_.id()) + ".transport", msg_id, sim_.now().ps(),
-           "message from host" + std::to_string(src) + " delivered " +
+           "host" + std::to_string(host_.id().v()) + ".transport", msg_id, sim_.now().ps(),
+           "message from host" + std::to_string(src.v()) + " delivered " +
                std::to_string(rs.audit_deliveries) + " times");
   const RecvInfo info{rs.audit_src, host_.id(), msg_id, rs.audit_flow, rs.audit_bytes};
   for (const RecvHandler& handler : recv_handlers_) handler(info);
@@ -230,7 +230,7 @@ void Transport::on_ack(const net::Packet& p) {
   if (st.acked == st.total_segments) {
     st.done = true;
     FP_AUDIT(st.outstanding == 0 && st.next_unsent == st.total_segments,
-             "message-accounting", "host" + std::to_string(host_.id()) + ".transport",
+             "message-accounting", "host" + std::to_string(host_.id().v()) + ".transport",
              st.msg_id, sim_.now().ps(),
              "completed with outstanding=" + std::to_string(st.outstanding) +
                  " next_unsent=" + std::to_string(st.next_unsent) + " of " +

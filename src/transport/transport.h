@@ -40,7 +40,7 @@ struct TransportConfig {
 
 /// Parameters of one message send.
 struct MessageSpec {
-  net::HostId dst = 0;
+  net::HostId dst{};
   std::uint64_t bytes = 0;
   net::FlowId flow_id = 0;
   net::Priority priority = net::Priority::kCollective;
@@ -48,8 +48,8 @@ struct MessageSpec {
 
 /// Receiver-side notification of a completely received message.
 struct RecvInfo {
-  net::HostId src = 0;
-  net::HostId dst = 0;
+  net::HostId src{};
+  net::HostId dst{};
   std::uint64_t msg_id = 0;
   net::FlowId flow_id = 0;
   std::uint64_t bytes = 0;
@@ -136,7 +136,7 @@ class Transport {
     bool complete = false;
 #if FP_AUDIT_ENABLED
     std::uint32_t audit_deliveries = 0;  ///< recv-handler firings; must be exactly 1
-    net::HostId audit_src = 0;
+    net::HostId audit_src{};
     net::FlowId audit_flow = 0;
     std::uint64_t audit_bytes = 0;
 #endif
@@ -151,7 +151,7 @@ class Transport {
   void on_ack(const net::Packet& p);
   [[nodiscard]] std::uint32_t segment_payload(const SendState& st, std::uint32_t seq) const;
   [[nodiscard]] static std::uint64_t recv_key(net::HostId src, std::uint64_t msg_id) {
-    return (static_cast<std::uint64_t>(src) << 40) ^ msg_id;
+    return (static_cast<std::uint64_t>(src.v()) << 40) ^ msg_id;
   }
 
   sim::Simulator& sim_;

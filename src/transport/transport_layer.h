@@ -16,12 +16,12 @@ class TransportLayer {
   template <typename Fabric>
   TransportLayer(sim::Simulator& simulator, Fabric& fabric, TransportConfig config = {}) {
     endpoints_.reserve(fabric.num_hosts());
-    for (net::HostId h = 0; h < fabric.num_hosts(); ++h) {
+    for (const net::HostId h : core::ids<net::HostId>(fabric.num_hosts())) {
       endpoints_.push_back(std::make_unique<Transport>(simulator, fabric.host(h), config));
     }
   }
 
-  [[nodiscard]] Transport& at(net::HostId h) { return *endpoints_[h]; }
+  [[nodiscard]] Transport& at(net::HostId h) { return *endpoints_[h.v()]; }
   [[nodiscard]] std::size_t size() const { return endpoints_.size(); }
 
   /// Aggregate stats across all endpoints.

@@ -14,6 +14,8 @@
 #include "flowpulse/system.h"
 #include "net/fat_tree.h"
 #include "net/packet.h"
+#include "core/strong_id.h"
+#include "core/units.h"
 #include "net/types.h"
 #include "sim/audit.h"
 #include "sim/simulator.h"
@@ -44,10 +46,10 @@ net::FatTreeConfig small_fabric() {
 net::Packet tagged_packet(std::uint32_t size, std::uint32_t iteration,
                           std::uint16_t job = 0) {
   net::Packet p;
-  p.size_bytes = size;
+  p.size_bytes = core::Bytes{size};
   p.kind = net::PacketKind::kData;
   p.priority = net::Priority::kCollective;
-  p.flow_id = net::flowid::make_collective(iteration, job);
+  p.flow_id = net::flowid::make_collective(net::IterIndex{iteration}, job);
   return p;
 }
 
@@ -55,10 +57,10 @@ TEST(Audit, ConservationHoldsOnCleanTraffic) {
   Simulator sim{1};
   net::FatTree net{sim, small_fabric()};
   net::Packet p;
-  p.size_bytes = 1000;
-  p.src = 0;
-  p.dst = 3;  // crosses a spine: exercises every port class on the path
-  net.host(0).nic().enqueue(p);
+  p.size_bytes = core::Bytes{1000};
+  p.src = net::HostId{0};
+  p.dst = net::HostId{3};  // crosses a spine: exercises every port class on the path
+  net.host(net::HostId{0}).nic().enqueue(p);
   sim.run();  // quiesce checks run automatically; a violation would abort
   SUCCEED();
 }
@@ -67,18 +69,18 @@ TEST(Audit, DroppedByteFromLinkLedgerFires) {
   Simulator sim{1};
   net::FatTree net{sim, small_fabric()};
   net::Packet p;
-  p.size_bytes = 1000;
-  p.src = 0;
-  p.dst = 1;
-  net.host(0).nic().enqueue(p);
+  p.size_bytes = core::Bytes{1000};
+  p.src = net::HostId{0};
+  p.dst = net::HostId{1};
+  net.host(net::HostId{0}).nic().enqueue(p);
   sim.run();
 
   // Lose one delivered byte from the ledger of the egress port that served
   // host 1, then drive the simulation back to quiesce: the automatic
   // conservation check must now find serialized != dropped + delivered.
-  net.leaf(0).host_port(1).audit_tamper_delivered_bytes(-1);
+  net.leaf(net::LeafId{0}).host_port(1).audit_tamper_delivered_bytes(-1);
   const audit::ScopedHandler guard{&throw_violation};
-  net.host(0).nic().enqueue(p);
+  net.host(net::HostId{0}).nic().enqueue(p);
   try {
     sim.run();
     FAIL() << "byte-conservation violation did not fire at quiesce";
@@ -112,17 +114,17 @@ TEST(Audit, StuckPfcPauseFires) {
   // wedged port never drains — can never resume it. The watchdog must
   // flag the pause once it has been held past kPfcStuckPauseTimeout.
   net::FatTreeConfig cfg = small_fabric();
-  cfg.pfc.xoff_bytes = 4096;
-  cfg.pfc.xon_bytes = 2048;
+  cfg.pfc.xoff_bytes = core::Bytes{4096};
+  cfg.pfc.xon_bytes = core::Bytes{2048};
   Simulator sim{1};
   net::FatTree net{sim, cfg};
-  net.leaf(0).host_port(1).set_paused(net::Priority::kCollective, true);
+  net.leaf(net::LeafId{0}).host_port(1).set_paused(net::Priority::kCollective, true);
   for (int i = 0; i < 8; ++i) {
     net::Packet p;
-    p.size_bytes = 1000;
-    p.src = 0;
-    p.dst = 1;
-    net.host(0).nic().enqueue(p);
+    p.size_bytes = core::Bytes{1000};
+    p.src = net::HostId{0};
+    p.dst = net::HostId{1};
+    net.host(net::HostId{0}).nic().enqueue(p);
   }
   const audit::ScopedHandler guard{&throw_violation};
   try {
@@ -140,17 +142,17 @@ TEST(Audit, DoubleDeliveredMessageFires) {
   net::FatTree net{sim, small_fabric()};
   transport::TransportLayer transports{sim, net};
   transport::MessageSpec spec;
-  spec.dst = 1;
+  spec.dst = net::HostId{1};
   spec.bytes = 64 * 1024;
-  spec.flow_id = net::flowid::make_collective(0);
-  const std::uint64_t msg_id = transports.at(0).send_message(spec);
+  spec.flow_id = net::flowid::make_collective(net::IterIndex{0});
+  const std::uint64_t msg_id = transports.at(net::HostId{0}).send_message(spec);
   sim.run();
 
   // Re-fire the completion handlers of the already-delivered message, as a
   // buggy retransmission path would: exactly-once must catch delivery #2.
   const audit::ScopedHandler guard{&throw_violation};
   try {
-    transports.at(1).audit_redeliver(0, msg_id);
+    transports.at(net::HostId{1}).audit_redeliver(net::HostId{0}, msg_id);
     FAIL() << "message-exactly-once violation did not fire";
   } catch (const audit::ViolationError& e) {
     EXPECT_EQ(e.violation().invariant, "message-exactly-once");
@@ -166,7 +168,8 @@ TEST(Audit, PhantomMonitoredBytesFireReconciliation) {
 
   // The monitor claims bytes the fabric never delivered: feed a tagged
   // packet straight into the leaf-0 monitor, bypassing the switch.
-  system.monitor(0).record(0, tagged_packet(1000, /*iteration=*/0));
+  system.monitor(net::LeafId{0}).record(net::UplinkIndex{0},
+                                        tagged_packet(1000, /*iteration=*/0));
 
   const audit::ScopedHandler guard{&throw_violation};
   try {

@@ -76,7 +76,7 @@ TEST(Pingmesh, HealthyFabricLosesNothing) {
 
 TEST(Pingmesh, BlackHoleEventuallyDetected) {
   ProbeRig rig;
-  rig.net.set_link_fault(0, 0, net::FaultSpec::black_hole());
+  rig.net.set_link_fault(net::LeafId{0}, net::UplinkIndex{0}, net::FaultSpec::black_hole());
   PingmeshConfig cfg;
   cfg.interval = Time::microseconds(10);
   cfg.probes_per_round = 4;
@@ -93,7 +93,7 @@ TEST(Pingmesh, BlackHoleEventuallyDetected) {
 TEST(Pingmesh, LowRateGrayLinkRarelyHit) {
   // The paper's point: small probes are insensitive to low drop rates.
   ProbeRig rig;
-  rig.net.set_link_fault(0, 0, net::FaultSpec::random_drop(0.01));
+  rig.net.set_link_fault(net::LeafId{0}, net::UplinkIndex{0}, net::FaultSpec::random_drop(0.01));
   PingmeshConfig cfg;
   cfg.interval = Time::microseconds(10);
   cfg.probes_per_round = 2;
@@ -110,13 +110,13 @@ TEST(Pingmesh, AccountsInjectedBytes) {
   PingmeshConfig cfg;
   cfg.interval = Time::microseconds(50);
   cfg.probes_per_round = 1;
-  cfg.probe_bytes = 64;
+  cfg.probe_bytes = core::Bytes{64};
   PingmeshProber prober{rig.sim, rig.net, rig.transports, cfg};
   prober.start(Time::microseconds(240));
   rig.sim.run();
   // 5 rounds x 4 hosts x 1 probe = 20 probes of 64 B.
   EXPECT_EQ(prober.probes_sent(), 20u);
-  EXPECT_EQ(prober.bytes_injected(), 20u * 64u);
+  EXPECT_EQ(prober.bytes_injected(), core::Bytes{20u * 64u});
 }
 
 // ---------------------------------------------------------------------------
@@ -129,20 +129,21 @@ void blast(ProbeRig& rig, net::HostId src, net::HostId dst, int n) {
     net::Packet p;
     p.src = src;
     p.dst = dst;
-    p.size_bytes = 1000;
+    p.size_bytes = core::Bytes{1000};
     rig.net.host(src).nic().enqueue(p);
   }
 }
 
 TEST(CounterScraper, SilentFaultInvisibleToCounters) {
   ProbeRig rig;
-  rig.net.set_link_fault(0, 0, net::FaultSpec::random_drop(0.10));  // silent
+  rig.net.set_link_fault(net::LeafId{0}, net::UplinkIndex{0},
+                         net::FaultSpec::random_drop(0.10));  // silent
   CounterScraper scraper{rig.sim, rig.net, {}};
   scraper.start(Time::milliseconds(1));
-  blast(rig, 0, 2, 2000);
+  blast(rig, net::HostId{0}, net::HostId{2}, 2000);
   rig.sim.run();
   // Packets really died...
-  EXPECT_GT(rig.net.total_fabric_counters().dropped_packets, 50u);
+  EXPECT_GT(rig.net.total_fabric_counters().dropped_packets.v(), 50u);
   // ...but the error counters never moved: no alarm, ever.
   EXPECT_TRUE(scraper.alarms().empty());
   EXPECT_GT(scraper.polls(), 5u);
@@ -152,12 +153,12 @@ TEST(CounterScraper, VisibleFaultAlarmsWithinOnePeriod) {
   ProbeRig rig;
   net::FaultSpec fault = net::FaultSpec::random_drop(0.10);
   fault.visible_to_counters = true;  // e.g. CRC errors the port does count
-  rig.net.set_link_fault(0, 0, fault);
+  rig.net.set_link_fault(net::LeafId{0}, net::UplinkIndex{0}, fault);
   CounterScraperConfig cfg;
   cfg.period = Time::microseconds(20);
   CounterScraper scraper{rig.sim, rig.net, cfg};
   scraper.start(Time::milliseconds(1));
-  blast(rig, 0, 2, 2000);
+  blast(rig, net::HostId{0}, net::HostId{2}, 2000);
   rig.sim.run();
   ASSERT_FALSE(scraper.alarms().empty());
   EXPECT_NEAR(scraper.alarms().front().counted_drop_rate, 0.10, 0.06);
@@ -168,7 +169,7 @@ TEST(CounterScraper, HealthyFabricNeverAlarms) {
   ProbeRig rig;
   CounterScraper scraper{rig.sim, rig.net, {}};
   scraper.start(Time::milliseconds(1));
-  blast(rig, 1, 3, 2000);
+  blast(rig, net::HostId{1}, net::HostId{3}, 2000);
   rig.sim.run();
   EXPECT_TRUE(scraper.alarms().empty());
 }

@@ -141,7 +141,7 @@ TEST(HierarchicalRing, LocalPhasesNeverReachSpines) {
   transport::TransportLayer transports{sim, net};
 
   CollectiveConfig cc;
-  for (net::HostId h = 0; h < 12; ++h) cc.hosts.push_back(h);
+  for (const net::HostId h : core::ids<net::HostId>(12)) cc.hosts.push_back(h);
   cc.schedule = hierarchical_ring_all_reduce(4, 3, 600 * 1024);
   cc.iterations = 2;
   CollectiveRunner runner{sim, transports, std::move(cc)};
@@ -152,9 +152,9 @@ TEST(HierarchicalRing, LocalPhasesNeverReachSpines) {
   // Spine-visible payload: leaders' full ring = 2(G-1) x G x B/G per iter.
   const std::uint64_t ring_payload = 2ull * 3ull * 4ull * (600 * 1024 / 4);
   std::uint64_t spine_delivered = 0;
-  for (net::LeafId l = 0; l < 4; ++l) {
-    for (net::UplinkIndex u = 0; u < 2; ++u) {
-      spine_delivered += net.downlink_counters(l, u).delivered_bytes();
+  for (const net::LeafId l : core::ids<net::LeafId>(4)) {
+    for (const net::UplinkIndex u : core::ids<net::UplinkIndex>(2)) {
+      spine_delivered += net.downlink_counters(l, u).delivered_bytes().v();
     }
   }
   // Wire bytes exceed payload only by per-segment headers (~1.6%); local
@@ -166,22 +166,24 @@ TEST(HierarchicalRing, LocalPhasesNeverReachSpines) {
 
 TEST(DemandMatrix, FromRingSchedule) {
   const CommSchedule s = ring_reduce_scatter(4, 4000);
-  const std::vector<net::HostId> hosts{0, 1, 2, 3};
+  const std::vector<net::HostId> hosts{net::HostId{0}, net::HostId{1}, net::HostId{2},
+                                       net::HostId{3}};
   const DemandMatrix m = DemandMatrix::from_schedule(s, hosts, 4);
   // Each rank sends 3 chunks of 1000 to its successor.
-  EXPECT_EQ(m.at(0, 1), 3000u);
-  EXPECT_EQ(m.at(3, 0), 3000u);
-  EXPECT_EQ(m.at(0, 2), 0u);
+  EXPECT_EQ(m.at(net::HostId{0}, net::HostId{1}), 3000u);
+  EXPECT_EQ(m.at(net::HostId{3}, net::HostId{0}), 3000u);
+  EXPECT_EQ(m.at(net::HostId{0}, net::HostId{2}), 0u);
   EXPECT_EQ(m.total(), 12000u);
 }
 
 TEST(DemandMatrix, RespectsPlacement) {
   const CommSchedule s = ring_reduce_scatter(3, 300);
-  const std::vector<net::HostId> hosts{5, 2, 7};  // non-trivial placement
+  const std::vector<net::HostId> hosts{net::HostId{5}, net::HostId{2},
+                                       net::HostId{7}};  // non-trivial placement
   const DemandMatrix m = DemandMatrix::from_schedule(s, hosts, 8);
-  EXPECT_EQ(m.at(5, 2), 200u);
-  EXPECT_EQ(m.at(2, 7), 200u);
-  EXPECT_EQ(m.at(7, 5), 200u);
+  EXPECT_EQ(m.at(net::HostId{5}, net::HostId{2}), 200u);
+  EXPECT_EQ(m.at(net::HostId{2}, net::HostId{7}), 200u);
+  EXPECT_EQ(m.at(net::HostId{7}, net::HostId{5}), 200u);
   EXPECT_EQ(m.total(), 600u);
 }
 
@@ -205,7 +207,7 @@ struct Rig {
 CollectiveConfig base_config(std::uint32_t ranks, std::uint64_t bytes,
                              std::uint32_t iterations) {
   CollectiveConfig cc;
-  for (std::uint32_t r = 0; r < ranks; ++r) cc.hosts.push_back(r);
+  for (std::uint32_t r = 0; r < ranks; ++r) cc.hosts.push_back(net::HostId{r});
   cc.schedule = ring_all_reduce(ranks, bytes);
   cc.iterations = iterations;
   cc.validate_data = true;
@@ -243,7 +245,8 @@ TEST(Runner, ReduceScatterProducesCorrectSums) {
 
 TEST(Runner, SurvivesSilentFaultAndStaysCorrect) {
   Rig rig;
-  rig.net.set_link_fault(1, 0, net::FaultSpec::random_drop(0.1));
+  rig.net.set_link_fault(net::LeafId{1}, net::UplinkIndex{0},
+                         net::FaultSpec::random_drop(0.1));
   CollectiveRunner runner{rig.sim, rig.transports, base_config(4, 128 * 1024, 3)};
   runner.start();
   rig.sim.run();
@@ -265,7 +268,7 @@ TEST(Runner, JitterDelaysButCompletes) {
 TEST(Runner, TagsPacketsWithIterationFlowId) {
   Rig rig;
   std::set<net::FlowId> seen;
-  rig.net.leaf(1).set_spine_ingress_hook([&](net::UplinkIndex, const net::Packet& p) {
+  rig.net.leaf(net::LeafId{1}).set_spine_ingress_hook([&](net::UplinkIndex, const net::Packet& p) {
     if (p.kind == net::PacketKind::kData) seen.insert(p.flow_id);
   });
   CollectiveConfig cc = base_config(4, 32 * 1024, 3);
@@ -276,14 +279,14 @@ TEST(Runner, TagsPacketsWithIterationFlowId) {
   std::uint32_t iter = 0;
   for (const net::FlowId f : seen) {
     EXPECT_TRUE(net::flowid::is_collective(f));
-    EXPECT_EQ(net::flowid::iteration_of(f), iter++);
+    EXPECT_EQ(net::flowid::iteration_of(f), net::IterIndex{iter++});
   }
 }
 
 TEST(Runner, UntaggedJobProducesNoSentinel) {
   Rig rig;
   bool sentinel_seen = false;
-  rig.net.leaf(1).set_spine_ingress_hook([&](net::UplinkIndex, const net::Packet& p) {
+  rig.net.leaf(net::LeafId{1}).set_spine_ingress_hook([&](net::UplinkIndex, const net::Packet& p) {
     if (net::flowid::is_collective(p.flow_id)) sentinel_seen = true;
   });
   CollectiveConfig cc = base_config(4, 32 * 1024, 2);
@@ -302,7 +305,7 @@ TEST(Runner, ComputeGapSeparatesIterations) {
   std::vector<Time> starts;
   CollectiveRunner runner{rig.sim, rig.transports, std::move(cc)};
   runner.add_iteration_hook(
-      [&](std::uint32_t, Time start, Time) { starts.push_back(start); });
+      [&](net::IterIndex, Time start, Time) { starts.push_back(start); });
   runner.start();
   rig.sim.run();
   ASSERT_EQ(starts.size(), 2u);
@@ -313,13 +316,13 @@ TEST(Runner, TwoParallelJobsShareFabric) {
   Rig rig{8, 4};
   // Job A: measured collective on even hosts. Job B: background on odd.
   CollectiveConfig a;
-  a.hosts = {0, 2, 4, 6};
+  a.hosts = {net::HostId{0}, net::HostId{2}, net::HostId{4}, net::HostId{6}};
   a.schedule = ring_all_reduce(4, 64 * 1024);
   a.iterations = 2;
   a.validate_data = true;
   a.job_id = 0;
   CollectiveConfig b;
-  b.hosts = {1, 3, 5, 7};
+  b.hosts = {net::HostId{1}, net::HostId{3}, net::HostId{5}, net::HostId{7}};
   b.schedule = ring_all_reduce(4, 64 * 1024);
   b.iterations = 2;
   b.validate_data = true;
@@ -340,7 +343,7 @@ TEST(Runner, TwoParallelJobsShareFabric) {
 TEST(Runner, DynamicScheduleGeneratorRunsEveryIteration) {
   Rig rig;
   CollectiveConfig cc;
-  cc.hosts = {0, 1, 2, 3};
+  cc.hosts = {net::HostId{0}, net::HostId{1}, net::HostId{2}, net::HostId{3}};
   cc.iterations = 3;
   cc.schedule_generator = [](std::uint32_t, sim::Rng& rng) {
     return all_to_all_random(4, 1024, 8192, rng);

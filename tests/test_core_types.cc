@@ -1,0 +1,155 @@
+// core:: type-safety layer: StrongId semantics (ordering, formatting,
+// map keys, iteration), quantity arithmetic (Bytes/Packets/GbitsPerSec),
+// LinkId packing, and the golden bit-identity proof that the strong-type
+// conversion changed no observable output.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <type_traits>
+
+#include "core/strong_id.h"
+#include "core/units.h"
+#include "golden_scenario.h"
+#include "net/types.h"
+
+namespace flowpulse::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// StrongId
+// ---------------------------------------------------------------------------
+
+TEST(StrongId, DistinctTagsNeverConvert) {
+  // The whole point: a LeafId is not a PortId is not a HostId, even though
+  // all three wrap uint32_t.
+  static_assert(!std::is_convertible_v<net::LeafId, net::PortId>);
+  static_assert(!std::is_convertible_v<net::HostId, net::LeafId>);
+  static_assert(!std::is_convertible_v<net::UplinkIndex, net::SpineId>);
+  static_assert(!std::is_convertible_v<std::uint32_t, net::LeafId>);
+  static_assert(!std::is_convertible_v<net::LeafId, std::uint32_t>);
+  static_assert(!std::is_constructible_v<net::PortId, net::LeafId>);
+}
+
+TEST(StrongId, ExplicitConstructionAndValue) {
+  constexpr net::LeafId l{7};
+  static_assert(l.v() == 7u);
+  EXPECT_EQ(net::LeafId{}.v(), 0u);
+}
+
+TEST(StrongId, OrderingAndEquality) {
+  EXPECT_EQ(net::HostId{3}, net::HostId{3});
+  EXPECT_NE(net::HostId{3}, net::HostId{4});
+  EXPECT_LT(net::HostId{3}, net::HostId{4});
+  EXPECT_GE(net::HostId{4}, net::HostId{4});
+}
+
+TEST(StrongId, IncrementDecrement) {
+  net::IterIndex i{5};
+  EXPECT_EQ((++i).v(), 6u);
+  EXPECT_EQ((--i).v(), 5u);
+}
+
+TEST(StrongId, StreamsBareValue) {
+  // Formatting must match the pre-conversion integer output exactly — the
+  // golden hash below depends on it.
+  std::ostringstream os;
+  os << net::LeafId{12} << ' ' << net::UplinkIndex{0};
+  EXPECT_EQ(os.str(), "12 0");
+}
+
+TEST(StrongId, UsableAsOrderedMapKey) {
+  // Ordered containers only: the determinism lint bans unordered_*, so
+  // StrongId deliberately provides operator<=> and no std::hash.
+  std::map<net::LinkId, int> quarantined;
+  quarantined[net::LinkId::of(net::LeafId{2}, net::UplinkIndex{1})] = 1;
+  quarantined[net::LinkId::of(net::LeafId{1}, net::UplinkIndex{3})] = 2;
+  EXPECT_EQ(quarantined.begin()->second, 2);  // leaf 1 sorts before leaf 2
+
+  std::set<net::LeafId> leaves{net::LeafId{4}, net::LeafId{1}, net::LeafId{4}};
+  EXPECT_EQ(leaves.size(), 2u);
+}
+
+TEST(StrongId, IdsRangeIsHalfOpen) {
+  std::vector<net::HostId> seen;
+  for (const net::HostId h : ids<net::HostId>(3)) seen.push_back(h);
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen.front(), net::HostId{0});
+  EXPECT_EQ(seen.back(), net::HostId{2});
+  for (const net::LeafId l : ids<net::LeafId>(0)) {
+    FAIL() << "empty range must not iterate, got " << l;
+  }
+}
+
+TEST(LinkId, PacksAndUnpacksLeafThenUplink) {
+  const net::LinkId link = net::LinkId::of(net::LeafId{12}, net::UplinkIndex{5});
+  EXPECT_EQ(link.leaf(), net::LeafId{12});
+  EXPECT_EQ(link.uplink(), net::UplinkIndex{5});
+  // Orders by leaf first, then uplink — quarantine listings stay sorted the
+  // way operators read them.
+  EXPECT_LT(net::LinkId::of(net::LeafId{1}, net::UplinkIndex{9}),
+            net::LinkId::of(net::LeafId{2}, net::UplinkIndex{0}));
+  EXPECT_LT(net::LinkId::of(net::LeafId{2}, net::UplinkIndex{0}),
+            net::LinkId::of(net::LeafId{2}, net::UplinkIndex{1}));
+}
+
+// ---------------------------------------------------------------------------
+// Quantities
+// ---------------------------------------------------------------------------
+
+TEST(Bytes, Arithmetic) {
+  constexpr Bytes a{4096};
+  constexpr Bytes b{64};
+  static_assert((a + b).v() == 4160u);
+  static_assert((a - b).v() == 4032u);
+  static_assert((a * 3).v() == 3u * 4096u);
+  static_assert((3 * b).v() == 192u);
+  static_assert(a / b == 64u);  // pure ratio, not Bytes
+  static_assert(a % b == 0u);
+  Bytes acc{100};
+  acc += Bytes{20};
+  acc -= Bytes{10};
+  EXPECT_EQ(acc, Bytes{110});
+  EXPECT_DOUBLE_EQ(Bytes{5}.dbl(), 5.0);
+}
+
+TEST(Bytes, NotInterconvertibleWithPackets) {
+  static_assert(!std::is_convertible_v<Bytes, Packets>);
+  static_assert(!std::is_convertible_v<Packets, Bytes>);
+  static_assert(!std::is_constructible_v<Bytes, Packets>);
+}
+
+TEST(Packets, CountsAndCompares) {
+  Packets p{10};
+  ++p;
+  EXPECT_EQ(p, Packets{11});
+  EXPECT_EQ(p - Packets{1}, Packets{10});
+  EXPECT_GT(Packets{2}, Packets{1});
+}
+
+TEST(GbitsPerSec, RateTimeAlgebra) {
+  // 1 Gbit/s == 1 bit/ns: 4096 B over 81.92 ns is 400 Gbit/s.
+  constexpr Bytes payload{4096};
+  const GbitsPerSec rate = payload / sim::Time::picoseconds(81'920);
+  EXPECT_DOUBLE_EQ(rate.v(), 400.0);
+  // Round trip: the volume a 400 Gbit/s link moves in that time.
+  EXPECT_EQ(GbitsPerSec{400.0} * sim::Time::picoseconds(81'920), payload);
+  // And the strong-typed serialization_time matches the raw sim:: one.
+  EXPECT_EQ(serialization_time(payload, GbitsPerSec{400.0}),
+            sim::serialization_time(4096, 400.0));
+}
+
+// ---------------------------------------------------------------------------
+// Golden bit-identity: the conversion's behavior-preservation proof
+// ---------------------------------------------------------------------------
+
+TEST(GoldenScenario, ReportBitIdenticalToPreConversionTree) {
+  // FNV-1a over every exporter's output for a fixed-seed mitigated run.
+  // 8206003594010070324 was recorded on the last all-integer-ID commit; a
+  // mismatch means the strong-type refactor changed observable behavior.
+  EXPECT_EQ(testing::golden_report_hash(), 8206003594010070324ull);
+}
+
+}  // namespace
+}  // namespace flowpulse::core

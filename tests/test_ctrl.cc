@@ -17,20 +17,20 @@ namespace {
 // State machine (synthetic feed)
 // ---------------------------------------------------------------------------
 
-fp::DetectionResult clean_result(net::LeafId leaf, std::uint32_t iteration,
+fp::DetectionResult clean_result(std::uint32_t leaf, std::uint32_t iteration,
                                  double dev = 0.0) {
   fp::DetectionResult r;
-  r.leaf = leaf;
-  r.iteration = iteration;
+  r.leaf = net::LeafId{leaf};
+  r.iteration = net::IterIndex{iteration};
   r.max_rel_dev = dev;
   return r;
 }
 
-fp::DetectionResult shortfall_result(net::LeafId leaf, std::uint32_t iteration,
-                                     net::UplinkIndex uplink, double dev = 0.5) {
+fp::DetectionResult shortfall_result(std::uint32_t leaf, std::uint32_t iteration,
+                                     std::uint32_t uplink, double dev = 0.5) {
   fp::DetectionResult r = clean_result(leaf, iteration, dev);
   fp::PortAlert a;
-  a.uplink = uplink;
+  a.uplink = net::UplinkIndex{uplink};
   a.observed = 50.0;
   a.predicted = 100.0;
   a.rel_dev = dev;
@@ -60,15 +60,15 @@ TEST_F(ControllerTest, DebouncesBeforeQuarantining) {
   MitigationController c = make(p);
   c.observe(shortfall_result(1, 0, 2));
   EXPECT_TRUE(c.events().empty());
-  EXPECT_FALSE(routing_.known_failed(1, 2));
+  EXPECT_FALSE(routing_.known_failed(net::LeafId{1}, net::UplinkIndex{2}));
   c.observe(shortfall_result(1, 1, 2));
   ASSERT_EQ(c.events().size(), 1u);
   EXPECT_EQ(c.events()[0].kind, MitigationEvent::Kind::kQuarantine);
-  EXPECT_EQ(c.events()[0].leaf, 1u);
-  EXPECT_EQ(c.events()[0].uplink, 2u);
+  EXPECT_EQ(c.events()[0].leaf.v(), 1u);
+  EXPECT_EQ(c.events()[0].uplink.v(), 2u);
   EXPECT_STREQ(c.events()[0].reason, "debounce");
-  EXPECT_TRUE(routing_.known_failed(1, 2));
-  EXPECT_TRUE(c.quarantined(1, 2));
+  EXPECT_TRUE(routing_.known_failed(net::LeafId{1}, net::UplinkIndex{2}));
+  EXPECT_TRUE(c.quarantined(net::LeafId{1}, net::UplinkIndex{2}));
   EXPECT_EQ(c.active_quarantines(), 1u);
 }
 
@@ -81,7 +81,7 @@ TEST_F(ControllerTest, OneIterationBlipIsIgnored) {
   c.observe(shortfall_result(1, 2, 2));
   c.observe(clean_result(1, 3));
   EXPECT_TRUE(c.events().empty());
-  EXPECT_FALSE(routing_.known_failed(1, 2));
+  EXPECT_FALSE(routing_.known_failed(net::LeafId{1}, net::UplinkIndex{2}));
 }
 
 TEST_F(ControllerTest, QuarantineTriggersRebaseline) {
@@ -107,8 +107,8 @@ TEST_F(ControllerTest, ProbationConfirmsWhenAlertsStop) {
   ASSERT_EQ(c.events().size(), 2u);
   EXPECT_EQ(c.events()[1].kind, MitigationEvent::Kind::kConfirm);
   EXPECT_STREQ(c.events()[1].reason, "quarantine");
-  EXPECT_EQ(c.events()[1].iteration, 3u);
-  EXPECT_TRUE(routing_.known_failed(1, 2));
+  EXPECT_EQ(c.events()[1].iteration.v(), 3u);
+  EXPECT_TRUE(routing_.known_failed(net::LeafId{1}, net::UplinkIndex{2}));
 }
 
 TEST_F(ControllerTest, IneffectiveQuarantineIsRestored) {
@@ -127,7 +127,7 @@ TEST_F(ControllerTest, IneffectiveQuarantineIsRestored) {
   ASSERT_EQ(c.events().size(), 2u);
   EXPECT_EQ(c.events()[1].kind, MitigationEvent::Kind::kRestore);
   EXPECT_STREQ(c.events()[1].reason, "ineffective");
-  EXPECT_FALSE(routing_.known_failed(1, 2));
+  EXPECT_FALSE(routing_.known_failed(net::LeafId{1}, net::UplinkIndex{2}));
   EXPECT_EQ(c.active_quarantines(), 0u);
 }
 
@@ -146,7 +146,7 @@ TEST_F(ControllerTest, MisfireBudgetBansRepeatOffender) {
   c.observe(shortfall_result(1, 2, 2));
   c.observe(shortfall_result(1, 3, 2));
   EXPECT_EQ(c.events().size(), 2u);
-  EXPECT_FALSE(routing_.known_failed(1, 2));
+  EXPECT_FALSE(routing_.known_failed(net::LeafId{1}, net::UplinkIndex{2}));
 }
 
 TEST_F(ControllerTest, TrialRestoreConfirmsHealedLink) {
@@ -170,7 +170,7 @@ TEST_F(ControllerTest, TrialRestoreConfirmsHealedLink) {
   EXPECT_STREQ(ev[2].reason, "probe");
   EXPECT_EQ(ev[3].kind, MitigationEvent::Kind::kConfirm);
   EXPECT_STREQ(ev[3].reason, "restore");
-  EXPECT_FALSE(routing_.known_failed(1, 2));
+  EXPECT_FALSE(routing_.known_failed(net::LeafId{1}, net::UplinkIndex{2}));
   EXPECT_EQ(c.active_quarantines(), 0u);
 }
 
@@ -194,11 +194,11 @@ TEST_F(ControllerTest, RelapseAfterProbeRequarantines) {
   EXPECT_STREQ(ev[3].reason, "relapse");
   EXPECT_EQ(ev[4].kind, MitigationEvent::Kind::kConfirm);
   EXPECT_STREQ(ev[4].reason, "permanent");
-  EXPECT_TRUE(routing_.known_failed(1, 2));
+  EXPECT_TRUE(routing_.known_failed(net::LeafId{1}, net::UplinkIndex{2}));
   // Permanent: no more probes however long it stays clean.
   for (std::uint32_t i = 6; i < 12; ++i) c.observe(clean_result(1, i));
   EXPECT_EQ(c.events().size(), 5u);
-  EXPECT_TRUE(routing_.known_failed(1, 2));
+  EXPECT_TRUE(routing_.known_failed(net::LeafId{1}, net::UplinkIndex{2}));
 }
 
 TEST_F(ControllerTest, RemoteVerdictBlamesSenderSideLink) {
@@ -207,18 +207,18 @@ TEST_F(ControllerTest, RemoteVerdictBlamesSenderSideLink) {
   MitigationController c = make(p);
   fp::DetectionResult r = clean_result(0, 0, 0.4);
   fp::PortAlert a;
-  a.uplink = 3;
+  a.uplink = net::UplinkIndex{3};
   a.observed = 60.0;
   a.predicted = 100.0;
   a.rel_dev = 0.4;
   a.localization.verdict = fp::Localization::Verdict::kRemoteLinks;
-  a.localization.suspect_senders = {2};
+  a.localization.suspect_senders = {net::LeafId{2}};
   r.alerts.push_back(a);
   c.observe(r);
   ASSERT_EQ(c.events().size(), 1u);
-  EXPECT_EQ(c.events()[0].leaf, 2u);  // the sender's link, not the observer's
-  EXPECT_EQ(c.events()[0].uplink, 3u);
-  EXPECT_TRUE(routing_.known_failed(2, 3));
+  EXPECT_EQ(c.events()[0].leaf.v(), 2u);  // the sender's link, not the observer's
+  EXPECT_EQ(c.events()[0].uplink.v(), 3u);
+  EXPECT_TRUE(routing_.known_failed(net::LeafId{2}, net::UplinkIndex{3}));
 }
 
 TEST_F(ControllerTest, SurplusAlertNamesNoSuspect) {
@@ -227,7 +227,7 @@ TEST_F(ControllerTest, SurplusAlertNamesNoSuspect) {
   MitigationController c = make(p);
   fp::DetectionResult r = clean_result(0, 0, 0.4);
   fp::PortAlert a;
-  a.uplink = 3;
+  a.uplink = net::UplinkIndex{3};
   a.observed = 140.0;  // surplus: retransmitted traffic resurfacing
   a.predicted = 100.0;
   a.rel_dev = 0.4;
@@ -242,11 +242,11 @@ TEST_F(ControllerTest, NeverPartitionsALeaf) {
   p.debounce_iterations = 1;
   p.min_healthy_uplinks = 3;
   MitigationController c = make(p);
-  routing_.set_known_failed(1, 0);  // pre-existing: 3 healthy uplinks left
+  routing_.set_known_failed(net::LeafId{1}, net::UplinkIndex{0});  // pre-existing: 3 healthy uplinks left
   c.observe(shortfall_result(1, 0, 2));
   c.observe(shortfall_result(1, 1, 2));
   EXPECT_TRUE(c.events().empty());
-  EXPECT_FALSE(routing_.known_failed(1, 2));
+  EXPECT_FALSE(routing_.known_failed(net::LeafId{1}, net::UplinkIndex{2}));
 }
 
 TEST_F(ControllerTest, IterationCompletesOnlyWhenEveryLeafReported) {
@@ -281,8 +281,8 @@ TEST_F(ControllerTest, TimelineMilestonesAreOrdered) {
   ASSERT_TRUE(t.detected());
   ASSERT_TRUE(t.mitigated());
   ASSERT_TRUE(t.has_recovered());
-  EXPECT_EQ(t.first_alert_iteration, 0u);
-  EXPECT_EQ(t.first_quarantine_iteration, 1u);
+  EXPECT_EQ(t.first_alert_iteration.v(), 0u);
+  EXPECT_EQ(t.first_quarantine_iteration.v(), 1u);
   EXPECT_EQ(t.first_alert, sim::Time::microseconds(10));
   EXPECT_EQ(t.first_quarantine, sim::Time::microseconds(20));
   // Iteration 2 is inside the settle window; recovery lands on iteration 3.
@@ -310,8 +310,8 @@ exp::ScenarioConfig mitigated_scenario(std::uint64_t seed = 1) {
 TEST(MitigationE2E, QuarantinesBlackHoleAndRecovers) {
   exp::ScenarioConfig cfg = mitigated_scenario();
   exp::NewFault f;
-  f.leaf = 5;
-  f.uplink = 1;
+  f.leaf = net::LeafId{5};
+  f.uplink = net::UplinkIndex{1};
   f.where = exp::NewFault::Where::kDownlink;
   f.spec = net::FaultSpec::black_hole(sim::Time::microseconds(150));  // mid-run
   cfg.new_faults.push_back(f);
@@ -323,15 +323,15 @@ TEST(MitigationE2E, QuarantinesBlackHoleAndRecovers) {
   ASSERT_FALSE(r.mitigation_events.empty());
   const MitigationEvent& q = r.mitigation_events.front();
   EXPECT_EQ(q.kind, MitigationEvent::Kind::kQuarantine);
-  EXPECT_EQ(q.leaf, 5u);
-  EXPECT_EQ(q.uplink, 1u);
-  EXPECT_TRUE(s.fabric().routing().known_failed(5, 1));
+  EXPECT_EQ(q.leaf.v(), 5u);
+  EXPECT_EQ(q.uplink.v(), 1u);
+  EXPECT_TRUE(s.fabric().routing().known_failed(net::LeafId{5}, net::UplinkIndex{1}));
 
   // (b) with the re-baselined model, post-settle iterations return under
   // the 1% threshold.
   ASSERT_TRUE(r.recovery.mitigated());
   const std::uint32_t judge_from =
-      r.recovery.first_quarantine_iteration + cfg.mitigation.settle_iterations + 1;
+      r.recovery.first_quarantine_iteration.v() + cfg.mitigation.settle_iterations + 1;
   ASSERT_LT(judge_from, r.per_iter_max_dev.size());
   for (std::uint32_t i = judge_from; i < r.per_iter_max_dev.size(); ++i) {
     EXPECT_LT(r.per_iter_max_dev[i], 0.01) << "iteration " << i;
@@ -347,7 +347,7 @@ TEST(MitigationE2E, QuarantinesBlackHoleAndRecovers) {
   // The probation closed with a confirmation.
   bool confirmed = false;
   for (const MitigationEvent& e : r.mitigation_events) {
-    if (e.kind == MitigationEvent::Kind::kConfirm && e.leaf == 5 && e.uplink == 1) {
+    if (e.kind == MitigationEvent::Kind::kConfirm && e.leaf == net::LeafId{5} && e.uplink == net::UplinkIndex{1}) {
       confirmed = true;
     }
   }
@@ -393,8 +393,8 @@ TEST(MitigationE2E, FlappingLinkProbedAndRequarantined) {
   cfg.iterations = 18;
   cfg.mitigation.restore_probe_after = 2;
   exp::NewFault f;
-  f.leaf = 3;
-  f.uplink = 2;
+  f.leaf = net::LeafId{3};
+  f.uplink = net::UplinkIndex{2};
   f.where = exp::NewFault::Where::kDownlink;
   f.spec = net::FaultSpec::black_hole(sim::Time::microseconds(150))
                .with_flap(sim::Time::microseconds(720), sim::Time::microseconds(360));
@@ -406,8 +406,8 @@ TEST(MitigationE2E, FlappingLinkProbedAndRequarantined) {
   std::uint32_t quarantines = 0, restores = 0;
   for (const MitigationEvent& e : r.mitigation_events) {
     if (e.kind == MitigationEvent::Kind::kQuarantine) {
-      EXPECT_EQ(e.leaf, 3u);
-      EXPECT_EQ(e.uplink, 2u);
+      EXPECT_EQ(e.leaf.v(), 3u);
+      EXPECT_EQ(e.uplink.v(), 2u);
       ++quarantines;
     }
     if (e.kind == MitigationEvent::Kind::kRestore) ++restores;
@@ -424,8 +424,8 @@ TEST(MitigationE2E, ParallelTrialsBitIdenticalWithMitigation) {
   exp::ScenarioConfig cfg = mitigated_scenario(7);
   cfg.iterations = 8;
   exp::NewFault f;
-  f.leaf = 2;
-  f.uplink = 0;
+  f.leaf = net::LeafId{2};
+  f.uplink = net::UplinkIndex{0};
   f.where = exp::NewFault::Where::kDownlink;
   f.spec = net::FaultSpec::black_hole(sim::Time::microseconds(150));
   cfg.new_faults.push_back(f);

@@ -34,7 +34,7 @@ struct DynamicRig {
     scenario = std::make_unique<exp::Scenario>(cfg);
 
     collective::CollectiveConfig cc;
-    cc.hosts = {0, 1, 2, 3};
+    cc.hosts = {net::HostId{0}, net::HostId{1}, net::HostId{2}, net::HostId{3}};
     cc.iterations = iterations;
     // Per-iteration random demand: 1-3 MiB per ordered pair.
     cc.schedule_generator = [](std::uint32_t, sim::Rng& rng) {
@@ -64,8 +64,8 @@ TEST(DynamicModel, TracksEveryIteration) {
   rig.run();
   EXPECT_TRUE(rig.runner->finished());
   EXPECT_EQ(rig.tracker->tracked_iterations(), 3u);
-  EXPECT_NE(rig.tracker->prediction_for(0), nullptr);
-  EXPECT_EQ(rig.tracker->prediction_for(99), nullptr);
+  EXPECT_NE(rig.tracker->prediction_for(net::IterIndex{0}), nullptr);
+  EXPECT_EQ(rig.tracker->prediction_for(net::IterIndex{99}), nullptr);
 }
 
 TEST(DynamicModel, CleanRunStaysUnderThreshold) {
@@ -89,7 +89,7 @@ TEST(DynamicModel, KnownFaultPlusSelfCongestionSkewsAnalyticalSplit) {
   // so its evaluation does not hit this; a self-congesting AlltoAll does.
   // The per-sender totals remain exact (symmetry holds per sender), only
   // the split across surviving spines shifts.
-  DynamicRig rig{13, 3, {{2, 1}}};
+  DynamicRig rig{13, 3, {{net::LeafId{2}, net::UplinkIndex{1}}}};
   rig.run();
   double worst = 0.0;
   for (const DetectionResult& r : rig.scenario->flowpulse().results()) {
@@ -103,8 +103,8 @@ TEST(DynamicModel, KnownFaultPlusSelfCongestionSkewsAnalyticalSplit) {
 
 TEST(DynamicModel, DetectsSilentFaultUnderChangingDemand) {
   exp::NewFault f;
-  f.leaf = 1;
-  f.uplink = 0;
+  f.leaf = net::LeafId{1};
+  f.uplink = net::UplinkIndex{0};
   f.where = exp::NewFault::Where::kDownlink;
   f.spec = net::FaultSpec::random_drop(0.05);
   DynamicRig rig{17, 3, {}, {f}};
@@ -112,7 +112,8 @@ TEST(DynamicModel, DetectsSilentFaultUnderChangingDemand) {
   bool flagged = false;
   for (const DetectionResult& r : rig.scenario->flowpulse().results()) {
     for (const PortAlert& a : r.alerts) {
-      if (r.leaf == 1 && a.uplink == 0 && a.observed < a.predicted) flagged = true;
+      if (r.leaf == net::LeafId{1} && a.uplink == net::UplinkIndex{0} &&
+          a.observed < a.predicted) flagged = true;
     }
   }
   EXPECT_TRUE(flagged);

@@ -8,6 +8,7 @@
 #include "exp/scenario.h"
 #include "exp/table.h"
 #include "exp/trials.h"
+#include "core/strong_id.h"
 #include "net/types.h"
 
 namespace flowpulse::exp {
@@ -91,7 +92,7 @@ TEST(AllHostsRing, CoversEveryHostInOrder) {
   const net::TopologyInfo shape{4, 2, 2, 1};
   const auto hosts = all_hosts_ring(shape);
   ASSERT_EQ(hosts.size(), 8u);
-  for (net::HostId h = 0; h < 8; ++h) EXPECT_EQ(hosts[h], h);
+  for (const net::HostId h : core::ids<net::HostId>(8)) EXPECT_EQ(hosts[h.v()], h);
 }
 
 TEST(RunTrials, ProducesRequestedCountWithDistinctSeeds) {
@@ -116,9 +117,9 @@ TEST(RunTrials, SkipDropsLeadingIterations) {
 
 TEST(FlowId, RoundTrips) {
   using namespace net::flowid;
-  const net::FlowId f = make_collective(12345, 9);
+  const net::FlowId f = make_collective(net::IterIndex{12345}, 9);
   EXPECT_TRUE(is_collective(f));
-  EXPECT_EQ(iteration_of(f), 12345u);
+  EXPECT_EQ(iteration_of(f), net::IterIndex{12345});
   EXPECT_EQ(job_of(f), 9u);
   EXPECT_FALSE(is_collective(0));
   EXPECT_FALSE(is_collective(0x1234567890abcdefull));

@@ -6,6 +6,8 @@
 #include <cmath>
 
 #include "collective/demand_matrix.h"
+#include "core/strong_id.h"
+#include "core/units.h"
 #include "flowpulse/analytical_model.h"
 #include "flowpulse/detector.h"
 #include "flowpulse/learned_model.h"
@@ -29,7 +31,7 @@ class AnalyticalModelTest : public ::testing::Test {
  protected:
   TopologyInfo info{4, 4, 1, 1};  // 4 leaves × 4 spines, 1 host/leaf
   RoutingState routing{4, 4};
-  AnalyticalModel model{info, 4096, 64};
+  AnalyticalModel model{info, 4096, core::Bytes{64}};
 };
 
 TEST_F(AnalyticalModelTest, WireBytesAccountsForSegmentation) {
@@ -41,70 +43,72 @@ TEST_F(AnalyticalModelTest, WireBytesAccountsForSegmentation) {
 
 TEST_F(AnalyticalModelTest, FaultFreeSplitsEvenlyAcrossSpines) {
   DemandMatrix d{4};
-  d.add(0, 1, 4096 * 4);  // 4 segments
+  d.add(net::HostId{0}, net::HostId{1}, 4096 * 4);  // 4 segments
   const PortLoadMap map = model.predict(d, routing);
   const double wire = 4 * (4096 + 64);
-  for (net::UplinkIndex u = 0; u < 4; ++u) {
-    EXPECT_DOUBLE_EQ(map.at(1, u).total, wire / 4);
-    EXPECT_DOUBLE_EQ(map.at(1, u).by_src_leaf[0], wire / 4);
+  for (const net::UplinkIndex u : core::ids<net::UplinkIndex>(4)) {
+    EXPECT_DOUBLE_EQ(map.at(net::LeafId{1}, u).total, wire / 4);
+    EXPECT_DOUBLE_EQ(map.at(net::LeafId{1}, u).by_src_leaf[0], wire / 4);
     // Nothing lands at other leaves.
-    EXPECT_DOUBLE_EQ(map.at(2, u).total, 0.0);
+    EXPECT_DOUBLE_EQ(map.at(net::LeafId{2}, u).total, 0.0);
   }
 }
 
 TEST_F(AnalyticalModelTest, KnownFaultRedistributesOverRemaining) {
   // Paper §5.2: d bytes, f failed adjacent spines, s spines → each
   // surviving spine carries d/(s−f).
-  routing.set_known_failed(0, 2);  // source-side failure
+  routing.set_known_failed(net::LeafId{0}, net::UplinkIndex{2});  // source-side failure
   DemandMatrix d{4};
-  d.add(0, 1, 4096 * 12);
+  d.add(net::HostId{0}, net::HostId{1}, 4096 * 12);
   const PortLoadMap map = model.predict(d, routing);
   const double wire = 12 * (4096 + 64);
-  for (net::UplinkIndex u = 0; u < 4; ++u) {
-    EXPECT_DOUBLE_EQ(map.at(1, u).total, u == 2 ? 0.0 : wire / 3);
+  for (const net::UplinkIndex u : core::ids<net::UplinkIndex>(4)) {
+    EXPECT_DOUBLE_EQ(map.at(net::LeafId{1}, u).total, u == net::UplinkIndex{2} ? 0.0 : wire / 3);
   }
 }
 
 TEST_F(AnalyticalModelTest, DestinationSideFaultAlsoCounts) {
-  routing.set_known_failed(1, 0);  // destination-side failure
-  routing.set_known_failed(0, 3);  // plus source-side → s − f = 2
+  routing.set_known_failed(net::LeafId{1}, net::UplinkIndex{0});  // destination-side failure
+  routing.set_known_failed(net::LeafId{0}, net::UplinkIndex{3});  // plus source-side → s − f = 2
   DemandMatrix d{4};
-  d.add(0, 1, 4096 * 8);
+  d.add(net::HostId{0}, net::HostId{1}, 4096 * 8);
   const PortLoadMap map = model.predict(d, routing);
   const double wire = 8 * (4096 + 64);
-  EXPECT_DOUBLE_EQ(map.at(1, 0).total, 0.0);
-  EXPECT_DOUBLE_EQ(map.at(1, 1).total, wire / 2);
-  EXPECT_DOUBLE_EQ(map.at(1, 2).total, wire / 2);
-  EXPECT_DOUBLE_EQ(map.at(1, 3).total, 0.0);
+  EXPECT_DOUBLE_EQ(map.at(net::LeafId{1}, net::UplinkIndex{0}).total, 0.0);
+  EXPECT_DOUBLE_EQ(map.at(net::LeafId{1}, net::UplinkIndex{1}).total, wire / 2);
+  EXPECT_DOUBLE_EQ(map.at(net::LeafId{1}, net::UplinkIndex{2}).total, wire / 2);
+  EXPECT_DOUBLE_EQ(map.at(net::LeafId{1}, net::UplinkIndex{3}).total, 0.0);
 }
 
 TEST_F(AnalyticalModelTest, IntraLeafTrafficNeverReachesSpines) {
   const TopologyInfo two_per{2, 4, 2, 1};
-  AnalyticalModel m{two_per, 4096, 64};
+  AnalyticalModel m{two_per, 4096, core::Bytes{64}};
   RoutingState r{2, 4};
   DemandMatrix d{4};
-  d.add(0, 1, 1 << 20);  // hosts 0,1 share leaf 0
+  d.add(net::HostId{0}, net::HostId{1}, 1 << 20);  // hosts 0,1 share leaf 0
   const PortLoadMap map = m.predict(d, r);
   EXPECT_DOUBLE_EQ(map.total(), 0.0);
 }
 
 TEST_F(AnalyticalModelTest, MultipleSendersAccumulatePerSender) {
   DemandMatrix d{4};
-  d.add(0, 3, 4096 * 4);
-  d.add(1, 3, 4096 * 8);
+  d.add(net::HostId{0}, net::HostId{3}, 4096 * 4);
+  d.add(net::HostId{1}, net::HostId{3}, 4096 * 8);
   const PortLoadMap map = model.predict(d, routing);
-  for (net::UplinkIndex u = 0; u < 4; ++u) {
-    EXPECT_DOUBLE_EQ(map.at(3, u).by_src_leaf[0], 4 * (4096 + 64) / 4.0);
-    EXPECT_DOUBLE_EQ(map.at(3, u).by_src_leaf[1], 8 * (4096 + 64) / 4.0);
-    EXPECT_DOUBLE_EQ(map.at(3, u).total,
-                     map.at(3, u).by_src_leaf[0] + map.at(3, u).by_src_leaf[1]);
+  for (const net::UplinkIndex u : core::ids<net::UplinkIndex>(4)) {
+    EXPECT_DOUBLE_EQ(map.at(net::LeafId{3}, u).by_src_leaf[0], 4 * (4096 + 64) / 4.0);
+    EXPECT_DOUBLE_EQ(map.at(net::LeafId{3}, u).by_src_leaf[1], 8 * (4096 + 64) / 4.0);
+    EXPECT_DOUBLE_EQ(map.at(net::LeafId{3}, u).total,
+                     map.at(net::LeafId{3}, u).by_src_leaf[0] + map.at(net::LeafId{3}, u).by_src_leaf[1]);
   }
 }
 
 TEST_F(AnalyticalModelTest, PartitionedPairContributesNothing) {
-  for (net::UplinkIndex u = 0; u < 4; ++u) routing.set_known_failed(1, u);
+  for (const net::UplinkIndex u : core::ids<net::UplinkIndex>(4)) {
+    routing.set_known_failed(net::LeafId{1}, u);
+  }
   DemandMatrix d{4};
-  d.add(0, 1, 1 << 20);
+  d.add(net::HostId{0}, net::HostId{1}, 1 << 20);
   const PortLoadMap map = model.predict(d, routing);
   EXPECT_DOUBLE_EQ(map.total(), 0.0);
 }
@@ -113,12 +117,12 @@ TEST_F(AnalyticalModelTest, PartitionedPairContributesNothing) {
 // PortMonitor
 // ---------------------------------------------------------------------------
 
-net::Packet data_packet(std::uint32_t iter, net::HostId src, std::uint32_t size,
+net::Packet data_packet(std::uint32_t iter, std::uint32_t src, std::uint32_t size,
                         std::uint16_t job = 0) {
   net::Packet p;
-  p.flow_id = net::flowid::make_collective(iter, job);
-  p.src = src;
-  p.size_bytes = size;
+  p.flow_id = net::flowid::make_collective(net::IterIndex{iter}, job);
+  p.src = net::HostId{src};
+  p.size_bytes = core::Bytes{size};
   p.kind = net::PacketKind::kData;
   return p;
 }
@@ -126,17 +130,17 @@ net::Packet data_packet(std::uint32_t iter, net::HostId src, std::uint32_t size,
 class PortMonitorTest : public ::testing::Test {
  protected:
   TopologyInfo info{4, 2, 1, 1};
-  PortMonitor mon{1, info};
+  PortMonitor mon{net::LeafId{1}, info};
 };
 
 TEST_F(PortMonitorTest, CountsTaggedDataBytesPerPort) {
-  mon.record(0, data_packet(0, 0, 1000));
-  mon.record(1, data_packet(0, 2, 500));
-  mon.record(0, data_packet(0, 0, 200));
+  mon.record(net::UplinkIndex{0}, data_packet(0, 0, 1000));
+  mon.record(net::UplinkIndex{1}, data_packet(0, 2, 500));
+  mon.record(net::UplinkIndex{0}, data_packet(0, 0, 200));
   mon.flush();
   ASSERT_EQ(mon.history().size(), 1u);
   const IterationRecord& r = mon.history()[0];
-  EXPECT_EQ(r.iteration, 0u);
+  EXPECT_EQ(r.iteration, net::IterIndex{0});
   EXPECT_DOUBLE_EQ(r.bytes[0], 1200.0);
   EXPECT_DOUBLE_EQ(r.bytes[1], 500.0);
   EXPECT_DOUBLE_EQ(r.by_src[0][0], 1200.0);
@@ -146,24 +150,24 @@ TEST_F(PortMonitorTest, CountsTaggedDataBytesPerPort) {
 TEST_F(PortMonitorTest, IgnoresAcksProbesAndUntagged) {
   net::Packet ack = data_packet(0, 0, 64);
   ack.kind = net::PacketKind::kAck;
-  mon.record(0, ack);
+  mon.record(net::UplinkIndex{0}, ack);
   net::Packet probe = data_packet(0, 0, 64);
   probe.kind = net::PacketKind::kProbe;
-  mon.record(0, probe);
+  mon.record(net::UplinkIndex{0}, probe);
   net::Packet untagged = data_packet(0, 0, 999);
   untagged.flow_id = 0x1234;
-  mon.record(0, untagged);
+  mon.record(net::UplinkIndex{0}, untagged);
   mon.flush();
   EXPECT_TRUE(mon.history().empty());  // nothing measurable ever arrived
 }
 
 TEST_F(PortMonitorTest, IgnoresOtherJobs) {
-  mon.record(0, data_packet(0, 0, 1000, /*job=*/3));
+  mon.record(net::UplinkIndex{0}, data_packet(0, 0, 1000, /*job=*/3));
   mon.flush();
   EXPECT_TRUE(mon.history().empty());
 
-  PortMonitor job3{1, info, 3};
-  job3.record(0, data_packet(0, 0, 1000, 3));
+  PortMonitor job3{net::LeafId{1}, info, 3};
+  job3.record(net::UplinkIndex{0}, data_packet(0, 0, 1000, 3));
   job3.flush();
   ASSERT_EQ(job3.history().size(), 1u);
 }
@@ -171,11 +175,11 @@ TEST_F(PortMonitorTest, IgnoresOtherJobs) {
 TEST_F(PortMonitorTest, NextIterationFinalizesPrevious) {
   int finalized = 0;
   mon.set_finalize_hook([&](const IterationRecord&) { ++finalized; });
-  mon.record(0, data_packet(0, 0, 100));
+  mon.record(net::UplinkIndex{0}, data_packet(0, 0, 100));
   EXPECT_EQ(finalized, 0);
-  mon.record(0, data_packet(1, 0, 100));  // first packet of iteration 1
+  mon.record(net::UplinkIndex{0}, data_packet(1, 0, 100));  // first packet of iteration 1
   EXPECT_EQ(finalized, 1);
-  mon.record(1, data_packet(1, 0, 300));
+  mon.record(net::UplinkIndex{1}, data_packet(1, 0, 300));
   mon.flush();
   EXPECT_EQ(finalized, 2);
   ASSERT_EQ(mon.history().size(), 2u);
@@ -183,9 +187,9 @@ TEST_F(PortMonitorTest, NextIterationFinalizesPrevious) {
 }
 
 TEST_F(PortMonitorTest, LateStragglerPacketsFoldIntoCurrentWindow) {
-  mon.record(0, data_packet(0, 0, 100));
-  mon.record(0, data_packet(1, 0, 100));  // iteration 1 opens
-  mon.record(0, data_packet(0, 0, 50));   // late duplicate from iteration 0
+  mon.record(net::UplinkIndex{0}, data_packet(0, 0, 100));
+  mon.record(net::UplinkIndex{0}, data_packet(1, 0, 100));  // iteration 1 opens
+  mon.record(net::UplinkIndex{0}, data_packet(0, 0, 50));   // late duplicate from iteration 0
   mon.flush();
   ASSERT_EQ(mon.history().size(), 2u);
   EXPECT_DOUBLE_EQ(mon.history()[0].bytes[0], 100.0);
@@ -193,7 +197,7 @@ TEST_F(PortMonitorTest, LateStragglerPacketsFoldIntoCurrentWindow) {
 }
 
 TEST_F(PortMonitorTest, FlushIsIdempotent) {
-  mon.record(0, data_packet(0, 0, 100));
+  mon.record(net::UplinkIndex{0}, data_packet(0, 0, 100));
   mon.flush();
   mon.flush();
   EXPECT_EQ(mon.history().size(), 1u);
@@ -213,8 +217,8 @@ TEST(RelativeDeviation, Basics) {
 IterationRecord record_with(std::uint32_t uplinks, std::uint32_t leaves,
                             const std::vector<double>& bytes) {
   IterationRecord r;
-  r.leaf = 0;
-  r.iteration = 7;
+  r.leaf = net::LeafId{0};
+  r.iteration = net::IterIndex{7};
   r.bytes = bytes;
   r.by_src.assign(uplinks, std::vector<double>(leaves, 0.0));
   return r;
@@ -222,8 +226,8 @@ IterationRecord record_with(std::uint32_t uplinks, std::uint32_t leaves,
 
 TEST(Detector, NoAlertWithinThreshold) {
   PortLoadMap pred{2, 2};
-  pred.add(0, 0, 1, 1000.0);
-  pred.add(0, 1, 1, 1000.0);
+  pred.add(net::LeafId{0}, net::UplinkIndex{0}, net::LeafId{1}, 1000.0);
+  pred.add(net::LeafId{0}, net::UplinkIndex{1}, net::LeafId{1}, 1000.0);
   Detector det{pred, 0.01};
   const DetectionResult res = det.evaluate(record_with(2, 2, {995.0, 1005.0}));
   EXPECT_FALSE(res.faulty());
@@ -232,26 +236,26 @@ TEST(Detector, NoAlertWithinThreshold) {
 
 TEST(Detector, AlertBeyondThreshold) {
   PortLoadMap pred{2, 2};
-  pred.add(0, 0, 1, 1000.0);
-  pred.add(0, 1, 1, 1000.0);
+  pred.add(net::LeafId{0}, net::UplinkIndex{0}, net::LeafId{1}, 1000.0);
+  pred.add(net::LeafId{0}, net::UplinkIndex{1}, net::LeafId{1}, 1000.0);
   Detector det{pred, 0.01};
   const DetectionResult res = det.evaluate(record_with(2, 2, {960.0, 1000.0}));
   ASSERT_EQ(res.alerts.size(), 1u);
-  EXPECT_EQ(res.alerts[0].uplink, 0u);
+  EXPECT_EQ(res.alerts[0].uplink, net::UplinkIndex{0});
   EXPECT_NEAR(res.alerts[0].rel_dev, 0.04, 1e-12);
-  EXPECT_EQ(res.iteration, 7u);
+  EXPECT_EQ(res.iteration, net::IterIndex{7});
 }
 
 TEST(Detector, SurplusTrafficAlsoAlerts) {
   PortLoadMap pred{1, 1};
-  pred.add(0, 0, 0, 1000.0);
+  pred.add(net::LeafId{0}, net::UplinkIndex{0}, net::LeafId{0}, 1000.0);
   Detector det{pred, 0.01};
   EXPECT_TRUE(det.evaluate(record_with(1, 1, {1100.0})).faulty());
 }
 
 TEST(Detector, TrafficOnSilentPortIsInfinitelyDeviant) {
   PortLoadMap pred{2, 2};
-  pred.add(0, 1, 1, 1000.0);  // port 0 predicted silent
+  pred.add(net::LeafId{0}, net::UplinkIndex{1}, net::LeafId{1}, 1000.0);  // port 0 predicted silent
   Detector det{pred, 0.01};
   const DetectionResult res = det.evaluate(record_with(2, 2, {50.0, 1000.0}));
   ASSERT_EQ(res.alerts.size(), 1u);
@@ -264,7 +268,7 @@ TEST(Localize, AllSendersShortMeansLocalLink) {
   pred.total = 1000.0;
   IterationRecord rec = record_with(1, 4, {900.0});
   rec.by_src[0] = {0.0, 450.0, 450.0, 0.0};  // both senders −10%
-  const Localization loc = localize(rec, pred, 0, 0.01);
+  const Localization loc = localize(rec, pred, net::UplinkIndex{0}, 0.01);
   EXPECT_EQ(loc.verdict, Localization::Verdict::kLocalLink);
   EXPECT_TRUE(loc.suspect_senders.empty());
 }
@@ -276,10 +280,10 @@ TEST(Localize, SingleSenderShortMeansRemoteLink) {
   pred.total = 1000.0;
   IterationRecord rec = record_with(1, 4, {950.0});
   rec.by_src[0] = {0.0, 450.0, 500.0, 0.0};  // only leaf 1 short
-  const Localization loc = localize(rec, pred, 0, 0.01);
+  const Localization loc = localize(rec, pred, net::UplinkIndex{0}, 0.01);
   EXPECT_EQ(loc.verdict, Localization::Verdict::kRemoteLinks);
   ASSERT_EQ(loc.suspect_senders.size(), 1u);
-  EXPECT_EQ(loc.suspect_senders[0], 1u);
+  EXPECT_EQ(loc.suspect_senders[0], net::LeafId{1});
 }
 
 TEST(Localize, SurplusOnlyIsUnknown) {
@@ -288,7 +292,7 @@ TEST(Localize, SurplusOnlyIsUnknown) {
   pred.total = 500.0;
   IterationRecord rec = record_with(1, 2, {600.0});
   rec.by_src[0] = {0.0, 600.0};
-  EXPECT_EQ(localize(rec, pred, 0, 0.01).verdict, Localization::Verdict::kUnknown);
+  EXPECT_EQ(localize(rec, pred, net::UplinkIndex{0}, 0.01).verdict, Localization::Verdict::kUnknown);
 }
 
 // ---------------------------------------------------------------------------
@@ -297,7 +301,7 @@ TEST(Localize, SurplusOnlyIsUnknown) {
 
 IterationRecord uniform_record(std::uint32_t uplinks, double bytes, std::uint32_t iter = 0) {
   IterationRecord r;
-  r.iteration = iter;
+  r.iteration = net::IterIndex{iter};
   r.bytes.assign(uplinks, bytes);
   r.by_src.assign(uplinks, std::vector<double>(1, bytes));
   return r;
@@ -363,8 +367,8 @@ TEST(LearnedModel, AlertsCarryLocalizationFromLearnedPerSenderBaseline) {
   m.observe(base);
   m.observe(base);
   ASSERT_EQ(m.phase(), LearnedModel::Phase::kMonitoring);
-  EXPECT_DOUBLE_EQ(m.baseline_by_src(0)[0], 600.0);
-  EXPECT_DOUBLE_EQ(m.baseline_by_src(1)[1], 400.0);
+  EXPECT_DOUBLE_EQ(m.baseline_by_src(net::UplinkIndex{0})[0], 600.0);
+  EXPECT_DOUBLE_EQ(m.baseline_by_src(net::UplinkIndex{1})[1], 400.0);
 
   // Port 0 loses ONLY sender 1's traffic → remote verdict naming leaf 1.
   IterationRecord faulty = base;
@@ -375,7 +379,7 @@ TEST(LearnedModel, AlertsCarryLocalizationFromLearnedPerSenderBaseline) {
   ASSERT_EQ(out.deviating_ports.size(), 1u);
   ASSERT_EQ(out.localizations.size(), 1u);
   EXPECT_EQ(out.localizations[0].verdict, Localization::Verdict::kRemoteLinks);
-  EXPECT_EQ(out.localizations[0].suspect_senders, std::vector<net::LeafId>{1});
+  EXPECT_EQ(out.localizations[0].suspect_senders, std::vector<net::LeafId>{net::LeafId{1}});
 
   // Both senders short → local link verdict.
   IterationRecord local = base;

@@ -59,7 +59,7 @@ TEST(Scenario, CleanRunIsDeterministicGivenSeed) {
 
 TEST(Scenario, DetectsSilentDownlinkDrop) {
   ScenarioConfig cfg = small_scenario();
-  cfg.new_faults.push_back(downlink_drop(3, 2, 0.05));
+  cfg.new_faults.push_back(downlink_drop(net::LeafId{3}, net::UplinkIndex{2}, 0.05));
   Scenario s{cfg};
   const ScenarioResult r = s.run();
   ASSERT_EQ(r.iterations_completed, 4u);
@@ -69,7 +69,7 @@ TEST(Scenario, DetectsSilentDownlinkDrop) {
   bool found = false;
   for (const fp::DetectionResult& d : s.flowpulse().faulty_results()) {
     for (const fp::PortAlert& a : d.alerts) {
-      if (d.leaf == 3 && a.uplink == 2 && a.observed < a.predicted) found = true;
+      if (d.leaf == net::LeafId{3} && a.uplink == net::UplinkIndex{2} && a.observed < a.predicted) found = true;
     }
   }
   EXPECT_TRUE(found);
@@ -86,7 +86,7 @@ TEST(Scenario, DetectsSilentUplinkDropAtRemoteLeaf) {
   cfg.collective = collective::CollectiveKind::kAllToAll;
   cfg.collective_bytes = 24ull << 20;  // 2 MiB per ordered pair
   cfg.iterations = 2;
-  NewFault f = downlink_drop(1, 0, 0.08);
+  NewFault f = downlink_drop(net::LeafId{1}, net::UplinkIndex{0}, 0.08);
   f.where = NewFault::Where::kUplink;
   cfg.new_faults.push_back(f);
   Scenario s{cfg};
@@ -94,9 +94,9 @@ TEST(Scenario, DetectsSilentUplinkDropAtRemoteLeaf) {
   bool remote_localized = false;
   for (const fp::DetectionResult& d : s.flowpulse().faulty_results()) {
     for (const fp::PortAlert& a : d.alerts) {
-      if (d.leaf != 1 && a.uplink == 0 &&
+      if (d.leaf != net::LeafId{1} && a.uplink == net::UplinkIndex{0} &&
           a.localization.verdict == fp::Localization::Verdict::kRemoteLinks &&
-          a.localization.suspect_senders == std::vector<net::LeafId>{1}) {
+          a.localization.suspect_senders == std::vector<net::LeafId>{net::LeafId{1}}) {
         remote_localized = true;
       }
     }
@@ -107,8 +107,8 @@ TEST(Scenario, DetectsSilentUplinkDropAtRemoteLeaf) {
 TEST(Scenario, DetectsBlackHole) {
   ScenarioConfig cfg = small_scenario();
   NewFault f;
-  f.leaf = 5;
-  f.uplink = 1;
+  f.leaf = net::LeafId{5};
+  f.uplink = net::UplinkIndex{1};
   f.where = NewFault::Where::kBoth;
   f.spec = net::FaultSpec::black_hole();
   cfg.new_faults.push_back(f);
@@ -120,13 +120,13 @@ TEST(Scenario, DetectsBlackHole) {
 
 TEST(Scenario, LocalizesLocalDownlinkFault) {
   ScenarioConfig cfg = small_scenario();
-  cfg.new_faults.push_back(downlink_drop(6, 0, 0.05));
+  cfg.new_faults.push_back(downlink_drop(net::LeafId{6}, net::UplinkIndex{0}, 0.05));
   Scenario s{cfg};
   s.run();
   bool local = false;
   for (const fp::DetectionResult& d : s.flowpulse().faulty_results()) {
     for (const fp::PortAlert& a : d.alerts) {
-      if (d.leaf == 6 && a.uplink == 0 &&
+      if (d.leaf == net::LeafId{6} && a.uplink == net::UplinkIndex{0} &&
           a.localization.verdict == fp::Localization::Verdict::kLocalLink) {
         local = true;
       }
@@ -139,7 +139,8 @@ TEST(Scenario, PreexistingFaultsDoNotFalseAlarm) {
   // The paper's core argument: the model accounts for known faults, so
   // pre-existing disconnected links cause no alerts.
   ScenarioConfig cfg = small_scenario();
-  cfg.preexisting = {{2, 1}, {5, 3}};
+  cfg.preexisting = {{net::LeafId{2}, net::UplinkIndex{1}},
+                     {net::LeafId{5}, net::UplinkIndex{3}}};
   Scenario s{cfg};
   const ScenarioResult r = s.run();
   EXPECT_EQ(r.iterations_completed, 4u);
@@ -148,15 +149,15 @@ TEST(Scenario, PreexistingFaultsDoNotFalseAlarm) {
 
 TEST(Scenario, DetectsNewFaultDespitePreexisting) {
   ScenarioConfig cfg = small_scenario();
-  cfg.preexisting = {{2, 1}};
-  cfg.new_faults.push_back(downlink_drop(2, 3, 0.06));  // same leaf, other port
+  cfg.preexisting = {{net::LeafId{2}, net::UplinkIndex{1}}};
+  cfg.new_faults.push_back(downlink_drop(net::LeafId{2}, net::UplinkIndex{3}, 0.06));  // same leaf, other port
   Scenario s{cfg};
   const ScenarioResult r = s.run();
   for (const double dev : r.per_iter_max_dev) EXPECT_GT(dev, 0.01);
   bool found = false;
   for (const fp::DetectionResult& d : s.flowpulse().faulty_results()) {
     for (const fp::PortAlert& a : d.alerts) {
-      if (d.leaf == 2 && a.uplink == 3) found = true;
+      if (d.leaf == net::LeafId{2} && a.uplink == net::UplinkIndex{3}) found = true;
     }
   }
   EXPECT_TRUE(found);
@@ -166,10 +167,10 @@ TEST(Scenario, SpatialSymmetryBaselineFalseAlarmsOnPreexisting) {
   // Same clean-but-degraded network: FlowPulse stays quiet (previous test),
   // while the spatial-symmetry strategy flags every iteration.
   ScenarioConfig cfg = small_scenario();
-  cfg.preexisting = {{2, 1}};
+  cfg.preexisting = {{net::LeafId{2}, net::UplinkIndex{1}}};
   Scenario s{cfg};
   s.run();
-  const auto& history = s.flowpulse().monitor(2).history();
+  const auto& history = s.flowpulse().monitor(net::LeafId{2}).history();
   ASSERT_FALSE(history.empty());
   for (const fp::IterationRecord& rec : history) {
     EXPECT_TRUE(baseline::spatial_symmetry_check(rec, 0.01).flagged);
@@ -179,7 +180,7 @@ TEST(Scenario, SpatialSymmetryBaselineFalseAlarmsOnPreexisting) {
 TEST(Scenario, SimulationModelPredictsAsWellAsAnalytical) {
   ScenarioConfig cfg = small_scenario();
   cfg.flowpulse.model = fp::ModelKind::kSimulation;
-  cfg.preexisting = {{1, 2}};
+  cfg.preexisting = {{net::LeafId{1}, net::UplinkIndex{2}}};
   Scenario s{cfg};
   const ScenarioResult r = s.run();
   for (const double dev : r.per_iter_max_dev) EXPECT_LT(dev, 0.01);
@@ -188,7 +189,7 @@ TEST(Scenario, SimulationModelPredictsAsWellAsAnalytical) {
 TEST(Scenario, SimulationModelDetectsFault) {
   ScenarioConfig cfg = small_scenario();
   cfg.flowpulse.model = fp::ModelKind::kSimulation;
-  cfg.new_faults.push_back(downlink_drop(1, 1, 0.05));
+  cfg.new_faults.push_back(downlink_drop(net::LeafId{1}, net::UplinkIndex{1}, 0.05));
   Scenario s{cfg};
   const ScenarioResult r = s.run();
   for (const double dev : r.per_iter_max_dev) EXPECT_GT(dev, 0.01);
@@ -200,7 +201,7 @@ TEST(Scenario, LearnedModelDetectsMidRunFault) {
   cfg.flowpulse.model = fp::ModelKind::kLearned;
   cfg.flowpulse.learned.learn_iterations = 3;
   // Fault appears after the learning window (iterations are ~120 µs here).
-  NewFault f = downlink_drop(4, 2, 0.05);
+  NewFault f = downlink_drop(net::LeafId{4}, net::UplinkIndex{2}, 0.05);
   f.spec.start = sim::Time::microseconds(600);
   cfg.new_faults.push_back(f);
   Scenario s{cfg};
@@ -208,7 +209,7 @@ TEST(Scenario, LearnedModelDetectsMidRunFault) {
   EXPECT_EQ(r.iterations_completed, 8u);
   bool alerted = false;
   for (const auto& lo : r.learned) {
-    if (lo.leaf == 4 && lo.outcome.kind == fp::LearnedModel::Outcome::Kind::kAlert) {
+    if (lo.leaf == net::LeafId{4} && lo.outcome.kind == fp::LearnedModel::Outcome::Kind::kAlert) {
       alerted = true;
     }
   }
@@ -222,14 +223,14 @@ TEST(Scenario, LearnedModelRebaselinesAfterTransientFault) {
   cfg.iterations = 10;
   cfg.flowpulse.model = fp::ModelKind::kLearned;
   cfg.flowpulse.learned.learn_iterations = 2;
-  NewFault f = downlink_drop(4, 2, 0.08);
+  NewFault f = downlink_drop(net::LeafId{4}, net::UplinkIndex{2}, 0.08);
   f.spec.end = sim::Time::microseconds(300);  // heals after ~2 iterations
   cfg.new_faults.push_back(f);
   Scenario s{cfg};
   const ScenarioResult r = s.run();
   bool rebaselined = false;
   for (const auto& lo : r.learned) {
-    if (lo.leaf == 4 &&
+    if (lo.leaf == net::LeafId{4} &&
         lo.outcome.kind == fp::LearnedModel::Outcome::Kind::kRebaseline) {
       rebaselined = true;
     }
@@ -239,12 +240,12 @@ TEST(Scenario, LearnedModelRebaselinesAfterTransientFault) {
   bool ok_after = false;
   std::uint32_t rebaseline_iter = 0;
   for (const auto& lo : r.learned) {
-    if (lo.leaf == 4 && lo.outcome.kind == fp::LearnedModel::Outcome::Kind::kRebaseline) {
-      rebaseline_iter = lo.iteration;
+    if (lo.leaf == net::LeafId{4} && lo.outcome.kind == fp::LearnedModel::Outcome::Kind::kRebaseline) {
+      rebaseline_iter = lo.iteration.v();
     }
   }
   for (const auto& lo : r.learned) {
-    if (lo.leaf == 4 && lo.iteration > rebaseline_iter + 2 &&
+    if (lo.leaf == net::LeafId{4} && lo.iteration.v() > rebaseline_iter + 2 &&
         lo.outcome.kind == fp::LearnedModel::Outcome::Kind::kOk) {
       ok_after = true;
     }
@@ -255,7 +256,7 @@ TEST(Scenario, LearnedModelRebaselinesAfterTransientFault) {
 TEST(Scenario, FullRingAllReduceAlsoMonitorable) {
   ScenarioConfig cfg = small_scenario();
   cfg.collective = CollectiveKind::kRingAllReduce;
-  cfg.new_faults.push_back(downlink_drop(0, 0, 0.04));
+  cfg.new_faults.push_back(downlink_drop(net::LeafId{0}, net::UplinkIndex{0}, 0.04));
   Scenario s{cfg};
   const ScenarioResult r = s.run();
   EXPECT_EQ(r.iterations_completed, 4u);
@@ -295,13 +296,13 @@ TEST(Scenario, HierarchicalRingDetectsSilentFault) {
   cfg.fabric.shape = net::TopologyInfo{8, 4, 4, 1};
   cfg.collective = CollectiveKind::kHierarchicalRing;
   cfg.collective_bytes = 8ull << 20;
-  cfg.new_faults.push_back(downlink_drop(3, 2, 0.05));
+  cfg.new_faults.push_back(downlink_drop(net::LeafId{3}, net::UplinkIndex{2}, 0.05));
   Scenario s{cfg};
   const ScenarioResult r = s.run();
   bool found = false;
   for (const fp::DetectionResult& d : s.flowpulse().faulty_results()) {
     for (const fp::PortAlert& a : d.alerts) {
-      if (d.leaf == 3 && a.uplink == 2 && a.observed < a.predicted) found = true;
+      if (d.leaf == net::LeafId{3} && a.uplink == net::UplinkIndex{2} && a.observed < a.predicted) found = true;
     }
   }
   EXPECT_TRUE(found);
@@ -331,14 +332,14 @@ TEST(Scenario, PrioritizedBackgroundJobPreservesSymmetry) {
 TEST(Scenario, BackgroundJobDoesNotMaskFaultDetection) {
   ScenarioConfig cfg = small_scenario();
   cfg.background.bytes = 4ull << 20;
-  cfg.new_faults.push_back(downlink_drop(3, 2, 0.05));
+  cfg.new_faults.push_back(downlink_drop(net::LeafId{3}, net::UplinkIndex{2}, 0.05));
   Scenario s{cfg};
   const ScenarioResult r = s.run();
   EXPECT_EQ(r.iterations_completed, 4u);
   bool found = false;
   for (const fp::DetectionResult& d : s.flowpulse().faulty_results()) {
     for (const fp::PortAlert& a : d.alerts) {
-      if (d.leaf == 3 && a.uplink == 2 && a.observed < a.predicted) found = true;
+      if (d.leaf == net::LeafId{3} && a.uplink == net::UplinkIndex{2} && a.observed < a.predicted) found = true;
     }
   }
   EXPECT_TRUE(found);
@@ -346,7 +347,7 @@ TEST(Scenario, BackgroundJobDoesNotMaskFaultDetection) {
 
 TEST(Scenario, GroundTruthWindowsMatchFaultSchedule) {
   ScenarioConfig cfg = small_scenario();
-  NewFault f = downlink_drop(3, 2, 0.05);
+  NewFault f = downlink_drop(net::LeafId{3}, net::UplinkIndex{2}, 0.05);
   f.spec.start = sim::Time::milliseconds(100);  // never active
   cfg.new_faults.push_back(f);
   Scenario s{cfg};

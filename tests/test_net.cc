@@ -5,6 +5,7 @@
 #include <map>
 #include <vector>
 
+#include "core/strong_id.h"
 #include "net/egress_port.h"
 #include "net/fat_tree.h"
 #include "net/fault.h"
@@ -34,15 +35,15 @@ class SinkDevice : public Device {
 
 Packet make_packet(std::uint32_t size, Priority prio = Priority::kCollective) {
   Packet p;
-  p.size_bytes = size;
+  p.size_bytes = core::Bytes{size};
   p.priority = prio;
   return p;
 }
 
 class EgressPortTest : public ::testing::Test {
  protected:
-  EgressPortTest() : port_{sim_, LinkParams{400.0, Time::nanoseconds(100)}, "t"} {
-    port_.connect(&sink_, 7);
+  EgressPortTest() : port_{sim_, LinkParams{core::GbitsPerSec{400.0}, Time::nanoseconds(100)}, "t"} {
+    port_.connect(&sink_, PortIndex{7});
     port_.set_fault_rng(&sim_.rng());
   }
   Simulator sim_{1};
@@ -54,7 +55,7 @@ TEST_F(EgressPortTest, DeliversAfterSerializationAndPropagation) {
   port_.enqueue(make_packet(4096));
   sim_.run();
   ASSERT_EQ(sink_.packets.size(), 1u);
-  EXPECT_EQ(sink_.ports[0], 7u);
+  EXPECT_EQ(sink_.ports[0], PortIndex{7});
   // 4096 B at 400 Gbps = 81.92 ns serialization + 100 ns propagation.
   EXPECT_EQ(sim_.now().ps(), 81'920 + 100'000);
 }
@@ -90,7 +91,7 @@ TEST_F(EgressPortTest, PauseBlocksClassButNotOthers) {
   sim_.run();
   ASSERT_EQ(sink_.packets.size(), 1u);
   EXPECT_EQ(sink_.packets[0].priority, Priority::kCollective);
-  EXPECT_EQ(port_.queued_bytes(Priority::kBackground), 1000u);
+  EXPECT_EQ(port_.queued_bytes(Priority::kBackground), core::Bytes{1000});
   port_.set_paused(Priority::kBackground, false);
   sim_.run();
   EXPECT_EQ(sink_.packets.size(), 2u);
@@ -106,12 +107,12 @@ TEST_F(EgressPortTest, PauseDoesNotAbortInFlightPacket) {
 TEST_F(EgressPortTest, CountersTrackTxAndQueue) {
   port_.enqueue(make_packet(1000));
   port_.enqueue(make_packet(2000));
-  EXPECT_EQ(port_.queued_bytes(), 2000u);  // first already dequeued to wire
+  EXPECT_EQ(port_.queued_bytes(), core::Bytes{2000});  // first already dequeued to wire
   sim_.run();
-  EXPECT_EQ(port_.counters().tx_packets, 2u);
-  EXPECT_EQ(port_.counters().tx_bytes, 3000u);
-  EXPECT_EQ(port_.counters().dropped_packets, 0u);
-  EXPECT_EQ(port_.queued_bytes(), 0u);
+  EXPECT_EQ(port_.counters().tx_packets, core::Packets{2});
+  EXPECT_EQ(port_.counters().tx_bytes, core::Bytes{3000});
+  EXPECT_EQ(port_.counters().dropped_packets, core::Packets{0});
+  EXPECT_EQ(port_.queued_bytes(), core::Bytes{0});
 }
 
 TEST_F(EgressPortTest, DisconnectFaultDropsEverything) {
@@ -119,8 +120,8 @@ TEST_F(EgressPortTest, DisconnectFaultDropsEverything) {
   for (int i = 0; i < 10; ++i) port_.enqueue(make_packet(1000));
   sim_.run();
   EXPECT_TRUE(sink_.packets.empty());
-  EXPECT_EQ(port_.counters().dropped_packets, 10u);
-  EXPECT_EQ(port_.counters().delivered_packets(), 0u);
+  EXPECT_EQ(port_.counters().dropped_packets, core::Packets{10});
+  EXPECT_EQ(port_.counters().delivered_packets(), core::Packets{0});
 }
 
 TEST_F(EgressPortTest, RandomDropMatchesRate) {
@@ -129,9 +130,9 @@ TEST_F(EgressPortTest, RandomDropMatchesRate) {
   for (int i = 0; i < n; ++i) port_.enqueue(make_packet(100));
   sim_.run();
   const double rate =
-      static_cast<double>(port_.counters().dropped_packets) / port_.counters().tx_packets;
+      port_.counters().dropped_packets.dbl() / port_.counters().tx_packets.dbl();
   EXPECT_NEAR(rate, 0.1, 0.01);
-  EXPECT_EQ(sink_.packets.size(), port_.counters().delivered_packets());
+  EXPECT_EQ(sink_.packets.size(), port_.counters().delivered_packets().v());
 }
 
 TEST_F(EgressPortTest, TransientFaultWindow) {
@@ -146,7 +147,7 @@ TEST_F(EgressPortTest, TransientFaultWindow) {
   sim_.schedule_at(Time::microseconds(3), [this] { port_.enqueue(make_packet(4096)); });
   sim_.run();
   EXPECT_EQ(sink_.packets.size(), 2u);
-  EXPECT_EQ(port_.counters().dropped_packets, 1u);
+  EXPECT_EQ(port_.counters().dropped_packets, core::Packets{1});
 }
 
 TEST_F(EgressPortTest, TxHookSeesWireAndDrops) {
@@ -299,7 +300,7 @@ TEST_F(EgressPortTest, FlappingFaultDropsOnlyDuringBursts) {
                    [this] { port_.enqueue(make_packet(4096)); });  // idle → delivered
   sim_.run();
   EXPECT_EQ(sink_.packets.size(), 2u);
-  EXPECT_EQ(port_.counters().dropped_packets, 2u);
+  EXPECT_EQ(port_.counters().dropped_packets, core::Packets{2});
 }
 
 // ---------------------------------------------------------------------------
@@ -308,38 +309,38 @@ TEST_F(EgressPortTest, FlappingFaultDropsOnlyDuringBursts) {
 
 TEST(RoutingState, AllValidWhenHealthy) {
   RoutingState r{4, 8};
-  EXPECT_EQ(r.valid_uplinks(0, 1).size(), 8u);
+  EXPECT_EQ(r.valid_uplinks(LeafId{0}, LeafId{1}).size(), 8u);
 }
 
 TEST(RoutingState, ExcludesFailuresAtBothEnds) {
   RoutingState r{4, 8};
-  r.set_known_failed(0, 3);  // src-side failure
-  r.set_known_failed(1, 5);  // dst-side failure
-  const auto& valid = r.valid_uplinks(0, 1);
+  r.set_known_failed(LeafId{0}, UplinkIndex{3});  // src-side failure
+  r.set_known_failed(LeafId{1}, UplinkIndex{5});  // dst-side failure
+  const auto& valid = r.valid_uplinks(LeafId{0}, LeafId{1});
   EXPECT_EQ(valid.size(), 6u);
   for (const UplinkIndex u : valid) {
-    EXPECT_NE(u, 3u);
-    EXPECT_NE(u, 5u);
+    EXPECT_NE(u, UplinkIndex{3});
+    EXPECT_NE(u, UplinkIndex{5});
   }
   // A pair not touching the failed leaves keeps only its own exclusions.
-  EXPECT_EQ(r.valid_uplinks(2, 3).size(), 8u);
+  EXPECT_EQ(r.valid_uplinks(LeafId{2}, LeafId{3}).size(), 8u);
 }
 
 TEST(RoutingState, CacheInvalidatedOnUpdate) {
   RoutingState r{2, 4};
-  EXPECT_EQ(r.valid_uplinks(0, 1).size(), 4u);
-  r.set_known_failed(0, 0);
-  EXPECT_EQ(r.valid_uplinks(0, 1).size(), 3u);
-  r.set_known_failed(0, 0, false);
-  EXPECT_EQ(r.valid_uplinks(0, 1).size(), 4u);
+  EXPECT_EQ(r.valid_uplinks(LeafId{0}, LeafId{1}).size(), 4u);
+  r.set_known_failed(LeafId{0}, UplinkIndex{0});
+  EXPECT_EQ(r.valid_uplinks(LeafId{0}, LeafId{1}).size(), 3u);
+  r.set_known_failed(LeafId{0}, UplinkIndex{0}, false);
+  EXPECT_EQ(r.valid_uplinks(LeafId{0}, LeafId{1}).size(), 4u);
 }
 
 TEST(RoutingState, FailedCount) {
   RoutingState r{2, 4};
-  r.set_known_failed(1, 0);
-  r.set_known_failed(1, 2);
-  EXPECT_EQ(r.known_failed_count(1), 2u);
-  EXPECT_EQ(r.known_failed_count(0), 0u);
+  r.set_known_failed(LeafId{1}, UplinkIndex{0});
+  r.set_known_failed(LeafId{1}, UplinkIndex{2});
+  EXPECT_EQ(r.known_failed_count(LeafId{1}), 2u);
+  EXPECT_EQ(r.known_failed_count(LeafId{0}), 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -356,36 +357,36 @@ TEST(FatTree, TopologyInfoMath) {
   const TopologyInfo info{4, 2, 2, 1};
   EXPECT_EQ(info.num_hosts(), 8u);
   EXPECT_EQ(info.uplinks_per_leaf(), 2u);
-  EXPECT_EQ(info.leaf_of(5), 2u);
-  EXPECT_EQ(info.local_index(5), 1u);
-  EXPECT_EQ(info.spine_of(1), 1u);
+  EXPECT_EQ(info.leaf_of(HostId{5}), LeafId{2});
+  EXPECT_EQ(info.local_index(HostId{5}), 1u);
+  EXPECT_EQ(info.spine_of(UplinkIndex{1}), SpineId{1});
 }
 
 TEST(FatTree, TopologyInfoParallelLinks) {
   const TopologyInfo info{4, 2, 1, 2};  // 2 spines × 2 lanes = 4 uplinks
   EXPECT_EQ(info.uplinks_per_leaf(), 4u);
-  EXPECT_EQ(info.spine_of(0), 0u);
-  EXPECT_EQ(info.spine_of(1), 0u);
-  EXPECT_EQ(info.spine_of(2), 1u);
-  EXPECT_EQ(info.lane_of(3), 1u);
-  EXPECT_EQ(info.spine_port(2, 3), 5u);  // leaf 2, lane 1 → port 2*2+1
+  EXPECT_EQ(info.spine_of(UplinkIndex{0}), SpineId{0});
+  EXPECT_EQ(info.spine_of(UplinkIndex{1}), SpineId{0});
+  EXPECT_EQ(info.spine_of(UplinkIndex{2}), SpineId{1});
+  EXPECT_EQ(info.lane_of(UplinkIndex{3}), 1u);
+  EXPECT_EQ(info.spine_port(LeafId{2}, UplinkIndex{3}), PortIndex{5});  // leaf 2, lane 1 → port 2*2+1
 }
 
 TEST(FatTree, LocalTrafficStaysUnderLeaf) {
   Simulator sim{1};
   FatTree net{sim, small_config()};
   std::vector<Packet> got;
-  net.host(1).set_rx_handler([&](const Packet& p) { got.push_back(p); });
+  net.host(HostId{1}).set_rx_handler([&](const Packet& p) { got.push_back(p); });
 
   Packet p = make_packet(1000);
-  p.src = 0;
-  p.dst = 1;  // same leaf as host 0
-  net.host(0).nic().enqueue(p);
+  p.src = HostId{0};
+  p.dst = HostId{1};  // same leaf as host 0
+  net.host(HostId{0}).nic().enqueue(p);
   sim.run();
 
   ASSERT_EQ(got.size(), 1u);
-  for (SpineId s = 0; s < 2; ++s) {
-    EXPECT_EQ(net.spine(s).counters().forwarded_packets, 0u);
+  for (const SpineId s : core::ids<SpineId>(2)) {
+    EXPECT_EQ(net.spine(s).counters().forwarded_packets, core::Packets{0});
   }
 }
 
@@ -393,18 +394,18 @@ TEST(FatTree, RemoteTrafficCrossesOneSpine) {
   Simulator sim{1};
   FatTree net{sim, small_config()};
   std::vector<Packet> got;
-  net.host(7).set_rx_handler([&](const Packet& p) { got.push_back(p); });
+  net.host(HostId{7}).set_rx_handler([&](const Packet& p) { got.push_back(p); });
 
   Packet p = make_packet(1000);
-  p.src = 0;
-  p.dst = 7;  // leaf 3
-  net.host(0).nic().enqueue(p);
+  p.src = HostId{0};
+  p.dst = HostId{7};  // leaf 3
+  net.host(HostId{0}).nic().enqueue(p);
   sim.run();
 
   ASSERT_EQ(got.size(), 1u);
-  const std::uint64_t spine_fwd =
-      net.spine(0).counters().forwarded_packets + net.spine(1).counters().forwarded_packets;
-  EXPECT_EQ(spine_fwd, 1u);
+  const core::Packets spine_fwd = net.spine(SpineId{0}).counters().forwarded_packets +
+                                  net.spine(SpineId{1}).counters().forwarded_packets;
+  EXPECT_EQ(spine_fwd, core::Packets{1});
 }
 
 TEST(FatTree, SprayCoversAllUplinksUnderLoad) {
@@ -413,22 +414,22 @@ TEST(FatTree, SprayCoversAllUplinksUnderLoad) {
   cfg.spray = SprayPolicy::kAdaptive;
   FatTree net{sim, cfg};
   int got = 0;
-  net.host(7).set_rx_handler([&](const Packet&) { ++got; });
+  net.host(HostId{7}).set_rx_handler([&](const Packet&) { ++got; });
 
   for (int i = 0; i < 200; ++i) {
     Packet p = make_packet(1000);
-    p.src = 0;
-    p.dst = 7;
+    p.src = HostId{0};
+    p.dst = HostId{7};
     p.seq = static_cast<std::uint32_t>(i);
-    net.host(0).nic().enqueue(p);
+    net.host(HostId{0}).nic().enqueue(p);
   }
   sim.run();
   EXPECT_EQ(got, 200);
   // Adaptive spraying must use both uplinks roughly equally.
-  const auto& up0 = net.uplink_counters(0, 0);
-  const auto& up1 = net.uplink_counters(0, 1);
-  EXPECT_NEAR(static_cast<double>(up0.tx_packets), 100.0, 10.0);
-  EXPECT_NEAR(static_cast<double>(up1.tx_packets), 100.0, 10.0);
+  const auto& up0 = net.uplink_counters(LeafId{0}, UplinkIndex{0});
+  const auto& up1 = net.uplink_counters(LeafId{0}, UplinkIndex{1});
+  EXPECT_NEAR(up0.tx_packets.dbl(), 100.0, 10.0);
+  EXPECT_NEAR(up1.tx_packets.dbl(), 100.0, 10.0);
 }
 
 TEST(FatTree, RandomSprayApproximatelyUniform) {
@@ -437,18 +438,18 @@ TEST(FatTree, RandomSprayApproximatelyUniform) {
   cfg.shape = TopologyInfo{2, 4, 1, 1};
   cfg.spray = SprayPolicy::kRandom;
   FatTree net{sim, cfg};
-  net.host(1).set_rx_handler([](const Packet&) {});
+  net.host(HostId{1}).set_rx_handler([](const Packet&) {});
   const int n = 4000;
   for (int i = 0; i < n; ++i) {
     Packet p = make_packet(500);
-    p.src = 0;
-    p.dst = 1;
-    net.host(0).nic().enqueue(p);
+    p.src = HostId{0};
+    p.dst = HostId{1};
+    net.host(HostId{0}).nic().enqueue(p);
   }
   sim.run();
-  for (UplinkIndex u = 0; u < 4; ++u) {
+  for (const UplinkIndex u : core::ids<UplinkIndex>(4)) {
     const double frac =
-        static_cast<double>(net.uplink_counters(0, u).tx_packets) / n;
+        net.uplink_counters(LeafId{0}, u).tx_packets.dbl() / n;
     EXPECT_NEAR(frac, 0.25, 0.03);
   }
 }
@@ -459,18 +460,18 @@ TEST(FatTree, EcmpPinsFlowToOneUplink) {
   cfg.shape = TopologyInfo{2, 4, 1, 1};
   cfg.spray = SprayPolicy::kEcmp;
   FatTree net{sim, cfg};
-  net.host(1).set_rx_handler([](const Packet&) {});
+  net.host(HostId{1}).set_rx_handler([](const Packet&) {});
   for (int i = 0; i < 100; ++i) {
     Packet p = make_packet(500);
-    p.src = 0;
-    p.dst = 1;
+    p.src = HostId{0};
+    p.dst = HostId{1};
     p.flow_id = 0xabc;  // one flow
-    net.host(0).nic().enqueue(p);
+    net.host(HostId{0}).nic().enqueue(p);
   }
   sim.run();
   int used = 0;
-  for (UplinkIndex u = 0; u < 4; ++u) {
-    if (net.uplink_counters(0, u).tx_packets > 0) ++used;
+  for (const UplinkIndex u : core::ids<UplinkIndex>(4)) {
+    if (net.uplink_counters(LeafId{0}, u).tx_packets > core::Packets{0}) ++used;
   }
   EXPECT_EQ(used, 1);
 }
@@ -479,17 +480,17 @@ TEST(FatTree, KnownDisconnectExcludedFromSpray) {
   Simulator sim{1};
   FatTreeConfig cfg = small_config();
   FatTree net{sim, cfg};
-  net.disconnect_known(0, 0);  // leaf 0's uplink to spine 0 is down, known
-  net.host(7).set_rx_handler([](const Packet&) {});
+  net.disconnect_known(LeafId{0}, UplinkIndex{0});  // leaf 0's uplink to spine 0 is down, known
+  net.host(HostId{7}).set_rx_handler([](const Packet&) {});
   for (int i = 0; i < 50; ++i) {
     Packet p = make_packet(500);
-    p.src = 0;
-    p.dst = 7;
-    net.host(0).nic().enqueue(p);
+    p.src = HostId{0};
+    p.dst = HostId{7};
+    net.host(HostId{0}).nic().enqueue(p);
   }
   sim.run();
-  EXPECT_EQ(net.uplink_counters(0, 0).tx_packets, 0u);
-  EXPECT_EQ(net.uplink_counters(0, 1).tx_packets, 50u);
+  EXPECT_EQ(net.uplink_counters(LeafId{0}, UplinkIndex{0}).tx_packets, core::Packets{0});
+  EXPECT_EQ(net.uplink_counters(LeafId{0}, UplinkIndex{1}).tx_packets, core::Packets{50});
 }
 
 TEST(FatTree, DisconnectedDestinationSideAvoided) {
@@ -497,31 +498,31 @@ TEST(FatTree, DisconnectedDestinationSideAvoided) {
   FatTree net{sim, small_config()};
   // Destination leaf 3 lost its link from spine 1 (known): senders must
   // route via spine 0 only.
-  net.disconnect_known(3, 1);
+  net.disconnect_known(LeafId{3}, UplinkIndex{1});
   int got = 0;
-  net.host(7).set_rx_handler([&](const Packet&) { ++got; });
+  net.host(HostId{7}).set_rx_handler([&](const Packet&) { ++got; });
   for (int i = 0; i < 50; ++i) {
     Packet p = make_packet(500);
-    p.src = 0;
-    p.dst = 7;
-    net.host(0).nic().enqueue(p);
+    p.src = HostId{0};
+    p.dst = HostId{7};
+    net.host(HostId{0}).nic().enqueue(p);
   }
   sim.run();
   EXPECT_EQ(got, 50);
-  EXPECT_EQ(net.uplink_counters(0, 1).tx_packets, 0u);
+  EXPECT_EQ(net.uplink_counters(LeafId{0}, UplinkIndex{1}).tx_packets, core::Packets{0});
 }
 
 TEST(FatTree, FullPartitionCountsNoRouteDrops) {
   Simulator sim{1};
   FatTree net{sim, small_config()};
-  net.disconnect_known(3, 0);
-  net.disconnect_known(3, 1);  // leaf 3 unreachable
+  net.disconnect_known(LeafId{3}, UplinkIndex{0});
+  net.disconnect_known(LeafId{3}, UplinkIndex{1});  // leaf 3 unreachable
   Packet p = make_packet(500);
-  p.src = 0;
-  p.dst = 7;
-  net.host(0).nic().enqueue(p);
+  p.src = HostId{0};
+  p.dst = HostId{7};
+  net.host(HostId{0}).nic().enqueue(p);
   sim.run();
-  EXPECT_EQ(net.leaf(0).counters().no_route_drops, 1u);
+  EXPECT_EQ(net.leaf(LeafId{0}).counters().no_route_drops, core::Packets{1});
 }
 
 TEST(FatTree, SilentFaultStillSprayedOnto) {
@@ -529,37 +530,38 @@ TEST(FatTree, SilentFaultStillSprayedOnto) {
   // its share of traffic — the defining property of a silent fault.
   Simulator sim{1};
   FatTree net{sim, small_config()};
-  net.set_uplink_fault(0, 0, FaultSpec::black_hole());
+  net.set_uplink_fault(LeafId{0}, UplinkIndex{0}, FaultSpec::black_hole());
   int got = 0;
-  net.host(7).set_rx_handler([&](const Packet&) { ++got; });
+  net.host(HostId{7}).set_rx_handler([&](const Packet&) { ++got; });
   for (int i = 0; i < 100; ++i) {
     Packet p = make_packet(500);
-    p.src = 0;
-    p.dst = 7;
-    net.host(0).nic().enqueue(p);
+    p.src = HostId{0};
+    p.dst = HostId{7};
+    net.host(HostId{0}).nic().enqueue(p);
   }
   sim.run();
-  EXPECT_GT(net.uplink_counters(0, 0).tx_packets, 20u);  // still used
-  EXPECT_EQ(net.uplink_counters(0, 0).delivered_packets(), 0u);
+  EXPECT_GT(net.uplink_counters(LeafId{0}, UplinkIndex{0}).tx_packets,
+            core::Packets{20});  // still used
+  EXPECT_EQ(net.uplink_counters(LeafId{0}, UplinkIndex{0}).delivered_packets(), core::Packets{0});
   EXPECT_LT(got, 100);
 }
 
 TEST(FatTree, ByteConservationWithDrops) {
   Simulator sim{1};
   FatTree net{sim, small_config()};
-  net.set_link_fault(0, 1, FaultSpec::random_drop(0.3));
-  net.host(6).set_rx_handler([](const Packet&) {});
+  net.set_link_fault(LeafId{0}, UplinkIndex{1}, FaultSpec::random_drop(0.3));
+  net.host(HostId{6}).set_rx_handler([](const Packet&) {});
   for (int i = 0; i < 500; ++i) {
     Packet p = make_packet(1000);
-    p.src = 1;
-    p.dst = 6;
-    net.host(1).nic().enqueue(p);
+    p.src = HostId{1};
+    p.dst = HostId{6};
+    net.host(HostId{1}).nic().enqueue(p);
   }
   sim.run();
   const LinkCounters total = net.total_fabric_counters();
   EXPECT_EQ(total.tx_packets, total.dropped_packets + total.delivered_packets());
   EXPECT_EQ(total.tx_bytes, total.dropped_bytes + total.delivered_bytes());
-  EXPECT_GT(total.dropped_packets, 0u);
+  EXPECT_GT(total.dropped_packets, core::Packets{0});
 }
 
 TEST(FatTree, ParallelLinksKeepLaneAcrossSpine) {
@@ -568,21 +570,21 @@ TEST(FatTree, ParallelLinksKeepLaneAcrossSpine) {
   cfg.shape = TopologyInfo{2, 2, 1, 2};  // 2 spines × 2 lanes
   FatTree net{sim, cfg};
   int got = 0;
-  net.host(1).set_rx_handler([&](const Packet&) { ++got; });
+  net.host(HostId{1}).set_rx_handler([&](const Packet&) { ++got; });
   for (int i = 0; i < 400; ++i) {
     Packet p = make_packet(500);
-    p.src = 0;
-    p.dst = 1;
-    net.host(0).nic().enqueue(p);
+    p.src = HostId{0};
+    p.dst = HostId{1};
+    net.host(HostId{0}).nic().enqueue(p);
   }
   sim.run();
   EXPECT_EQ(got, 400);
   // Each virtual spine (lane) must carry traffic down to the destination:
   // uplink u at leaf 0 maps to downlink u at leaf 1.
-  for (UplinkIndex u = 0; u < 4; ++u) {
-    EXPECT_EQ(net.uplink_counters(0, u).tx_packets,
-              net.downlink_counters(1, u).tx_packets);
-    EXPECT_GT(net.downlink_counters(1, u).tx_packets, 50u);
+  for (const UplinkIndex u : core::ids<UplinkIndex>(4)) {
+    EXPECT_EQ(net.uplink_counters(LeafId{0}, u).tx_packets,
+              net.downlink_counters(LeafId{1}, u).tx_packets);
+    EXPECT_GT(net.downlink_counters(LeafId{1}, u).tx_packets, core::Packets{50});
   }
 }
 
@@ -592,22 +594,22 @@ TEST(FatTree, FlowletSticksWithinGapAndMovesAcrossGaps) {
   cfg.shape = TopologyInfo{2, 4, 1, 1};
   cfg.spray = SprayPolicy::kFlowlet;
   FatTree net{sim, cfg};
-  net.host(1).set_rx_handler([](const Packet&) {});
+  net.host(HostId{1}).set_rx_handler([](const Packet&) {});
 
   // Burst 1: 50 back-to-back packets of one flow → one uplink only.
   for (int i = 0; i < 50; ++i) {
     Packet p = make_packet(500);
-    p.src = 0;
-    p.dst = 1;
+    p.src = HostId{0};
+    p.dst = HostId{1};
     p.flow_id = 0x77;
-    net.host(0).nic().enqueue(p);
+    net.host(HostId{0}).nic().enqueue(p);
   }
   sim.run();
   int used_first = 0;
-  std::vector<std::uint64_t> counts_first;
-  for (UplinkIndex u = 0; u < 4; ++u) {
-    counts_first.push_back(net.uplink_counters(0, u).tx_packets);
-    if (counts_first.back() > 0) ++used_first;
+  std::vector<core::Packets> counts_first;
+  for (const UplinkIndex u : core::ids<UplinkIndex>(4)) {
+    counts_first.push_back(net.uplink_counters(LeafId{0}, u).tx_packets);
+    if (counts_first.back() > core::Packets{0}) ++used_first;
   }
   EXPECT_EQ(used_first, 1);
 
@@ -618,15 +620,15 @@ TEST(FatTree, FlowletSticksWithinGapAndMovesAcrossGaps) {
   sim.run();
   for (int i = 0; i < 50; ++i) {
     Packet p = make_packet(500);
-    p.src = 0;
-    p.dst = 1;
+    p.src = HostId{0};
+    p.dst = HostId{1};
     p.flow_id = 0x77;
-    net.host(0).nic().enqueue(p);
+    net.host(HostId{0}).nic().enqueue(p);
   }
   sim.run();
   int used_total = 0;
-  for (UplinkIndex u = 0; u < 4; ++u) {
-    if (net.uplink_counters(0, u).tx_packets > 0) ++used_total;
+  for (const UplinkIndex u : core::ids<UplinkIndex>(4)) {
+    if (net.uplink_counters(LeafId{0}, u).tx_packets > core::Packets{0}) ++used_total;
   }
   // Still at most 2 lanes ever used: one per flowlet.
   EXPECT_LE(used_total, 2);
@@ -639,22 +641,22 @@ TEST(FatTree, FlowletDistinctFlowsSpread) {
   cfg.spray = SprayPolicy::kFlowlet;
   // Host injects 4x faster than one fabric lane drains, so staying on one
   // lane builds queue and new flowlets get steered to emptier lanes.
-  cfg.host_link.bandwidth_gbps = 1600.0;
+  cfg.host_link.bandwidth = core::GbitsPerSec{1600.0};
   FatTree net{sim, cfg};
-  net.host(1).set_rx_handler([](const Packet&) {});
+  net.host(HostId{1}).set_rx_handler([](const Packet&) {});
   for (int i = 0; i < 20; ++i) {
     for (int f = 0; f < 16; ++f) {
       Packet p = make_packet(4096);
-      p.src = 0;
-      p.dst = 1;
+      p.src = HostId{0};
+      p.dst = HostId{1};
       p.flow_id = 0x100 + static_cast<FlowId>(f);
-      net.host(0).nic().enqueue(p);
+      net.host(HostId{0}).nic().enqueue(p);
     }
   }
   sim.run();
   int used = 0;
-  for (UplinkIndex u = 0; u < 4; ++u) {
-    if (net.uplink_counters(0, u).tx_packets > 0) ++used;
+  for (const UplinkIndex u : core::ids<UplinkIndex>(4)) {
+    if (net.uplink_counters(LeafId{0}, u).tx_packets > core::Packets{0}) ++used;
   }
   EXPECT_GE(used, 3);
 }
@@ -665,24 +667,24 @@ TEST(PfcSwitch, BackpressurePausesAndResumes) {
   // may be lost (lossless fabric).
   Simulator sim{1};
   FatTreeConfig cfg = small_config();
-  cfg.pfc.xoff_bytes = 16 * 1024;
-  cfg.pfc.xon_bytes = 8 * 1024;
+  cfg.pfc.xoff_bytes = core::Bytes{16 * 1024};
+  cfg.pfc.xon_bytes = core::Bytes{8 * 1024};
   FatTree net{sim, cfg};
   int got = 0;
-  net.host(6).set_rx_handler([&](const Packet&) { ++got; });
+  net.host(HostId{6}).set_rx_handler([&](const Packet&) { ++got; });
   const int n = 300;
   for (int i = 0; i < n; ++i) {
     for (HostId src : {HostId{0}, HostId{2}}) {  // two different leaves
       Packet p = make_packet(4096 + 64);
       p.src = src;
-      p.dst = 6;
+      p.dst = HostId{6};
       net.host(src).nic().enqueue(p);
     }
   }
   sim.run();
   EXPECT_EQ(got, 2 * n);  // lossless: everything arrives eventually
   const LinkCounters total = net.total_fabric_counters();
-  EXPECT_EQ(total.dropped_packets, 0u);
+  EXPECT_EQ(total.dropped_packets, core::Packets{0});
 }
 
 }  // namespace

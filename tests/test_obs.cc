@@ -17,8 +17,10 @@
 #include "obs/trace.h"
 
 #if FP_TRACE_ENABLED
+#include "core/units.h"
 #include "exp/report.h"
 #include "exp/scenario.h"
+#include "net/types.h"
 #include "sim/simulator.h"
 #endif
 
@@ -364,16 +366,16 @@ exp::ScenarioConfig traced_detection_scenario() {
   cfg.collective_bytes = 8ull << 20;
   cfg.iterations = 12;
   cfg.seed = 1;
-  cfg.fabric.pfc.xoff_bytes = 9 * 1024;
-  cfg.fabric.pfc.xon_bytes = 4 * 1024;
+  cfg.fabric.pfc.xoff_bytes = core::Bytes{9 * 1024};
+  cfg.fabric.pfc.xon_bytes = core::Bytes{4 * 1024};
   cfg.flowpulse.threshold = 0.05;  // above AllToAll quantization noise
   cfg.mitigation.enabled = true;
   cfg.mitigation.debounce_iterations = 2;
   cfg.mitigation.settle_iterations = 1;
   cfg.mitigation.probation_iterations = 2;
   exp::NewFault f;
-  f.leaf = 5;
-  f.uplink = 1;
+  f.leaf = net::LeafId{5};
+  f.uplink = net::UplinkIndex{1};
   f.where = exp::NewFault::Where::kDownlink;
   f.spec = net::FaultSpec::random_drop(0.15, sim::Time::microseconds(150));
   cfg.new_faults.push_back(f);

@@ -22,8 +22,8 @@ ScenarioConfig small_fault_scenario() {
   cfg.iterations = 3;
   cfg.seed = 42;
   NewFault f;
-  f.leaf = 1;
-  f.uplink = 0;
+  f.leaf = net::LeafId{1};
+  f.uplink = net::UplinkIndex{0};
   f.where = NewFault::Where::kBoth;
   f.spec = net::FaultSpec::random_drop(0.05);
   cfg.new_faults.push_back(f);

@@ -7,6 +7,7 @@
 
 #include <cmath>
 
+#include "core/strong_id.h"
 #include "exp/metrics.h"
 #include "exp/scenario.h"
 #include "flowpulse/analytical_model.h"
@@ -28,14 +29,15 @@ TEST_P(ModelConservation, PredictionSumsToWireBytes) {
   const net::TopologyInfo info{8, 4, 2, 1};
   net::RoutingState routing{8, 4};
   for (int i = 0; i < faults; ++i) {
-    routing.set_known_failed((i * 3) % 8, (i * 2 + 1) % 4);
+    routing.set_known_failed(net::LeafId{static_cast<std::uint32_t>((i * 3) % 8)},
+                             net::UplinkIndex{static_cast<std::uint32_t>((i * 2 + 1) % 4)});
   }
   collective::DemandMatrix demand{16};
   double expected_wire = 0.0;
-  const fp::AnalyticalModel model{info, 4096, 64};
+  const fp::AnalyticalModel model{info, 4096, core::Bytes{64}};
   sim::Rng rng{static_cast<std::uint64_t>(faults) + 1};
-  for (net::HostId s = 0; s < 16; ++s) {
-    for (net::HostId d = 0; d < 16; ++d) {
+  for (const net::HostId s : core::ids<net::HostId>(16)) {
+    for (const net::HostId d : core::ids<net::HostId>(16)) {
       if (s == d) continue;
       const std::uint64_t bytes = 10'000 + rng.next_below(100'000);
       demand.add(s, d, bytes);
@@ -45,8 +47,8 @@ TEST_P(ModelConservation, PredictionSumsToWireBytes) {
   const fp::PortLoadMap pred = model.predict(demand, routing);
   EXPECT_NEAR(pred.total(), expected_wire, expected_wire * 1e-12);
   // Per-sender breakdown must sum to the port totals.
-  for (net::LeafId l = 0; l < 8; ++l) {
-    for (net::UplinkIndex u = 0; u < 4; ++u) {
+  for (const net::LeafId l : core::ids<net::LeafId>(8)) {
+    for (const net::UplinkIndex u : core::ids<net::UplinkIndex>(4)) {
       const fp::PortLoad& load = pred.at(l, u);
       double by_src = 0.0;
       for (const double v : load.by_src_leaf) by_src += v;
@@ -69,7 +71,7 @@ TEST(MeasurementIdentity, MonitorTotalsEqualDownlinkDataDelivery) {
   cfg.iterations = 2;
   Scenario s{cfg};
   s.run();
-  for (net::LeafId l = 0; l < 4; ++l) {
+  for (const net::LeafId l : core::ids<net::LeafId>(4)) {
     double monitored = 0.0;
     for (const fp::IterationRecord& rec : s.flowpulse().monitor(l).history()) {
       for (const double b : rec.bytes) monitored += b;
@@ -77,9 +79,9 @@ TEST(MeasurementIdentity, MonitorTotalsEqualDownlinkDataDelivery) {
     // Downlinks also carry ACKs (kControl, 64 B each), which the monitor
     // filters out; subtract them via packet counts.
     double delivered = 0.0;
-    for (net::UplinkIndex u = 0; u < 2; ++u) {
+    for (const net::UplinkIndex u : core::ids<net::UplinkIndex>(2)) {
       const auto& c = s.fabric().downlink_counters(l, u);
-      delivered += static_cast<double>(c.delivered_bytes());
+      delivered += c.delivered_bytes().dbl();
     }
     EXPECT_LE(monitored, delivered);
     EXPECT_GT(monitored, delivered * 0.95);  // ACK overhead is ~1.5%
@@ -99,8 +101,8 @@ TEST(DetectionMonotonicity, DeviationGrowsWithDropRate) {
     cfg.collective_bytes = 8ull << 20;
     cfg.iterations = 3;
     NewFault f;
-    f.leaf = 3;
-    f.uplink = 2;
+    f.leaf = net::LeafId{3};
+    f.uplink = net::UplinkIndex{2};
     f.where = NewFault::Where::kBoth;
     f.spec = net::FaultSpec::random_drop(rate);
     cfg.new_faults.push_back(f);
@@ -128,7 +130,7 @@ TEST_P(PolicyDeterminism, SameSeedSameResult) {
     cfg.collective_bytes = 2ull << 20;
     cfg.iterations = 2;
     cfg.seed = 77;
-    cfg.new_faults.push_back(NewFault{1, 0, NewFault::Where::kBoth,
+    cfg.new_faults.push_back(NewFault{net::LeafId{1}, net::UplinkIndex{0}, NewFault::Where::kBoth,
                                       net::FaultSpec::random_drop(0.05)});
     Scenario s{cfg};
     return s.run();
@@ -165,8 +167,8 @@ TEST_P(DetectionSweep, FaultyPortAlwaysNamed) {
   cfg.iterations = 3;
   cfg.seed = seed;
   NewFault f;
-  f.leaf = 5;
-  f.uplink = 1;
+  f.leaf = net::LeafId{5};
+  f.uplink = net::UplinkIndex{1};
   f.where = NewFault::Where::kBoth;
   f.spec = net::FaultSpec::random_drop(rate);
   cfg.new_faults.push_back(f);
@@ -175,7 +177,7 @@ TEST_P(DetectionSweep, FaultyPortAlwaysNamed) {
   bool named = false;
   for (const fp::DetectionResult& d : s.flowpulse().faulty_results()) {
     for (const fp::PortAlert& a : d.alerts) {
-      if (a.uplink == 1 && a.observed < a.predicted) named = true;
+      if (a.uplink == net::UplinkIndex{1} && a.observed < a.predicted) named = true;
     }
   }
   EXPECT_TRUE(named) << "rate " << rate << " seed " << seed;

@@ -29,16 +29,16 @@ ScenarioResult sample_result() {
 
 std::vector<fp::DetectionResult> sample_alerts() {
   fp::DetectionResult d;
-  d.leaf = 12;
-  d.iteration = 1;
+  d.leaf = net::LeafId{12};
+  d.iteration = net::IterIndex{1};
   d.max_rel_dev = 0.034;
   fp::PortAlert a;
-  a.uplink = 5;
+  a.uplink = net::UplinkIndex{5};
   a.observed = 966000;
   a.predicted = 1000000;
   a.rel_dev = 0.034;
   a.localization.verdict = fp::Localization::Verdict::kRemoteLinks;
-  a.localization.suspect_senders = {3};
+  a.localization.suspect_senders = {net::LeafId{3}};
   d.alerts.push_back(a);
   return {d};
 }
@@ -95,16 +95,16 @@ std::vector<ctrl::MitigationEvent> sample_events() {
   ctrl::MitigationEvent q;
   q.kind = ctrl::MitigationEvent::Kind::kQuarantine;
   q.time = sim::Time::microseconds(340);
-  q.iteration = 2;
-  q.leaf = 5;
-  q.uplink = 1;
+  q.iteration = net::IterIndex{2};
+  q.leaf = net::LeafId{5};
+  q.uplink = net::UplinkIndex{1};
   q.reason = "debounce";
   ctrl::MitigationEvent c;
   c.kind = ctrl::MitigationEvent::Kind::kConfirm;
   c.time = sim::Time::microseconds(700);
-  c.iteration = 5;
-  c.leaf = 5;
-  c.uplink = 1;
+  c.iteration = net::IterIndex{5};
+  c.leaf = net::LeafId{5};
+  c.uplink = net::UplinkIndex{1};
   c.reason = "quarantine";
   return {q, c};
 }
@@ -112,9 +112,9 @@ std::vector<ctrl::MitigationEvent> sample_events() {
 TEST(Report, MitigationJsonListsEventsAndTimeline) {
   ctrl::RecoveryTimeline t;
   t.first_alert = sim::Time::microseconds(220);
-  t.first_alert_iteration = 1;
+  t.first_alert_iteration = net::IterIndex{1};
   t.first_quarantine = sim::Time::microseconds(340);
-  t.first_quarantine_iteration = 2;
+  t.first_quarantine_iteration = net::IterIndex{2};
   // `recovered` left at the never-happened sentinel → null.
   const std::string json = mitigation_to_json(sample_events(), t);
   expect_balanced(json);

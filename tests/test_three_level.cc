@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "collective/runner.h"
+#include "core/strong_id.h"
 #include "flowpulse/three_level_system.h"
 #include "net/three_level.h"
 #include "sim/simulator.h"
@@ -24,8 +25,8 @@ TEST(ThreeLevelInfo, Shape) {
   EXPECT_EQ(info.cores_per_group(), 4u);
   EXPECT_EQ(info.num_cores(), 8u);
   EXPECT_EQ(info.num_hosts(), 16u);
-  EXPECT_EQ(info.pod_of_leaf(5), 1u);
-  EXPECT_EQ(info.local_leaf(5), 1u);
+  EXPECT_EQ(info.pod_of_leaf(LeafId{5}), 1u);
+  EXPECT_EQ(info.local_leaf(LeafId{5}), 1u);
   EXPECT_EQ(info.pod_spine_id(2, 1), 5u);
   EXPECT_EQ(info.core_id(1, 3), 7u);
 }
@@ -47,19 +48,19 @@ Packet packet_to(HostId src, HostId dst, std::uint32_t size = 1000) {
   Packet p;
   p.src = src;
   p.dst = dst;
-  p.size_bytes = size;
+  p.size_bytes = core::Bytes{size};
   return p;
 }
 
 TEST(ThreeLevel, AllPairsReachable) {
   Rig3 rig{{2, 2, 2, 2}};  // 8 hosts
   int got = 0;
-  for (HostId h = 0; h < rig.net.num_hosts(); ++h) {
+  for (const HostId h : core::ids<HostId>(rig.net.num_hosts())) {
     rig.net.host(h).set_rx_handler([&](const Packet&) { ++got; });
   }
   int sent = 0;
-  for (HostId s = 0; s < rig.net.num_hosts(); ++s) {
-    for (HostId d = 0; d < rig.net.num_hosts(); ++d) {
+  for (const HostId s : core::ids<HostId>(rig.net.num_hosts())) {
+    for (const HostId d : core::ids<HostId>(rig.net.num_hosts())) {
       if (s == d) continue;
       rig.net.host(s).nic().enqueue(packet_to(s, d));
       ++sent;
@@ -71,15 +72,15 @@ TEST(ThreeLevel, AllPairsReachable) {
 
 TEST(ThreeLevel, SamePodTrafficNeverTouchesCores) {
   Rig3 rig{{2, 2, 2, 1}};
-  rig.net.host(1).set_rx_handler([](const Packet&) {});
+  rig.net.host(HostId{1}).set_rx_handler([](const Packet&) {});
   for (int i = 0; i < 100; ++i) {
-    rig.net.host(0).nic().enqueue(packet_to(0, 1));  // leaves 0→1, both pod 0
+    rig.net.host(HostId{0}).nic().enqueue(packet_to(HostId{0}, HostId{1}));  // leaves 0→1, both pod 0
   }
   rig.sim.run();
   for (std::uint32_t g = 0; g < 2; ++g) {
     for (std::uint32_t k = 0; k < 2; ++k) {
       for (std::uint32_t pod = 0; pod < 2; ++pod) {
-        EXPECT_EQ(rig.net.core(g, k).down_port(pod).counters().tx_packets, 0u);
+        EXPECT_EQ(rig.net.core(g, k).down_port(pod).counters().tx_packets, core::Packets{0});
       }
     }
   }
@@ -87,17 +88,17 @@ TEST(ThreeLevel, SamePodTrafficNeverTouchesCores) {
 
 TEST(ThreeLevel, CrossPodTrafficSpreadsOverSpinesAndCores) {
   Rig3 rig{{2, 2, 2, 1}};
-  rig.net.host(2).set_rx_handler([](const Packet&) {});
+  rig.net.host(HostId{2}).set_rx_handler([](const Packet&) {});
   const int n = 400;
   for (int i = 0; i < n; ++i) {
-    rig.net.host(0).nic().enqueue(packet_to(0, 2));  // pod 0 → pod 1
+    rig.net.host(HostId{0}).nic().enqueue(packet_to(HostId{0}, HostId{2}));  // pod 0 → pod 1
   }
   rig.sim.run();
   // 2 spines × 2 cores = 4 paths; byte-deficit spraying balances them.
   for (std::uint32_t s = 0; s < 2; ++s) {
     for (std::uint32_t k = 0; k < 2; ++k) {
       const auto& up = rig.net.pod_spine(0, s).core_uplink(k).counters();
-      EXPECT_NEAR(static_cast<double>(up.tx_packets), n / 4.0, n / 16.0);
+      EXPECT_NEAR(up.tx_packets.dbl(), n / 4.0, n / 16.0);
     }
   }
 }
@@ -106,34 +107,34 @@ TEST(ThreeLevel, ByteConservation) {
   Rig3 rig{{2, 2, 2, 2}, 5};
   rig.net.set_core_link_fault(0, 1, 0, FaultSpec::random_drop(0.2));
   int got = 0;
-  for (HostId h = 0; h < 8; ++h) {
+  for (const HostId h : core::ids<HostId>(8)) {
     rig.net.host(h).set_rx_handler([&](const Packet&) { ++got; });
   }
   for (int i = 0; i < 200; ++i) {
-    rig.net.host(0).nic().enqueue(packet_to(0, 5, 900));
-    rig.net.host(3).nic().enqueue(packet_to(3, 6, 900));
+    rig.net.host(HostId{0}).nic().enqueue(packet_to(HostId{0}, HostId{5}, 900));
+    rig.net.host(HostId{3}).nic().enqueue(packet_to(HostId{3}, HostId{6}, 900));
   }
   rig.sim.run();
   const LinkCounters total = rig.net.total_fabric_counters();
   EXPECT_EQ(total.tx_packets, total.dropped_packets + total.delivered_packets());
-  EXPECT_GT(total.dropped_packets, 0u);
+  EXPECT_GT(total.dropped_packets, core::Packets{0});
 }
 
 TEST(ThreeLevel, KnownDisconnectAvoidedEndToEnd) {
   Rig3 rig{{2, 2, 2, 1}};
   // Leaf 2 (pod 1) loses its link to pod-spine index 0: cross-pod traffic
   // to leaf 2 must use spine index 1 (and its core group) exclusively.
-  rig.net.disconnect_known(2, 0);
+  rig.net.disconnect_known(LeafId{2}, 0);
   int got = 0;
-  rig.net.host(2).set_rx_handler([&](const Packet&) { ++got; });
+  rig.net.host(HostId{2}).set_rx_handler([&](const Packet&) { ++got; });
   for (int i = 0; i < 100; ++i) {
-    rig.net.host(0).nic().enqueue(packet_to(0, 2));
+    rig.net.host(HostId{0}).nic().enqueue(packet_to(HostId{0}, HostId{2}));
   }
   rig.sim.run();
   EXPECT_EQ(got, 100);
-  EXPECT_EQ(rig.net.leaf(0).uplink(0).counters().tx_packets, 0u);
+  EXPECT_EQ(rig.net.leaf(LeafId{0}).uplink(0).counters().tx_packets, core::Packets{0});
   for (std::uint32_t k = 0; k < 2; ++k) {
-    EXPECT_EQ(rig.net.core(0, k).down_port(1).counters().tx_packets, 0u);
+    EXPECT_EQ(rig.net.core(0, k).down_port(1).counters().tx_packets, core::Packets{0});
   }
 }
 
@@ -149,13 +150,13 @@ struct FullRig3 {
         transports{sim, net},
         fps{net, 0.01} {
     collective::CollectiveConfig cc;
-    for (HostId h = 0; h < net.num_hosts(); ++h) cc.hosts.push_back(h);
+    for (const HostId h : core::ids<HostId>(net.num_hosts())) cc.hosts.push_back(h);
     cc.schedule = collective::ring_reduce_scatter(net.num_hosts(), bytes);
     cc.iterations = iterations;
     runner = std::make_unique<collective::CollectiveRunner>(sim, transports, std::move(cc));
 
-    std::vector<HostId> hosts(net.num_hosts());
-    for (HostId h = 0; h < net.num_hosts(); ++h) hosts[h] = h;
+    std::vector<HostId> hosts(net.num_hosts(), HostId{});
+    for (const HostId h : core::ids<HostId>(net.num_hosts())) hosts[h.v()] = h;
     const auto demand = collective::DemandMatrix::from_schedule(
         runner->current_schedule(), hosts, net.num_hosts());
     const fp::ThreeLevelAnalyticalModel model{net.info(), 4096, kHeaderBytes};
@@ -185,12 +186,15 @@ TEST(ThreeLevelFlowPulse, CleanRunQuietAtBothTiers) {
 
 TEST(ThreeLevelFlowPulse, LeafLinkFaultSeenAtLeafTier) {
   FullRig3 rig{{4, 2, 2, 1}, 8ull << 20, 3};
-  rig.net.set_leaf_link_fault(3, 1, FaultSpec::random_drop(0.05));
+  rig.net.set_leaf_link_fault(LeafId{3}, 1, FaultSpec::random_drop(0.05));
   rig.run();
   bool found = false;
   for (const auto& r : rig.fps.faulty_leaf_results()) {
     for (const auto& a : r.alerts) {
-      if (r.leaf == 3 && a.uplink == 1 && a.observed < a.predicted) found = true;
+      if (r.leaf == LeafId{3} && a.uplink == UplinkIndex{1} &&
+          a.observed < a.predicted) {
+        found = true;
+      }
     }
   }
   EXPECT_TRUE(found);
@@ -209,7 +213,7 @@ TEST(ThreeLevelFlowPulse, CoreLinkFaultLocalizedAtSpineTier) {
   for (const auto& r : rig.fps.faulty_spine_results()) {
     for (const auto& a : r.alerts) {
       // pod-spine id 2 = pod 1, index 0; port 1 = core k=1.
-      if (r.leaf == rig.net.info().pod_spine_id(1, 0) && a.uplink == 1 &&
+      if (r.leaf.v() == rig.net.info().pod_spine_id(1, 0) && a.uplink == UplinkIndex{1} &&
           a.observed < a.predicted) {
         spine_found = true;
       }

@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "core/strong_id.h"
 #include "net/fat_tree.h"
 #include "sim/simulator.h"
 #include "transport/transport_layer.h"
@@ -34,13 +35,13 @@ FatTreeConfig tiny() {
 TEST(Transport, DeliversSingleSegmentMessage) {
   Rig rig{tiny()};
   std::vector<RecvInfo> got;
-  rig.transports.at(3).add_recv_handler([&](const RecvInfo& i) { got.push_back(i); });
+  rig.transports.at(net::HostId{3}).add_recv_handler([&](const RecvInfo& i) { got.push_back(i); });
   bool acked = false;
-  rig.transports.at(0).send_message(MessageSpec{3, 1000, 0x1, net::Priority::kCollective},
+  rig.transports.at(net::HostId{0}).send_message(MessageSpec{net::HostId{3}, 1000, 0x1, net::Priority::kCollective},
                                     [&](std::uint64_t) { acked = true; });
   rig.sim.run();
   ASSERT_EQ(got.size(), 1u);
-  EXPECT_EQ(got[0].src, 0u);
+  EXPECT_EQ(got[0].src, net::HostId{0});
   EXPECT_EQ(got[0].bytes, 1000u);
   EXPECT_EQ(got[0].flow_id, 0x1u);
   EXPECT_TRUE(acked);
@@ -49,13 +50,13 @@ TEST(Transport, DeliversSingleSegmentMessage) {
 TEST(Transport, DeliversMultiSegmentMessage) {
   Rig rig{tiny()};
   std::vector<RecvInfo> got;
-  rig.transports.at(1).add_recv_handler([&](const RecvInfo& i) { got.push_back(i); });
+  rig.transports.at(net::HostId{1}).add_recv_handler([&](const RecvInfo& i) { got.push_back(i); });
   const std::uint64_t bytes = 1 << 20;  // 256 segments at 4 KiB
-  rig.transports.at(0).send_message(MessageSpec{1, bytes, 0x2, net::Priority::kCollective});
+  rig.transports.at(net::HostId{0}).send_message(MessageSpec{net::HostId{1}, bytes, 0x2, net::Priority::kCollective});
   rig.sim.run();
   ASSERT_EQ(got.size(), 1u);
   EXPECT_EQ(got[0].bytes, bytes);
-  const TransportStats& st = rig.transports.at(0).stats();
+  const TransportStats& st = rig.transports.at(net::HostId{0}).stats();
   EXPECT_EQ(st.data_packets_sent, 256u);
   EXPECT_EQ(st.retx_packets_sent, 0u);  // lossless fabric: no RTO fires
 }
@@ -63,34 +64,34 @@ TEST(Transport, DeliversMultiSegmentMessage) {
 TEST(Transport, SegmentationRoundsUp) {
   Rig rig{tiny()};
   int done = 0;
-  rig.transports.at(1).add_recv_handler([&](const RecvInfo&) { ++done; });
-  rig.transports.at(0).send_message(MessageSpec{1, 4097, 0x3, net::Priority::kCollective});
+  rig.transports.at(net::HostId{1}).add_recv_handler([&](const RecvInfo&) { ++done; });
+  rig.transports.at(net::HostId{0}).send_message(MessageSpec{net::HostId{1}, 4097, 0x3, net::Priority::kCollective});
   rig.sim.run();
   EXPECT_EQ(done, 1);
-  EXPECT_EQ(rig.transports.at(0).stats().data_packets_sent, 2u);
+  EXPECT_EQ(rig.transports.at(net::HostId{0}).stats().data_packets_sent, 2u);
 }
 
 TEST(Transport, RecoversFromRandomDrops) {
   Rig rig{tiny()};
   // 20% silent loss on one uplink: spraying hits it half the time.
-  rig.net.set_link_fault(0, 0, net::FaultSpec::random_drop(0.2));
+  rig.net.set_link_fault(net::LeafId{0}, net::UplinkIndex{0}, net::FaultSpec::random_drop(0.2));
   int done = 0;
-  rig.transports.at(2).add_recv_handler([&](const RecvInfo&) { ++done; });
+  rig.transports.at(net::HostId{2}).add_recv_handler([&](const RecvInfo&) { ++done; });
   bool acked = false;
-  rig.transports.at(0).send_message(MessageSpec{2, 512 * 1024, 0x4, net::Priority::kCollective},
+  rig.transports.at(net::HostId{0}).send_message(MessageSpec{net::HostId{2}, 512 * 1024, 0x4, net::Priority::kCollective},
                                     [&](std::uint64_t) { acked = true; });
   rig.sim.run();
   EXPECT_EQ(done, 1);
   EXPECT_TRUE(acked);
-  EXPECT_GT(rig.transports.at(0).stats().retx_packets_sent, 0u);
+  EXPECT_GT(rig.transports.at(net::HostId{0}).stats().retx_packets_sent, 0u);
 }
 
 TEST(Transport, RecoversFromBlackHoleOnOnePath) {
   Rig rig{tiny()};
-  rig.net.set_link_fault(0, 1, net::FaultSpec::black_hole());
+  rig.net.set_link_fault(net::LeafId{0}, net::UplinkIndex{1}, net::FaultSpec::black_hole());
   int done = 0;
-  rig.transports.at(2).add_recv_handler([&](const RecvInfo&) { ++done; });
-  rig.transports.at(0).send_message(MessageSpec{2, 256 * 1024, 0x5, net::Priority::kCollective});
+  rig.transports.at(net::HostId{2}).add_recv_handler([&](const RecvInfo&) { ++done; });
+  rig.transports.at(net::HostId{0}).send_message(MessageSpec{net::HostId{2}, 256 * 1024, 0x5, net::Priority::kCollective});
   rig.sim.run();
   EXPECT_EQ(done, 1);  // every segment eventually re-sprayed onto spine 0
 }
@@ -100,11 +101,11 @@ TEST(Transport, WindowBoundsOutstandingSegments) {
   tcfg.window = 4;
   Rig rig{tiny(), tcfg};
   int done = 0;
-  rig.transports.at(1).add_recv_handler([&](const RecvInfo&) { ++done; });
-  rig.transports.at(0).send_message(MessageSpec{1, 64 * 1024, 0x6, net::Priority::kCollective});
+  rig.transports.at(net::HostId{1}).add_recv_handler([&](const RecvInfo&) { ++done; });
+  rig.transports.at(net::HostId{0}).send_message(MessageSpec{net::HostId{1}, 64 * 1024, 0x6, net::Priority::kCollective});
   // Before any ACK returns, at most `window` segments may be queued at the
   // NIC (the first is already serializing).
-  EXPECT_LE(rig.net.host(0).nic().queued_packets(), 4u);
+  EXPECT_LE(rig.net.host(net::HostId{0}).nic().queued_packets(), 4u);
   rig.sim.run();
   EXPECT_EQ(done, 1);
 }
@@ -112,15 +113,15 @@ TEST(Transport, WindowBoundsOutstandingSegments) {
 TEST(Transport, ManyConcurrentMessagesBetweenManyPairs) {
   Rig rig{tiny()};
   int done = 0;
-  for (net::HostId h = 0; h < 4; ++h) {
+  for (const net::HostId h : core::ids<net::HostId>(4)) {
     rig.transports.at(h).add_recv_handler([&](const RecvInfo&) { ++done; });
   }
   int expected = 0;
-  for (net::HostId src = 0; src < 4; ++src) {
-    for (net::HostId dst = 0; dst < 4; ++dst) {
+  for (const net::HostId src : core::ids<net::HostId>(4)) {
+    for (const net::HostId dst : core::ids<net::HostId>(4)) {
       if (src == dst) continue;
       rig.transports.at(src).send_message(
-          MessageSpec{dst, 32 * 1024, 0x10 + src, net::Priority::kCollective});
+          MessageSpec{dst, 32 * 1024, 0x10 + src.v(), net::Priority::kCollective});
       ++expected;
     }
   }
@@ -136,18 +137,18 @@ TEST(Transport, DuplicateDeliveredOnceDespiteRetransmits) {
   tcfg.adaptive_rto = false;
   Rig rig{tiny(), tcfg};
   int done = 0;
-  rig.transports.at(2).add_recv_handler([&](const RecvInfo&) { ++done; });
-  rig.transports.at(0).send_message(MessageSpec{2, 128 * 1024, 0x7, net::Priority::kCollective});
+  rig.transports.at(net::HostId{2}).add_recv_handler([&](const RecvInfo&) { ++done; });
+  rig.transports.at(net::HostId{0}).send_message(MessageSpec{net::HostId{2}, 128 * 1024, 0x7, net::Priority::kCollective});
   rig.sim.run();
   EXPECT_EQ(done, 1);
-  EXPECT_GT(rig.transports.at(0).stats().retx_packets_sent, 0u);
-  EXPECT_GT(rig.transports.at(2).stats().duplicate_data_received, 0u);
+  EXPECT_GT(rig.transports.at(net::HostId{0}).stats().retx_packets_sent, 0u);
+  EXPECT_GT(rig.transports.at(net::HostId{2}).stats().duplicate_data_received, 0u);
 }
 
 TEST(Transport, StatsConsistent) {
   Rig rig{tiny()};
-  rig.transports.at(1).add_recv_handler([](const RecvInfo&) {});
-  rig.transports.at(0).send_message(MessageSpec{1, 100000, 0x8, net::Priority::kCollective});
+  rig.transports.at(net::HostId{1}).add_recv_handler([](const RecvInfo&) {});
+  rig.transports.at(net::HostId{0}).send_message(MessageSpec{net::HostId{1}, 100000, 0x8, net::Priority::kCollective});
   rig.sim.run();
   const TransportStats total = rig.transports.total_stats();
   EXPECT_EQ(total.messages_sent, 1u);
@@ -160,11 +161,11 @@ TEST(Transport, StatsConsistent) {
 TEST(Transport, CompletionUnderHeavyLossOnAllPaths) {
   // Both uplinks of the source leaf drop 30%: progress is slow but certain.
   Rig rig{tiny()};
-  rig.net.set_uplink_fault(0, 0, net::FaultSpec::random_drop(0.3));
-  rig.net.set_uplink_fault(0, 1, net::FaultSpec::random_drop(0.3));
+  rig.net.set_uplink_fault(net::LeafId{0}, net::UplinkIndex{0}, net::FaultSpec::random_drop(0.3));
+  rig.net.set_uplink_fault(net::LeafId{0}, net::UplinkIndex{1}, net::FaultSpec::random_drop(0.3));
   int done = 0;
-  rig.transports.at(3).add_recv_handler([&](const RecvInfo&) { ++done; });
-  rig.transports.at(0).send_message(MessageSpec{3, 64 * 1024, 0x9, net::Priority::kCollective});
+  rig.transports.at(net::HostId{3}).add_recv_handler([&](const RecvInfo&) { ++done; });
+  rig.transports.at(net::HostId{0}).send_message(MessageSpec{net::HostId{3}, 64 * 1024, 0x9, net::Priority::kCollective});
   rig.sim.run();
   EXPECT_EQ(done, 1);
 }
@@ -173,17 +174,17 @@ TEST(Transport, AckLossTriggersRetransmitButNoDoubleDelivery) {
   // Drops on the *reverse* direction (downlink toward the sender's leaf)
   // kill ACKs; sender retransmits, receiver dedups.
   Rig rig{tiny()};
-  rig.net.set_downlink_fault(0, 0, net::FaultSpec::random_drop(0.5));
-  rig.net.set_downlink_fault(0, 1, net::FaultSpec::random_drop(0.5));
+  rig.net.set_downlink_fault(net::LeafId{0}, net::UplinkIndex{0}, net::FaultSpec::random_drop(0.5));
+  rig.net.set_downlink_fault(net::LeafId{0}, net::UplinkIndex{1}, net::FaultSpec::random_drop(0.5));
   int done = 0;
-  rig.transports.at(1).add_recv_handler([&](const RecvInfo&) { ++done; });
+  rig.transports.at(net::HostId{1}).add_recv_handler([&](const RecvInfo&) { ++done; });
   bool acked = false;
-  rig.transports.at(0).send_message(MessageSpec{1, 64 * 1024, 0xa, net::Priority::kCollective},
+  rig.transports.at(net::HostId{0}).send_message(MessageSpec{net::HostId{1}, 64 * 1024, 0xa, net::Priority::kCollective},
                                     [&](std::uint64_t) { acked = true; });
   rig.sim.run();
   EXPECT_EQ(done, 1);
   EXPECT_TRUE(acked);
-  EXPECT_GT(rig.transports.at(1).stats().duplicate_data_received, 0u);
+  EXPECT_GT(rig.transports.at(net::HostId{1}).stats().duplicate_data_received, 0u);
 }
 
 TEST(Transport, SackBitmapCoversLostAcks) {
@@ -192,14 +193,14 @@ TEST(Transport, SackBitmapCoversLostAcks) {
   // retransmission; the SACK bitmap carried by later ACKs covers the holes,
   // so duplicates stay far below the ACK loss count.
   Rig rig{tiny()};
-  rig.net.set_downlink_fault(0, 0, net::FaultSpec::random_drop(0.3));
-  rig.net.set_downlink_fault(0, 1, net::FaultSpec::random_drop(0.3));
+  rig.net.set_downlink_fault(net::LeafId{0}, net::UplinkIndex{0}, net::FaultSpec::random_drop(0.3));
+  rig.net.set_downlink_fault(net::LeafId{0}, net::UplinkIndex{1}, net::FaultSpec::random_drop(0.3));
   int done = 0;
-  rig.transports.at(1).add_recv_handler([&](const RecvInfo&) { ++done; });
-  rig.transports.at(0).send_message(MessageSpec{1, 1 << 20, 0xc, net::Priority::kCollective});
+  rig.transports.at(net::HostId{1}).add_recv_handler([&](const RecvInfo&) { ++done; });
+  rig.transports.at(net::HostId{0}).send_message(MessageSpec{net::HostId{1}, 1 << 20, 0xc, net::Priority::kCollective});
   rig.sim.run();
   EXPECT_EQ(done, 1);
-  const auto& stats = rig.transports.at(1).stats();
+  const auto& stats = rig.transports.at(net::HostId{1}).stats();
   // 256 data segments, ~30% of 256 ACKs lost ≈ 77; without SACK we would
   // see roughly that many duplicates. With SACK only trailing-edge losses
   // (the last segments of the window, with no later ACK to cover them)
@@ -210,20 +211,20 @@ TEST(Transport, SackBitmapCoversLostAcks) {
 TEST(Transport, RttEstimatorConvergesAndBoundsRto) {
   Rig rig{tiny()};
   int done = 0;
-  rig.transports.at(3).add_recv_handler([&](const RecvInfo&) { ++done; });
-  EXPECT_EQ(rig.transports.at(0).srtt(), Time::zero());
+  rig.transports.at(net::HostId{3}).add_recv_handler([&](const RecvInfo&) { ++done; });
+  EXPECT_EQ(rig.transports.at(net::HostId{0}).srtt(), Time::zero());
   // Before any sample: conservative initial RTO.
-  EXPECT_EQ(rig.transports.at(0).effective_rto(),
-            rig.transports.at(0).config().rto * rig.transports.at(0).config().initial_rto_multiplier);
-  rig.transports.at(0).send_message(MessageSpec{3, 256 * 1024, 0xd, net::Priority::kCollective});
+  EXPECT_EQ(rig.transports.at(net::HostId{0}).effective_rto(),
+            rig.transports.at(net::HostId{0}).config().rto * rig.transports.at(net::HostId{0}).config().initial_rto_multiplier);
+  rig.transports.at(net::HostId{0}).send_message(MessageSpec{net::HostId{3}, 256 * 1024, 0xd, net::Priority::kCollective});
   rig.sim.run();
   EXPECT_EQ(done, 1);
-  const Time srtt = rig.transports.at(0).srtt();
+  const Time srtt = rig.transports.at(net::HostId{0}).srtt();
   // Fabric RTT here is a few microseconds; the estimate must be sane.
   EXPECT_GT(srtt, Time::nanoseconds(500));
   EXPECT_LT(srtt, Time::microseconds(50));
   // Effective RTO respects the configured floor.
-  EXPECT_GE(rig.transports.at(0).effective_rto(), rig.transports.at(0).config().rto);
+  EXPECT_GE(rig.transports.at(net::HostId{0}).effective_rto(), rig.transports.at(net::HostId{0}).config().rto);
 }
 
 TEST(Transport, FixedRtoModeIgnoresRttSamples) {
@@ -231,21 +232,21 @@ TEST(Transport, FixedRtoModeIgnoresRttSamples) {
   tcfg.adaptive_rto = false;
   tcfg.rto = Time::microseconds(7);
   Rig rig{tiny(), tcfg};
-  rig.transports.at(1).add_recv_handler([](const RecvInfo&) {});
-  rig.transports.at(0).send_message(MessageSpec{1, 64 * 1024, 0xe, net::Priority::kCollective});
+  rig.transports.at(net::HostId{1}).add_recv_handler([](const RecvInfo&) {});
+  rig.transports.at(net::HostId{0}).send_message(MessageSpec{net::HostId{1}, 64 * 1024, 0xe, net::Priority::kCollective});
   rig.sim.run();
-  EXPECT_EQ(rig.transports.at(0).effective_rto(), Time::microseconds(7));
+  EXPECT_EQ(rig.transports.at(net::HostId{0}).effective_rto(), Time::microseconds(7));
 }
 
 TEST(Transport, GilbertElliottBurstLossRecovered) {
   Rig rig{tiny()};
-  rig.net.set_link_fault(0, 0, net::FaultSpec::gilbert_elliott(0.10, 30.0));
+  rig.net.set_link_fault(net::LeafId{0}, net::UplinkIndex{0}, net::FaultSpec::gilbert_elliott(0.10, 30.0));
   int done = 0;
-  rig.transports.at(2).add_recv_handler([&](const RecvInfo&) { ++done; });
-  rig.transports.at(0).send_message(MessageSpec{2, 512 * 1024, 0xf, net::Priority::kCollective});
+  rig.transports.at(net::HostId{2}).add_recv_handler([&](const RecvInfo&) { ++done; });
+  rig.transports.at(net::HostId{0}).send_message(MessageSpec{net::HostId{2}, 512 * 1024, 0xf, net::Priority::kCollective});
   rig.sim.run();
   EXPECT_EQ(done, 1);
-  EXPECT_GT(rig.transports.at(0).stats().retx_packets_sent, 0u);
+  EXPECT_GT(rig.transports.at(net::HostId{0}).stats().retx_packets_sent, 0u);
 }
 
 class TransportDropRateTest : public ::testing::TestWithParam<double> {};
@@ -253,10 +254,10 @@ class TransportDropRateTest : public ::testing::TestWithParam<double> {};
 TEST_P(TransportDropRateTest, AlwaysCompletes) {
   const double rate = GetParam();
   Rig rig{tiny(), {}, static_cast<std::uint64_t>(rate * 1000) + 3};
-  rig.net.set_link_fault(1, 0, net::FaultSpec::random_drop(rate));
+  rig.net.set_link_fault(net::LeafId{1}, net::UplinkIndex{0}, net::FaultSpec::random_drop(rate));
   int done = 0;
-  rig.transports.at(0).add_recv_handler([&](const RecvInfo&) { ++done; });
-  rig.transports.at(1).send_message(MessageSpec{0, 128 * 1024, 0xb, net::Priority::kCollective});
+  rig.transports.at(net::HostId{0}).add_recv_handler([&](const RecvInfo&) { ++done; });
+  rig.transports.at(net::HostId{1}).send_message(MessageSpec{net::HostId{0}, 128 * 1024, 0xb, net::Priority::kCollective});
   rig.sim.run();
   EXPECT_EQ(done, 1) << "drop rate " << rate;
 }

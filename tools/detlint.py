@@ -35,6 +35,23 @@ Rules
                        point addition is not associative; merge order must
                        be made deterministic (e.g. parallel_indexed writes
                        per-index slots, then a serial reduction).
+  raw-scalar-id        Raw integer parameter or field whose name matches
+                       *port*|*host*|*leaf*|*spine*|*link*|*bytes* in a
+                       public header of a module converted to the core::
+                       strong-type layer (core, net, flowpulse, ctrl,
+                       baseline, exp; transport/collective byte fields are
+                       the ROADMAP follow-up). These must be
+                       net::*Id / core::Bytes so cross-index mix-ups stay
+                       compile errors. Count-like names are exempt: num_*,
+                       *_count, *_per_*, and plurals (uplinks, hosts —
+                       but not *bytes*, which is the unit the Bytes type
+                       exists for).
+  strongid-cast        static_cast to a strong id type outside src/core/.
+                       The blessed idiom is brace construction at a
+                       documented boundary (LeafId{raw}); a cast is how one
+                       id space gets laundered into another
+                       (SpineId{uplink.v()} at least names the crossing,
+                       static_cast hides it).
 
 Waivers
 -------
@@ -62,6 +79,8 @@ RULES = {
     "wall-clock",
     "banned-rng",
     "par-float-accum",
+    "raw-scalar-id",
+    "strongid-cast",
 }
 
 DIRECTIVE_RE = re.compile(r"//\s*detlint:\s*ok\(([\w-]+)\)\s*:?\s*(.*\S)?")
@@ -98,6 +117,24 @@ BANNED_RNG_RES = [
     (re.compile(r"\bstd::\w+_distribution\b"), "std::*_distribution"),
 ]
 THREADING_RE = re.compile(r"\bstd::(?:thread|jthread|atomic|mutex|async)\b")
+# Modules whose public headers have been converted to core:: strong types —
+# a raw scalar with an id-like/unit-like name there is a regression.
+CONVERTED_MODULES = {
+    "core", "net", "flowpulse", "ctrl", "baseline", "exp",
+}
+RAW_INT_TYPE = (r"(?:std::)?(?:u?int(?:8|16|32|64)_t|size_t"
+                r"|unsigned(?:\s+(?:int|long(?:\s+long)?))?"
+                r"|(?<!unsigned )int|long(?:\s+long)?)")
+RAW_SCALAR_ID_RE = re.compile(
+    rf"\b{RAW_INT_TYPE}\s+"
+    r"(\w*(?:port|host|leaf|spine|link|bytes)\w*)\s*(?:[;,)={{]|$)")
+# Count-like names a raw integer is right for: num_uplinks, retx_count,
+# hosts_per_leaf, and plurals (uplinks). *bytes* is never count-like —
+# the plural 's' is part of the unit name core::Bytes replaces.
+COUNT_LIKE_RE = re.compile(r"^(?:num_|n_)|_count_?$|_per_|^\w*(?<!byte)s_?$")
+STRONG_ID_NAMES = r"(?:HostId|LeafId|SpineId|PortId|PortIndex|UplinkIndex|IterIndex|LinkId)"
+STRONGID_CAST_RE = re.compile(
+    rf"\bstatic_cast\s*<\s*(?:\w+::)*{STRONG_ID_NAMES}\s*>")
 FLOAT_DECL_RE = re.compile(r"\b(?:float|double)\s+(\w+)\s*(?:;|=|\{)")
 ACCUM_RE = re.compile(r"(?<![\w.>])(\w+)\s*[+\-]\*?=")
 
@@ -204,8 +241,20 @@ def collect_unordered_idents(files: list[File]) -> set[str]:
     return idents
 
 
+def module_of(path: Path) -> str | None:
+    """The src/<module>/ a file lives in, or None outside src/."""
+    parts = path.parts
+    for i, part in enumerate(parts[:-1]):
+        if part == "src":
+            return parts[i + 1] if parts[i + 1] != path.name else None
+    return None
+
+
 def lint_file(f: File, unordered_idents: set[str]) -> None:
     parallel_file = any(THREADING_RE.search(code) for code in f.code)
+    module = module_of(f.path)
+    converted_header = (module in CONVERTED_MODULES
+                        and f.path.suffix in {".h", ".hpp"})
     float_idents: set[str] = set()
     if parallel_file:
         for code in f.code:
@@ -249,6 +298,23 @@ def lint_file(f: File, unordered_idents: set[str]) -> None:
                 f.report(lineno, "banned-rng",
                          f"{what}: all randomness must flow from the seeded "
                          "sim::Rng")
+
+        if converted_header:
+            for m in RAW_SCALAR_ID_RE.finditer(code):
+                name = m.group(1)
+                if COUNT_LIKE_RE.search(name):
+                    continue
+                f.report(lineno, "raw-scalar-id",
+                         f"raw integer '{name}' in a converted module's "
+                         "public header: use the net::*Id / core:: unit "
+                         "type so mix-ups stay compile errors")
+
+        if module is not None and module != "core":
+            if STRONGID_CAST_RE.search(code):
+                f.report(lineno, "strongid-cast",
+                         "static_cast to a strong id type outside core/: "
+                         "construct at the boundary (e.g. LeafId{raw}) so "
+                         "the id-space crossing is visible")
 
         if parallel_file:
             for m in ACCUM_RE.finditer(code):

@@ -1,0 +1,12 @@
+// Adding a unitless literal to Bytes must be spelled Bytes{n} — "+ 40" is
+// ambiguous between header bytes, packets, and a count.
+// expect-error: no match for|invalid operands
+#include "core/units.h"
+
+namespace core = flowpulse::core;
+
+int main() {
+  auto x = core::Bytes{1500} + 40;
+  (void)x;
+  return 0;
+}

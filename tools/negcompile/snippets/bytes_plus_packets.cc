@@ -1,0 +1,12 @@
+// Bytes + Packets is dimensionally meaningless — the exact counter mix-up
+// FlowPulse's per-port byte attribution cannot afford.
+// expect-error: no match for|invalid operands
+#include "core/units.h"
+
+namespace core = flowpulse::core;
+
+int main() {
+  auto x = core::Bytes{4096} + core::Packets{1};
+  (void)x;
+  return 0;
+}

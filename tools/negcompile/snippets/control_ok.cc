@@ -1,0 +1,23 @@
+// Positive control: the blessed idioms must keep compiling, proving the
+// harness distinguishes "rejected by the type system" from "harness broken".
+#include <cstdint>
+
+#include "core/strong_id.h"
+#include "core/units.h"
+#include "net/types.h"
+
+namespace core = flowpulse::core;
+namespace net = flowpulse::net;
+namespace sim = flowpulse::sim;
+
+int main() {
+  core::Bytes total{};
+  for (const net::UplinkIndex u : core::ids<net::UplinkIndex>(4)) {
+    total += core::Bytes{1500} * (u.v() + 1);
+  }
+  const core::GbitsPerSec rate = total / sim::Time::microseconds(1);
+  const sim::Time wire = core::serialization_time(total, core::GbitsPerSec{400.0});
+  const net::LinkId link = net::LinkId::of(net::LeafId{2}, net::UplinkIndex{1});
+  const std::uint32_t raw = link.leaf().v();
+  return (rate.v() > 0.0 && wire.ns() > 0.0 && raw == 2u) ? 0 : 1;
+}

@@ -1,0 +1,12 @@
+// Comparing ids from different spaces (leaf 2 == spine 2?) is a category
+// error, not an equality.
+// expect-error: no match for|invalid operands
+#include "net/types.h"
+
+namespace net = flowpulse::net;
+
+int main() {
+  bool b = net::LeafId{2} == net::SpineId{2};
+  (void)b;
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Ids are names, not quantities: LeafId + LeafId has no meaning (what is
+// leaf 3 plus leaf 5?). Offsets go through .v() on purpose.
+// expect-error: no match for|invalid operands
+#include "net/types.h"
+
+namespace net = flowpulse::net;
+
+int main() {
+  auto x = net::LeafId{3} + net::LeafId{5};
+  (void)x;
+  return 0;
+}

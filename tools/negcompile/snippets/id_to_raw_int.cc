@@ -1,0 +1,14 @@
+// Leaving id space requires a deliberate .v() — no implicit decay back to
+// uint32_t, or every converted API could be silently un-converted.
+// expect-error: cannot convert|no viable conversion
+#include <cstdint>
+
+#include "net/types.h"
+
+namespace net = flowpulse::net;
+
+int main() {
+  std::uint32_t raw = net::HostId{7};
+  (void)raw;
+  return 0;
+}

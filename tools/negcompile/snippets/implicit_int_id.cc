@@ -1,0 +1,12 @@
+// Ids construct explicitly only: a bare literal must not silently become a
+// LeafId (argument-order swaps at call sites relied on exactly this).
+// expect-error: could not convert|no viable conversion|conversion
+#include "net/types.h"
+
+namespace net = flowpulse::net;
+
+int main() {
+  net::LeafId l = 3;
+  (void)l;
+  return 0;
+}

@@ -1,0 +1,13 @@
+// PortLoadMap is indexed (LeafId, UplinkIndex); indexing it by HostId was a
+// plausible off-by-a-layer bug when every id was a bare integer.
+// expect-error: could not convert|cannot convert|no matching
+#include "flowpulse/port_load.h"
+#include "net/types.h"
+
+namespace net = flowpulse::net;
+
+int main() {
+  flowpulse::fp::PortLoadMap map{4, 2};
+  (void)map.at(net::HostId{0}, net::UplinkIndex{0});
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Packets × Packets would be packets² — scaling a count takes a plain
+// integer factor on exactly one side.
+// expect-error: no match for|invalid operands
+#include "core/units.h"
+
+namespace core = flowpulse::core;
+
+int main() {
+  auto x = core::Packets{2} * core::Packets{3};
+  (void)x;
+  return 0;
+}

@@ -1,0 +1,16 @@
+// A PortId is not a HostId: handing a switch port index to something that
+// addresses a host was representable (and silently wrong) when both were
+// uint32_t.
+// expect-error: could not convert|cannot convert|no matching function
+#include "net/types.h"
+
+namespace net = flowpulse::net;
+
+namespace {
+void deliver_to(net::HostId) {}
+}  // namespace
+
+int main() {
+  deliver_to(net::PortId{3});
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Link rates don't add in this codebase's physics: ports serialize at a
+// fixed rate; aggregate throughput is Bytes over Time, never rate + rate.
+// expect-error: no match for|invalid operands
+#include "core/units.h"
+
+namespace core = flowpulse::core;
+
+int main() {
+  auto x = core::GbitsPerSec{400.0} + core::GbitsPerSec{400.0};
+  (void)x;
+  return 0;
+}

@@ -1,0 +1,12 @@
+// A rate leaves its unit only via .v() — implicit decay to double is how
+// "bandwidth_gbps" ended up divided by 8 twice in other simulators.
+// expect-error: cannot convert|no viable conversion
+#include "core/units.h"
+
+namespace core = flowpulse::core;
+
+int main() {
+  double d = core::GbitsPerSec{400.0};
+  (void)d;
+  return 0;
+}
