@@ -1,0 +1,95 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+namespace flowpulse::core {
+
+/// CRTP strong identifier: a distinct, explicitly-constructed wrapper over
+/// an integer index. Two ids with different tags never compare, convert, or
+/// mix in arithmetic — passing a LeafId where a PortId belongs is a compile
+/// error instead of a sanitizer finding (the PR 2 heap-OOB class).
+///
+/// Design rules:
+///  * construction is explicit; the raw value comes back out only through
+///    v() — every strong→raw crossing is greppable and intentional;
+///  * ordered (operator<=>) so ids key std::map/std::set — the project's
+///    determinism lint bans unordered containers, so no std::hash is
+///    provided on purpose;
+///  * formattable: operator<< prints the bare value, keeping reports
+///    bit-identical with the pre-conversion integer output;
+///  * ++/-- support natural iteration, and ids<Id>(n) yields the half-open
+///    range [Id{0}, Id{n}) for loops over a count.
+///
+/// Adding a new id is one line (see net/types.h):
+///   struct FooId final : core::StrongId<FooId> { using StrongId::StrongId; };
+template <class Derived, class Rep = std::uint32_t>
+class StrongId {
+ public:
+  using rep = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep value) : value_{value} {}
+
+  /// The raw index. Every call site is an intentional strong→raw crossing
+  /// (vector subscripts, std::to_string, flattening arithmetic).
+  [[nodiscard]] constexpr Rep v() const { return value_; }
+
+  constexpr Derived& operator++() {
+    ++value_;
+    return self();
+  }
+  constexpr Derived& operator--() {
+    --value_;
+    return self();
+  }
+
+  friend constexpr bool operator==(const Derived& a, const Derived& b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr auto operator<=>(const Derived& a, const Derived& b) {
+    return a.value_ <=> b.value_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Derived& id) {
+    return os << +id.value_;
+  }
+
+ private:
+  constexpr Derived& self() { return static_cast<Derived&>(*this); }
+  Rep value_{};
+};
+
+/// Half-open range [Id{0}, Id{n}) — the strong-typed `for (i = 0; i < n;)`.
+template <class Id>
+class IdRange {
+ public:
+  class iterator {
+   public:
+    constexpr explicit iterator(typename Id::rep i) : i_{i} {}
+    constexpr Id operator*() const { return Id{i_}; }
+    constexpr iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    constexpr bool operator==(const iterator&) const = default;
+
+   private:
+    typename Id::rep i_;
+  };
+
+  constexpr explicit IdRange(typename Id::rep count) : count_{count} {}
+  [[nodiscard]] constexpr iterator begin() const { return iterator{0}; }
+  [[nodiscard]] constexpr iterator end() const { return iterator{count_}; }
+
+ private:
+  typename Id::rep count_;
+};
+
+template <class Id>
+[[nodiscard]] constexpr IdRange<Id> ids(typename Id::rep count) {
+  return IdRange<Id>{count};
+}
+
+}  // namespace flowpulse::core

@@ -49,10 +49,34 @@ namespace flowpulse::testing {
   return cfg;
 }
 
-/// Run the golden scenario and hash its JSON report. wall_seconds is the
-/// single wall-clock-derived field; zero it so the hash is reproducible.
-[[nodiscard]] inline std::uint64_t golden_report_hash() {
-  exp::Scenario scenario{golden_scenario_config()};
+/// Multi-lane variant: same fabric split into parallel == 2 lanes, so the
+/// uplink→(spine, lane) math, PortLoadMap lane indexing, and the
+/// counter_scraper spine_of() alarm naming (string-identical to the uplink
+/// index only when parallel == 1) are all on the pinned path. Its hash was
+/// recorded once AFTER the strong-type conversion — the parallel>1 alarm
+/// names intentionally changed there (see CHANGES.md PR 5) — and must stay
+/// bit-identical from then on.
+[[nodiscard]] inline exp::ScenarioConfig golden_parallel_scenario_config() {
+  exp::ScenarioConfig cfg = golden_scenario_config();
+  cfg.fabric.shape.parallel = 2;
+  // Uplink indices now address (spine u/2, lane u%2); keep one fault per
+  // lane parity so both lanes of a physical spine carry pinned traffic.
+  cfg.preexisting.clear();
+  cfg.preexisting.emplace_back(net::LeafId{2}, net::UplinkIndex{1});
+  cfg.new_faults.clear();
+  exp::NewFault fault;
+  fault.leaf = net::LeafId{5};
+  fault.uplink = net::UplinkIndex{6};
+  fault.where = exp::NewFault::Where::kDownlink;
+  fault.spec = net::FaultSpec::random_drop(0.10);
+  cfg.new_faults.push_back(fault);
+  return cfg;
+}
+
+/// Run a scenario and hash its JSON report. wall_seconds is the single
+/// wall-clock-derived field; zero it so the hash is reproducible.
+[[nodiscard]] inline std::uint64_t report_hash(const exp::ScenarioConfig& cfg) {
+  exp::Scenario scenario{cfg};
   exp::ScenarioResult result = scenario.run();
   result.wall_seconds = 0.0;
   const std::string json =
@@ -60,6 +84,14 @@ namespace flowpulse::testing {
       exp::deviations_to_csv(result) +
       exp::mitigation_to_json(result.mitigation_events, result.recovery);
   return fnv1a64(json);
+}
+
+[[nodiscard]] inline std::uint64_t golden_report_hash() {
+  return report_hash(golden_scenario_config());
+}
+
+[[nodiscard]] inline std::uint64_t golden_parallel_report_hash() {
+  return report_hash(golden_parallel_scenario_config());
 }
 
 }  // namespace flowpulse::testing

@@ -151,5 +151,19 @@ TEST(GoldenScenario, ReportBitIdenticalToPreConversionTree) {
   EXPECT_EQ(testing::golden_report_hash(), 8206003594010070324ull);
 }
 
+TEST(GoldenScenario, ParallelLaneReportBitIdentical) {
+  // parallel == 2 pins the multi-lane paths the parallel==1 golden cannot
+  // reach (uplink→lane math, lane-indexed PortLoadMap, spine_of alarm
+  // names). Recorded post-conversion because the alarm-name fix for
+  // parallel > 1 was an intentional behavior change (CHANGES.md PR 5).
+  EXPECT_EQ(testing::golden_parallel_report_hash(), 13062378741350390824ull);
+
+  // The pin is only meaningful if the lane-1 fault was actually detected —
+  // an empty report would hash stably too.
+  exp::Scenario scenario{testing::golden_parallel_scenario_config()};
+  const exp::ScenarioResult result = scenario.run();
+  EXPECT_FALSE(result.detections.empty());
+}
+
 }  // namespace
 }  // namespace flowpulse::core
