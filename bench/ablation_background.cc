@@ -32,7 +32,7 @@ int main() {
         Case{"heavy, SAME priority (no isolation)", 16'000'000,
              net::Priority::kCollective}}) {
     exp::ScenarioConfig cfg = bench::paper_setup(24'000'000, 3);
-    cfg.background.bytes = c.bg_bytes;
+    cfg.background.bytes = core::Bytes{c.bg_bytes};
     cfg.background.priority = c.bg_prio;
 
     const std::vector<exp::TrialSamples> clean = bench::run_trials(cfg, trials);

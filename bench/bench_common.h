@@ -40,8 +40,8 @@ inline exp::ScenarioConfig paper_setup(std::uint64_t collective_bytes = kDefault
   exp::ScenarioConfig cfg;
   cfg.fabric.shape = net::TopologyInfo{32, 16, 1, 1};
   cfg.collective = collective::CollectiveKind::kRingReduceScatter;
-  cfg.collective_bytes =
-      static_cast<std::uint64_t>(static_cast<double>(collective_bytes) * exp::env_scale());
+  cfg.collective_bytes = core::Bytes{
+      static_cast<std::uint64_t>(static_cast<double>(collective_bytes) * exp::env_scale())};
   cfg.iterations = iterations;
   cfg.max_jitter = sim::Time::microseconds(1);
   cfg.flowpulse.threshold = 0.01;

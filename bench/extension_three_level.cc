@@ -40,7 +40,7 @@ Result run_case(int fault_tier, double drop) {
   }
   cc.schedule = collective::ring_reduce_scatter(
       net.num_hosts(),
-      static_cast<std::uint64_t>(24'000'000 * exp::env_scale()));
+      core::Bytes{static_cast<std::uint64_t>(24'000'000 * exp::env_scale())});
   cc.iterations = 3;
   collective::CollectiveRunner runner{sim, transports, std::move(cc)};
 

@@ -36,13 +36,13 @@ double run_point(const Point& pt, double* out_port_pred, double* out_port_obs) {
   auto& transports = scenario.transports();
 
   collective::DemandMatrix demand{fabric.num_hosts()};
-  demand.add(net::HostId{3}, net::HostId{20}, pt.bytes);
+  demand.add(net::HostId{3}, net::HostId{20}, core::Bytes{pt.bytes});
   const fp::AnalyticalModel model{fabric.info(), 4096, net::kHeaderBytes};
   const fp::PortLoadMap pred = model.predict(demand, fabric.routing());
 
   transport::MessageSpec spec;
   spec.dst = net::HostId{20};
-  spec.bytes = pt.bytes;
+  spec.bytes = core::Bytes{pt.bytes};
   spec.flow_id = net::flowid::make_collective(net::IterIndex{0});
   transports.at(net::HostId{3}).send_message(spec);
   sim.run();

@@ -47,7 +47,7 @@ int main() {
         bench::silent_drop(drop, net::LeafId{leaves / 2}, net::UplinkIndex{spines / 2}));
     const std::vector<exp::TrialSamples> faulty = bench::run_trials(faulty_cfg, trials);
 
-    const std::uint64_t pkts = cfg.collective_bytes * (leaves - 1) / leaves / spines / 4096;
+    const std::uint64_t pkts = cfg.collective_bytes.v() * (leaves - 1) / leaves / spines / 4096;
     table.row({std::to_string(radix),
                std::to_string(spines) + "x" + std::to_string(leaves),
                std::to_string(pkts), exp::pct(floor),

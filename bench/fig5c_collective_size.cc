@@ -29,9 +29,9 @@ int main() {
     const std::vector<exp::TrialSamples> clean = bench::run_trials(cfg, trials);
     // Per-port packets per iteration: the ring delivers ~B bytes into each
     // leaf, spread over 16 ports of 4 KiB segments.
-    const std::uint64_t pkts = cfg.collective_bytes * 31 / 32 / 16 / 4096;
+    const std::uint64_t pkts = cfg.collective_bytes.v() * 31 / 32 / 16 / 4096;
 
-    std::vector<std::string> row{std::to_string(cfg.collective_bytes / 1000000) + " MB",
+    std::vector<std::string> row{std::to_string(cfg.collective_bytes.v() / 1000000) + " MB",
                                  std::to_string(pkts),
                                  exp::pct(exp::noise_floor(clean)),
                                  exp::pct(exp::classify(clean, 0.01).fpr())};

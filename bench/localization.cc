@@ -28,7 +28,7 @@ LocalizationScore run_case(bool remote, double drop) {
   exp::ScenarioConfig cfg;
   cfg.fabric.shape = net::TopologyInfo{8, 4, 1, 1};
   cfg.collective = collective::CollectiveKind::kAllToAll;
-  cfg.collective_bytes = 256ull << 20;  // ~2.3 MiB per ordered pair
+  cfg.collective_bytes = core::Bytes{256ull << 20};  // ~2.3 MiB per ordered pair
   cfg.iterations = 2;
   cfg.flowpulse.threshold = 0.01;
 

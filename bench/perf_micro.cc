@@ -10,7 +10,9 @@
 #include "exp/trials.h"
 #include "flowpulse/analytical_model.h"
 #include "flowpulse/detector.h"
+#include "flowpulse/fidelity.h"
 #include "flowpulse/monitor.h"
+#include "flowpulse/streaming_detector.h"
 #include "net/fat_tree.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -80,7 +82,7 @@ void BM_RingIterationSimulation(benchmark::State& state) {
     exp::ScenarioConfig cfg;
     cfg.fabric.shape = net::TopologyInfo{32, 16, 1, 1};
     cfg.collective = collective::CollectiveKind::kRingReduceScatter;
-    cfg.collective_bytes = bytes;
+    cfg.collective_bytes = core::Bytes{bytes};
     cfg.iterations = 1;
     exp::Scenario s{cfg};
     const exp::ScenarioResult r = s.run();
@@ -103,7 +105,7 @@ exp::ScenarioConfig trial_sweep_config() {
   exp::ScenarioConfig cfg;
   cfg.fabric.shape = net::TopologyInfo{8, 4, 1, 1};
   cfg.collective = collective::CollectiveKind::kRingReduceScatter;
-  cfg.collective_bytes = 2ull << 20;
+  cfg.collective_bytes = core::Bytes{2ull << 20};
   cfg.iterations = 2;
   cfg.new_faults.push_back([] {
     exp::NewFault f;
@@ -145,11 +147,68 @@ void BM_TrialSweepParallel(benchmark::State& state) {
 }
 BENCHMARK(BM_TrialSweepParallel)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
 
+void BM_FidelityModeIterations(benchmark::State& state) {
+  // End-to-end cost per training iteration under each fidelity mode on a
+  // healthy-dominated multi-iteration run — the workload the hybrid engine
+  // exists for. iterations_per_second(hybrid) / iterations_per_second(packet)
+  // is the engine's end-to-end speedup; BENCH_perf.json tracks it.
+  const auto mode = static_cast<fp::FidelityMode>(state.range(0));
+  std::uint64_t iters_total = 0;
+  std::uint64_t events_total = 0;
+  for (auto _ : state) {
+    exp::ScenarioConfig cfg;
+    cfg.fabric.shape = net::TopologyInfo{8, 4, 1, 1};
+    cfg.collective = collective::CollectiveKind::kRingReduceScatter;
+    cfg.collective_bytes = core::Bytes{1ull << 20};
+    cfg.iterations = 16;
+    cfg.fidelity.mode = mode;
+    exp::Scenario s{cfg};
+    const exp::ScenarioResult r = s.run();
+    benchmark::DoNotOptimize(r.events);
+    iters_total += r.iterations_completed;
+    events_total += r.events;
+  }
+  state.counters["iterations_per_second"] =
+      benchmark::Counter(static_cast<double>(iters_total), benchmark::Counter::kIsRate);
+  state.counters["events"] = static_cast<double>(
+      state.iterations() ? events_total / state.iterations() : 0);
+  state.SetLabel(fp::fidelity_mode_name(mode));
+}
+BENCHMARK(BM_FidelityModeIterations)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_StreamingDetectorObserve(benchmark::State& state) {
+  // The O(1) streaming alternative to BM_DetectorEvaluate: judge + EWMA
+  // fold of one 16-port iteration record, zero allocation.
+  fp::StreamingDetector det{net::LeafId{5}, 16, 32, fp::StreamingConfig{}};
+  fp::PortLoadMap pred{32, 16};
+  for (const net::UplinkIndex u : core::ids<net::UplinkIndex>(16)) {
+    pred.add(net::LeafId{5}, u, net::LeafId{4}, 1.0e6);
+  }
+  det.seed(pred);
+  fp::IterationRecord rec;
+  rec.leaf = net::LeafId{5};
+  rec.bytes.assign(16, 1.0e6);
+  rec.by_src.assign(16, std::vector<double>(32, 0.0));
+  for (auto& v : rec.by_src) v[4] = 1.0e6;
+  std::uint32_t iter = 0;
+  for (auto _ : state) {
+    rec.iteration = net::IterIndex{iter++};
+    benchmark::DoNotOptimize(det.observe(rec));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StreamingDetectorObserve);
+
 void BM_AnalyticalPredict(benchmark::State& state) {
   const net::TopologyInfo info{32, 16, 1, 1};
   net::RoutingState routing{32, 16};
   routing.set_known_failed(net::LeafId{3}, net::UplinkIndex{7});
-  const auto schedule = collective::ring_reduce_scatter(32, 64ull << 20);
+  const auto schedule = collective::ring_reduce_scatter(32, core::Bytes{64ull << 20});
   std::vector<net::HostId> hosts(32, net::HostId{});
   for (const net::HostId h : core::ids<net::HostId>(32)) hosts[h.v()] = h;
   const auto demand = collective::DemandMatrix::from_schedule(schedule, hosts, 32);
@@ -193,7 +252,7 @@ exp::ScenarioConfig trace_bench_config() {
   exp::ScenarioConfig cfg;
   cfg.fabric.shape = net::TopologyInfo{8, 4, 1, 1};
   cfg.collective = collective::CollectiveKind::kRingReduceScatter;
-  cfg.collective_bytes = 2ull << 20;
+  cfg.collective_bytes = core::Bytes{2ull << 20};
   cfg.iterations = 1;
   cfg.new_faults.push_back([] {
     exp::NewFault f;

@@ -27,6 +27,8 @@ struct CliOptions {
   std::string collective = "ring";  // ring | allreduce | allgather | alltoall | hier
   std::string model = "analytical";  // analytical | simulation | learned
   std::string spray = "adaptive";    // adaptive | random | ecmp | flowlet
+  std::string fidelity = "packet";   // packet | hybrid | flow
+  std::string detector = "threshold";  // threshold | streaming
   double threshold = 0.01;
   double drop = 0.0;
   std::uint32_t fault_leaf = 0, fault_spine = 0;
@@ -72,6 +74,8 @@ CliOptions parse(int argc, char** argv) {
                parse_num(a, "--seed", &o.seed) || parse_num(a, "--jitter-us", &o.jitter_us) ||
                parse_flag(a, "--collective", &o.collective) ||
                parse_flag(a, "--model", &o.model) || parse_flag(a, "--spray", &o.spray) ||
+               parse_flag(a, "--fidelity", &o.fidelity) ||
+               parse_flag(a, "--detector", &o.detector) ||
                parse_flag(a, "--fault-kind", &o.fault_kind) ||
                parse_flag(a, "--json", &o.json_path) ||
                parse_flag(a, "--alerts", &o.alerts_path) ||
@@ -93,6 +97,9 @@ topology:   --leaves=N --spines=N --hosts-per-leaf=N --parallel=N
 workload:   --collective=ring|allreduce|allgather|alltoall|hier
             --bytes=N --iters=N --jitter-us=F
 detection:  --model=analytical|simulation|learned --threshold=F
+            --detector=threshold|streaming       (O(1) EWMA z-score detector)
+fidelity:   --fidelity=packet|hybrid|flow        (hybrid fast-forwards healthy
+            iterations analytically and drops to packets around faults)
 faults:     --preexisting=N                      (known disconnected links)
             --fault-leaf=N --fault-spine=N       (silent fault site)
             --drop=F --fault-kind=drop|blackhole|gilbert
@@ -112,7 +119,7 @@ int main(int argc, char** argv) {
 
   exp::ScenarioConfig cfg;
   cfg.fabric.shape = net::TopologyInfo{o.leaves, o.spines, o.hosts_per_leaf, o.parallel};
-  cfg.collective_bytes = o.bytes;
+  cfg.collective_bytes = core::Bytes{o.bytes};
   cfg.iterations = o.iters;
   cfg.max_jitter = sim::Time::picoseconds(static_cast<std::int64_t>(o.jitter_us * 1e6));
   cfg.flowpulse.threshold = o.threshold;
@@ -134,6 +141,15 @@ int main(int argc, char** argv) {
     cfg.flowpulse.model = fp::ModelKind::kSimulation;
   } else if (o.model == "learned") {
     cfg.flowpulse.model = fp::ModelKind::kLearned;
+  }
+
+  if (o.fidelity == "hybrid") {
+    cfg.fidelity.mode = fp::FidelityMode::kHybrid;
+  } else if (o.fidelity == "flow") {
+    cfg.fidelity.mode = fp::FidelityMode::kFlow;
+  }
+  if (o.detector == "streaming") {
+    cfg.flowpulse.detector = fp::DetectorKind::kStreaming;
   }
 
   if (o.spray == "random") {
@@ -176,6 +192,13 @@ int main(int argc, char** argv) {
             << result.transport_stats.data_packets_sent << " data packets ("
             << result.transport_stats.retx_packets_sent << " retx), " << result.events
             << " events in " << result.wall_seconds << "s\n";
+  if (result.fidelity.enabled) {
+    std::cout << "fidelity " << fp::fidelity_mode_name(result.fidelity.mode) << ": "
+              << result.fidelity.packet_iterations << " packet + "
+              << result.fidelity.flow_iterations << " flow iterations ("
+              << result.fidelity.demotions << " demotions, " << result.fidelity.promotions
+              << " promotions)\n";
+  }
 
   const auto faulty = scenario.flowpulse().faulty_results();
   for (const fp::DetectionResult& d : faulty) {

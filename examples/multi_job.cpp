@@ -29,7 +29,7 @@ int main() {
   exp::ScenarioConfig cfg;
   cfg.fabric.shape = net::TopologyInfo{16, 8, 2, 1};
   cfg.collective = collective::CollectiveKind::kRingReduceScatter;
-  cfg.collective_bytes = 24'000'000;
+  cfg.collective_bytes = core::Bytes{24'000'000};
   cfg.iterations = 4;
 
   // The Scenario's built-in runner covers ALL hosts; for this demo we build
@@ -48,7 +48,7 @@ int main() {
   // leaf, the condition §5.1 needs. Tagged and prioritized.
   collective::CollectiveConfig job_a;
   for (std::uint32_t h = 0; h < 32; h += 2) job_a.hosts.push_back(net::HostId{h});
-  job_a.schedule = collective::ring_reduce_scatter(16, 24'000'000);
+  job_a.schedule = collective::ring_reduce_scatter(16, core::Bytes{24'000'000});
   job_a.iterations = 4;
   job_a.priority = net::Priority::kCollective;
   job_a.job_id = 0;
@@ -57,7 +57,7 @@ int main() {
   // Job B: ring over the odd hosts — lower priority, untagged.
   collective::CollectiveConfig job_b;
   for (std::uint32_t h = 1; h < 32; h += 2) job_b.hosts.push_back(net::HostId{h});
-  job_b.schedule = collective::ring_reduce_scatter(16, 16'000'000);
+  job_b.schedule = collective::ring_reduce_scatter(16, core::Bytes{16'000'000});
   job_b.iterations = 5;
   job_b.priority = net::Priority::kBackground;
   job_b.job_id = 1;

@@ -22,7 +22,7 @@ int main() {
   exp::ScenarioConfig cfg;
   cfg.fabric.shape = net::TopologyInfo{8, 4, 1, 2};  // parallel = 2 → 8 uplinks
   cfg.collective = collective::CollectiveKind::kRingReduceScatter;
-  cfg.collective_bytes = 24'000'000;
+  cfg.collective_bytes = core::Bytes{24'000'000};
   cfg.iterations = 3;
 
   // Virtual spine index = spine * parallel + lane: spine 1, lane 1 → 3.

@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   exp::ScenarioConfig cfg;
   cfg.fabric.shape = net::TopologyInfo{32, 16, 1, 1};  // paper §6 default
   cfg.collective = collective::CollectiveKind::kRingReduceScatter;  // 31 stages
-  cfg.collective_bytes = 16ull << 20;  // 16 MiB gradients
+  cfg.collective_bytes = core::Bytes{16ull << 20};  // 16 MiB gradients
   cfg.iterations = 4;
   cfg.flowpulse.threshold = 0.01;  // the paper's 1% detection threshold
 

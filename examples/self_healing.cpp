@@ -30,7 +30,7 @@ int main() {
   exp::ScenarioConfig cfg;
   cfg.fabric.shape = net::TopologyInfo{16, 8, 1, 1};
   cfg.collective = collective::CollectiveKind::kRingReduceScatter;
-  cfg.collective_bytes = 24'000'000;
+  cfg.collective_bytes = core::Bytes{24'000'000};
   cfg.iterations = 12;
   cfg.seed = 7;
 

@@ -35,7 +35,7 @@ int main() {
   exp::ScenarioConfig base;
   base.fabric.shape = net::TopologyInfo{16, 8, 1, 1};
   base.collective = collective::CollectiveKind::kRingReduceScatter;
-  base.collective_bytes = 24'000'000;
+  base.collective_bytes = core::Bytes{24'000'000};
   base.iterations = 4;
 
   // Baseline iteration time from a clean run.

@@ -45,13 +45,13 @@ int main(int argc, char** argv) {
   exp::ScenarioConfig cfg;
   cfg.fabric.shape = net::TopologyInfo{8, 4, 1, 1};
   cfg.collective = collective::CollectiveKind::kAllToAll;
-  cfg.collective_bytes = 8ull << 20;
+  cfg.collective_bytes = core::Bytes{8ull << 20};
   cfg.iterations = 12;
   cfg.seed = 1;
   // Tight PFC thresholds (a couple of packets) so the AllToAll incast
   // shows the lossless fabric's pause machinery in the trace.
-  cfg.fabric.pfc.xoff_bytes = 9 * 1024;
-  cfg.fabric.pfc.xon_bytes = 4 * 1024;
+  cfg.fabric.pfc.xoff_bytes = core::Bytes{9 * 1024};
+  cfg.fabric.pfc.xon_bytes = core::Bytes{4 * 1024};
 
   exp::NewFault f;
   f.leaf = net::LeafId{5};

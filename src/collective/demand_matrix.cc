@@ -17,9 +17,9 @@ DemandMatrix DemandMatrix::from_schedule(const CommSchedule& schedule,
   return m;
 }
 
-std::uint64_t DemandMatrix::total() const {
-  std::uint64_t t = 0;
-  for (const std::uint64_t b : bytes_) t += b;
+core::Bytes DemandMatrix::total() const {
+  core::Bytes t{};
+  for (const core::Bytes b : bytes_) t += b;
   return t;
 }
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "collective/schedule.h"
+#include "core/units.h"
 #include "net/types.h"
 
 namespace flowpulse::collective {
@@ -16,26 +17,26 @@ namespace flowpulse::collective {
 class DemandMatrix {
  public:
   explicit DemandMatrix(std::uint32_t hosts)
-      : hosts_{hosts}, bytes_(static_cast<std::size_t>(hosts) * hosts, 0) {}
+      : hosts_{hosts}, bytes_(static_cast<std::size_t>(hosts) * hosts) {}
 
   /// Accumulate a schedule over the given rank→host placement.
   static DemandMatrix from_schedule(const CommSchedule& schedule,
                                     const std::vector<net::HostId>& rank_to_host,
                                     std::uint32_t num_hosts);
 
-  [[nodiscard]] std::uint64_t at(net::HostId src, net::HostId dst) const {
+  [[nodiscard]] core::Bytes at(net::HostId src, net::HostId dst) const {
     return bytes_[static_cast<std::size_t>(src.v()) * hosts_ + dst.v()];
   }
-  void add(net::HostId src, net::HostId dst, std::uint64_t bytes) {
+  void add(net::HostId src, net::HostId dst, core::Bytes bytes) {
     bytes_[static_cast<std::size_t>(src.v()) * hosts_ + dst.v()] += bytes;
   }
 
   [[nodiscard]] std::uint32_t hosts() const { return hosts_; }
-  [[nodiscard]] std::uint64_t total() const;
+  [[nodiscard]] core::Bytes total() const;
 
  private:
   std::uint32_t hosts_;
-  std::vector<std::uint64_t> bytes_;
+  std::vector<core::Bytes> bytes_;
 };
 
 }  // namespace flowpulse::collective

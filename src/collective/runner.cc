@@ -40,6 +40,11 @@ double CollectiveRunner::original_value(std::uint32_t rank, std::uint32_t chunk)
 
 void CollectiveRunner::start() { begin_iteration(0); }
 
+void CollectiveRunner::start_iteration(std::uint32_t iteration) {
+  assert(!running_);
+  begin_iteration(iteration);
+}
+
 void CollectiveRunner::begin_iteration(std::uint32_t iteration) {
   iteration_ = iteration;
   iteration_start_ = sim_.now();
@@ -183,7 +188,7 @@ void CollectiveRunner::finish_iteration() {
     hook(net::IterIndex{iteration_}, iteration_start_, sim_.now());
   }
 
-  if (completed_iterations_ < config_.iterations) {
+  if (config_.auto_advance && completed_iterations_ < config_.iterations) {
     const std::uint32_t next = iteration_ + 1;
     sim_.schedule_in(config_.compute_gap, [this, next] { begin_iteration(next); });
   }

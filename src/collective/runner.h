@@ -35,6 +35,11 @@ struct CollectiveConfig {
   /// Run double-precision ring algebra alongside the packets and verify the
   /// reduction result each iteration.
   bool validate_data = false;
+  /// Chain iterations automatically: finishing iteration k schedules k+1
+  /// after `compute_gap`. The hybrid-fidelity engine disables this and
+  /// drives iterations one at a time via start_iteration(), interleaving
+  /// packet-simulated iterations with analytically fast-forwarded ones.
+  bool auto_advance = true;
 };
 
 /// Drives iterations of a collective over the transport layer with the
@@ -52,6 +57,14 @@ class CollectiveRunner {
 
   /// Schedule iteration 0 to begin now. Call once, before Simulator::run().
   void start();
+
+  /// Manual stepping (auto_advance == false): schedule iteration `iteration`
+  /// to begin now. The caller owns the inter-iteration compute gap and must
+  /// not start a new iteration while one is running.
+  void start_iteration(std::uint32_t iteration);
+
+  /// True while an iteration is in flight (between begin and finish).
+  [[nodiscard]] bool running() const { return running_; }
 
   void add_iteration_hook(IterationHook hook) { iteration_hooks_.push_back(std::move(hook)); }
 

@@ -4,32 +4,32 @@
 
 namespace flowpulse::collective {
 
-std::uint64_t CommSchedule::stage_recv_bytes(std::uint32_t k, std::uint32_t r) const {
-  std::uint64_t bytes = 0;
+core::Bytes CommSchedule::stage_recv_bytes(std::uint32_t k, std::uint32_t r) const {
+  core::Bytes bytes{};
   for (const Send& s : stages[k].sends) {
     if (s.dst_rank == r) bytes += s.bytes;
   }
   return bytes;
 }
 
-std::uint64_t CommSchedule::wire_payload_bytes() const {
-  std::uint64_t bytes = 0;
+core::Bytes CommSchedule::wire_payload_bytes() const {
+  core::Bytes bytes{};
   for (const Stage& st : stages) {
     for (const Send& s : st.sends) bytes += s.bytes;
   }
   return bytes;
 }
 
-std::uint64_t chunk_bytes(std::uint64_t total, std::uint32_t n, std::uint32_t c) {
+core::Bytes chunk_bytes(core::Bytes total, std::uint32_t n, std::uint32_t c) {
   assert(c < n);
-  return total / n + (c < total % n ? 1 : 0);
+  return total / n + core::Bytes{c < total % core::Bytes{n} ? 1u : 0u};
 }
 
 namespace {
 
 // Shared builder for the ring phases. `rs` emits reduce-scatter stages,
 // `ag` all-gather stages.
-CommSchedule build_ring(std::uint32_t ranks, std::uint64_t total_bytes, bool rs, bool ag,
+CommSchedule build_ring(std::uint32_t ranks, core::Bytes total_bytes, bool rs, bool ag,
                         std::string name, CollectiveKind kind) {
   assert(ranks >= 2);
   CommSchedule sched;
@@ -48,8 +48,8 @@ CommSchedule build_ring(std::uint32_t ranks, std::uint64_t total_bytes, bool rs,
         // AG stage k: rank i forwards chunk (i + 1 - k) mod N.
         const std::uint32_t base = gather_phase ? i + 1 + ranks - k : i + ranks - k;
         const std::uint32_t chunk = base % ranks;
-        const std::uint64_t bytes = chunk_bytes(total_bytes, ranks, chunk);
-        if (bytes == 0) continue;
+        const core::Bytes bytes = chunk_bytes(total_bytes, ranks, chunk);
+        if (bytes == core::Bytes{0}) continue;
         stage.sends.push_back(Send{i, (i + 1) % ranks, bytes, chunk});
       }
       sched.stages.push_back(std::move(stage));
@@ -63,27 +63,27 @@ CommSchedule build_ring(std::uint32_t ranks, std::uint64_t total_bytes, bool rs,
 
 }  // namespace
 
-CommSchedule ring_all_reduce(std::uint32_t ranks, std::uint64_t total_bytes) {
+CommSchedule ring_all_reduce(std::uint32_t ranks, core::Bytes total_bytes) {
   return build_ring(ranks, total_bytes, true, true, "ring-allreduce",
                     CollectiveKind::kRingAllReduce);
 }
 
-CommSchedule ring_reduce_scatter(std::uint32_t ranks, std::uint64_t total_bytes) {
+CommSchedule ring_reduce_scatter(std::uint32_t ranks, core::Bytes total_bytes) {
   return build_ring(ranks, total_bytes, true, false, "ring-reduce-scatter",
                     CollectiveKind::kRingReduceScatter);
 }
 
-CommSchedule ring_all_gather(std::uint32_t ranks, std::uint64_t total_bytes) {
+CommSchedule ring_all_gather(std::uint32_t ranks, core::Bytes total_bytes) {
   return build_ring(ranks, total_bytes, false, true, "ring-all-gather",
                     CollectiveKind::kRingAllGather);
 }
 
-CommSchedule all_to_all(std::uint32_t ranks, std::uint64_t bytes_per_pair) {
+CommSchedule all_to_all(std::uint32_t ranks, core::Bytes bytes_per_pair) {
   CommSchedule sched;
   sched.name = "all-to-all";
   sched.kind = CollectiveKind::kAllToAll;
   sched.ranks = ranks;
-  sched.total_bytes = bytes_per_pair * ranks * (ranks - 1);
+  sched.total_bytes = bytes_per_pair * ranks * (ranks - 1u);
   Stage stage;
   stage.reduce = false;
   stage.sends.reserve(static_cast<std::size_t>(ranks) * (ranks - 1));
@@ -94,7 +94,7 @@ CommSchedule all_to_all(std::uint32_t ranks, std::uint64_t bytes_per_pair) {
   for (std::uint32_t i = 0; i < ranks; ++i) {
     for (std::uint32_t k = 1; k < ranks; ++k) {
       const std::uint32_t j = (i + k) % ranks;
-      if (bytes_per_pair == 0) continue;
+      if (bytes_per_pair == core::Bytes{0}) continue;
       stage.sends.push_back(Send{i, j, bytes_per_pair, 0});
     }
   }
@@ -102,8 +102,8 @@ CommSchedule all_to_all(std::uint32_t ranks, std::uint64_t bytes_per_pair) {
   return sched;
 }
 
-CommSchedule all_to_all_random(std::uint32_t ranks, std::uint64_t min_bytes,
-                               std::uint64_t max_bytes, sim::Rng& rng) {
+CommSchedule all_to_all_random(std::uint32_t ranks, core::Bytes min_bytes,
+                               core::Bytes max_bytes, sim::Rng& rng) {
   assert(max_bytes >= min_bytes);
   CommSchedule sched;
   sched.name = "all-to-all-random";
@@ -114,8 +114,9 @@ CommSchedule all_to_all_random(std::uint32_t ranks, std::uint64_t min_bytes,
   for (std::uint32_t i = 0; i < ranks; ++i) {
     for (std::uint32_t k = 1; k < ranks; ++k) {
       const std::uint32_t j = (i + k) % ranks;  // rotated order, see all_to_all()
-      const std::uint64_t bytes = min_bytes + rng.next_below(max_bytes - min_bytes + 1);
-      if (bytes == 0) continue;
+      const core::Bytes bytes =
+          min_bytes + core::Bytes{rng.next_below((max_bytes - min_bytes).v() + 1)};
+      if (bytes == core::Bytes{0}) continue;
       stage.sends.push_back(Send{i, j, bytes, 0});
       sched.total_bytes += bytes;
     }
@@ -125,7 +126,7 @@ CommSchedule all_to_all_random(std::uint32_t ranks, std::uint64_t min_bytes,
 }
 
 CommSchedule hierarchical_ring_all_reduce(std::uint32_t groups, std::uint32_t group_size,
-                                          std::uint64_t total_bytes) {
+                                          core::Bytes total_bytes) {
   assert(groups >= 2 && group_size >= 1);
   const std::uint32_t ranks = groups * group_size;
   CommSchedule sched;

@@ -53,6 +53,7 @@ void MitigationController::observe(const fp::DetectionResult& result) {
 
 void MitigationController::on_iteration_complete(net::IterIndex iteration,
                                                  const IterAgg& agg) {
+  last_completed_ = static_cast<std::int64_t>(iteration.v());
   const bool clean = agg.max_dev <= policy_.threshold;
   if (!clean && !timeline_.detected()) {
     timeline_.first_alert = sim_.now();
@@ -183,6 +184,28 @@ void MitigationController::confirm(net::LinkId key, net::IterIndex iteration,
                      key.uplink(), reason});
   FP_TRACE(sim_, kMitigation, "", key.leaf().v(), key.uplink().v(), iteration.v(),
            static_cast<double>(static_cast<int>(MitigationEvent::Kind::kConfirm)), reason);
+}
+
+bool MitigationController::fidelity_hold() const {
+  if (last_completed_ <= settle_until_ && settle_until_ >= 0) return true;
+  for (const auto& [key, ctl] : links_) {
+    switch (ctl.state) {
+      case LinkState::kProbation:
+      case LinkState::kRestoreProbation:
+        return true;
+      case LinkState::kQuarantined:
+        // Trial restore fires when since_confirm reaches restore_probe_after;
+        // the iteration that will be judged right after it must be real.
+        if (policy_.restore_probe_after > 0 && ctl.relapses < policy_.max_strikes &&
+            ctl.since_confirm + 1 >= policy_.restore_probe_after) {
+          return true;
+        }
+        break;
+      case LinkState::kHealthy:
+        break;
+    }
+  }
+  return false;
 }
 
 std::uint32_t MitigationController::active_quarantines() const {

@@ -135,6 +135,16 @@ class MitigationController {
   [[nodiscard]] std::uint32_t active_quarantines() const;
   [[nodiscard]] bool quarantined(net::LeafId leaf, net::UplinkIndex uplink) const;
 
+  /// True while the controller needs packet-fidelity iterations to make a
+  /// sound judgement — the hybrid engine's demotion trigger. Holds while:
+  ///  * any link is in a probation window (quarantine or restore being
+  ///    verified against real traffic),
+  ///  * the settle window after a routing action is still discarding
+  ///    iterations (the next judged iteration must be a real one),
+  ///  * a confirmed quarantine will trial-restore within the next completed
+  ///    iteration (the probe must measure real traffic on the link).
+  [[nodiscard]] bool fidelity_hold() const;
+
  private:
   enum class LinkState : std::uint8_t {
     kHealthy,           ///< in service, counting alert streaks
@@ -180,6 +190,8 @@ class MitigationController {
   /// for ALL links — a per-link window would let one link's action trick
   /// another link's debounce. -1 = nothing skipped yet.
   std::int64_t settle_until_ = -1;
+  /// Last iteration index whose reports all arrived; -1 before the first.
+  std::int64_t last_completed_ = -1;
 };
 
 }  // namespace flowpulse::ctrl

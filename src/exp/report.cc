@@ -154,6 +154,22 @@ std::string to_json(const ScenarioResult& result) {
     os << "],\"metrics\":" << obs::TraceMetrics::from_events(result.trace_events).to_json()
        << "}";
   }
+  // Fidelity accounting — emitted only when the hybrid engine ran, so pure
+  // packet runs (and their pinned golden hashes) are untouched.
+  if (result.fidelity.enabled) {
+    os << ",\"fidelity\":{\"mode\":\"" << fp::fidelity_mode_name(result.fidelity.mode)
+       << "\",";
+    json_number(os, "packet_iterations", std::uint64_t{result.fidelity.packet_iterations});
+    json_number(os, "flow_iterations", std::uint64_t{result.fidelity.flow_iterations});
+    json_number(os, "demotions", std::uint64_t{result.fidelity.demotions});
+    json_number(os, "promotions", std::uint64_t{result.fidelity.promotions});
+    os << "\"iteration_mode\":[";
+    for (std::size_t i = 0; i < result.fidelity.iteration_mode.size(); ++i) {
+      if (i) os << ',';
+      os << int{result.fidelity.iteration_mode[i]};
+    }
+    os << "]}";
+  }
   os << ",\"iterations\":[";
   for (std::size_t i = 0; i < result.per_iter_max_dev.size(); ++i) {
     if (i) os << ',';

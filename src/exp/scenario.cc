@@ -38,7 +38,7 @@ std::vector<net::HostId> all_hosts_ring(const net::TopologyInfo& info) {
 
 collective::CommSchedule make_schedule(collective::CollectiveKind kind,
                                        const net::TopologyInfo& shape,
-                                       std::uint64_t total_bytes) {
+                                       core::Bytes total_bytes) {
   using collective::CollectiveKind;
   const std::uint32_t ranks = shape.num_hosts();
   switch (kind) {
@@ -80,7 +80,7 @@ void Scenario::build() {
   // serialization and a propagation event, and earns an ACK with the same
   // footprint. Tiny collectives are capped by their actual segment count.
   const std::uint64_t total_segments =
-      (config_.collective_bytes + config_.transport.mtu_payload - 1) /
+      (config_.collective_bytes.v() + config_.transport.mtu_payload - 1) /
       config_.transport.mtu_payload;
   const std::uint64_t in_flight =
       std::min<std::uint64_t>(total_segments,
@@ -124,15 +124,43 @@ void Scenario::build() {
       break;  // the system learns in-band
   }
 
+  // The hybrid engine needs a fixed model to synthesize against and owns
+  // the iteration loop, which the background job's free-running runner is
+  // incompatible with; anything else falls back to the packet path.
+  hybrid_active_ = config_.fidelity.mode != fp::FidelityMode::kPacket &&
+                   prediction_ != nullptr && config_.background.bytes == core::Bytes{0};
+  if (hybrid_active_) {
+    fp::FastForwardModel::Config ffc;
+    ffc.mtu_payload = config_.transport.mtu_payload;
+    ffc.header_bytes = net::kHeaderBytes;
+    ffc.noise_rel = config_.fidelity.noise_rel;
+    ffc.fault_model = config_.fidelity.flow_fault_model;
+    ffc.seed = config_.seed ^ 0xf1de11ull;
+    fastforward_ = std::make_unique<fp::FastForwardModel>(config_.fabric.shape, ffc);
+    std::vector<fp::FastForwardModel::FlowFault> faults;
+    for (const NewFault& f : config_.new_faults) {
+      fp::FastForwardModel::FlowFault ff;
+      ff.leaf = f.leaf;
+      ff.uplink = f.uplink;
+      ff.uplink_dir = f.where != NewFault::Where::kDownlink;
+      ff.downlink_dir = f.where != NewFault::Where::kUplink;
+      ff.spec = f.spec;
+      faults.push_back(ff);
+    }
+    fastforward_->set_faults(std::move(faults));
+    fastforward_->rebaseline(demand_, fabric_->routing());
+  }
+
   if (config_.mitigation.enabled && prediction_ != nullptr) {
     controller_ = std::make_unique<ctrl::MitigationController>(*sim_, fabric_->routing(),
                                                                config_.mitigation);
     // Re-baseline = re-run the closed-form model over the updated failed
     // set: a quarantined uplink becomes a *known* fault, exactly what
-    // d/(s−f) absorbs.
+    // d/(s−f) absorbs. The fast-forward synthesis follows the same routing.
     controller_->set_rebaseline([this] {
       *prediction_ = analytical_prediction();
       flowpulse_->set_prediction(*prediction_);
+      if (fastforward_) fastforward_->rebaseline(demand_, fabric_->routing());
     });
     controller_->attach(*flowpulse_);
   }
@@ -157,12 +185,20 @@ void Scenario::build() {
   cc.compute_gap = config_.compute_gap;
   cc.max_jitter = config_.max_jitter;
   cc.validate_data = config_.validate_data;
+  cc.auto_advance = !hybrid_active_;  // the hybrid loop steps iterations itself
   runner_ = std::make_unique<collective::CollectiveRunner>(*sim_, *transports_, std::move(cc));
   runner_->add_iteration_hook([this](net::IterIndex, sim::Time start, sim::Time end) {
     iter_windows_.emplace_back(start, end);
   });
+  if (hybrid_active_) {
+    // Manual stepping: halt the event loop the moment the iteration
+    // completes. Without this, run_until(horizon) would drain the stale-RTO
+    // tail and then clamp the clock all the way to the horizon.
+    runner_->add_iteration_hook(
+        [this](net::IterIndex, sim::Time, sim::Time) { sim_->stop(); });
+  }
 
-  if (config_.background.bytes > 0) {
+  if (config_.background.bytes > core::Bytes{0}) {
     collective::CollectiveConfig bg;
     bg.hosts = all_hosts_ring(config_.fabric.shape);
     bg.schedule = collective::ring_all_reduce(config_.fabric.shape.num_hosts(),
@@ -200,6 +236,9 @@ fp::PortLoadMap Scenario::simulation_prediction() const {
   nested.new_faults.clear();
   nested.iterations = config_.sim_model_iterations;
   nested.flowpulse.model = fp::ModelKind::kAnalytical;  // prediction unused
+  // The model-building run must measure real packets, whatever the outer
+  // run's fidelity policy is.
+  nested.fidelity = fp::FidelityPolicy{};
   nested.seed = config_.seed ^ 0x51b0a11ull;  // independent randomness
   Scenario inner{std::move(nested)};
   inner.run();
@@ -251,6 +290,129 @@ bool Scenario::fault_active_during(sim::Time start, sim::Time end) const {
   return false;
 }
 
+bool Scenario::unquarantined_fault_during(sim::Time start, sim::Time end) const {
+  for (const NewFault& f : config_.new_faults) {
+    // A fault on a link routing already avoids sees no traffic; flow-level
+    // synthesis is exact there and packet fidelity buys nothing.
+    if (fabric_->routing().known_failed(f.leaf, f.uplink)) continue;
+    if (f.spec.active_during(start, end)) return true;
+  }
+  return false;
+}
+
+// The hybrid loop: drive iterations one at a time, choosing per iteration
+// between full packet simulation and flow-level fast-forward. Packet
+// iterations run the real CollectiveRunner to quiescence and then flush the
+// monitors so every leaf's record for iteration k is finalized (and judged)
+// before iteration k+1 starts — preserving the controller's in-order
+// completion assumption. Flow iterations advance the clock analytically and
+// inject synthesized records through FlowPulseSystem::ingest.
+void Scenario::run_hybrid() {
+  fidelity_stats_ = fp::FidelityStats{};
+  fidelity_stats_.enabled = true;
+  fidelity_stats_.mode = config_.fidelity.mode;
+  const bool flow_only = config_.fidelity.mode == fp::FidelityMode::kFlow;
+  const std::uint32_t warmup =
+      flow_only ? 0 : std::max<std::uint32_t>(1, config_.fidelity.warmup_iterations);
+  const net::TopologyInfo& info = config_.fabric.shape;
+
+  // Iteration-duration estimate for the fast-forward clock: packet-measured
+  // EWMA in hybrid mode, analytic in pure flow mode (or the explicit knob).
+  sim::Time est = config_.fidelity.flow_iteration_time;
+  if (est <= sim::Time::zero()) {
+    est = fastforward_->estimate_iteration_time(demand_, config_.fabric.host_link.bandwidth);
+  }
+
+  std::uint32_t hold = 0;          // alert-hold hysteresis, in iterations
+  std::size_t seen_results = 0;    // results already scanned for alerts
+  std::size_t seen_events = 0;     // mitigation events already seen
+  bool prev_packet = true;
+
+  for (std::uint32_t iter = 0; iter < config_.iterations; ++iter) {
+    if (sim_->now() >= config_.horizon) break;
+
+    bool packet = false;
+    if (!flow_only) {
+      const sim::Time span = est + config_.compute_gap;
+      const sim::Time guard =
+          sim::Time::picoseconds(span.ps() * (config_.fidelity.fault_guard_iterations + 1));
+      const sim::Time guard_start =
+          sim_->now() > guard ? sim_->now() - guard : sim::Time::zero();
+      packet = iter < warmup || hold > 0 ||
+               (controller_ != nullptr && controller_->fidelity_hold()) ||
+               unquarantined_fault_during(guard_start, sim_->now() + guard);
+    }
+    if (iter > 0 && packet != prev_packet) {
+      packet ? ++fidelity_stats_.demotions : ++fidelity_stats_.promotions;
+      FP_TRACE(*sim_, kFidelity, "sim", iter, packet ? 1 : 0, 0, 0.0,
+               packet ? "demote-to-packet" : "promote-to-flow");
+    }
+    prev_packet = packet;
+    fidelity_stats_.iteration_mode.push_back(packet ? 1 : 0);
+
+    if (packet) {
+      ++fidelity_stats_.packet_iterations;
+      // The runner only counts iterations it actually ran (flow-mode
+      // iterations are invisible to it), so completion is "one more than
+      // before", not "iter + 1".
+      const std::uint32_t completed_before = runner_->completed_iterations();
+      runner_->start_iteration(iter);
+      sim_->run_until(config_.horizon);  // the stop hook halts at completion
+      if (runner_->completed_iterations() == completed_before) {
+        // Horizon hit mid-iteration: the iteration did not complete.
+        --fidelity_stats_.packet_iterations;
+        fidelity_stats_.iteration_mode.pop_back();
+        break;
+      }
+      // Drain the compute gap BEFORE finalizing: in-flight duplicates,
+      // trailing ACKs and stale RTO timers land here, so late data packets
+      // fold into this iteration's record exactly as continuous packet mode
+      // attributes them (a late duplicate always precedes iter+1's first
+      // packet).
+      sim_->fast_forward(sim_->now() + config_.compute_gap);
+      // Finalize iteration `iter` at every monitor now (packet mode would
+      // have waited for iteration iter+1's first packet, which may never be
+      // simulated); results flow to the detector/controller here.
+      flowpulse_->flush();
+      const auto& durations = runner_->iteration_durations();
+      if (!durations.empty()) {
+        const sim::Time d = durations.back();
+        // EWMA (alpha = 1/2) over measured packet iterations.
+        est = iter < warmup ? d : sim::Time::picoseconds((est.ps() + d.ps()) / 2);
+      }
+    } else {
+      ++fidelity_stats_.flow_iterations;
+      const sim::Time start = sim_->now();
+      const sim::Time end = start + est;
+      sim_->fast_forward(end);
+      for (const net::LeafId l : core::ids<net::LeafId>(info.leaves)) {
+        flowpulse_->ingest(fastforward_->synthesize(l, net::IterIndex{iter}, start, end));
+      }
+      iter_windows_.emplace_back(start, end);
+      sim_->fast_forward(end + config_.compute_gap);
+    }
+
+    // Hysteresis: any alerted check or controller action demotes the NEXT
+    // alert_hold_iterations to packets, so debounce/probation judge real
+    // traffic end-to-end.
+    bool activity = false;
+    const auto& results = flowpulse_->results();
+    for (; seen_results < results.size(); ++seen_results) {
+      if (results[seen_results].faulty()) activity = true;
+    }
+    if (controller_ != nullptr && controller_->events().size() > seen_events) {
+      seen_events = controller_->events().size();
+      activity = true;
+    }
+    if (activity && !flow_only) {
+      hold = config_.fidelity.alert_hold_iterations;
+    } else if (hold > 0) {
+      --hold;
+    }
+  }
+  flowpulse_->flush();
+}
+
 // Snapshot the ring when a (leaf × iteration) check flagged ports or drove
 // the controller to act — the retained window is the causal context of the
 // alert. One dump per iteration (every leaf reports each iteration), capped
@@ -280,15 +442,22 @@ ScenarioResult Scenario::run() {
   if (recorder_ != nullptr) {
     audit_dump.emplace(&dump_recorder_on_audit_failure, recorder_.get());
   }
-  runner_->start();
-  if (background_runner_) background_runner_->start();
-  sim_->run_until(config_.horizon);
-  flowpulse_->flush();
+  if (hybrid_active_) {
+    run_hybrid();
+  } else {
+    runner_->start();
+    if (background_runner_) background_runner_->start();
+    sim_->run_until(config_.horizon);
+    flowpulse_->flush();
+  }
   // detlint: ok(wall-clock): end stamp of the reporting-only wall duration.
   const auto wall_end = std::chrono::steady_clock::now();
 
   ScenarioResult r;
-  r.iterations_completed = runner_->completed_iterations();
+  // Fast-forwarded iterations complete without touching the runner.
+  r.iterations_completed =
+      hybrid_active_ ? static_cast<std::uint32_t>(fidelity_stats_.iteration_mode.size())
+                     : runner_->completed_iterations();
   r.data_valid = runner_->data_valid();
   r.per_iter_max_dev = flowpulse_->per_iteration_max_dev();
   r.detections = flowpulse_->results();
@@ -302,6 +471,7 @@ ScenarioResult Scenario::run() {
     r.mitigation_events = controller_->events();
     r.recovery = controller_->timeline();
   }
+  r.fidelity = fidelity_stats_;
   r.transport_stats = transports_->total_stats();
   r.fabric_counters = fabric_->total_fabric_counters();
   // Report when the workload actually finished, not the safety horizon the

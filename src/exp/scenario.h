@@ -5,9 +5,12 @@
 #include <vector>
 
 #include "collective/demand_matrix.h"
+#include "core/units.h"
 #include "collective/runner.h"
 #include "collective/schedule.h"
 #include "ctrl/controller.h"
+#include "flowpulse/fastforward.h"
+#include "flowpulse/fidelity.h"
 #include "flowpulse/system.h"
 #include "net/fat_tree.h"
 #include "obs/trace.h"
@@ -36,9 +39,7 @@ struct ScenarioConfig {
 
   // Workload.
   collective::CollectiveKind collective = collective::CollectiveKind::kRingReduceScatter;
-  // detlint: ok(raw-scalar-id): payload size handed to the unconverted
-  // collective layer; becomes core::Bytes with the ROADMAP follow-up
-  std::uint64_t collective_bytes = 8ull << 20;
+  core::Bytes collective_bytes{8ull << 20};
   std::uint32_t iterations = 6;
   sim::Time compute_gap = sim::Time::microseconds(10);
   sim::Time max_jitter = sim::Time::microseconds(1);
@@ -49,9 +50,7 @@ struct ScenarioConfig {
   /// priority over the same hosts, continuously re-iterating until the
   /// measured job finishes. bytes == 0 disables it.
   struct BackgroundJob {
-    // detlint: ok(raw-scalar-id): payload size handed to the unconverted
-    // collective layer; becomes core::Bytes with the ROADMAP follow-up
-    std::uint64_t bytes = 0;
+    core::Bytes bytes{};
     net::Priority priority = net::Priority::kBackground;
   };
   BackgroundJob background{};
@@ -69,6 +68,14 @@ struct ScenarioConfig {
   /// fixed-model modes (kAnalytical / kSimulation): re-baselining means
   /// re-running the analytical prediction over the updated RoutingState.
   ctrl::MitigationPolicy mitigation{};
+
+  /// Hybrid-fidelity engine (fp::FidelityPolicy). kPacket (the default)
+  /// runs the untouched packet-level path. kHybrid / kFlow fast-forward
+  /// healthy iterations analytically; they require a fixed model
+  /// (kAnalytical / kSimulation) and no background job — unsupported
+  /// scenarios silently fall back to packet fidelity (result.fidelity
+  /// reports what actually ran).
+  fp::FidelityPolicy fidelity{};
 
   /// Flight-recorder tracing. Only honored in builds configured with
   /// -DFLOWPULSE_TRACE=ON; trace.level == kOff additionally defers to the
@@ -100,6 +107,10 @@ struct ScenarioResult {
   /// when mitigation is disabled), plus its recovery milestones.
   std::vector<ctrl::MitigationEvent> mitigation_events;
   ctrl::RecoveryTimeline recovery{};
+
+  /// What the hybrid engine did (fidelity.enabled == false for pure packet
+  /// runs, including fallbacks).
+  fp::FidelityStats fidelity{};
 
   transport::TransportStats transport_stats{};
   net::LinkCounters fabric_counters{};
@@ -150,6 +161,10 @@ class Scenario {
   void apply_new_faults();
   [[nodiscard]] bool fault_active_during(sim::Time start, sim::Time end) const;
   void maybe_dump(const fp::DetectionResult& result);
+  void run_hybrid();
+  /// A configured silent fault on a link routing still uses is active in
+  /// [start, end) — the hybrid engine's fault-guard demotion test.
+  [[nodiscard]] bool unquarantined_fault_during(sim::Time start, sim::Time end) const;
 
   ScenarioConfig config_;
   collective::CommSchedule schedule_;
@@ -162,6 +177,9 @@ class Scenario {
   std::unique_ptr<fp::FlowPulseSystem> flowpulse_;
   std::unique_ptr<ctrl::MitigationController> controller_;
   std::unique_ptr<fp::PortLoadMap> prediction_;
+  std::unique_ptr<fp::FastForwardModel> fastforward_;
+  bool hybrid_active_ = false;
+  fp::FidelityStats fidelity_stats_;
   std::vector<std::pair<sim::Time, sim::Time>> iter_windows_;
   std::unique_ptr<obs::FlightRecorder> recorder_;
   std::vector<obs::TraceDump> trace_dumps_;
@@ -176,6 +194,6 @@ class Scenario {
 /// Build the schedule for a ScenarioConfig over all hosts of the topology.
 [[nodiscard]] collective::CommSchedule make_schedule(collective::CollectiveKind kind,
                                                      const net::TopologyInfo& shape,
-                                                     std::uint64_t total_bytes);  // detlint: ok(raw-scalar-id): mirrors the unconverted collective:: schedule API; becomes core::Bytes with the ROADMAP follow-up
+                                                     core::Bytes total_bytes);
 
 }  // namespace flowpulse::exp

@@ -9,8 +9,8 @@ PortLoadMap AnalyticalModel::predict(const collective::DemandMatrix& demand,
   for (const net::HostId src : core::ids<net::HostId>(hosts)) {
     const net::LeafId src_leaf = info_.leaf_of(src);
     for (const net::HostId dst : core::ids<net::HostId>(hosts)) {
-      const std::uint64_t d = demand.at(src, dst);
-      if (d == 0) continue;
+      const core::Bytes d = demand.at(src, dst);
+      if (d == core::Bytes{0}) continue;
       const net::LeafId dst_leaf = info_.leaf_of(dst);
       if (src_leaf == dst_leaf) continue;  // local traffic never reaches spines
       const auto& valid = routing.valid_uplinks(src_leaf, dst_leaf);

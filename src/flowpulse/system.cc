@@ -17,10 +17,18 @@ FlowPulseSystem::FlowPulseSystem(net::FatTree& fabric, SystemConfig config)
       learned_.push_back(
           std::make_unique<LearnedModel>(info.uplinks_per_leaf(), config_.learned));
     }
+    if (config_.detector == DetectorKind::kStreaming) {
+      streaming_.push_back(std::make_unique<StreamingDetector>(
+          l, info.uplinks_per_leaf(), info.leaves, config_.streaming));
+    }
   }
 }
 
 void FlowPulseSystem::set_prediction(PortLoadMap prediction) {
+  // Streaming detectors re-seed their EWMA baselines from each installed
+  // prediction (arm and every controller re-baseline alike), so a routing
+  // change does not register as a deviation.
+  for (auto& s : streaming_) s->seed(prediction);
   detector_ = std::make_unique<Detector>(std::move(prediction), config_.threshold);
 }
 
@@ -40,6 +48,12 @@ void FlowPulseSystem::on_finalized(const IterationRecord& record) {
         if (alert_hook_) alert_hook_(results_.back());
       }
     }
+    return;
+  }
+  if (config_.detector == DetectorKind::kStreaming) {
+    results_.push_back(streaming_[record.leaf.v()]->observe(record));
+    trace_result(results_.back());
+    if (alert_hook_) alert_hook_(results_.back());
     return;
   }
   if (detector_ != nullptr) {

@@ -8,6 +8,7 @@
 #include "flowpulse/learned_model.h"
 #include "flowpulse/monitor.h"
 #include "flowpulse/port_load.h"
+#include "flowpulse/streaming_detector.h"
 #include "net/fat_tree.h"
 
 namespace flowpulse::fp {
@@ -22,11 +23,19 @@ enum class ModelKind : std::uint8_t {
                 ///< changes every iteration (e.g. expert-parallel AlltoAll)
 };
 
+/// Which evaluation engine judges finalized iterations (fixed-model modes).
+enum class DetectorKind : std::uint8_t {
+  kThreshold,  ///< paper's detector: compare against the installed prediction
+  kStreaming,  ///< O(1) EWMA/z-score streaming detector (StreamingDetector)
+};
+
 struct SystemConfig {
   double threshold = 0.01;  ///< paper's default detection threshold (1%)
   std::uint16_t job = 0;    ///< which tagged collective to measure
   ModelKind model = ModelKind::kAnalytical;
   LearnedModel::Config learned{};
+  DetectorKind detector = DetectorKind::kThreshold;
+  StreamingConfig streaming{};  ///< kStreaming knobs
 };
 
 /// The deployed FlowPulse system: one PortMonitor per leaf switch, each
@@ -66,6 +75,12 @@ class FlowPulseSystem {
   /// Finalize the in-flight iteration at every leaf (end of training run).
   void flush();
 
+  /// Feed one synthesized (or replayed) finalized iteration through the
+  /// exact pipeline a PortMonitor finalize takes — evaluation, result
+  /// collection, alert hook. The hybrid-fidelity engine injects flow-level
+  /// fast-forwarded iterations here; the monitors never see them.
+  void ingest(const IterationRecord& record) { on_finalized(record); }
+
   /// Every evaluated (leaf × iteration) check, in finalize order.
   [[nodiscard]] const std::vector<DetectionResult>& results() const { return results_; }
   /// Learned-model outcomes (kLearned mode), in finalize order.
@@ -90,6 +105,10 @@ class FlowPulseSystem {
   [[nodiscard]] const SystemConfig& config() const { return config_; }
   [[nodiscard]] bool has_prediction() const { return detector_ != nullptr; }
   [[nodiscard]] const Detector& detector() const { return *detector_; }
+  /// kStreaming only: the per-leaf streaming detector.
+  [[nodiscard]] StreamingDetector& streaming_detector(net::LeafId leaf) {
+    return *streaming_[leaf.v()];
+  }
 
  private:
   void on_finalized(const IterationRecord& record);
@@ -99,6 +118,7 @@ class FlowPulseSystem {
   SystemConfig config_;
   std::vector<std::unique_ptr<PortMonitor>> monitors_;
   std::unique_ptr<Detector> detector_;
+  std::vector<std::unique_ptr<StreamingDetector>> streaming_;
   PredictionProvider provider_;
   AlertHook alert_hook_;
   std::vector<std::unique_ptr<LearnedModel>> learned_;

@@ -43,10 +43,10 @@ class ThreeLevelAnalyticalModel {
                                              const net::RoutingState& routing) const;
 
  private:
-  [[nodiscard]] double wire_bytes(std::uint64_t payload) const {
-    if (payload == 0) return 0.0;
-    const std::uint64_t segments = (payload + mtu_payload_ - 1) / mtu_payload_;
-    return static_cast<double>(payload + segments * header_bytes_.v());
+  [[nodiscard]] double wire_bytes(core::Bytes payload) const {
+    if (payload == core::Bytes{0}) return 0.0;
+    const std::uint64_t segments = (payload.v() + mtu_payload_ - 1) / mtu_payload_;
+    return static_cast<double>(payload.v() + segments * header_bytes_.v());
   }
 
   net::ThreeLevelInfo info_;

@@ -27,6 +27,7 @@ const char* category_of(EventKind k) {
       return "ctrl";
     case EventKind::kRunStart:
     case EventKind::kRunStop:
+    case EventKind::kFidelity:
       return "sim";
   }
   return "obs";
@@ -67,6 +68,7 @@ std::string entity_label(const TraceEvent& e) {
       break;
     case EventKind::kRunStart:
     case EventKind::kRunStop:
+    case EventKind::kFidelity:
       os << "sim";
       break;
     default:

@@ -61,8 +61,9 @@ enum class EventKind : std::uint8_t {
   kIteration = 7,     ///< flowpulse: monitor finalized an iteration
   kRunStart = 8,      ///< sim: event loop entered
   kRunStop = 9,       ///< sim: event loop drained / stopped
+  kFidelity = 10,     ///< sim: hybrid engine switched fidelity mode
 };
-constexpr int kNumEventKinds = 10;
+constexpr int kNumEventKinds = 11;
 
 /// Verbosity tier an event kind belongs to.
 [[nodiscard]] constexpr TraceLevel level_of(EventKind k) {
@@ -99,6 +100,8 @@ constexpr int kNumEventKinds = 10;
       return "run_start";
     case EventKind::kRunStop:
       return "run_stop";
+    case EventKind::kFidelity:
+      return "fidelity";
   }
   return "unknown";
 }

@@ -26,6 +26,13 @@ void Simulator::run_until(Time deadline) {
 #endif
 }
 
+void Simulator::fast_forward(Time to) {
+  ++fast_forwards_;
+  FP_TRACE(*this, kFidelity, "sim", 0, 0, static_cast<std::uint64_t>(to.ps()), 0.0,
+           "fast-forward");
+  if (to > now_) run_until(to);
+}
+
 #if FP_AUDIT_ENABLED
 void Simulator::audit_on_quiesce() {
   for (const std::function<void()>& check : audit_quiesce_checks_) check();

@@ -55,11 +55,19 @@ class Simulator {
   /// min(deadline, time of last event) unless stopped.
   void run_until(Time deadline);
 
+  /// Hybrid-fidelity fast-forward: advance the clock to `to`, executing any
+  /// events due on the way (stale retransmission timers fire as no-ops).
+  /// Semantically identical to run_until, but counted separately and traced
+  /// (kFidelity) so reports and flight recordings show where simulated time
+  /// was synthesized rather than earned event-by-event.
+  void fast_forward(Time to);
+
   /// Stop the run loop after the current event returns.
   void stop() { stopped_ = true; }
 
   [[nodiscard]] bool stopped() const { return stopped_; }
   [[nodiscard]] std::uint64_t events_executed() const { return events_executed_; }
+  [[nodiscard]] std::uint64_t fast_forwards() const { return fast_forwards_; }
   [[nodiscard]] std::uint64_t events_scheduled() const { return queue_.scheduled_total(); }
   [[nodiscard]] std::size_t events_pending() const { return queue_.size(); }
 
@@ -93,6 +101,7 @@ class Simulator {
   Rng rng_;
   bool stopped_ = false;
   std::uint64_t events_executed_ = 0;
+  std::uint64_t fast_forwards_ = 0;
 };
 
 }  // namespace flowpulse::sim

@@ -16,13 +16,13 @@ Transport::Transport(sim::Simulator& simulator, net::Host& host, TransportConfig
 }
 
 std::uint64_t Transport::send_message(const MessageSpec& spec, SendCompleteFn on_complete) {
-  assert(spec.bytes > 0);
+  assert(spec.bytes > core::Bytes{0});
   const std::uint64_t msg_id = next_msg_id_++;
   SendState st;
   st.spec = spec;
   st.msg_id = msg_id;
-  st.total_segments =
-      static_cast<std::uint32_t>((spec.bytes + config_.mtu_payload - 1) / config_.mtu_payload);
+  st.total_segments = static_cast<std::uint32_t>(
+      (spec.bytes.v() + config_.mtu_payload - 1) / config_.mtu_payload);
   st.seg_acked.assign(st.total_segments, 0);
   st.attempts.assign(st.total_segments, 0);
   st.wire_time.assign(st.total_segments, sim::Time::zero());
@@ -36,7 +36,7 @@ std::uint64_t Transport::send_message(const MessageSpec& spec, SendCompleteFn on
 std::uint32_t Transport::segment_payload(const SendState& st, std::uint32_t seq) const {
   const std::uint64_t offset = static_cast<std::uint64_t>(seq) * config_.mtu_payload;
   return static_cast<std::uint32_t>(
-      std::min<std::uint64_t>(config_.mtu_payload, st.spec.bytes - offset));
+      std::min<std::uint64_t>(config_.mtu_payload, st.spec.bytes.v() - offset));
 }
 
 void Transport::pump(SendState& st) {
@@ -58,7 +58,7 @@ void Transport::transmit_segment(SendState& st, std::uint32_t seq) {
   p.src = host_.id();
   p.dst = st.spec.dst;
   p.msg_id = st.msg_id;
-  p.msg_bytes = core::Bytes{st.spec.bytes};
+  p.msg_bytes = st.spec.bytes;
   p.total_segments = st.total_segments;
   p.seq = seq;
   p.size_bytes = core::Bytes{segment_payload(st, seq)} + net::kHeaderBytes;
@@ -161,11 +161,11 @@ void Transport::on_data(const net::Packet& p) {
 
   if (rs.complete && !duplicate && rs.received == rs.total_segments) {
     ++stats_.messages_received;
-    const RecvInfo info{p.src, host_.id(), p.msg_id, p.flow_id, p.msg_bytes.v()};
+    const RecvInfo info{p.src, host_.id(), p.msg_id, p.flow_id, p.msg_bytes};
 #if FP_AUDIT_ENABLED
     rs.audit_src = p.src;
     rs.audit_flow = p.flow_id;
-    rs.audit_bytes = p.msg_bytes.v();
+    rs.audit_bytes = p.msg_bytes;
     ++rs.audit_deliveries;
     FP_AUDIT(rs.audit_deliveries == 1, "message-exactly-once",
              "host" + std::to_string(host_.id().v()) + ".transport", p.msg_id, sim_.now().ps(),

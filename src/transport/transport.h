@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/units.h"
 #include "net/host.h"
 #include "net/packet.h"
 #include "net/types.h"
@@ -41,7 +42,7 @@ struct TransportConfig {
 /// Parameters of one message send.
 struct MessageSpec {
   net::HostId dst{};
-  std::uint64_t bytes = 0;
+  core::Bytes bytes{};
   net::FlowId flow_id = 0;
   net::Priority priority = net::Priority::kCollective;
 };
@@ -52,7 +53,7 @@ struct RecvInfo {
   net::HostId dst{};
   std::uint64_t msg_id = 0;
   net::FlowId flow_id = 0;
-  std::uint64_t bytes = 0;
+  core::Bytes bytes{};
 };
 
 struct TransportStats {
@@ -138,7 +139,7 @@ class Transport {
     std::uint32_t audit_deliveries = 0;  ///< recv-handler firings; must be exactly 1
     net::HostId audit_src{};
     net::FlowId audit_flow = 0;
-    std::uint64_t audit_bytes = 0;
+    core::Bytes audit_bytes{};
 #endif
   };
 

@@ -34,7 +34,7 @@ namespace flowpulse::testing {
   cfg.fabric.shape.spines = 4;
   cfg.fabric.shape.hosts_per_leaf = 1;
   cfg.fabric.shape.parallel = 1;
-  cfg.collective_bytes = 1u << 20;
+  cfg.collective_bytes = core::Bytes{1u << 20};
   cfg.iterations = 8;
   cfg.seed = 42;
   cfg.preexisting.emplace_back(net::LeafId{2}, net::UplinkIndex{1});

@@ -143,7 +143,7 @@ TEST(Audit, DoubleDeliveredMessageFires) {
   transport::TransportLayer transports{sim, net};
   transport::MessageSpec spec;
   spec.dst = net::HostId{1};
-  spec.bytes = 64 * 1024;
+  spec.bytes = core::Bytes{64 * 1024};
   spec.flow_id = net::flowid::make_collective(net::IterIndex{0});
   const std::uint64_t msg_id = transports.at(net::HostId{0}).send_message(spec);
   sim.run();
@@ -187,7 +187,7 @@ TEST(Audit, EndToEndScenarioRunsClean) {
   // installed, so any violation aborts the test binary.
   exp::ScenarioConfig cfg;
   cfg.fabric.shape = net::TopologyInfo{4, 2, 2, 1};
-  cfg.collective_bytes = 1u << 20;
+  cfg.collective_bytes = core::Bytes{1u << 20};
   cfg.iterations = 3;
   exp::Scenario scenario{cfg};
   const exp::ScenarioResult r = scenario.run();

@@ -24,24 +24,24 @@ using sim::Time;
 
 TEST(ChunkBytes, SplitsExactly) {
   // 10 bytes over 4 chunks: 3,3,2,2.
-  EXPECT_EQ(chunk_bytes(10, 4, 0), 3u);
-  EXPECT_EQ(chunk_bytes(10, 4, 1), 3u);
-  EXPECT_EQ(chunk_bytes(10, 4, 2), 2u);
-  EXPECT_EQ(chunk_bytes(10, 4, 3), 2u);
-  std::uint64_t sum = 0;
-  for (std::uint32_t c = 0; c < 7; ++c) sum += chunk_bytes(1000003, 7, c);
-  EXPECT_EQ(sum, 1000003u);
+  EXPECT_EQ(chunk_bytes(core::Bytes{10}, 4, 0), core::Bytes{3});
+  EXPECT_EQ(chunk_bytes(core::Bytes{10}, 4, 1), core::Bytes{3});
+  EXPECT_EQ(chunk_bytes(core::Bytes{10}, 4, 2), core::Bytes{2});
+  EXPECT_EQ(chunk_bytes(core::Bytes{10}, 4, 3), core::Bytes{2});
+  core::Bytes sum{};
+  for (std::uint32_t c = 0; c < 7; ++c) sum += chunk_bytes(core::Bytes{1000003}, 7, c);
+  EXPECT_EQ(sum, core::Bytes{1000003});
 }
 
 TEST(RingSchedule, AllReduceShape) {
-  const CommSchedule s = ring_all_reduce(8, 8192);
+  const CommSchedule s = ring_all_reduce(8, core::Bytes{8192});
   EXPECT_EQ(s.stages.size(), 14u);  // 2(N-1)
   EXPECT_EQ(s.ranks, 8u);
   for (const Stage& st : s.stages) {
     EXPECT_EQ(st.sends.size(), 8u);  // every rank sends every stage
     for (const Send& snd : st.sends) {
       EXPECT_EQ(snd.dst_rank, (snd.src_rank + 1) % 8);  // ring successor
-      EXPECT_EQ(snd.bytes, 1024u);
+      EXPECT_EQ(snd.bytes, core::Bytes{1024});
     }
   }
   // First 7 stages reduce, last 7 gather.
@@ -51,14 +51,14 @@ TEST(RingSchedule, AllReduceShape) {
 
 TEST(RingSchedule, ReduceScatterIs31StagesFor32Ranks) {
   // The paper's §6 workload: a 31-stage Ring-AllReduce on 32 nodes.
-  const CommSchedule s = ring_reduce_scatter(32, 32 << 20);
+  const CommSchedule s = ring_reduce_scatter(32, core::Bytes{32 << 20});
   EXPECT_EQ(s.stages.size(), 31u);
   // Each of the 32 ranks sends one 1-MiB chunk per stage.
-  EXPECT_EQ(s.wire_payload_bytes(), 31ull * 32ull * ((32ull << 20) / 32ull));
+  EXPECT_EQ(s.wire_payload_bytes(), core::Bytes{31ull * 32ull * ((32ull << 20) / 32ull)});
 }
 
 TEST(RingSchedule, EachRankReceivesEveryChunkOnceInRs) {
-  const CommSchedule s = ring_reduce_scatter(6, 6000);
+  const CommSchedule s = ring_reduce_scatter(6, core::Bytes{6000});
   for (std::uint32_t r = 0; r < 6; ++r) {
     std::set<std::uint32_t> chunks;
     for (const Stage& st : s.stages) {
@@ -72,33 +72,33 @@ TEST(RingSchedule, EachRankReceivesEveryChunkOnceInRs) {
 
 TEST(RingSchedule, TinyCollectiveSkipsEmptyChunks) {
   // 3 bytes over 8 ranks: chunks 3..7 are empty and must not emit sends.
-  const CommSchedule s = ring_all_reduce(8, 3);
+  const CommSchedule s = ring_all_reduce(8, core::Bytes{3});
   for (const Stage& st : s.stages) {
-    for (const Send& snd : st.sends) EXPECT_GT(snd.bytes, 0u);
+    for (const Send& snd : st.sends) EXPECT_GT(snd.bytes, core::Bytes{0});
   }
-  EXPECT_EQ(s.wire_payload_bytes(), 3u * 7u * 2u);
+  EXPECT_EQ(s.wire_payload_bytes(), core::Bytes{3 * 7 * 2});
 }
 
 TEST(AllToAll, UniformPairs) {
-  const CommSchedule s = all_to_all(5, 100);
+  const CommSchedule s = all_to_all(5, core::Bytes{100});
   ASSERT_EQ(s.stages.size(), 1u);
   EXPECT_EQ(s.stages[0].sends.size(), 20u);
-  EXPECT_EQ(s.total_bytes, 2000u);
+  EXPECT_EQ(s.total_bytes, core::Bytes{2000});
 }
 
 TEST(AllToAll, RandomDemandWithinBounds) {
   sim::Rng rng{5};
-  const CommSchedule s = all_to_all_random(4, 50, 150, rng);
+  const CommSchedule s = all_to_all_random(4, core::Bytes{50}, core::Bytes{150}, rng);
   for (const Send& snd : s.stages[0].sends) {
-    EXPECT_GE(snd.bytes, 50u);
-    EXPECT_LE(snd.bytes, 150u);
+    EXPECT_GE(snd.bytes, core::Bytes{50});
+    EXPECT_LE(snd.bytes, core::Bytes{150});
   }
 }
 
 TEST(HierarchicalRing, ScheduleShape) {
   // 4 groups of 3 ranks: 1 local-reduce stage, 2(4-1) ring stages over the
   // leaders, 1 local-broadcast stage.
-  const CommSchedule s = hierarchical_ring_all_reduce(4, 3, 12000);
+  const CommSchedule s = hierarchical_ring_all_reduce(4, 3, core::Bytes{12000});
   EXPECT_EQ(s.kind, CollectiveKind::kHierarchicalRing);
   EXPECT_EQ(s.ranks, 12u);
   ASSERT_EQ(s.stages.size(), 1u + 6u + 1u);
@@ -108,7 +108,7 @@ TEST(HierarchicalRing, ScheduleShape) {
   for (const Send& snd : s.stages.front().sends) {
     EXPECT_EQ(snd.dst_rank % 3, 0u);
     EXPECT_EQ(snd.src_rank / 3, snd.dst_rank / 3);  // same group
-    EXPECT_EQ(snd.bytes, 12000u);
+    EXPECT_EQ(snd.bytes, core::Bytes{12000});
   }
   // Ring stages run only between leaders (ranks 0, 3, 6, 9).
   for (std::size_t k = 1; k + 1 < s.stages.size(); ++k) {
@@ -123,8 +123,8 @@ TEST(HierarchicalRing, ScheduleShape) {
 }
 
 TEST(HierarchicalRing, SingleMemberGroupsDegenerateToPlainRing) {
-  const CommSchedule h = hierarchical_ring_all_reduce(4, 1, 8000);
-  const CommSchedule r = ring_all_reduce(4, 8000);
+  const CommSchedule h = hierarchical_ring_all_reduce(4, 1, core::Bytes{8000});
+  const CommSchedule r = ring_all_reduce(4, core::Bytes{8000});
   ASSERT_EQ(h.stages.size(), r.stages.size());
   for (std::size_t k = 0; k < h.stages.size(); ++k) {
     EXPECT_EQ(h.stages[k].sends.size(), r.stages[k].sends.size());
@@ -142,7 +142,7 @@ TEST(HierarchicalRing, LocalPhasesNeverReachSpines) {
 
   CollectiveConfig cc;
   for (const net::HostId h : core::ids<net::HostId>(12)) cc.hosts.push_back(h);
-  cc.schedule = hierarchical_ring_all_reduce(4, 3, 600 * 1024);
+  cc.schedule = hierarchical_ring_all_reduce(4, 3, core::Bytes{600 * 1024});
   cc.iterations = 2;
   CollectiveRunner runner{sim, transports, std::move(cc)};
   runner.start();
@@ -165,26 +165,26 @@ TEST(HierarchicalRing, LocalPhasesNeverReachSpines) {
 }
 
 TEST(DemandMatrix, FromRingSchedule) {
-  const CommSchedule s = ring_reduce_scatter(4, 4000);
+  const CommSchedule s = ring_reduce_scatter(4, core::Bytes{4000});
   const std::vector<net::HostId> hosts{net::HostId{0}, net::HostId{1}, net::HostId{2},
                                        net::HostId{3}};
   const DemandMatrix m = DemandMatrix::from_schedule(s, hosts, 4);
   // Each rank sends 3 chunks of 1000 to its successor.
-  EXPECT_EQ(m.at(net::HostId{0}, net::HostId{1}), 3000u);
-  EXPECT_EQ(m.at(net::HostId{3}, net::HostId{0}), 3000u);
-  EXPECT_EQ(m.at(net::HostId{0}, net::HostId{2}), 0u);
-  EXPECT_EQ(m.total(), 12000u);
+  EXPECT_EQ(m.at(net::HostId{0}, net::HostId{1}), core::Bytes{3000});
+  EXPECT_EQ(m.at(net::HostId{3}, net::HostId{0}), core::Bytes{3000});
+  EXPECT_EQ(m.at(net::HostId{0}, net::HostId{2}), core::Bytes{0});
+  EXPECT_EQ(m.total(), core::Bytes{12000});
 }
 
 TEST(DemandMatrix, RespectsPlacement) {
-  const CommSchedule s = ring_reduce_scatter(3, 300);
+  const CommSchedule s = ring_reduce_scatter(3, core::Bytes{300});
   const std::vector<net::HostId> hosts{net::HostId{5}, net::HostId{2},
                                        net::HostId{7}};  // non-trivial placement
   const DemandMatrix m = DemandMatrix::from_schedule(s, hosts, 8);
-  EXPECT_EQ(m.at(net::HostId{5}, net::HostId{2}), 200u);
-  EXPECT_EQ(m.at(net::HostId{2}, net::HostId{7}), 200u);
-  EXPECT_EQ(m.at(net::HostId{7}, net::HostId{5}), 200u);
-  EXPECT_EQ(m.total(), 600u);
+  EXPECT_EQ(m.at(net::HostId{5}, net::HostId{2}), core::Bytes{200});
+  EXPECT_EQ(m.at(net::HostId{2}, net::HostId{7}), core::Bytes{200});
+  EXPECT_EQ(m.at(net::HostId{7}, net::HostId{5}), core::Bytes{200});
+  EXPECT_EQ(m.total(), core::Bytes{600});
 }
 
 // ---------------------------------------------------------------------------
@@ -204,7 +204,7 @@ struct Rig {
   transport::TransportLayer transports;
 };
 
-CollectiveConfig base_config(std::uint32_t ranks, std::uint64_t bytes,
+CollectiveConfig base_config(std::uint32_t ranks, core::Bytes bytes,
                              std::uint32_t iterations) {
   CollectiveConfig cc;
   for (std::uint32_t r = 0; r < ranks; ++r) cc.hosts.push_back(net::HostId{r});
@@ -216,7 +216,7 @@ CollectiveConfig base_config(std::uint32_t ranks, std::uint64_t bytes,
 
 TEST(Runner, CompletesAllIterations) {
   Rig rig;
-  CollectiveRunner runner{rig.sim, rig.transports, base_config(4, 64 * 1024, 3)};
+  CollectiveRunner runner{rig.sim, rig.transports, base_config(4, core::Bytes{64 * 1024}, 3)};
   runner.start();
   rig.sim.run();
   EXPECT_TRUE(runner.finished());
@@ -226,7 +226,7 @@ TEST(Runner, CompletesAllIterations) {
 
 TEST(Runner, AllReduceProducesCorrectSums) {
   Rig rig;
-  CollectiveRunner runner{rig.sim, rig.transports, base_config(4, 64 * 1024, 2)};
+  CollectiveRunner runner{rig.sim, rig.transports, base_config(4, core::Bytes{64 * 1024}, 2)};
   runner.start();
   rig.sim.run();
   EXPECT_TRUE(runner.data_valid());
@@ -234,8 +234,8 @@ TEST(Runner, AllReduceProducesCorrectSums) {
 
 TEST(Runner, ReduceScatterProducesCorrectSums) {
   Rig rig;
-  CollectiveConfig cc = base_config(4, 64 * 1024, 2);
-  cc.schedule = ring_reduce_scatter(4, 64 * 1024);
+  CollectiveConfig cc = base_config(4, core::Bytes{64 * 1024}, 2);
+  cc.schedule = ring_reduce_scatter(4, core::Bytes{64 * 1024});
   CollectiveRunner runner{rig.sim, rig.transports, std::move(cc)};
   runner.start();
   rig.sim.run();
@@ -247,7 +247,7 @@ TEST(Runner, SurvivesSilentFaultAndStaysCorrect) {
   Rig rig;
   rig.net.set_link_fault(net::LeafId{1}, net::UplinkIndex{0},
                          net::FaultSpec::random_drop(0.1));
-  CollectiveRunner runner{rig.sim, rig.transports, base_config(4, 128 * 1024, 3)};
+  CollectiveRunner runner{rig.sim, rig.transports, base_config(4, core::Bytes{128 * 1024}, 3)};
   runner.start();
   rig.sim.run();
   EXPECT_TRUE(runner.finished());
@@ -256,7 +256,7 @@ TEST(Runner, SurvivesSilentFaultAndStaysCorrect) {
 
 TEST(Runner, JitterDelaysButCompletes) {
   Rig rig;
-  CollectiveConfig cc = base_config(4, 64 * 1024, 3);
+  CollectiveConfig cc = base_config(4, core::Bytes{64 * 1024}, 3);
   cc.max_jitter = Time::microseconds(5);
   CollectiveRunner runner{rig.sim, rig.transports, std::move(cc)};
   runner.start();
@@ -271,7 +271,7 @@ TEST(Runner, TagsPacketsWithIterationFlowId) {
   rig.net.leaf(net::LeafId{1}).set_spine_ingress_hook([&](net::UplinkIndex, const net::Packet& p) {
     if (p.kind == net::PacketKind::kData) seen.insert(p.flow_id);
   });
-  CollectiveConfig cc = base_config(4, 32 * 1024, 3);
+  CollectiveConfig cc = base_config(4, core::Bytes{32 * 1024}, 3);
   CollectiveRunner runner{rig.sim, rig.transports, std::move(cc)};
   runner.start();
   rig.sim.run();
@@ -289,7 +289,7 @@ TEST(Runner, UntaggedJobProducesNoSentinel) {
   rig.net.leaf(net::LeafId{1}).set_spine_ingress_hook([&](net::UplinkIndex, const net::Packet& p) {
     if (net::flowid::is_collective(p.flow_id)) sentinel_seen = true;
   });
-  CollectiveConfig cc = base_config(4, 32 * 1024, 2);
+  CollectiveConfig cc = base_config(4, core::Bytes{32 * 1024}, 2);
   cc.tag_flow = false;
   CollectiveRunner runner{rig.sim, rig.transports, std::move(cc)};
   runner.start();
@@ -300,7 +300,7 @@ TEST(Runner, UntaggedJobProducesNoSentinel) {
 
 TEST(Runner, ComputeGapSeparatesIterations) {
   Rig rig;
-  CollectiveConfig cc = base_config(4, 32 * 1024, 2);
+  CollectiveConfig cc = base_config(4, core::Bytes{32 * 1024}, 2);
   cc.compute_gap = Time::microseconds(100);
   std::vector<Time> starts;
   CollectiveRunner runner{rig.sim, rig.transports, std::move(cc)};
@@ -317,13 +317,13 @@ TEST(Runner, TwoParallelJobsShareFabric) {
   // Job A: measured collective on even hosts. Job B: background on odd.
   CollectiveConfig a;
   a.hosts = {net::HostId{0}, net::HostId{2}, net::HostId{4}, net::HostId{6}};
-  a.schedule = ring_all_reduce(4, 64 * 1024);
+  a.schedule = ring_all_reduce(4, core::Bytes{64 * 1024});
   a.iterations = 2;
   a.validate_data = true;
   a.job_id = 0;
   CollectiveConfig b;
   b.hosts = {net::HostId{1}, net::HostId{3}, net::HostId{5}, net::HostId{7}};
-  b.schedule = ring_all_reduce(4, 64 * 1024);
+  b.schedule = ring_all_reduce(4, core::Bytes{64 * 1024});
   b.iterations = 2;
   b.validate_data = true;
   b.job_id = 1;
@@ -346,7 +346,7 @@ TEST(Runner, DynamicScheduleGeneratorRunsEveryIteration) {
   cc.hosts = {net::HostId{0}, net::HostId{1}, net::HostId{2}, net::HostId{3}};
   cc.iterations = 3;
   cc.schedule_generator = [](std::uint32_t, sim::Rng& rng) {
-    return all_to_all_random(4, 1024, 8192, rng);
+    return all_to_all_random(4, core::Bytes{1024}, core::Bytes{8192}, rng);
   };
   CollectiveRunner runner{rig.sim, rig.transports, std::move(cc)};
   runner.start();
@@ -359,7 +359,7 @@ class RingSizeTest : public ::testing::TestWithParam<std::uint32_t> {};
 TEST_P(RingSizeTest, AllReduceCorrectAcrossRingSizes) {
   const std::uint32_t ranks = GetParam();
   Rig rig{ranks, ranks / 2, 17};
-  CollectiveRunner runner{rig.sim, rig.transports, base_config(ranks, 16 * 1024, 1)};
+  CollectiveRunner runner{rig.sim, rig.transports, base_config(ranks, core::Bytes{16 * 1024}, 1)};
   runner.start();
   rig.sim.run();
   EXPECT_TRUE(runner.finished());

@@ -297,7 +297,7 @@ exp::ScenarioConfig mitigated_scenario(std::uint64_t seed = 1) {
   exp::ScenarioConfig cfg;
   cfg.fabric.shape = net::TopologyInfo{8, 4, 1, 1};
   cfg.collective = collective::CollectiveKind::kRingReduceScatter;
-  cfg.collective_bytes = 8ull << 20;
+  cfg.collective_bytes = core::Bytes{8ull << 20};
   cfg.iterations = 12;
   cfg.seed = seed;
   cfg.mitigation.enabled = true;
@@ -362,7 +362,7 @@ TEST(MitigationE2E, FalsePositiveQuarantineIsRestored) {
   // of a few packets (ring traffic splits exactly evenly and has none).
   exp::ScenarioConfig cfg = mitigated_scenario();
   cfg.collective = collective::CollectiveKind::kAllToAll;
-  cfg.collective_bytes = 24ull << 20;
+  cfg.collective_bytes = core::Bytes{24ull << 20};
   cfg.iterations = 10;
   cfg.flowpulse.threshold = 1e-6;
   cfg.mitigation.max_strikes = 1;  // one misfire per link, then banned

@@ -18,7 +18,7 @@ struct DynamicRig {
     exp::ScenarioConfig cfg;
     cfg.fabric.shape = net::TopologyInfo{4, 2, 1, 1};
     cfg.collective = collective::CollectiveKind::kAllToAll;
-    cfg.collective_bytes = 12ull << 20;  // placeholder; generator overrides
+    cfg.collective_bytes = core::Bytes{12ull << 20};  // placeholder; generator overrides
     cfg.iterations = 0;                  // we drive our own runner
     cfg.flowpulse.model = ModelKind::kDynamic;
     cfg.preexisting = std::move(preexisting);
@@ -38,7 +38,7 @@ struct DynamicRig {
     cc.iterations = iterations;
     // Per-iteration random demand: 1-3 MiB per ordered pair.
     cc.schedule_generator = [](std::uint32_t, sim::Rng& rng) {
-      return collective::all_to_all_random(4, 1ull << 20, 3ull << 20, rng);
+      return collective::all_to_all_random(4, core::Bytes{1ull << 20}, core::Bytes{3ull << 20}, rng);
     };
     runner = std::make_unique<collective::CollectiveRunner>(
         scenario->simulator(), scenario->transports(), std::move(cc));

@@ -72,18 +72,18 @@ TEST(EnvKnobs, ScaleOverride) {
 
 TEST(MakeSchedule, DispatchesByKind) {
   const net::TopologyInfo shape{4, 2, 1, 1};
-  EXPECT_EQ(make_schedule(collective::CollectiveKind::kRingAllReduce, shape, 4096).stages.size(),
+  EXPECT_EQ(make_schedule(collective::CollectiveKind::kRingAllReduce, shape, core::Bytes{4096}).stages.size(),
             6u);
   EXPECT_EQ(
-      make_schedule(collective::CollectiveKind::kRingReduceScatter, shape, 4096).stages.size(),
+      make_schedule(collective::CollectiveKind::kRingReduceScatter, shape, core::Bytes{4096}).stages.size(),
       3u);
   EXPECT_EQ(
-      make_schedule(collective::CollectiveKind::kRingAllGather, shape, 4096).stages.size(), 3u);
-  EXPECT_EQ(make_schedule(collective::CollectiveKind::kAllToAll, shape, 4096).stages.size(),
+      make_schedule(collective::CollectiveKind::kRingAllGather, shape, core::Bytes{4096}).stages.size(), 3u);
+  EXPECT_EQ(make_schedule(collective::CollectiveKind::kAllToAll, shape, core::Bytes{4096}).stages.size(),
             1u);
   const net::TopologyInfo multi{4, 2, 2, 1};
   const auto hier =
-      make_schedule(collective::CollectiveKind::kHierarchicalRing, multi, 4096);
+      make_schedule(collective::CollectiveKind::kHierarchicalRing, multi, core::Bytes{4096});
   EXPECT_EQ(hier.kind, collective::CollectiveKind::kHierarchicalRing);
   EXPECT_EQ(hier.ranks, 8u);
 }
@@ -98,7 +98,7 @@ TEST(AllHostsRing, CoversEveryHostInOrder) {
 TEST(RunTrials, ProducesRequestedCountWithDistinctSeeds) {
   ScenarioConfig cfg;
   cfg.fabric.shape = net::TopologyInfo{4, 2, 1, 1};
-  cfg.collective_bytes = 1 << 20;
+  cfg.collective_bytes = core::Bytes{1 << 20};
   cfg.iterations = 2;
   const auto trials = run_trials(cfg, 3);
   ASSERT_EQ(trials.size(), 3u);
@@ -108,7 +108,7 @@ TEST(RunTrials, ProducesRequestedCountWithDistinctSeeds) {
 TEST(RunTrials, SkipDropsLeadingIterations) {
   ScenarioConfig cfg;
   cfg.fabric.shape = net::TopologyInfo{4, 2, 1, 1};
-  cfg.collective_bytes = 1 << 20;
+  cfg.collective_bytes = core::Bytes{1 << 20};
   cfg.iterations = 3;
   const auto trials = run_trials(cfg, 1, /*skip=*/2);
   ASSERT_EQ(trials.size(), 1u);

@@ -35,15 +35,15 @@ class AnalyticalModelTest : public ::testing::Test {
 };
 
 TEST_F(AnalyticalModelTest, WireBytesAccountsForSegmentation) {
-  EXPECT_DOUBLE_EQ(model.wire_bytes(0), 0.0);
-  EXPECT_DOUBLE_EQ(model.wire_bytes(4096), 4096 + 64);
-  EXPECT_DOUBLE_EQ(model.wire_bytes(4097), 4097 + 2 * 64);
-  EXPECT_DOUBLE_EQ(model.wire_bytes(8192), 8192 + 2 * 64);
+  EXPECT_DOUBLE_EQ(model.wire_bytes(core::Bytes{0}), 0.0);
+  EXPECT_DOUBLE_EQ(model.wire_bytes(core::Bytes{4096}), 4096 + 64);
+  EXPECT_DOUBLE_EQ(model.wire_bytes(core::Bytes{4097}), 4097 + 2 * 64);
+  EXPECT_DOUBLE_EQ(model.wire_bytes(core::Bytes{8192}), 8192 + 2 * 64);
 }
 
 TEST_F(AnalyticalModelTest, FaultFreeSplitsEvenlyAcrossSpines) {
   DemandMatrix d{4};
-  d.add(net::HostId{0}, net::HostId{1}, 4096 * 4);  // 4 segments
+  d.add(net::HostId{0}, net::HostId{1}, core::Bytes{4096 * 4});  // 4 segments
   const PortLoadMap map = model.predict(d, routing);
   const double wire = 4 * (4096 + 64);
   for (const net::UplinkIndex u : core::ids<net::UplinkIndex>(4)) {
@@ -59,7 +59,7 @@ TEST_F(AnalyticalModelTest, KnownFaultRedistributesOverRemaining) {
   // surviving spine carries d/(s−f).
   routing.set_known_failed(net::LeafId{0}, net::UplinkIndex{2});  // source-side failure
   DemandMatrix d{4};
-  d.add(net::HostId{0}, net::HostId{1}, 4096 * 12);
+  d.add(net::HostId{0}, net::HostId{1}, core::Bytes{4096 * 12});
   const PortLoadMap map = model.predict(d, routing);
   const double wire = 12 * (4096 + 64);
   for (const net::UplinkIndex u : core::ids<net::UplinkIndex>(4)) {
@@ -71,7 +71,7 @@ TEST_F(AnalyticalModelTest, DestinationSideFaultAlsoCounts) {
   routing.set_known_failed(net::LeafId{1}, net::UplinkIndex{0});  // destination-side failure
   routing.set_known_failed(net::LeafId{0}, net::UplinkIndex{3});  // plus source-side → s − f = 2
   DemandMatrix d{4};
-  d.add(net::HostId{0}, net::HostId{1}, 4096 * 8);
+  d.add(net::HostId{0}, net::HostId{1}, core::Bytes{4096 * 8});
   const PortLoadMap map = model.predict(d, routing);
   const double wire = 8 * (4096 + 64);
   EXPECT_DOUBLE_EQ(map.at(net::LeafId{1}, net::UplinkIndex{0}).total, 0.0);
@@ -85,15 +85,15 @@ TEST_F(AnalyticalModelTest, IntraLeafTrafficNeverReachesSpines) {
   AnalyticalModel m{two_per, 4096, core::Bytes{64}};
   RoutingState r{2, 4};
   DemandMatrix d{4};
-  d.add(net::HostId{0}, net::HostId{1}, 1 << 20);  // hosts 0,1 share leaf 0
+  d.add(net::HostId{0}, net::HostId{1}, core::Bytes{1 << 20});  // hosts 0,1 share leaf 0
   const PortLoadMap map = m.predict(d, r);
   EXPECT_DOUBLE_EQ(map.total(), 0.0);
 }
 
 TEST_F(AnalyticalModelTest, MultipleSendersAccumulatePerSender) {
   DemandMatrix d{4};
-  d.add(net::HostId{0}, net::HostId{3}, 4096 * 4);
-  d.add(net::HostId{1}, net::HostId{3}, 4096 * 8);
+  d.add(net::HostId{0}, net::HostId{3}, core::Bytes{4096 * 4});
+  d.add(net::HostId{1}, net::HostId{3}, core::Bytes{4096 * 8});
   const PortLoadMap map = model.predict(d, routing);
   for (const net::UplinkIndex u : core::ids<net::UplinkIndex>(4)) {
     EXPECT_DOUBLE_EQ(map.at(net::LeafId{3}, u).by_src_leaf[0], 4 * (4096 + 64) / 4.0);
@@ -108,7 +108,7 @@ TEST_F(AnalyticalModelTest, PartitionedPairContributesNothing) {
     routing.set_known_failed(net::LeafId{1}, u);
   }
   DemandMatrix d{4};
-  d.add(net::HostId{0}, net::HostId{1}, 1 << 20);
+  d.add(net::HostId{0}, net::HostId{1}, core::Bytes{1 << 20});
   const PortLoadMap map = model.predict(d, routing);
   EXPECT_DOUBLE_EQ(map.total(), 0.0);
 }

@@ -19,7 +19,7 @@ ScenarioConfig small_scenario(std::uint64_t seed = 1) {
   ScenarioConfig cfg;
   cfg.fabric.shape = net::TopologyInfo{8, 4, 1, 1};
   cfg.collective = CollectiveKind::kRingReduceScatter;
-  cfg.collective_bytes = 8ull << 20;
+  cfg.collective_bytes = core::Bytes{8ull << 20};
   cfg.iterations = 4;
   cfg.seed = seed;
   return cfg;
@@ -84,7 +84,7 @@ TEST(Scenario, DetectsSilentUplinkDropAtRemoteLeaf) {
   ScenarioConfig cfg = small_scenario();
   cfg.fabric.shape = net::TopologyInfo{4, 2, 1, 1};
   cfg.collective = collective::CollectiveKind::kAllToAll;
-  cfg.collective_bytes = 24ull << 20;  // 2 MiB per ordered pair
+  cfg.collective_bytes = core::Bytes{24ull << 20};  // 2 MiB per ordered pair
   cfg.iterations = 2;
   NewFault f = downlink_drop(net::LeafId{1}, net::UplinkIndex{0}, 0.08);
   f.where = NewFault::Where::kUplink;
@@ -269,7 +269,7 @@ TEST(Scenario, AllToAllMonitorable) {
   // Large enough that per-(sender, port) spray quantization (a couple of
   // packets out of ~770 per port) sits well under the 1% threshold — the
   // paper's Fig. 5(c) point that small collectives are noisy, in reverse.
-  cfg.collective_bytes = 96ull << 20;
+  cfg.collective_bytes = core::Bytes{96ull << 20};
   cfg.iterations = 3;
   Scenario s{cfg};
   const ScenarioResult r = s.run();
@@ -284,7 +284,7 @@ TEST(Scenario, HierarchicalRingMonitorableWithManyHostsPerLeaf) {
   ScenarioConfig cfg = small_scenario();
   cfg.fabric.shape = net::TopologyInfo{8, 4, 4, 1};
   cfg.collective = CollectiveKind::kHierarchicalRing;
-  cfg.collective_bytes = 8ull << 20;
+  cfg.collective_bytes = core::Bytes{8ull << 20};
   Scenario s{cfg};
   const ScenarioResult r = s.run();
   EXPECT_EQ(r.iterations_completed, 4u);
@@ -295,7 +295,7 @@ TEST(Scenario, HierarchicalRingDetectsSilentFault) {
   ScenarioConfig cfg = small_scenario();
   cfg.fabric.shape = net::TopologyInfo{8, 4, 4, 1};
   cfg.collective = CollectiveKind::kHierarchicalRing;
-  cfg.collective_bytes = 8ull << 20;
+  cfg.collective_bytes = core::Bytes{8ull << 20};
   cfg.new_faults.push_back(downlink_drop(net::LeafId{3}, net::UplinkIndex{2}, 0.05));
   Scenario s{cfg};
   const ScenarioResult r = s.run();
@@ -322,7 +322,7 @@ TEST(Scenario, PrioritizedBackgroundJobPreservesSymmetry) {
   // §5.1: a heavy untagged background job at lower priority must not
   // perturb the measured collective's per-port volumes.
   ScenarioConfig cfg = small_scenario();
-  cfg.background.bytes = 4ull << 20;
+  cfg.background.bytes = core::Bytes{4ull << 20};
   Scenario s{cfg};
   const ScenarioResult r = s.run();
   EXPECT_EQ(r.iterations_completed, 4u);
@@ -331,7 +331,7 @@ TEST(Scenario, PrioritizedBackgroundJobPreservesSymmetry) {
 
 TEST(Scenario, BackgroundJobDoesNotMaskFaultDetection) {
   ScenarioConfig cfg = small_scenario();
-  cfg.background.bytes = 4ull << 20;
+  cfg.background.bytes = core::Bytes{4ull << 20};
   cfg.new_faults.push_back(downlink_drop(net::LeafId{3}, net::UplinkIndex{2}, 0.05));
   Scenario s{cfg};
   const ScenarioResult r = s.run();

@@ -363,7 +363,7 @@ exp::ScenarioConfig traced_detection_scenario() {
   exp::ScenarioConfig cfg;
   cfg.fabric.shape = net::TopologyInfo{8, 4, 1, 1};
   cfg.collective = collective::CollectiveKind::kAllToAll;
-  cfg.collective_bytes = 8ull << 20;
+  cfg.collective_bytes = core::Bytes{8ull << 20};
   cfg.iterations = 12;
   cfg.seed = 1;
   cfg.fabric.pfc.xoff_bytes = core::Bytes{9 * 1024};

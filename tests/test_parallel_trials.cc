@@ -18,7 +18,7 @@ namespace {
 ScenarioConfig small_fault_scenario() {
   ScenarioConfig cfg;
   cfg.fabric.shape = net::TopologyInfo{4, 2, 1, 1};
-  cfg.collective_bytes = 1 << 20;
+  cfg.collective_bytes = core::Bytes{1 << 20};
   cfg.iterations = 3;
   cfg.seed = 42;
   NewFault f;

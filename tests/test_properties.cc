@@ -40,8 +40,10 @@ TEST_P(ModelConservation, PredictionSumsToWireBytes) {
     for (const net::HostId d : core::ids<net::HostId>(16)) {
       if (s == d) continue;
       const std::uint64_t bytes = 10'000 + rng.next_below(100'000);
-      demand.add(s, d, bytes);
-      if (info.leaf_of(s) != info.leaf_of(d)) expected_wire += model.wire_bytes(bytes);
+      demand.add(s, d, core::Bytes{bytes});
+      if (info.leaf_of(s) != info.leaf_of(d)) {
+        expected_wire += model.wire_bytes(core::Bytes{bytes});
+      }
     }
   }
   const fp::PortLoadMap pred = model.predict(demand, routing);
@@ -67,7 +69,7 @@ INSTANTIATE_TEST_SUITE_P(FaultCounts, ModelConservation, ::testing::Values(0, 1,
 TEST(MeasurementIdentity, MonitorTotalsEqualDownlinkDataDelivery) {
   ScenarioConfig cfg;
   cfg.fabric.shape = net::TopologyInfo{4, 2, 1, 1};
-  cfg.collective_bytes = 4ull << 20;
+  cfg.collective_bytes = core::Bytes{4ull << 20};
   cfg.iterations = 2;
   Scenario s{cfg};
   s.run();
@@ -98,7 +100,7 @@ TEST(DetectionMonotonicity, DeviationGrowsWithDropRate) {
   for (const double rate : {0.01, 0.03, 0.08, 0.2}) {
     ScenarioConfig cfg;
     cfg.fabric.shape = net::TopologyInfo{8, 4, 1, 1};
-    cfg.collective_bytes = 8ull << 20;
+    cfg.collective_bytes = core::Bytes{8ull << 20};
     cfg.iterations = 3;
     NewFault f;
     f.leaf = net::LeafId{3};
@@ -127,7 +129,7 @@ TEST_P(PolicyDeterminism, SameSeedSameResult) {
     ScenarioConfig cfg;
     cfg.fabric.shape = net::TopologyInfo{4, 2, 1, 1};
     cfg.fabric.spray = GetParam();
-    cfg.collective_bytes = 2ull << 20;
+    cfg.collective_bytes = core::Bytes{2ull << 20};
     cfg.iterations = 2;
     cfg.seed = 77;
     cfg.new_faults.push_back(NewFault{net::LeafId{1}, net::UplinkIndex{0}, NewFault::Where::kBoth,
@@ -163,7 +165,7 @@ TEST_P(DetectionSweep, FaultyPortAlwaysNamed) {
   const auto [rate, seed] = GetParam();
   ScenarioConfig cfg;
   cfg.fabric.shape = net::TopologyInfo{8, 4, 1, 1};
-  cfg.collective_bytes = 8ull << 20;
+  cfg.collective_bytes = core::Bytes{8ull << 20};
   cfg.iterations = 3;
   cfg.seed = seed;
   NewFault f;

@@ -151,7 +151,7 @@ struct FullRig3 {
         fps{net, 0.01} {
     collective::CollectiveConfig cc;
     for (const HostId h : core::ids<HostId>(net.num_hosts())) cc.hosts.push_back(h);
-    cc.schedule = collective::ring_reduce_scatter(net.num_hosts(), bytes);
+    cc.schedule = collective::ring_reduce_scatter(net.num_hosts(), core::Bytes{bytes});
     cc.iterations = iterations;
     runner = std::make_unique<collective::CollectiveRunner>(sim, transports, std::move(cc));
 

@@ -37,12 +37,12 @@ TEST(Transport, DeliversSingleSegmentMessage) {
   std::vector<RecvInfo> got;
   rig.transports.at(net::HostId{3}).add_recv_handler([&](const RecvInfo& i) { got.push_back(i); });
   bool acked = false;
-  rig.transports.at(net::HostId{0}).send_message(MessageSpec{net::HostId{3}, 1000, 0x1, net::Priority::kCollective},
+  rig.transports.at(net::HostId{0}).send_message(MessageSpec{net::HostId{3}, core::Bytes{1000}, 0x1, net::Priority::kCollective},
                                     [&](std::uint64_t) { acked = true; });
   rig.sim.run();
   ASSERT_EQ(got.size(), 1u);
   EXPECT_EQ(got[0].src, net::HostId{0});
-  EXPECT_EQ(got[0].bytes, 1000u);
+  EXPECT_EQ(got[0].bytes, core::Bytes{1000});
   EXPECT_EQ(got[0].flow_id, 0x1u);
   EXPECT_TRUE(acked);
 }
@@ -52,10 +52,10 @@ TEST(Transport, DeliversMultiSegmentMessage) {
   std::vector<RecvInfo> got;
   rig.transports.at(net::HostId{1}).add_recv_handler([&](const RecvInfo& i) { got.push_back(i); });
   const std::uint64_t bytes = 1 << 20;  // 256 segments at 4 KiB
-  rig.transports.at(net::HostId{0}).send_message(MessageSpec{net::HostId{1}, bytes, 0x2, net::Priority::kCollective});
+  rig.transports.at(net::HostId{0}).send_message(MessageSpec{net::HostId{1}, core::Bytes{bytes}, 0x2, net::Priority::kCollective});
   rig.sim.run();
   ASSERT_EQ(got.size(), 1u);
-  EXPECT_EQ(got[0].bytes, bytes);
+  EXPECT_EQ(got[0].bytes, core::Bytes{bytes});
   const TransportStats& st = rig.transports.at(net::HostId{0}).stats();
   EXPECT_EQ(st.data_packets_sent, 256u);
   EXPECT_EQ(st.retx_packets_sent, 0u);  // lossless fabric: no RTO fires
@@ -65,7 +65,7 @@ TEST(Transport, SegmentationRoundsUp) {
   Rig rig{tiny()};
   int done = 0;
   rig.transports.at(net::HostId{1}).add_recv_handler([&](const RecvInfo&) { ++done; });
-  rig.transports.at(net::HostId{0}).send_message(MessageSpec{net::HostId{1}, 4097, 0x3, net::Priority::kCollective});
+  rig.transports.at(net::HostId{0}).send_message(MessageSpec{net::HostId{1}, core::Bytes{4097}, 0x3, net::Priority::kCollective});
   rig.sim.run();
   EXPECT_EQ(done, 1);
   EXPECT_EQ(rig.transports.at(net::HostId{0}).stats().data_packets_sent, 2u);
@@ -78,7 +78,7 @@ TEST(Transport, RecoversFromRandomDrops) {
   int done = 0;
   rig.transports.at(net::HostId{2}).add_recv_handler([&](const RecvInfo&) { ++done; });
   bool acked = false;
-  rig.transports.at(net::HostId{0}).send_message(MessageSpec{net::HostId{2}, 512 * 1024, 0x4, net::Priority::kCollective},
+  rig.transports.at(net::HostId{0}).send_message(MessageSpec{net::HostId{2}, core::Bytes{512 * 1024}, 0x4, net::Priority::kCollective},
                                     [&](std::uint64_t) { acked = true; });
   rig.sim.run();
   EXPECT_EQ(done, 1);
@@ -91,7 +91,7 @@ TEST(Transport, RecoversFromBlackHoleOnOnePath) {
   rig.net.set_link_fault(net::LeafId{0}, net::UplinkIndex{1}, net::FaultSpec::black_hole());
   int done = 0;
   rig.transports.at(net::HostId{2}).add_recv_handler([&](const RecvInfo&) { ++done; });
-  rig.transports.at(net::HostId{0}).send_message(MessageSpec{net::HostId{2}, 256 * 1024, 0x5, net::Priority::kCollective});
+  rig.transports.at(net::HostId{0}).send_message(MessageSpec{net::HostId{2}, core::Bytes{256 * 1024}, 0x5, net::Priority::kCollective});
   rig.sim.run();
   EXPECT_EQ(done, 1);  // every segment eventually re-sprayed onto spine 0
 }
@@ -102,7 +102,7 @@ TEST(Transport, WindowBoundsOutstandingSegments) {
   Rig rig{tiny(), tcfg};
   int done = 0;
   rig.transports.at(net::HostId{1}).add_recv_handler([&](const RecvInfo&) { ++done; });
-  rig.transports.at(net::HostId{0}).send_message(MessageSpec{net::HostId{1}, 64 * 1024, 0x6, net::Priority::kCollective});
+  rig.transports.at(net::HostId{0}).send_message(MessageSpec{net::HostId{1}, core::Bytes{64 * 1024}, 0x6, net::Priority::kCollective});
   // Before any ACK returns, at most `window` segments may be queued at the
   // NIC (the first is already serializing).
   EXPECT_LE(rig.net.host(net::HostId{0}).nic().queued_packets(), 4u);
@@ -121,7 +121,7 @@ TEST(Transport, ManyConcurrentMessagesBetweenManyPairs) {
     for (const net::HostId dst : core::ids<net::HostId>(4)) {
       if (src == dst) continue;
       rig.transports.at(src).send_message(
-          MessageSpec{dst, 32 * 1024, 0x10 + src.v(), net::Priority::kCollective});
+          MessageSpec{dst, core::Bytes{32 * 1024}, 0x10 + src.v(), net::Priority::kCollective});
       ++expected;
     }
   }
@@ -138,7 +138,7 @@ TEST(Transport, DuplicateDeliveredOnceDespiteRetransmits) {
   Rig rig{tiny(), tcfg};
   int done = 0;
   rig.transports.at(net::HostId{2}).add_recv_handler([&](const RecvInfo&) { ++done; });
-  rig.transports.at(net::HostId{0}).send_message(MessageSpec{net::HostId{2}, 128 * 1024, 0x7, net::Priority::kCollective});
+  rig.transports.at(net::HostId{0}).send_message(MessageSpec{net::HostId{2}, core::Bytes{128 * 1024}, 0x7, net::Priority::kCollective});
   rig.sim.run();
   EXPECT_EQ(done, 1);
   EXPECT_GT(rig.transports.at(net::HostId{0}).stats().retx_packets_sent, 0u);
@@ -148,7 +148,7 @@ TEST(Transport, DuplicateDeliveredOnceDespiteRetransmits) {
 TEST(Transport, StatsConsistent) {
   Rig rig{tiny()};
   rig.transports.at(net::HostId{1}).add_recv_handler([](const RecvInfo&) {});
-  rig.transports.at(net::HostId{0}).send_message(MessageSpec{net::HostId{1}, 100000, 0x8, net::Priority::kCollective});
+  rig.transports.at(net::HostId{0}).send_message(MessageSpec{net::HostId{1}, core::Bytes{100000}, 0x8, net::Priority::kCollective});
   rig.sim.run();
   const TransportStats total = rig.transports.total_stats();
   EXPECT_EQ(total.messages_sent, 1u);
@@ -165,7 +165,7 @@ TEST(Transport, CompletionUnderHeavyLossOnAllPaths) {
   rig.net.set_uplink_fault(net::LeafId{0}, net::UplinkIndex{1}, net::FaultSpec::random_drop(0.3));
   int done = 0;
   rig.transports.at(net::HostId{3}).add_recv_handler([&](const RecvInfo&) { ++done; });
-  rig.transports.at(net::HostId{0}).send_message(MessageSpec{net::HostId{3}, 64 * 1024, 0x9, net::Priority::kCollective});
+  rig.transports.at(net::HostId{0}).send_message(MessageSpec{net::HostId{3}, core::Bytes{64 * 1024}, 0x9, net::Priority::kCollective});
   rig.sim.run();
   EXPECT_EQ(done, 1);
 }
@@ -179,7 +179,7 @@ TEST(Transport, AckLossTriggersRetransmitButNoDoubleDelivery) {
   int done = 0;
   rig.transports.at(net::HostId{1}).add_recv_handler([&](const RecvInfo&) { ++done; });
   bool acked = false;
-  rig.transports.at(net::HostId{0}).send_message(MessageSpec{net::HostId{1}, 64 * 1024, 0xa, net::Priority::kCollective},
+  rig.transports.at(net::HostId{0}).send_message(MessageSpec{net::HostId{1}, core::Bytes{64 * 1024}, 0xa, net::Priority::kCollective},
                                     [&](std::uint64_t) { acked = true; });
   rig.sim.run();
   EXPECT_EQ(done, 1);
@@ -197,7 +197,7 @@ TEST(Transport, SackBitmapCoversLostAcks) {
   rig.net.set_downlink_fault(net::LeafId{0}, net::UplinkIndex{1}, net::FaultSpec::random_drop(0.3));
   int done = 0;
   rig.transports.at(net::HostId{1}).add_recv_handler([&](const RecvInfo&) { ++done; });
-  rig.transports.at(net::HostId{0}).send_message(MessageSpec{net::HostId{1}, 1 << 20, 0xc, net::Priority::kCollective});
+  rig.transports.at(net::HostId{0}).send_message(MessageSpec{net::HostId{1}, core::Bytes{1 << 20}, 0xc, net::Priority::kCollective});
   rig.sim.run();
   EXPECT_EQ(done, 1);
   const auto& stats = rig.transports.at(net::HostId{1}).stats();
@@ -216,7 +216,7 @@ TEST(Transport, RttEstimatorConvergesAndBoundsRto) {
   // Before any sample: conservative initial RTO.
   EXPECT_EQ(rig.transports.at(net::HostId{0}).effective_rto(),
             rig.transports.at(net::HostId{0}).config().rto * rig.transports.at(net::HostId{0}).config().initial_rto_multiplier);
-  rig.transports.at(net::HostId{0}).send_message(MessageSpec{net::HostId{3}, 256 * 1024, 0xd, net::Priority::kCollective});
+  rig.transports.at(net::HostId{0}).send_message(MessageSpec{net::HostId{3}, core::Bytes{256 * 1024}, 0xd, net::Priority::kCollective});
   rig.sim.run();
   EXPECT_EQ(done, 1);
   const Time srtt = rig.transports.at(net::HostId{0}).srtt();
@@ -233,7 +233,7 @@ TEST(Transport, FixedRtoModeIgnoresRttSamples) {
   tcfg.rto = Time::microseconds(7);
   Rig rig{tiny(), tcfg};
   rig.transports.at(net::HostId{1}).add_recv_handler([](const RecvInfo&) {});
-  rig.transports.at(net::HostId{0}).send_message(MessageSpec{net::HostId{1}, 64 * 1024, 0xe, net::Priority::kCollective});
+  rig.transports.at(net::HostId{0}).send_message(MessageSpec{net::HostId{1}, core::Bytes{64 * 1024}, 0xe, net::Priority::kCollective});
   rig.sim.run();
   EXPECT_EQ(rig.transports.at(net::HostId{0}).effective_rto(), Time::microseconds(7));
 }
@@ -243,7 +243,7 @@ TEST(Transport, GilbertElliottBurstLossRecovered) {
   rig.net.set_link_fault(net::LeafId{0}, net::UplinkIndex{0}, net::FaultSpec::gilbert_elliott(0.10, 30.0));
   int done = 0;
   rig.transports.at(net::HostId{2}).add_recv_handler([&](const RecvInfo&) { ++done; });
-  rig.transports.at(net::HostId{0}).send_message(MessageSpec{net::HostId{2}, 512 * 1024, 0xf, net::Priority::kCollective});
+  rig.transports.at(net::HostId{0}).send_message(MessageSpec{net::HostId{2}, core::Bytes{512 * 1024}, 0xf, net::Priority::kCollective});
   rig.sim.run();
   EXPECT_EQ(done, 1);
   EXPECT_GT(rig.transports.at(net::HostId{0}).stats().retx_packets_sent, 0u);
@@ -257,7 +257,7 @@ TEST_P(TransportDropRateTest, AlwaysCompletes) {
   rig.net.set_link_fault(net::LeafId{1}, net::UplinkIndex{0}, net::FaultSpec::random_drop(rate));
   int done = 0;
   rig.transports.at(net::HostId{0}).add_recv_handler([&](const RecvInfo&) { ++done; });
-  rig.transports.at(net::HostId{1}).send_message(MessageSpec{net::HostId{0}, 128 * 1024, 0xb, net::Priority::kCollective});
+  rig.transports.at(net::HostId{1}).send_message(MessageSpec{net::HostId{0}, core::Bytes{128 * 1024}, 0xb, net::Priority::kCollective});
   rig.sim.run();
   EXPECT_EQ(done, 1) << "drop rate " << rate;
 }

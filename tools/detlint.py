@@ -120,7 +120,8 @@ THREADING_RE = re.compile(r"\bstd::(?:thread|jthread|atomic|mutex|async)\b")
 # Modules whose public headers have been converted to core:: strong types —
 # a raw scalar with an id-like/unit-like name there is a regression.
 CONVERTED_MODULES = {
-    "core", "net", "flowpulse", "ctrl", "baseline", "exp",
+    "core", "net", "flowpulse", "ctrl", "baseline", "exp", "transport",
+    "collective",
 }
 RAW_INT_TYPE = (r"(?:std::)?(?:u?int(?:8|16|32|64)_t|size_t"
                 r"|unsigned(?:\s+(?:int|long(?:\s+long)?))?"
