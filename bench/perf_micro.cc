@@ -6,6 +6,8 @@
 
 #include "collective/demand_matrix.h"
 #include "collective/schedule.h"
+#include "daemon/engine.h"
+#include "daemon/protocol.h"
 #include "exp/scenario.h"
 #include "exp/trials.h"
 #include "flowpulse/analytical_model.h"
@@ -379,6 +381,64 @@ void BM_DetectorEvaluate(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_DetectorEvaluate);
+
+void BM_DaemonIngestCounters(benchmark::State& state) {
+  // The flowpulsed hot path, sockets excluded: one COUNTERS frame through
+  // the engine — decode, registration/ownership/dimension checks, streaming
+  // detection, verdict fold, OK reply. The acceptance floor is 100k/s on
+  // one core; this is the number record_perf.sh tracks.
+  const net::TopologyInfo topo{32, 16, 1, 1};
+  daemon::EngineConfig cfg;
+  cfg.topo = topo;
+  cfg.system.detector = fp::DetectorKind::kStreaming;
+  daemon::DaemonEngine engine{cfg};
+  daemon::Session session;
+
+  daemon::Hello hello;
+  hello.topo = topo;
+  hello.first_leaf = net::LeafId{0};
+  hello.leaf_count = topo.leaves;
+  const auto hello_frame = daemon::encode_hello(hello);
+  (void)engine.on_frame(session, {hello_frame.data() + 4, hello_frame.size() - 4});
+
+  fp::PortLoadMap pred{topo.leaves, topo.uplinks_per_leaf()};
+  for (std::uint32_t l = 0; l < topo.leaves; ++l) {
+    for (std::uint32_t u = 0; u < topo.uplinks_per_leaf(); ++u) {
+      pred.add(net::LeafId{l}, net::UplinkIndex{u}, net::LeafId{(l + 1) % topo.leaves}, 1.0e6);
+    }
+  }
+  const auto pred_frame = daemon::encode_predict(pred);
+  (void)engine.on_frame(session, {pred_frame.data() + 4, pred_frame.size() - 4});
+
+  // Pre-encoded healthy frames (one per leaf × 8 iterations) so the loop
+  // measures ingest, not encoding.
+  std::vector<std::vector<std::uint8_t>> frames;
+  for (std::uint32_t it = 0; it < 8; ++it) {
+    for (std::uint32_t l = 0; l < topo.leaves; ++l) {
+      fp::IterationRecord rec;
+      rec.leaf = net::LeafId{l};
+      rec.iteration = net::IterIndex{it};
+      rec.bytes.assign(topo.uplinks_per_leaf(), 1.0e6);
+      rec.by_src.assign(topo.uplinks_per_leaf(), std::vector<double>(topo.leaves, 0.0));
+      for (auto& v : rec.by_src) v[(l + 1) % topo.leaves] = 1.0e6;
+      rec.packets = 64;
+      frames.push_back(daemon::encode_counters(rec));
+    }
+  }
+
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& frame = frames[i];
+    i = (i + 1) % frames.size();
+    const daemon::EngineReply reply =
+        engine.on_frame(session, {frame.data() + 4, frame.size() - 4});
+    benchmark::DoNotOptimize(reply.bytes.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["ingest/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DaemonIngestCounters);
 
 }  // namespace
 

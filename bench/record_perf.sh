@@ -43,7 +43,7 @@ cmake --build "$BUILD" --target perf_micro -j >/dev/null
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 "$BUILD/bench/perf_micro" \
-  --benchmark_filter='BM_EventQueueScheduleRun|BM_RingIterationSimulation|BM_TrialSweep|BM_FidelityModeIterations' \
+  --benchmark_filter='BM_EventQueueScheduleRun|BM_RingIterationSimulation|BM_TrialSweep|BM_FidelityModeIterations|BM_DaemonIngestCounters' \
   --benchmark_out="$TMP" --benchmark_out_format=json \
   --benchmark_min_time=0.5
 
@@ -63,7 +63,8 @@ doc = {
              "'history' keeps earlier recordings (e.g. the pre-optimization seed "
              "baseline) for before/after comparison."),
     "suite": ("perf_micro: events/sec (hot path) + trials/sec (parallel trial "
-              "engine) + iterations/sec per fidelity mode (hybrid engine)"),
+              "engine) + iterations/sec per fidelity mode (hybrid engine) + "
+              "counter-ingest/sec (flowpulsed engine, sockets excluded)"),
     "build_type": build_type,
     "trusted": trusted,
     "git_sha": os.environ.get("FP_GIT_SHA", "unknown"),

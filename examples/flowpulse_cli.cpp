@@ -12,6 +12,7 @@
 #include <iostream>
 #include <string>
 
+#include "daemon/stream_file.h"
 #include "exp/report.h"
 #include "exp/scenario.h"
 #include "exp/table.h"
@@ -36,7 +37,7 @@ struct CliOptions {
   std::uint32_t preexisting = 0;
   std::uint64_t seed = 1;
   double jitter_us = 1.0;
-  std::string json_path, alerts_path, csv_path;
+  std::string json_path, alerts_path, csv_path, dump_path;
   bool help = false;
 };
 
@@ -79,7 +80,8 @@ CliOptions parse(int argc, char** argv) {
                parse_flag(a, "--fault-kind", &o.fault_kind) ||
                parse_flag(a, "--json", &o.json_path) ||
                parse_flag(a, "--alerts", &o.alerts_path) ||
-               parse_flag(a, "--csv", &o.csv_path)) {
+               parse_flag(a, "--csv", &o.csv_path) ||
+               parse_flag(a, "--dump-counters", &o.dump_path)) {
       // parsed
     } else {
       std::cerr << "unknown flag: " << a << " (try --help)\n";
@@ -104,6 +106,8 @@ faults:     --preexisting=N                      (known disconnected links)
             --fault-leaf=N --fault-spine=N       (silent fault site)
             --drop=F --fault-kind=drop|blackhole|gilbert
 output:     --json=FILE --alerts=FILE --csv=FILE
+            --dump-counters=FILE                 (finalized counter stream in
+            flowpulsed wire format, replayable via flowpulse-bench --stream)
 misc:       --seed=N
 )";
 }
@@ -217,6 +221,29 @@ int main(int argc, char** argv) {
   }
   if (!o.csv_path.empty()) {
     io_ok &= exp::write_file(o.csv_path, exp::deviations_to_csv(result));
+  }
+  if (!o.dump_path.empty()) {
+    // Export what the leaf switches measured, as the frames a reporter
+    // would send flowpulsed — the bridge from simulation to deployment.
+    daemon::CounterStream stream;
+    stream.hello.topo = cfg.fabric.shape;
+    stream.hello.job = cfg.flowpulse.job;
+    stream.hello.first_leaf = net::LeafId{0};
+    stream.hello.leaf_count = cfg.fabric.shape.leaves;
+    if (scenario.prediction() != nullptr) stream.prediction = *scenario.prediction();
+    for (std::uint32_t l = 0; l < cfg.fabric.shape.leaves; ++l) {
+      const auto& history = scenario.flowpulse().monitor(net::LeafId{l}).history();
+      stream.records.insert(stream.records.end(), history.begin(), history.end());
+    }
+    daemon::sort_records(stream.records);
+    std::string dump_err;
+    if (!daemon::write_stream_file(o.dump_path, stream, &dump_err)) {
+      std::cerr << dump_err << "\n";
+      io_ok = false;
+    } else {
+      std::cout << "dumped " << stream.records.size() << " counter records ("
+                << cfg.fabric.shape.leaves << " leaves) to " << o.dump_path << "\n";
+    }
   }
   if (!io_ok) {
     std::cerr << "failed to write one of the output files\n";

@@ -1,0 +1,179 @@
+#include "daemon/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace flowpulse::daemon {
+
+namespace {
+
+void set_err(std::string* err, const std::string& what) {
+  if (err != nullptr) *err = what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_{std::exchange(other.fd_, -1)}, in_{std::move(other.in_)} {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    in_ = std::move(other.in_);
+  }
+  return *this;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Client::connect_to(const std::string& host, std::uint16_t tcp_port, std::string* err) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    set_err(err, "socket");
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(tcp_port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (err != nullptr) *err = "bad address '" + host + "'";
+    close();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    set_err(err, "connect");
+    close();
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return true;
+}
+
+bool Client::send_frames(std::span<const std::uint8_t> bytes, std::string* err) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      set_err(err, "send");
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool Client::send_frame(std::span<const std::uint8_t> frame, std::string* err) {
+  return send_frames(frame, err);
+}
+
+bool Client::recv_reply(std::vector<std::uint8_t>& payload, std::string* err) {
+  for (;;) {
+    const FrameAssembler::Status st = in_.next(payload);
+    if (st == FrameAssembler::Status::kFrame) return true;
+    if (st != FrameAssembler::Status::kNeedMore) {
+      if (err != nullptr) *err = "malformed reply stream from daemon";
+      return false;
+    }
+    std::uint8_t buf[64 * 1024];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      in_.feed({buf, static_cast<std::size_t>(n)});
+      continue;
+    }
+    if (n == 0) {
+      if (err != nullptr) *err = "daemon closed the connection";
+      return false;
+    }
+    if (errno == EINTR) continue;
+    set_err(err, "recv");
+    return false;
+  }
+}
+
+bool Client::expect_ok(std::string* err) {
+  std::vector<std::uint8_t> payload;
+  if (!recv_reply(payload, err)) return false;
+  if (payload.empty()) {
+    if (err != nullptr) *err = "empty reply";
+    return false;
+  }
+  const Op op = static_cast<Op>(payload[0]);
+  if (op == Op::kOk) return true;
+  if (op == Op::kErr) {
+    const auto e = decode_err({payload.data() + 1, payload.size() - 1});
+    if (err != nullptr) {
+      *err = e.has_value()
+                 ? std::string{"daemon error ["} + err_name(e->code) + "]: " + e->message
+                 : std::string{"malformed ERR reply"};
+    }
+    return false;
+  }
+  if (err != nullptr) *err = "unexpected reply opcode";
+  return false;
+}
+
+bool Client::hello(const Hello& h, std::string* err) {
+  return send_frame(encode_hello(h), err) && expect_ok(err);
+}
+
+bool Client::predict(const fp::PortLoadMap& map, std::string* err) {
+  return send_frame(encode_predict(map), err) && expect_ok(err);
+}
+
+bool Client::counters(const fp::IterationRecord& rec, std::string* err) {
+  return send_frame(encode_counters(rec), err) && expect_ok(err);
+}
+
+std::optional<FabricVerdict> Client::verdict(std::string* err) {
+  if (!send_frame(encode_simple(Op::kVerdict), err)) return std::nullopt;
+  std::vector<std::uint8_t> payload;
+  if (!recv_reply(payload, err)) return std::nullopt;
+  if (payload.empty() || static_cast<Op>(payload[0]) != Op::kVerdictReply) {
+    if (err != nullptr) *err = "unexpected reply to VERDICT";
+    return std::nullopt;
+  }
+  auto v = decode_verdict_reply({payload.data() + 1, payload.size() - 1});
+  if (!v.has_value() && err != nullptr) *err = "malformed VERDICT reply";
+  return v;
+}
+
+std::optional<StatsSnapshot> Client::stats(std::string* err) {
+  if (!send_frame(encode_simple(Op::kStats), err)) return std::nullopt;
+  std::vector<std::uint8_t> payload;
+  if (!recv_reply(payload, err)) return std::nullopt;
+  if (payload.empty() || static_cast<Op>(payload[0]) != Op::kStatsReply) {
+    if (err != nullptr) *err = "unexpected reply to STATS";
+    return std::nullopt;
+  }
+  auto s = decode_stats_reply({payload.data() + 1, payload.size() - 1});
+  if (!s.has_value() && err != nullptr) *err = "malformed STATS reply";
+  return s;
+}
+
+bool Client::quit(std::string* err) {
+  return send_frame(encode_simple(Op::kQuit), err) && expect_ok(err);
+}
+
+bool Client::shutdown_server(std::string* err) {
+  return send_frame(encode_simple(Op::kShutdown), err) && expect_ok(err);
+}
+
+}  // namespace flowpulse::daemon

@@ -1,0 +1,101 @@
+#pragma once
+
+// DaemonEngine: everything `flowpulsed` does EXCEPT sockets. One frame in,
+// one reply out, with all protocol semantics — registration, topology
+// validation, shard ownership, counter ingestion into the detection core,
+// verdict/stats queries — behind a pure byte-level API. The epoll server
+// only shuttles bytes; tests drive this class directly (deterministically,
+// no fds), which is what makes codec-hardening and shard-merge tests
+// exact rather than probabilistic.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "daemon/protocol.h"
+#include "daemon/verdict.h"
+#include "flowpulse/system.h"
+#include "net/topology_info.h"
+#include "net/types.h"
+
+namespace flowpulse::daemon {
+
+struct EngineConfig {
+  net::TopologyInfo topo{};
+  /// Detection config. The daemon default is the O(1) streaming detector —
+  /// constant state per port is what makes per-connection online detection
+  /// affordable at thousands of leaves (a PREDICT seeds its baselines).
+  fp::SystemConfig system{};
+  /// Cluster mode: this daemon owns the deterministic leaf range
+  /// [shard_index·L/N, (shard_index+1)·L/N) of an N-shard deployment.
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 1;
+};
+
+/// Deterministic shard ownership: shard i of n owns leaves
+/// [i·leaves/n, (i+1)·leaves/n). Clients and daemons must agree on this
+/// split, so it lives here, next to the engine both link.
+[[nodiscard]] constexpr std::uint32_t shard_first_leaf(std::uint32_t leaves,
+                                                       std::uint32_t shard_index,
+                                                       std::uint32_t shard_count) {
+  return static_cast<std::uint32_t>(
+      static_cast<std::uint64_t>(leaves) * shard_index / shard_count);
+}
+
+/// Per-connection protocol state (owned by the transport, passed back in).
+struct Session {
+  bool registered = false;
+  net::LeafId first_leaf{0};
+  std::uint32_t leaf_count = 0;
+};
+
+/// What the transport should do after handling one frame.
+struct EngineReply {
+  std::vector<std::uint8_t> bytes;  ///< complete reply frame to send
+  bool close = false;               ///< close this connection after flushing
+  bool shutdown = false;            ///< stop the daemon after flushing
+};
+
+class DaemonEngine {
+ public:
+  explicit DaemonEngine(const EngineConfig& config);
+
+  /// Handle one complete frame payload (opcode + body).
+  [[nodiscard]] EngineReply on_frame(Session& session, std::span<const std::uint8_t> frame);
+  /// The connection's byte stream is unrecoverable (oversized length
+  /// prefix / zero-length frame): one ERR reply, then close.
+  [[nodiscard]] EngineReply on_bad_stream(Err code);
+
+  [[nodiscard]] const net::TopologyInfo& topology() const { return config_.topo; }
+  [[nodiscard]] net::LeafId owned_first() const { return owned_first_; }
+  [[nodiscard]] std::uint32_t owned_count() const { return owned_count_; }
+  [[nodiscard]] bool owns(net::LeafId leaf) const {
+    return leaf.v() >= owned_first_.v() && leaf.v() < owned_first_.v() + owned_count_;
+  }
+
+  /// This shard's canonical verdict over everything ingested so far.
+  [[nodiscard]] FabricVerdict verdict() const { return accumulator_.verdict(); }
+
+  /// Ingest + protocol counters. The transport owns the connection and
+  /// byte counts; everything else is maintained by on_frame.
+  [[nodiscard]] StatsSnapshot& stats() { return stats_; }
+  [[nodiscard]] const fp::FlowPulseSystem& system() const { return *system_; }
+
+ private:
+  [[nodiscard]] EngineReply err(Err code, std::string_view message);
+  [[nodiscard]] EngineReply handle_hello(Session& session, std::span<const std::uint8_t> body);
+  [[nodiscard]] EngineReply handle_counters(Session& session,
+                                            std::span<const std::uint8_t> body);
+  [[nodiscard]] EngineReply handle_predict(Session& session,
+                                           std::span<const std::uint8_t> body);
+
+  EngineConfig config_;
+  net::LeafId owned_first_{0};
+  std::uint32_t owned_count_ = 0;
+  std::unique_ptr<fp::FlowPulseSystem> system_;  ///< transport-agnostic mode
+  VerdictAccumulator accumulator_;
+  StatsSnapshot stats_;
+};
+
+}  // namespace flowpulse::daemon

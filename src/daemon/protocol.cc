@@ -1,0 +1,329 @@
+#include "daemon/protocol.h"
+
+#include <cstring>
+
+namespace flowpulse::daemon {
+
+const char* err_name(Err e) {
+  switch (e) {
+    case Err::kBadFrame:
+      return "bad-frame";
+    case Err::kBadVersion:
+      return "bad-version";
+    case Err::kNoHello:
+      return "no-hello";
+    case Err::kTopologyMismatch:
+      return "topology-mismatch";
+    case Err::kUnregisteredLeaf:
+      return "unregistered-leaf";
+    case Err::kNotOwned:
+      return "not-owned";
+    case Err::kBadOpcode:
+      return "bad-opcode";
+    case Err::kBadDimensions:
+      return "bad-dimensions";
+    case Err::kOversized:
+      return "oversized";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// Writer / Reader
+// ---------------------------------------------------------------------------
+
+void Writer::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void Writer::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::f64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void Writer::bytes(std::string_view s) {
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+std::uint8_t Reader::u8() {
+  if (!ok_ || data_.size() - off_ < 1) {
+    ok_ = false;
+    return 0;
+  }
+  return data_[off_++];
+}
+
+std::uint16_t Reader::u16() {
+  if (!ok_ || data_.size() - off_ < 2) {
+    ok_ = false;
+    return 0;
+  }
+  std::uint16_t v = 0;
+  for (int i = 0; i < 2; ++i) v |= static_cast<std::uint16_t>(data_[off_++]) << (8 * i);
+  return v;
+}
+
+std::uint32_t Reader::u32() {
+  if (!ok_ || data_.size() - off_ < 4) {
+    ok_ = false;
+    return 0;
+  }
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[off_++]) << (8 * i);
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  if (!ok_ || data_.size() - off_ < 8) {
+    ok_ = false;
+    return 0;
+  }
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[off_++]) << (8 * i);
+  return v;
+}
+
+double Reader::f64() {
+  const std::uint64_t bits = u64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Encoders
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> frame_payload(const std::vector<std::uint8_t>& payload) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.buf().insert(w.buf().end(), payload.begin(), payload.end());
+  return std::move(w.buf());
+}
+
+namespace {
+
+std::vector<std::uint8_t> finish(Writer& body) {
+  return frame_payload(body.buf());
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_hello(const Hello& h) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(Op::kHello));
+  w.u32(h.version);
+  w.u32(h.topo.leaves);
+  w.u32(h.topo.spines);
+  w.u32(h.topo.hosts_per_leaf);
+  w.u32(h.topo.parallel);
+  w.u16(h.job);
+  w.u32(h.first_leaf.v());
+  w.u32(h.leaf_count);
+  return finish(w);
+}
+
+std::vector<std::uint8_t> encode_counters(const fp::IterationRecord& r) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(Op::kCounters));
+  w.u32(r.leaf.v());
+  w.u32(r.iteration.v());
+  w.u64(r.packets);
+  w.u32(static_cast<std::uint32_t>(r.bytes.size()));
+  const std::uint32_t senders =
+      r.by_src.empty() ? 0 : static_cast<std::uint32_t>(r.by_src.front().size());
+  w.u32(senders);
+  for (std::size_t p = 0; p < r.bytes.size(); ++p) {
+    w.f64(r.bytes[p]);
+    for (std::uint32_t s = 0; s < senders; ++s) w.f64(r.by_src[p][s]);
+  }
+  return finish(w);
+}
+
+std::vector<std::uint8_t> encode_predict(const fp::PortLoadMap& map) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(Op::kPredict));
+  w.u32(map.leaves());
+  w.u32(map.uplinks());
+  for (std::uint32_t l = 0; l < map.leaves(); ++l) {
+    for (std::uint32_t u = 0; u < map.uplinks(); ++u) {
+      const fp::PortLoad& load = map.at(net::LeafId{l}, net::UplinkIndex{u});
+      w.f64(load.total);
+      for (std::uint32_t s = 0; s < map.leaves(); ++s) w.f64(load.by_src_leaf[s]);
+    }
+  }
+  return finish(w);
+}
+
+std::vector<std::uint8_t> encode_simple(Op op) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(op));
+  return finish(w);
+}
+
+std::vector<std::uint8_t> encode_err(Err code, std::string_view message) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(Op::kErr));
+  w.u16(static_cast<std::uint16_t>(code));
+  w.u16(static_cast<std::uint16_t>(message.size()));
+  w.bytes(message.substr(0, 0xffff));
+  return finish(w);
+}
+
+std::vector<std::uint8_t> encode_stats_reply(const StatsSnapshot& s) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(Op::kStatsReply));
+  w.u64(s.frames_in);
+  w.u64(s.counters_ingested);
+  w.u64(s.counters_rejected);
+  w.u64(s.predict_installs);
+  w.u64(s.verdict_queries);
+  w.u64(s.alerts);
+  w.u64(s.errors);
+  w.u64(s.connections_accepted);
+  w.u64(s.connections_open);
+  w.u64(s.bytes_in.v());
+  w.u64(s.bytes_out.v());
+  w.u32(s.shard_index);
+  w.u32(s.shard_count);
+  w.u32(s.owned_first.v());
+  w.u32(s.owned_leaves);
+  return finish(w);
+}
+
+// ---------------------------------------------------------------------------
+// Decoders
+// ---------------------------------------------------------------------------
+
+std::optional<Hello> decode_hello(std::span<const std::uint8_t> body) {
+  Reader r{body};
+  Hello h;
+  h.version = r.u32();
+  h.topo.leaves = r.u32();
+  h.topo.spines = r.u32();
+  h.topo.hosts_per_leaf = r.u32();
+  h.topo.parallel = r.u32();
+  h.job = r.u16();
+  h.first_leaf = net::LeafId{r.u32()};
+  h.leaf_count = r.u32();
+  if (!r.done()) return std::nullopt;
+  return h;
+}
+
+std::optional<fp::IterationRecord> decode_counters(std::span<const std::uint8_t> body) {
+  Reader r{body};
+  fp::IterationRecord rec;
+  rec.leaf = net::LeafId{r.u32()};
+  rec.iteration = net::IterIndex{r.u32()};
+  rec.packets = r.u64();
+  const std::uint32_t ports = r.u32();
+  const std::uint32_t senders = r.u32();
+  if (!r.ok()) return std::nullopt;
+  // A hostile (ports, senders) pair must not drive a huge allocation: the
+  // remaining body must be exactly ports × (1 + senders) doubles.
+  const std::uint64_t doubles = static_cast<std::uint64_t>(ports) * (1 + senders);
+  if (doubles * 8 != r.remaining()) return std::nullopt;
+  rec.bytes.resize(ports);
+  rec.by_src.assign(ports, std::vector<double>(senders, 0.0));
+  for (std::uint32_t p = 0; p < ports; ++p) {
+    rec.bytes[p] = r.f64();
+    for (std::uint32_t s = 0; s < senders; ++s) rec.by_src[p][s] = r.f64();
+  }
+  if (!r.done()) return std::nullopt;
+  return rec;
+}
+
+std::optional<fp::PortLoadMap> decode_predict(std::span<const std::uint8_t> body) {
+  Reader r{body};
+  const std::uint32_t leaves = r.u32();
+  const std::uint32_t uplinks = r.u32();
+  if (!r.ok()) return std::nullopt;
+  const std::uint64_t doubles =
+      static_cast<std::uint64_t>(leaves) * uplinks * (1ull + leaves);
+  if (doubles * 8 != r.remaining()) return std::nullopt;
+  fp::PortLoadMap map{leaves, uplinks};
+  for (std::uint32_t l = 0; l < leaves; ++l) {
+    for (std::uint32_t u = 0; u < uplinks; ++u) {
+      fp::PortLoad& load = map.at(net::LeafId{l}, net::UplinkIndex{u});
+      load.total = r.f64();
+      for (std::uint32_t s = 0; s < leaves; ++s) load.by_src_leaf[s] = r.f64();
+    }
+  }
+  if (!r.done()) return std::nullopt;
+  return map;
+}
+
+std::optional<ErrReply> decode_err(std::span<const std::uint8_t> body) {
+  Reader r{body};
+  ErrReply e;
+  e.code = static_cast<Err>(r.u16());
+  const std::uint16_t len = r.u16();
+  if (!r.ok() || r.remaining() != len) return std::nullopt;
+  e.message.reserve(len);
+  for (std::uint16_t i = 0; i < len; ++i) e.message.push_back(static_cast<char>(r.u8()));
+  if (!r.done()) return std::nullopt;
+  return e;
+}
+
+std::optional<StatsSnapshot> decode_stats_reply(std::span<const std::uint8_t> body) {
+  Reader r{body};
+  StatsSnapshot s;
+  s.frames_in = r.u64();
+  s.counters_ingested = r.u64();
+  s.counters_rejected = r.u64();
+  s.predict_installs = r.u64();
+  s.verdict_queries = r.u64();
+  s.alerts = r.u64();
+  s.errors = r.u64();
+  s.connections_accepted = r.u64();
+  s.connections_open = r.u64();
+  s.bytes_in = core::Bytes{r.u64()};
+  s.bytes_out = core::Bytes{r.u64()};
+  s.shard_index = r.u32();
+  s.shard_count = r.u32();
+  s.owned_first = net::LeafId{r.u32()};
+  s.owned_leaves = r.u32();
+  if (!r.done()) return std::nullopt;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// FrameAssembler
+// ---------------------------------------------------------------------------
+
+void FrameAssembler::feed(std::span<const std::uint8_t> data) {
+  // Compact lazily: once the consumed prefix dominates, slide it off so the
+  // buffer stays bounded by (one frame + one socket read).
+  if (off_ > 4096 && off_ > buf_.size() / 2) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(off_));
+    off_ = 0;
+  }
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+FrameAssembler::Status FrameAssembler::next(std::vector<std::uint8_t>& frame) {
+  const std::size_t avail = buf_.size() - off_;
+  if (avail < 4) return Status::kNeedMore;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(buf_[off_ + i]) << (8 * i);
+  if (len == 0) return Status::kEmpty;
+  if (len > kMaxFramePayload) return Status::kOversized;
+  if (avail < 4 + static_cast<std::size_t>(len)) return Status::kNeedMore;
+  frame.assign(buf_.begin() + static_cast<std::ptrdiff_t>(off_ + 4),
+               buf_.begin() + static_cast<std::ptrdiff_t>(off_ + 4 + len));
+  off_ += 4 + len;
+  return Status::kFrame;
+}
+
+}  // namespace flowpulse::daemon

@@ -1,0 +1,213 @@
+#pragma once
+
+// flowpulsed wire protocol: a thin, RESP-like, length-prefixed binary
+// protocol for streaming per-port×flow_id byte counters from leaf switches
+// into the online detection plane, and for querying verdicts back out.
+//
+// Framing (all integers little-endian, fixed width):
+//
+//   u32 length     payload bytes that follow (1 ≤ length ≤ kMaxFramePayload)
+//   u8  opcode     first payload byte (Op)
+//   ...            opcode-specific body (length − 1 bytes)
+//
+// Doubles travel as their raw IEEE-754 bit pattern (u64), so a counter
+// stream recorded from a simulation replays BIT-IDENTICALLY: the daemon's
+// verdict over a replayed stream equals the in-simulator verdict exactly.
+//
+// Requests:  HELLO (leaf registration), COUNTERS (one finalized iteration),
+//            PREDICT (install/rotate a PortLoadMap baseline), VERDICT,
+//            STATS, QUIT, SHUTDOWN.
+// Replies:   OK, ERR (code + message), VERDICT_REPLY, STATS_REPLY.
+//
+// Decoding NEVER trusts the peer: every read is bounds-checked, every
+// dimension validated against the announced topology, and any malformed
+// frame yields a protocol-error reply — not a crash (the codec-hardening
+// tests drive truncated/oversized/hostile inputs through every path).
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/units.h"
+#include "flowpulse/monitor.h"
+#include "flowpulse/port_load.h"
+#include "net/topology_info.h"
+#include "net/types.h"
+
+namespace flowpulse::daemon {
+
+inline constexpr std::uint32_t kProtoVersion = 1;
+/// Frame payloads beyond this are rejected without buffering (a hostile
+/// length prefix must not make the daemon allocate gigabytes).
+inline constexpr std::uint32_t kMaxFramePayload = 8u << 20;
+
+enum class Op : std::uint8_t {
+  // Requests.
+  kHello = 0x01,     ///< register a connection as reporter for a leaf range
+  kCounters = 0x02,  ///< one finalized iteration's per-port×src byte counters
+  kPredict = 0x03,   ///< install/rotate the PortLoadMap baseline
+  kVerdict = 0x04,   ///< query this shard's fabric verdict
+  kStats = 0x05,     ///< query ingest metrics
+  kQuit = 0x06,      ///< close this connection
+  kShutdown = 0x07,  ///< stop the daemon (clean event-loop exit)
+  // Replies.
+  kOk = 0x80,
+  kErr = 0x81,
+  kVerdictReply = 0x82,
+  kStatsReply = 0x83,
+};
+
+enum class Err : std::uint16_t {
+  kBadFrame = 1,          ///< body truncated / malformed for its opcode
+  kBadVersion = 2,        ///< HELLO with an unsupported protocol version
+  kNoHello = 3,           ///< COUNTERS/PREDICT before registration
+  kTopologyMismatch = 4,  ///< HELLO topology ≠ the daemon's configured fabric
+  kUnregisteredLeaf = 5,  ///< COUNTERS for a leaf outside the HELLO range
+  kNotOwned = 6,          ///< COUNTERS for a leaf another shard owns
+  kBadOpcode = 7,         ///< unknown opcode byte
+  kBadDimensions = 8,     ///< ports/senders don't match the topology
+  kOversized = 9,         ///< length prefix beyond kMaxFramePayload
+};
+
+[[nodiscard]] const char* err_name(Err e);
+
+/// HELLO body: protocol version, the client's view of the fabric shape
+/// (must match the daemon's), the monitored job, and the leaf range
+/// [first_leaf, first_leaf + leaf_count) this connection reports for.
+struct Hello {
+  std::uint32_t version = kProtoVersion;
+  net::TopologyInfo topo{};
+  std::uint16_t job = 0;
+  net::LeafId first_leaf{0};
+  std::uint32_t leaf_count = 0;
+
+  friend bool operator==(const Hello&, const Hello&) = default;
+};
+
+/// STATS_REPLY body: the daemon's ingest metrics and shard identity.
+struct StatsSnapshot {
+  std::uint64_t frames_in = 0;          ///< complete frames parsed
+  std::uint64_t counters_ingested = 0;  ///< COUNTERS accepted into detection
+  std::uint64_t counters_rejected = 0;  ///< COUNTERS refused (any Err)
+  std::uint64_t predict_installs = 0;
+  std::uint64_t verdict_queries = 0;
+  std::uint64_t alerts = 0;  ///< faulty (leaf × iteration) results folded
+  std::uint64_t errors = 0;  ///< ERR replies sent
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_open = 0;
+  core::Bytes bytes_in{};
+  core::Bytes bytes_out{};
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 1;
+  net::LeafId owned_first{0};
+  std::uint32_t owned_leaves = 0;
+
+  friend bool operator==(const StatsSnapshot&, const StatsSnapshot&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// Bounds-checked little-endian readers/writers.
+// ---------------------------------------------------------------------------
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);  ///< raw IEEE-754 bits — bit-exact round trip
+  void bytes(std::string_view s);
+
+  [[nodiscard]] std::vector<std::uint8_t>& buf() { return buf_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Cursor over one frame payload. Every getter returns a value and clears
+/// ok() on overrun; calls after an overrun return zeros, so decoders can
+/// read a whole struct and check ok() once at the end.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_{data} {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint16_t u16();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] double f64();
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] bool done() const { return ok_ && off_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - off_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t off_ = 0;
+  bool ok_ = true;
+};
+
+// ---------------------------------------------------------------------------
+// Frame encoders. Every encoder returns a COMPLETE frame (length prefix
+// included), ready to write to a socket or a stream file.
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] std::vector<std::uint8_t> encode_hello(const Hello& h);
+[[nodiscard]] std::vector<std::uint8_t> encode_counters(const fp::IterationRecord& r);
+[[nodiscard]] std::vector<std::uint8_t> encode_predict(const fp::PortLoadMap& map);
+/// VERDICT / STATS / QUIT / SHUTDOWN / OK — opcode-only frames.
+[[nodiscard]] std::vector<std::uint8_t> encode_simple(Op op);
+[[nodiscard]] std::vector<std::uint8_t> encode_err(Err code, std::string_view message);
+[[nodiscard]] std::vector<std::uint8_t> encode_stats_reply(const StatsSnapshot& s);
+
+/// Wrap an already-built payload (opcode + body) in a length prefix.
+[[nodiscard]] std::vector<std::uint8_t> frame_payload(const std::vector<std::uint8_t>& payload);
+
+// ---------------------------------------------------------------------------
+// Body decoders. `body` is the payload AFTER the opcode byte. nullopt means
+// the body is malformed (truncated, trailing garbage, or absurd dimensions);
+// semantic validation against the daemon's topology happens in the engine.
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] std::optional<Hello> decode_hello(std::span<const std::uint8_t> body);
+[[nodiscard]] std::optional<fp::IterationRecord> decode_counters(
+    std::span<const std::uint8_t> body);
+[[nodiscard]] std::optional<fp::PortLoadMap> decode_predict(std::span<const std::uint8_t> body);
+struct ErrReply {
+  Err code = Err::kBadFrame;
+  std::string message;
+};
+[[nodiscard]] std::optional<ErrReply> decode_err(std::span<const std::uint8_t> body);
+[[nodiscard]] std::optional<StatsSnapshot> decode_stats_reply(
+    std::span<const std::uint8_t> body);
+
+// ---------------------------------------------------------------------------
+// Incremental frame scanner: feed() raw socket bytes, pop complete frames
+// with next(). Shared by the server's connections, the client, and the
+// stream-file loader, so all three agree on framing — and so the hardening
+// tests can drive hostile byte streams through the exact production path.
+// ---------------------------------------------------------------------------
+
+class FrameAssembler {
+ public:
+  enum class Status : std::uint8_t {
+    kNeedMore,   ///< no complete frame buffered
+    kFrame,      ///< `frame` filled with one payload (opcode + body)
+    kOversized,  ///< length prefix beyond kMaxFramePayload — unrecoverable
+    kEmpty,      ///< zero-length frame — malformed (no opcode byte)
+  };
+
+  void feed(std::span<const std::uint8_t> data);
+  [[nodiscard]] Status next(std::vector<std::uint8_t>& frame);
+
+  [[nodiscard]] std::size_t buffered() const { return buf_.size() - off_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t off_ = 0;
+};
+
+}  // namespace flowpulse::daemon

@@ -1,0 +1,114 @@
+#include "daemon/stream_file.h"
+
+#include <algorithm>
+#include <fstream>
+
+namespace flowpulse::daemon {
+
+void sort_records(std::vector<fp::IterationRecord>& records) {
+  std::stable_sort(records.begin(), records.end(),
+                   [](const fp::IterationRecord& a, const fp::IterationRecord& b) {
+                     if (a.iteration.v() != b.iteration.v()) {
+                       return a.iteration.v() < b.iteration.v();
+                     }
+                     return a.leaf.v() < b.leaf.v();
+                   });
+}
+
+bool write_stream_file(const std::string& path, const CounterStream& stream,
+                       std::string* err) {
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  if (!out) {
+    if (err != nullptr) *err = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  const auto emit = [&out](const std::vector<std::uint8_t>& frame) {
+    out.write(reinterpret_cast<const char*>(frame.data()),
+              static_cast<std::streamsize>(frame.size()));
+  };
+  emit(encode_hello(stream.hello));
+  if (stream.prediction.has_value()) emit(encode_predict(*stream.prediction));
+  for (const fp::IterationRecord& rec : stream.records) emit(encode_counters(rec));
+  out.flush();
+  if (!out) {
+    if (err != nullptr) *err = "short write to '" + path + "'";
+    return false;
+  }
+  return true;
+}
+
+std::optional<CounterStream> read_stream_file(const std::string& path, std::string* err) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    if (err != nullptr) *err = "cannot open '" + path + "'";
+    return std::nullopt;
+  }
+  FrameAssembler assembler;
+  char buf[64 * 1024];
+  while (in.read(buf, sizeof(buf)) || in.gcount() > 0) {
+    assembler.feed({reinterpret_cast<const std::uint8_t*>(buf),
+                    static_cast<std::size_t>(in.gcount())});
+  }
+
+  CounterStream stream;
+  bool have_hello = false;
+  std::vector<std::uint8_t> frame;
+  for (std::size_t index = 0;; ++index) {
+    const FrameAssembler::Status st = assembler.next(frame);
+    if (st == FrameAssembler::Status::kNeedMore) break;
+    if (st != FrameAssembler::Status::kFrame) {
+      if (err != nullptr) *err = "malformed frame in '" + path + "'";
+      return std::nullopt;
+    }
+    const Op op = static_cast<Op>(frame[0]);
+    const std::span<const std::uint8_t> body{frame.data() + 1, frame.size() - 1};
+    if (index == 0) {
+      if (op != Op::kHello) {
+        if (err != nullptr) *err = "stream file must start with HELLO";
+        return std::nullopt;
+      }
+      auto h = decode_hello(body);
+      if (!h.has_value()) {
+        if (err != nullptr) *err = "malformed HELLO in '" + path + "'";
+        return std::nullopt;
+      }
+      stream.hello = *h;
+      have_hello = true;
+      continue;
+    }
+    switch (op) {
+      case Op::kPredict: {
+        auto p = decode_predict(body);
+        if (!p.has_value()) {
+          if (err != nullptr) *err = "malformed PREDICT in '" + path + "'";
+          return std::nullopt;
+        }
+        stream.prediction = std::move(*p);
+        break;
+      }
+      case Op::kCounters: {
+        auto r = decode_counters(body);
+        if (!r.has_value()) {
+          if (err != nullptr) *err = "malformed COUNTERS in '" + path + "'";
+          return std::nullopt;
+        }
+        stream.records.push_back(std::move(*r));
+        break;
+      }
+      default:
+        if (err != nullptr) *err = "unexpected opcode in '" + path + "'";
+        return std::nullopt;
+    }
+  }
+  if (!have_hello) {
+    if (err != nullptr) *err = "'" + path + "' holds no frames";
+    return std::nullopt;
+  }
+  if (assembler.buffered() > 0) {
+    if (err != nullptr) *err = "trailing garbage at end of '" + path + "'";
+    return std::nullopt;
+  }
+  return stream;
+}
+
+}  // namespace flowpulse::daemon

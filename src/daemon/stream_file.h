@@ -1,0 +1,37 @@
+#pragma once
+
+// Recorded counter streams: a file of wire frames — one HELLO (topology +
+// job, full-fabric leaf range), an optional PREDICT (the baseline the run
+// was armed with), then COUNTERS in (iteration, leaf) order. Exactly what
+// flows over a flowpulsed connection, so `flowpulse_cli --dump-counters`
+// output replays against a live daemon byte-for-byte (fault onsets
+// included), and the load generator needs no format of its own.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "daemon/protocol.h"
+#include "flowpulse/port_load.h"
+
+namespace flowpulse::daemon {
+
+struct CounterStream {
+  Hello hello;  ///< fabric shape + job; leaf range spans the whole fabric
+  std::optional<fp::PortLoadMap> prediction;
+  std::vector<fp::IterationRecord> records;  ///< (iteration, leaf) order
+};
+
+/// Serialize to `path` as raw wire frames. False (with *err) on I/O error.
+[[nodiscard]] bool write_stream_file(const std::string& path, const CounterStream& stream,
+                                     std::string* err);
+
+/// Parse a stream file. nullopt (with *err) on I/O error, malformed frame,
+/// or an unexpected frame sequence.
+[[nodiscard]] std::optional<CounterStream> read_stream_file(const std::string& path,
+                                                            std::string* err);
+
+/// Canonical (iteration, leaf) order for dumped records.
+void sort_records(std::vector<fp::IterationRecord>& records);
+
+}  // namespace flowpulse::daemon

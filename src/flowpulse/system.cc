@@ -5,21 +5,27 @@
 namespace flowpulse::fp {
 
 FlowPulseSystem::FlowPulseSystem(net::FatTree& fabric, SystemConfig config)
-    : fabric_{fabric}, config_{config} {
-  const net::TopologyInfo& info = fabric.info();
-  monitors_.reserve(info.leaves);
-  for (const net::LeafId l : core::ids<net::LeafId>(info.leaves)) {
-    monitors_.push_back(std::make_unique<PortMonitor>(l, info, config_.job));
-    monitors_.back()->attach(fabric.leaf(l));
+    : FlowPulseSystem(fabric.info(), config) {
+  fabric_ = &fabric;
+  for (const net::LeafId l : core::ids<net::LeafId>(topo_.leaves)) {
+    monitors_[l.v()]->attach(fabric.leaf(l));
+  }
+}
+
+FlowPulseSystem::FlowPulseSystem(const net::TopologyInfo& topo, SystemConfig config)
+    : topo_{topo}, config_{config} {
+  monitors_.reserve(topo_.leaves);
+  for (const net::LeafId l : core::ids<net::LeafId>(topo_.leaves)) {
+    monitors_.push_back(std::make_unique<PortMonitor>(l, topo_, config_.job));
     monitors_.back()->set_finalize_hook(
         [this](const IterationRecord& r) { on_finalized(r); });
     if (config_.model == ModelKind::kLearned) {
       learned_.push_back(
-          std::make_unique<LearnedModel>(info.uplinks_per_leaf(), config_.learned));
+          std::make_unique<LearnedModel>(topo_.uplinks_per_leaf(), config_.learned));
     }
     if (config_.detector == DetectorKind::kStreaming) {
       streaming_.push_back(std::make_unique<StreamingDetector>(
-          l, info.uplinks_per_leaf(), info.leaves, config_.streaming));
+          l, topo_.uplinks_per_leaf(), topo_.leaves, config_.streaming));
     }
   }
 }
@@ -33,8 +39,12 @@ void FlowPulseSystem::set_prediction(PortLoadMap prediction) {
 }
 
 void FlowPulseSystem::on_finalized(const IterationRecord& record) {
-  FP_TRACE(fabric_.simulator(), kIteration, "", record.leaf.v(), 0, record.iteration.v(), 0.0,
-           "finalized");
+#if FP_TRACE_ENABLED
+  if (fabric_ != nullptr) {
+    FP_TRACE(fabric_->simulator(), kIteration, "", record.leaf.v(), 0, record.iteration.v(),
+             0.0, "finalized");
+  }
+#endif
   if (config_.model == ModelKind::kLearned) {
     learned_outcomes_.push_back(LearnedOutcome{record.leaf, record.iteration,
                                                learned_[record.leaf.v()]->observe(record)});
@@ -69,6 +79,7 @@ void FlowPulseSystem::on_finalized(const IterationRecord& record) {
 // is the verdict layered on top, and the timeline should show both.
 void FlowPulseSystem::trace_result([[maybe_unused]] const DetectionResult& r) {
 #if FP_TRACE_ENABLED
+  if (fabric_ == nullptr) return;  // tracing is simulator-bound
   constexpr auto verdict_name = [](Localization::Verdict v) {
     switch (v) {
       case Localization::Verdict::kLocalLink:
@@ -80,7 +91,7 @@ void FlowPulseSystem::trace_result([[maybe_unused]] const DetectionResult& r) {
     }
     return "unknown";
   };
-  sim::Simulator& sim = fabric_.simulator();
+  sim::Simulator& sim = fabric_->simulator();
   for (const PortAlert& a : r.alerts) {
     FP_TRACE(sim, kDetectorFlag, "", r.leaf.v(), a.uplink.v(), r.iteration.v(), a.rel_dev,
              a.observed < a.predicted ? "shortfall" : "surplus");
@@ -96,13 +107,16 @@ void FlowPulseSystem::flush() {
   // Monitor-vs-switch reconciliation: each monitor's per-port byte ledger
   // must equal the delivering downlink's independent count of tagged
   // collective data bytes for this job — every monitored packet was really
-  // delivered, and every delivered tagged packet was monitored.
-  const net::TopologyInfo& info = fabric_.info();
+  // delivered, and every delivered tagged packet was monitored. Only
+  // meaningful with an attached fabric: the transport-agnostic mode has no
+  // switch-side ledger to reconcile against.
+  if (fabric_ == nullptr) return;
+  const net::TopologyInfo& info = topo_;
   for (const net::LeafId l : core::ids<net::LeafId>(info.leaves)) {
     for (const net::UplinkIndex u : core::ids<net::UplinkIndex>(info.uplinks_per_leaf())) {
       const std::uint64_t monitored = monitors_[l.v()]->audit_bytes(u);
       const std::uint64_t delivered =
-          fabric_.audit_downlink_tagged_bytes(l, u, config_.job).v();
+          fabric_->audit_downlink_tagged_bytes(l, u, config_.job).v();
       FP_AUDIT(monitored == delivered, "monitor-reconciliation",
                "leaf" + std::to_string(l.v()) + ".up" + std::to_string(u.v()), config_.job, 0,
                "monitor counted " + std::to_string(monitored) +

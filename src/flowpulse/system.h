@@ -46,9 +46,23 @@ struct SystemConfig {
 /// set_prediction() before the run; every finalized iteration is evaluated
 /// eagerly and collected in results(). For kLearned, each leaf owns a
 /// LearnedModel whose outcomes are collected in learned_outcomes().
+///
+/// Two deployments share this class:
+///  * simulator-attached (FatTree ctor): monitors tap every leaf switch's
+///    spine ingress and finalize iterations as simulated packets arrive;
+///  * transport-agnostic (TopologyInfo ctor): no fabric, no simulator —
+///    finalized IterationRecords arrive solely through ingest(). This is
+///    what `flowpulsed` runs: the detection core needs only the minimal
+///    topology view (leaf count, uplinks per leaf, spine_of), so any
+///    substrate — simulator, wire protocol, replay file — can feed it.
 class FlowPulseSystem {
  public:
   FlowPulseSystem(net::FatTree& fabric, SystemConfig config);
+
+  /// Transport-agnostic deployment: detection over a bare topology view.
+  /// Monitors exist but are not attached to switches; ingest() is the only
+  /// input path, and tracing/audit (simulator-bound) are disabled.
+  FlowPulseSystem(const net::TopologyInfo& topo, SystemConfig config);
 
   /// Install the per-port prediction (fixed-model modes).
   void set_prediction(PortLoadMap prediction);
@@ -83,6 +97,10 @@ class FlowPulseSystem {
 
   /// Every evaluated (leaf × iteration) check, in finalize order.
   [[nodiscard]] const std::vector<DetectionResult>& results() const { return results_; }
+  /// Drop collected results. Streaming consumers (the daemon's verdict
+  /// accumulator subscribes via the alert hook) call this after every
+  /// ingest so detection memory stays flat over unbounded counter streams.
+  void clear_results() { results_.clear(); }
   /// Learned-model outcomes (kLearned mode), in finalize order.
   struct LearnedOutcome {
     net::LeafId leaf;
@@ -102,6 +120,7 @@ class FlowPulseSystem {
 
   [[nodiscard]] PortMonitor& monitor(net::LeafId leaf) { return *monitors_[leaf.v()]; }
   [[nodiscard]] LearnedModel& learned_model(net::LeafId leaf) { return *learned_[leaf.v()]; }
+  [[nodiscard]] const net::TopologyInfo& topology() const { return topo_; }
   [[nodiscard]] const SystemConfig& config() const { return config_; }
   [[nodiscard]] bool has_prediction() const { return detector_ != nullptr; }
   [[nodiscard]] const Detector& detector() const { return *detector_; }
@@ -114,7 +133,8 @@ class FlowPulseSystem {
   void on_finalized(const IterationRecord& record);
   void trace_result(const DetectionResult& r);
 
-  net::FatTree& fabric_;
+  net::FatTree* fabric_ = nullptr;  ///< null in the transport-agnostic mode
+  net::TopologyInfo topo_;
   SystemConfig config_;
   std::vector<std::unique_ptr<PortMonitor>> monitors_;
   std::unique_ptr<Detector> detector_;

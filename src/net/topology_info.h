@@ -25,6 +25,8 @@ struct TopologyInfo {
   std::uint32_t hosts_per_leaf = 1;
   std::uint32_t parallel = 1;
 
+  friend constexpr bool operator==(const TopologyInfo&, const TopologyInfo&) = default;
+
   [[nodiscard]] constexpr std::uint32_t uplinks_per_leaf() const { return spines * parallel; }
   [[nodiscard]] constexpr std::uint32_t num_hosts() const { return leaves * hosts_per_leaf; }
   [[nodiscard]] constexpr LeafId leaf_of(HostId h) const {

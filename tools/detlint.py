@@ -52,6 +52,14 @@ Rules
                        id space gets laundered into another
                        (SpineId{uplink.v()} at least names the crossing,
                        static_cast hides it).
+  os-io                Including an OS I/O header (sockets, epoll, eventfd,
+                       fds: sys/socket.h, sys/epoll.h, netinet/*, poll.h,
+                       fcntl.h, unistd.h, ...) outside a realtime module.
+                       Simulation code must never touch the outside world;
+                       src/daemon is the one sanctioned realtime module
+                       (the flowpulsed transport), where fds, epoll and
+                       wall clocks are the point — so the wall-clock rule
+                       is also skipped there.
 
 Waivers
 -------
@@ -81,6 +89,7 @@ RULES = {
     "par-float-accum",
     "raw-scalar-id",
     "strongid-cast",
+    "os-io",
 }
 
 DIRECTIVE_RE = re.compile(r"//\s*detlint:\s*ok\(([\w-]+)\)\s*:?\s*(.*\S)?")
@@ -121,8 +130,16 @@ THREADING_RE = re.compile(r"\bstd::(?:thread|jthread|atomic|mutex|async)\b")
 # a raw scalar with an id-like/unit-like name there is a regression.
 CONVERTED_MODULES = {
     "core", "net", "flowpulse", "ctrl", "baseline", "exp", "transport",
-    "collective",
+    "collective", "daemon",
 }
+# Modules that legitimately talk to the outside world: OS I/O (sockets,
+# epoll, fds) and wall clocks are their job, not a determinism leak. The
+# simulation core must never join this set.
+REALTIME_MODULES = {"daemon"}
+OS_IO_INCLUDE_RE = re.compile(
+    r'#\s*include\s*[<"](?:sys/(?:socket|epoll|eventfd|select|un|uio)\.h'
+    r"|netinet/[\w.]+|arpa/inet\.h|poll\.h|fcntl\.h|unistd\.h"
+    r'|netdb\.h)[>"]')
 RAW_INT_TYPE = (r"(?:std::)?(?:u?int(?:8|16|32|64)_t|size_t"
                 r"|unsigned(?:\s+(?:int|long(?:\s+long)?))?"
                 r"|(?<!unsigned )int|long(?:\s+long)?)")
@@ -254,6 +271,7 @@ def module_of(path: Path) -> str | None:
 def lint_file(f: File, unordered_idents: set[str]) -> None:
     parallel_file = any(THREADING_RE.search(code) for code in f.code)
     module = module_of(f.path)
+    realtime = module in REALTIME_MODULES
     converted_header = (module in CONVERTED_MODULES
                         and f.path.suffix in {".h", ".hpp"})
     float_idents: set[str] = set()
@@ -287,12 +305,23 @@ def lint_file(f: File, unordered_idents: set[str]) -> None:
                      "container keyed by pointer: pointer order is "
                      "allocation order and varies across runs")
 
-        for pattern, what in WALL_CLOCK_RES:
-            if pattern.search(code):
-                f.report(lineno, "wall-clock",
-                         f"{what}: simulation state must advance only on "
-                         "sim::Time (steady_clock may be waived for "
-                         "reporting-only wall durations)")
+        if not realtime:
+            for pattern, what in WALL_CLOCK_RES:
+                if pattern.search(code):
+                    f.report(lineno, "wall-clock",
+                             f"{what}: simulation state must advance only on "
+                             "sim::Time (steady_clock may be waived for "
+                             "reporting-only wall durations)")
+
+        # Match the raw line (quoted includes are blanked in code), but only
+        # on lines that are live preprocessor directives, so a commented-out
+        # include does not flag.
+        if (not realtime and code.lstrip().startswith("#")
+                and OS_IO_INCLUDE_RE.search(f.raw[idx])):
+            f.report(lineno, "os-io",
+                     "OS I/O header outside a realtime module: simulation "
+                     "code must never touch sockets/epoll/fds; only "
+                     "src/daemon (the flowpulsed transport) may")
 
         for pattern, what in BANNED_RNG_RES:
             if pattern.search(code):
