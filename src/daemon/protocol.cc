@@ -176,8 +176,9 @@ std::vector<std::uint8_t> encode_err(Err code, std::string_view message) {
   Writer w;
   w.u8(static_cast<std::uint8_t>(Op::kErr));
   w.u16(static_cast<std::uint16_t>(code));
-  w.u16(static_cast<std::uint16_t>(message.size()));
-  w.bytes(message.substr(0, 0xffff));
+  const std::string_view m = message.substr(0, 0xffff);
+  w.u16(static_cast<std::uint16_t>(m.size()));
+  w.bytes(m);
   return finish(w);
 }
 
@@ -230,9 +231,14 @@ std::optional<fp::IterationRecord> decode_counters(std::span<const std::uint8_t>
   const std::uint32_t ports = r.u32();
   const std::uint32_t senders = r.u32();
   if (!r.ok()) return std::nullopt;
-  // A hostile (ports, senders) pair must not drive a huge allocation: the
-  // remaining body must be exactly ports × (1 + senders) doubles.
-  const std::uint64_t doubles = static_cast<std::uint64_t>(ports) * (1 + senders);
+  // A hostile (ports, senders) pair must not drive a huge allocation: bound
+  // each dimension by what a max-size frame could carry, then require the
+  // remaining body to be exactly ports × (1 + senders) doubles. The product
+  // must be 64-bit throughout — (1 + senders) in uint32 wraps to 0 at
+  // senders = 2^32-1 and would let the size check pass on a tiny body.
+  constexpr std::uint64_t kMaxDoubles = kMaxFramePayload / 8;
+  if (ports > kMaxDoubles || senders > kMaxDoubles) return std::nullopt;
+  const std::uint64_t doubles = static_cast<std::uint64_t>(ports) * (1ull + senders);
   if (doubles * 8 != r.remaining()) return std::nullopt;
   rec.bytes.resize(ports);
   rec.by_src.assign(ports, std::vector<double>(senders, 0.0));
@@ -249,6 +255,12 @@ std::optional<fp::PortLoadMap> decode_predict(std::span<const std::uint8_t> body
   const std::uint32_t leaves = r.u32();
   const std::uint32_t uplinks = r.u32();
   if (!r.ok()) return std::nullopt;
+  // Bound the dimensions before multiplying: leaves = uplinks = 2^31 makes
+  // leaves·uplinks·(1+leaves)·8 ≡ 0 mod 2^64, which would sail past a pure
+  // size check on an empty body and then attempt an enormous PortLoadMap.
+  // With both ≤ kMaxDoubles (2^20) the product is < 2^64 and cannot wrap.
+  constexpr std::uint64_t kMaxDoubles = kMaxFramePayload / 8;
+  if (leaves > kMaxDoubles || uplinks > kMaxDoubles) return std::nullopt;
   const std::uint64_t doubles =
       static_cast<std::uint64_t>(leaves) * uplinks * (1ull + leaves);
   if (doubles * 8 != r.remaining()) return std::nullopt;

@@ -221,6 +221,7 @@ int Server::run() {
       log_errno("epoll_wait");
       return 1;
     }
+    bool accept_pending = false;
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
       const std::uint32_t ev = events[i].events;
@@ -229,7 +230,11 @@ int Server::run() {
         continue;
       }
       if (fd == listen_fd_) {
-        accept_ready();
+        // Deferred below: accepting mid-batch can reuse an fd number that
+        // close_conn released earlier in this same batch, and a stale queued
+        // event for the old fd would then act on the unrelated new
+        // connection. No fd enters conns_ until the batch is fully handled.
+        accept_pending = true;
         continue;
       }
       if (conns_.find(fd) == conns_.end()) continue;  // closed earlier this round
@@ -243,6 +248,7 @@ int Server::run() {
         if (it != conns_.end() && flush_out(fd, it->second)) update_interest(fd, it->second);
       }
     }
+    if (accept_pending) accept_ready();
   }
   // Graceful exit: stop accepting, then give pending replies (the OK for
   // the SHUTDOWN itself) a bounded number of flush attempts.

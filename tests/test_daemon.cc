@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -253,6 +254,41 @@ TEST(DaemonCodecHardening, CountersWithAbsurdDimensionsRejected) {
   w.u32(4);           // senders per port
   w.f64(1.0);         // nowhere near enough doubles
   EXPECT_FALSE(decode_counters(w.buf()).has_value());
+}
+
+TEST(DaemonCodecHardening, CountersWithWrappingSenderCountRejected) {
+  // senders = 2^32-1 makes (1 + senders) wrap to 0 in uint32 arithmetic, so
+  // a naive size check sees 0 doubles and passes on a header-only body — the
+  // decoder would then try to allocate ports × 4-GiB-wide rows.
+  Writer w;
+  w.u32(1);            // leaf
+  w.u32(0);            // iteration
+  w.u64(1);            // packets
+  w.u32(3);            // ports
+  w.u32(0xFFFFFFFFu);  // senders (hostile)
+  EXPECT_FALSE(decode_counters(w.buf()).has_value());
+}
+
+TEST(DaemonCodecHardening, PredictWithWrappingDimensionsRejected) {
+  // leaves = uplinks = 2^31: leaves·uplinks·(1+leaves)·8 ≡ 0 mod 2^64, so a
+  // pure size check wraps clean on an empty body and the decoder would
+  // attempt an enormous PortLoadMap. Dimensions must be bounded first.
+  Writer w;
+  w.u32(1u << 31);  // leaves
+  w.u32(1u << 31);  // uplinks
+  EXPECT_FALSE(decode_predict(w.buf()).has_value());
+}
+
+TEST(DaemonCodecHardening, ErrWithOverlongMessageTruncatesConsistently) {
+  // The declared u16 length and the emitted bytes must agree even when the
+  // message exceeds 65535 chars — decode_err rejects any mismatch.
+  const std::string longmsg(100000, 'e');
+  const auto frame = encode_err(Err::kBadFrame, longmsg);
+  const auto back = decode_err(body_of(frame));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->code, Err::kBadFrame);
+  EXPECT_EQ(back->message.size(), 0xffffu);
+  EXPECT_EQ(back->message, longmsg.substr(0, 0xffff));
 }
 
 TEST(DaemonCodecHardening, AssemblerHandlesByteDribbleAndBatches) {
