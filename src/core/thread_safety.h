@@ -1,0 +1,132 @@
+#pragma once
+
+// Compile-time race detection: clang thread-safety (capability) annotations
+// behind FP_* macros, plus the annotated lock types the rest of the tree
+// uses (core::Mutex / core::LockGuard) and a thread-role capability for
+// single-owner structures (core::ThreadRole / core::ScopedThreadRole).
+//
+// Under clang the repo builds with -Wthread-safety -Werror=thread-safety
+// (see the root CMakeLists and the CI `thread-safety` leg), so
+//
+//   * reading or writing an FP_GUARDED_BY member without holding its mutex,
+//   * calling an FP_REQUIRES function without the named capability,
+//
+// are COMPILE ERRORS — the negcompile.guarded_by_unlocked /
+// negcompile.requires_unlocked tests prove both diagnostics actually fire.
+// Under GCC (which has no capability analysis) every macro expands to
+// nothing and core::Mutex degrades to a plain std::mutex wrapper, so the
+// annotations are free to apply everywhere.
+//
+// Conventions (see DESIGN.md "Concurrency safety & fuzzing"):
+//   * every mutex is a core::Mutex and is locked through core::LockGuard —
+//     std::mutex/std::lock_guard carry no annotations on libstdc++, so a
+//     raw one is invisible to the analysis;
+//   * data shared across threads is FP_GUARDED_BY its mutex, in a named
+//     struct (clang ignores attributes on function-local variables);
+//   * structures owned by ONE thread (the flowpulsed event loop) are
+//     guarded by a core::ThreadRole capability instead of a lock: members
+//     are FP_GUARDED_BY(role), the methods that touch them FP_REQUIRES(role),
+//     and the owning thread's entry point holds a core::ScopedThreadRole.
+//     The role costs nothing at runtime; it exists so a second thread
+//     calling into single-owner state is a compile error, not a tsan find.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define FP_THREAD_SAFETY_ENABLED 1
+#endif
+#endif
+#ifndef FP_THREAD_SAFETY_ENABLED
+#define FP_THREAD_SAFETY_ENABLED 0
+#endif
+
+#if FP_THREAD_SAFETY_ENABLED
+#define FP_TS_ATTR(x) __attribute__((x))
+#else
+#define FP_TS_ATTR(x)
+#endif
+
+/// Class attribute: instances are capabilities (mutexes, thread roles).
+#define FP_CAPABILITY(name) FP_TS_ATTR(capability(name))
+/// Class attribute: RAII objects that acquire on construction, release on
+/// destruction (core::LockGuard, core::ScopedThreadRole).
+#define FP_SCOPED_CAPABILITY FP_TS_ATTR(scoped_lockable)
+/// Member attribute: may only be touched while holding `x`.
+#define FP_GUARDED_BY(x) FP_TS_ATTR(guarded_by(x))
+/// Member attribute: the pointee may only be touched while holding `x`.
+#define FP_PT_GUARDED_BY(x) FP_TS_ATTR(pt_guarded_by(x))
+/// Function attribute: caller must hold `...` exclusively.
+#define FP_REQUIRES(...) FP_TS_ATTR(requires_capability(__VA_ARGS__))
+/// Function attribute: caller must hold `...` at least shared.
+#define FP_REQUIRES_SHARED(...) FP_TS_ATTR(requires_shared_capability(__VA_ARGS__))
+/// Function attribute: acquires `...` (held on return).
+#define FP_ACQUIRE(...) FP_TS_ATTR(acquire_capability(__VA_ARGS__))
+/// Function attribute: releases `...` (must be held on entry).
+#define FP_RELEASE(...) FP_TS_ATTR(release_capability(__VA_ARGS__))
+/// Function attribute: acquires `...` iff the function returns true.
+#define FP_TRY_ACQUIRE(...) FP_TS_ATTR(try_acquire_capability(__VA_ARGS__))
+/// Function attribute: caller must NOT hold `...` (deadlock guard).
+#define FP_EXCLUDES(...) FP_TS_ATTR(locks_excluded(__VA_ARGS__))
+/// Function attribute: returns a reference to the capability `x`.
+#define FP_RETURN_CAPABILITY(x) FP_TS_ATTR(lock_returned(x))
+/// Escape hatch — use only with a comment explaining why the analysis is
+/// wrong (e.g. locking a different object's mutex in a merge).
+#define FP_NO_THREAD_SAFETY_ANALYSIS FP_TS_ATTR(no_thread_safety_analysis)
+
+#include <mutex>
+
+namespace flowpulse::core {
+
+/// std::mutex with capability annotations. Always lock through LockGuard;
+/// lock()/unlock() exist for the rare scope-crossing case and are annotated
+/// so misuse is still caught.
+class FP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() FP_ACQUIRE() { mu_.lock(); }
+  void unlock() FP_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() FP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Annotated std::lock_guard equivalent over core::Mutex.
+class FP_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) FP_ACQUIRE(mu) : mu_{mu} { mu_.lock(); }
+  ~LockGuard() FP_RELEASE() { mu_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// A zero-size capability standing for "runs on the owning thread". Declare
+/// one `inline constexpr ThreadRole kFooLoop{};` per single-owner structure,
+/// guard its state with FP_GUARDED_BY(kFooLoop), and hold a ScopedThreadRole
+/// in the owning thread's entry point. Purely compile-time: there is
+/// nothing to lock, only a proof obligation threaded through signatures.
+class FP_CAPABILITY("role") ThreadRole {
+ public:
+  constexpr ThreadRole() = default;
+  ThreadRole(const ThreadRole&) = delete;
+  ThreadRole& operator=(const ThreadRole&) = delete;
+};
+
+/// Asserts (at compile time) that the current scope IS the role's owning
+/// thread. Constructing one is the single-owner analogue of taking a lock;
+/// the constructor is the place the ownership claim is made, so keep each
+/// construction next to a comment saying why the claim holds.
+class FP_SCOPED_CAPABILITY ScopedThreadRole {
+ public:
+  explicit ScopedThreadRole(const ThreadRole& role) FP_ACQUIRE(role) { (void)role; }
+  ~ScopedThreadRole() FP_RELEASE() {}
+  ScopedThreadRole(const ScopedThreadRole&) = delete;
+  ScopedThreadRole& operator=(const ScopedThreadRole&) = delete;
+};
+
+}  // namespace flowpulse::core

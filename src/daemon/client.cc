@@ -15,6 +15,8 @@ namespace flowpulse::daemon {
 namespace {
 
 void set_err(std::string* err, const std::string& what) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): client is single-threaded
+  // blocking I/O; no other thread can race the static strerror buffer
   if (err != nullptr) *err = what + ": " + std::strerror(errno);
 }
 

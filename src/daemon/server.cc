@@ -24,6 +24,8 @@ bool set_nonblocking(int fd) {
 }
 
 void log_errno(const char* what) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): only the kServerLoop thread
+  // logs; the role capability (server.h) proves there is exactly one
   std::fprintf(stderr, "flowpulsed: %s: %s\n", what, std::strerror(errno));
 }
 
@@ -33,6 +35,10 @@ Server::Server(ServerConfig config, DaemonEngine& engine)
     : config_{std::move(config)}, engine_{engine} {}
 
 Server::~Server() {
+  // Destruction is a role handoff: run() has returned and its thread has
+  // been joined (flowpulsed_main and every test do the join before the
+  // Server leaves scope), so the destroying thread is the sole owner.
+  const core::ScopedThreadRole role{kServerLoop};
   for (auto& [fd, conn] : conns_) ::close(fd);
   if (listen_fd_ >= 0) ::close(listen_fd_);
   if (wake_fd_ >= 0) ::close(wake_fd_);
@@ -212,6 +218,10 @@ bool Server::conn_readable(int fd) {
 }
 
 int Server::run() {
+  // The calling thread becomes THE event-loop thread for the lifetime of
+  // this frame; every FP_REQUIRES(kServerLoop) method below is reachable
+  // only from here.
+  const core::ScopedThreadRole role{kServerLoop};
   if (epoll_fd_ < 0) return 1;
   epoll_event events[128];
   while (!stop_requested_) {

@@ -15,6 +15,83 @@ void sort_records(std::vector<fp::IterationRecord>& records) {
                    });
 }
 
+std::vector<std::uint8_t> encode_stream(const CounterStream& stream) {
+  std::vector<std::uint8_t> bytes;
+  const auto emit = [&bytes](const std::vector<std::uint8_t>& frame) {
+    bytes.insert(bytes.end(), frame.begin(), frame.end());
+  };
+  emit(encode_hello(stream.hello));
+  if (stream.prediction.has_value()) emit(encode_predict(*stream.prediction));
+  for (const fp::IterationRecord& rec : stream.records) emit(encode_counters(rec));
+  return bytes;
+}
+
+std::optional<CounterStream> parse_stream(std::span<const std::uint8_t> data,
+                                          std::string* err) {
+  FrameAssembler assembler;
+  assembler.feed(data);
+
+  CounterStream stream;
+  bool have_hello = false;
+  std::vector<std::uint8_t> frame;
+  for (std::size_t index = 0;; ++index) {
+    const FrameAssembler::Status st = assembler.next(frame);
+    if (st == FrameAssembler::Status::kNeedMore) break;
+    if (st != FrameAssembler::Status::kFrame) {
+      if (err != nullptr) *err = "malformed frame";
+      return std::nullopt;
+    }
+    const Op op = static_cast<Op>(frame[0]);
+    const std::span<const std::uint8_t> body{frame.data() + 1, frame.size() - 1};
+    if (index == 0) {
+      if (op != Op::kHello) {
+        if (err != nullptr) *err = "stream must start with HELLO";
+        return std::nullopt;
+      }
+      auto h = decode_hello(body);
+      if (!h.has_value()) {
+        if (err != nullptr) *err = "malformed HELLO";
+        return std::nullopt;
+      }
+      stream.hello = *h;
+      have_hello = true;
+      continue;
+    }
+    switch (op) {
+      case Op::kPredict: {
+        auto p = decode_predict(body);
+        if (!p.has_value()) {
+          if (err != nullptr) *err = "malformed PREDICT";
+          return std::nullopt;
+        }
+        stream.prediction = std::move(*p);
+        break;
+      }
+      case Op::kCounters: {
+        auto r = decode_counters(body);
+        if (!r.has_value()) {
+          if (err != nullptr) *err = "malformed COUNTERS";
+          return std::nullopt;
+        }
+        stream.records.push_back(std::move(*r));
+        break;
+      }
+      default:
+        if (err != nullptr) *err = "unexpected opcode";
+        return std::nullopt;
+    }
+  }
+  if (!have_hello) {
+    if (err != nullptr) *err = "stream holds no frames";
+    return std::nullopt;
+  }
+  if (assembler.buffered() > 0) {
+    if (err != nullptr) *err = "trailing garbage at end of stream";
+    return std::nullopt;
+  }
+  return stream;
+}
+
 bool write_stream_file(const std::string& path, const CounterStream& stream,
                        std::string* err) {
   std::ofstream out{path, std::ios::binary | std::ios::trunc};
@@ -22,13 +99,9 @@ bool write_stream_file(const std::string& path, const CounterStream& stream,
     if (err != nullptr) *err = "cannot open '" + path + "' for writing";
     return false;
   }
-  const auto emit = [&out](const std::vector<std::uint8_t>& frame) {
-    out.write(reinterpret_cast<const char*>(frame.data()),
-              static_cast<std::streamsize>(frame.size()));
-  };
-  emit(encode_hello(stream.hello));
-  if (stream.prediction.has_value()) emit(encode_predict(*stream.prediction));
-  for (const fp::IterationRecord& rec : stream.records) emit(encode_counters(rec));
+  const std::vector<std::uint8_t> bytes = encode_stream(stream);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
   out.flush();
   if (!out) {
     if (err != nullptr) *err = "short write to '" + path + "'";
@@ -43,71 +116,14 @@ std::optional<CounterStream> read_stream_file(const std::string& path, std::stri
     if (err != nullptr) *err = "cannot open '" + path + "'";
     return std::nullopt;
   }
-  FrameAssembler assembler;
+  std::vector<std::uint8_t> bytes;
   char buf[64 * 1024];
   while (in.read(buf, sizeof(buf)) || in.gcount() > 0) {
-    assembler.feed({reinterpret_cast<const std::uint8_t*>(buf),
-                    static_cast<std::size_t>(in.gcount())});
+    bytes.insert(bytes.end(), buf, buf + in.gcount());
   }
-
-  CounterStream stream;
-  bool have_hello = false;
-  std::vector<std::uint8_t> frame;
-  for (std::size_t index = 0;; ++index) {
-    const FrameAssembler::Status st = assembler.next(frame);
-    if (st == FrameAssembler::Status::kNeedMore) break;
-    if (st != FrameAssembler::Status::kFrame) {
-      if (err != nullptr) *err = "malformed frame in '" + path + "'";
-      return std::nullopt;
-    }
-    const Op op = static_cast<Op>(frame[0]);
-    const std::span<const std::uint8_t> body{frame.data() + 1, frame.size() - 1};
-    if (index == 0) {
-      if (op != Op::kHello) {
-        if (err != nullptr) *err = "stream file must start with HELLO";
-        return std::nullopt;
-      }
-      auto h = decode_hello(body);
-      if (!h.has_value()) {
-        if (err != nullptr) *err = "malformed HELLO in '" + path + "'";
-        return std::nullopt;
-      }
-      stream.hello = *h;
-      have_hello = true;
-      continue;
-    }
-    switch (op) {
-      case Op::kPredict: {
-        auto p = decode_predict(body);
-        if (!p.has_value()) {
-          if (err != nullptr) *err = "malformed PREDICT in '" + path + "'";
-          return std::nullopt;
-        }
-        stream.prediction = std::move(*p);
-        break;
-      }
-      case Op::kCounters: {
-        auto r = decode_counters(body);
-        if (!r.has_value()) {
-          if (err != nullptr) *err = "malformed COUNTERS in '" + path + "'";
-          return std::nullopt;
-        }
-        stream.records.push_back(std::move(*r));
-        break;
-      }
-      default:
-        if (err != nullptr) *err = "unexpected opcode in '" + path + "'";
-        return std::nullopt;
-    }
-  }
-  if (!have_hello) {
-    if (err != nullptr) *err = "'" + path + "' holds no frames";
-    return std::nullopt;
-  }
-  if (assembler.buffered() > 0) {
-    if (err != nullptr) *err = "trailing garbage at end of '" + path + "'";
-    return std::nullopt;
-  }
+  std::string inner;
+  auto stream = parse_stream(bytes, &inner);
+  if (!stream.has_value() && err != nullptr) *err = inner + " in '" + path + "'";
   return stream;
 }
 

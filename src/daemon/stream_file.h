@@ -7,7 +7,9 @@
 // output replays against a live daemon byte-for-byte (fault onsets
 // included), and the load generator needs no format of its own.
 
+#include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -21,6 +23,16 @@ struct CounterStream {
   std::optional<fp::PortLoadMap> prediction;
   std::vector<fp::IterationRecord> records;  ///< (iteration, leaf) order
 };
+
+/// The stream's wire bytes: HELLO, optional PREDICT, then COUNTERS frames.
+[[nodiscard]] std::vector<std::uint8_t> encode_stream(const CounterStream& stream);
+
+/// Parse wire bytes (the exact content of a stream file). nullopt (with
+/// *err) on a malformed frame or an unexpected frame sequence. This is the
+/// whole reader — read_stream_file is this plus one file slurp — so the
+/// fuzz_stream harness drives the identical code path without a filesystem.
+[[nodiscard]] std::optional<CounterStream> parse_stream(std::span<const std::uint8_t> data,
+                                                        std::string* err);
 
 /// Serialize to `path` as raw wire frames. False (with *err) on I/O error.
 [[nodiscard]] bool write_stream_file(const std::string& path, const CounterStream& stream,

@@ -3,6 +3,8 @@
 namespace flowpulse::exp {
 
 unsigned env_jobs() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read before the worker pool
+  // spawns; nothing in the process calls setenv
   if (const char* s = std::getenv("FLOWPULSE_JOBS")) {
     const long v = std::strtol(s, nullptr, 10);
     if (v > 0) return static_cast<unsigned>(v);

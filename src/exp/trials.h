@@ -5,11 +5,11 @@
 #include <cstdlib>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/thread_safety.h"
 #include "exp/metrics.h"
 #include "exp/scenario.h"
 
@@ -22,6 +22,8 @@ namespace flowpulse::exp {
 ///   FLOWPULSE_JOBS    — worker threads for parallel sweeps
 ///                       (default: hardware_concurrency)
 [[nodiscard]] inline std::uint32_t env_trials(std::uint32_t fallback) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read before the worker pool
+  // spawns; nothing in the process calls setenv
   if (const char* s = std::getenv("FLOWPULSE_TRIALS")) {
     const long v = std::strtol(s, nullptr, 10);
     if (v > 0) return static_cast<std::uint32_t>(v);
@@ -30,6 +32,8 @@ namespace flowpulse::exp {
 }
 
 [[nodiscard]] inline double env_scale(double fallback = 1.0) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read before the worker pool
+  // spawns; nothing in the process calls setenv
   if (const char* s = std::getenv("FLOWPULSE_SCALE")) {
     const double v = std::strtod(s, nullptr);
     if (v > 0.0) return v;
@@ -64,6 +68,33 @@ namespace flowpulse::exp {
   return z ^ (z >> 31);
 }
 
+/// Shared state of one parallel_indexed worker pool, annotated for clang's
+/// thread-safety analysis (attributes on function-local variables are
+/// ignored, so the protocol lives in a named struct). The protocol:
+/// `next` hands out indices, `failed` short-circuits the remaining work,
+/// and the first exception is parked under `error_mu` for the caller.
+struct WorkerPoolState {
+  std::atomic<std::uint32_t> next{0};
+  std::atomic<bool> failed{false};
+  core::Mutex error_mu;
+  std::exception_ptr first_error FP_GUARDED_BY(error_mu);
+
+  /// Park `e` if it is the first failure, and tell every worker to stop.
+  void record_error(std::exception_ptr e) FP_EXCLUDES(error_mu) {
+    const core::LockGuard lock{error_mu};
+    if (!first_error) first_error = e;
+    failed.store(true, std::memory_order_relaxed);
+  }
+
+  /// The parked exception (null if the run succeeded). Called after every
+  /// worker has joined, but takes the lock anyway — it is not on any hot
+  /// path, and the analysis should not need a "joined already" waiver.
+  [[nodiscard]] std::exception_ptr take_error() FP_EXCLUDES(error_mu) {
+    const core::LockGuard lock{error_mu};
+    return first_error;
+  }
+};
+
 /// Deterministic ordered parallel map: evaluates `fn(0) … fn(n-1)` on up to
 /// `jobs` worker threads (0 → env_jobs()) and returns the results in index
 /// order. Indices are handed out by an atomic counter — no work stealing,
@@ -80,20 +111,15 @@ template <typename T>
     for (std::uint32_t t = 0; t < n; ++t) out[t] = fn(t);
     return out;
   }
-  std::atomic<std::uint32_t> next{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex error_mu;
+  WorkerPoolState state;
   auto worker = [&] {
     for (;;) {
-      const std::uint32_t t = next.fetch_add(1, std::memory_order_relaxed);
-      if (t >= n || failed.load(std::memory_order_relaxed)) return;
+      const std::uint32_t t = state.next.fetch_add(1, std::memory_order_relaxed);
+      if (t >= n || state.failed.load(std::memory_order_relaxed)) return;
       try {
         out[t] = fn(t);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock{error_mu};
-        if (!first_error) first_error = std::current_exception();
-        failed.store(true, std::memory_order_relaxed);
+        state.record_error(std::current_exception());
         return;
       }
     }
@@ -102,7 +128,7 @@ template <typename T>
   pool.reserve(jobs);
   for (unsigned j = 0; j < jobs; ++j) pool.emplace_back(worker);
   for (std::thread& th : pool) th.join();
-  if (first_error) std::rethrow_exception(first_error);
+  if (std::exception_ptr e = state.take_error()) std::rethrow_exception(e);
   return out;
 }
 

@@ -119,7 +119,8 @@ PodSpineSwitch::PodSpineSwitch(sim::Simulator& simulator, std::uint32_t pod,
       spray_quantum_{spray_quantum.v() == 0 ? core::Bytes{1} : spray_quantum},
       sent_bytes_(static_cast<std::size_t>(info.num_leaves()) * kNumPriorities *
                       info.cores_per_group(),
-                  core::Bytes{}) {
+                  core::Bytes{}),
+      spray_candidates_{iota_candidates(info.cores_per_group())} {
   for (std::uint32_t l = 0; l < info.leaves_per_pod; ++l) {
     down_ports_.push_back(std::make_unique<EgressPort>(
         simulator, fabric_link, name() + ".down" + std::to_string(l)));
@@ -150,16 +151,14 @@ void PodSpineSwitch::receive(Packet p, PortIndex in_port) {
   } else {
     assert(!from_core && "core handed a packet to the wrong pod");
     // Cross-pod: spray over this group's cores. Core-level faults are
-    // silent by construction, so every core is a routing candidate.
-    static thread_local std::vector<UplinkIndex> candidates;
-    if (candidates.size() != info_.cores_per_group()) {
-      candidates = iota_candidates(info_.cores_per_group());
-    }
+    // silent by construction, so every core is a routing candidate
+    // (spray_candidates_, precomputed per switch).
     core::Bytes* deficit =
         &sent_bytes_[(static_cast<std::size_t>(dst_leaf.v()) * kNumPriorities +
                       priority_index(p.priority)) *
                      info_.cores_per_group()];
-    out = up_ports_[pick_byte_deficit(up_ports_, candidates, p, spray_quantum_, deficit).v()]
+    out = up_ports_[pick_byte_deficit(up_ports_, spray_candidates_, p, spray_quantum_, deficit)
+                        .v()]
               .get();
   }
   ++counters_.forwarded_packets;

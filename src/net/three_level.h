@@ -127,6 +127,13 @@ class PodSpineSwitch final : public Switch {
   std::vector<std::unique_ptr<EgressPort>> down_ports_;  // per local leaf
   std::vector<std::unique_ptr<EgressPort>> up_ports_;    // per core of the group
   std::vector<core::Bytes> sent_bytes_;  // [dst_leaf * prios + prio][core k]
+  /// Spray candidates for cross-pod traffic: every core of this group, in
+  /// index order, precomputed once. Per-switch (so per-lane) state — this
+  /// replaced a function-local `static thread_local` that the mutable-state
+  /// lint (detlint mutable-global) and the nm symbol audit now reject:
+  /// hidden static scratch is exactly the cross-lane sharing the sharded
+  /// event core must not inherit.
+  std::vector<UplinkIndex> spray_candidates_;
   IngressHook hook_;
 };
 

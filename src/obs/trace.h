@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "core/thread_safety.h"
 #include "sim/time.h"
 
 #if defined(FLOWPULSE_TRACE) && FLOWPULSE_TRACE
@@ -207,6 +208,68 @@ class FlightRecorder final : public TraceSink {
   std::uint64_t total_ = 0;
 };
 
+/// The cross-thread sink: a mutex-guarded ring for the cases where several
+/// threads must legitimately share ONE recorder — today a harness watching
+/// every worker of a parallel trial sweep, tomorrow the independently-
+/// clocked event lanes of the sharded core (ROADMAP item 1). Sink
+/// *registration* stays single-owner (install on a sim::Simulator before
+/// its run starts, per set_trace()'s contract); what this class serializes
+/// is emission. The per-simulation default is still FlightRecorder: one
+/// lane, no lock, deterministic order. A shared ring is ordered by lock
+/// acquisition, so only its counters — not its interleaving — are
+/// deterministic; anything that feeds results must keep using per-lane
+/// recorders. All shared state is FP_GUARDED_BY(mu_), so an unlocked
+/// fast-path "optimization" is a compile error under -Werror=thread-safety.
+class ConcurrentRecorder final : public TraceSink {
+ public:
+  explicit ConcurrentRecorder(std::size_t capacity = FlightRecorder::kDefaultCapacity)
+      : ring_(capacity == 0 ? 1 : capacity) {}
+
+  /// Events ever emitted at an admitted level (recorded or overwritten).
+  [[nodiscard]] std::uint64_t total() const {
+    const core::LockGuard lock{mu_};
+    return total_;
+  }
+  [[nodiscard]] std::uint64_t dropped() const {
+    const core::LockGuard lock{mu_};
+    return total_ > ring_.size() ? total_ - ring_.size() : 0;
+  }
+  [[nodiscard]] std::size_t capacity() const {
+    const core::LockGuard lock{mu_};
+    return ring_.size();
+  }
+
+  /// Chronological-by-admission copy of the retained window (oldest first).
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const {
+    const core::LockGuard lock{mu_};
+    const std::size_t n =
+        total_ < ring_.size() ? static_cast<std::size_t>(total_) : ring_.size();
+    const std::size_t start =
+        total_ > ring_.size() ? static_cast<std::size_t>(total_ % ring_.size()) : 0;
+    std::vector<TraceEvent> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(ring_[(start + i) % ring_.size()]);
+    return out;
+  }
+
+  void clear() {
+    const core::LockGuard lock{mu_};
+    total_ = 0;
+  }
+
+ protected:
+  void record(const TraceEvent& e) override {
+    const core::LockGuard lock{mu_};
+    ring_[static_cast<std::size_t>(total_ % ring_.size())] = e;
+    ++total_;
+  }
+
+ private:
+  mutable core::Mutex mu_;
+  std::vector<TraceEvent> ring_ FP_GUARDED_BY(mu_);
+  std::uint64_t total_ FP_GUARDED_BY(mu_) = 0;
+};
+
 /// One automatic flight-recorder dump: the retained event window at the
 /// moment something was flagged, plus why it was taken.
 struct TraceDump {
@@ -229,6 +292,8 @@ struct TraceConfig {
 /// Runtime opt-in for trace-enabled builds: FLOWPULSE_TRACE=1|on|events →
 /// kEvents, 2|verbose → kVerbose, anything else → kOff.
 [[nodiscard]] inline TraceLevel env_level() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at startup, before
+  // any worker thread exists; nothing in the process calls setenv
   const char* s = std::getenv("FLOWPULSE_TRACE");
   if (s == nullptr) return TraceLevel::kOff;
   const std::string v{s};

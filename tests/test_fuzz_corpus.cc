@@ -1,0 +1,61 @@
+// Replays the checked-in fuzz seed corpus (tools/fuzz/corpus/) through the
+// same harness functions the libFuzzer binaries call, in the DEFAULT build
+// — so every plain `ctest` run re-proves the structured-error-or-valid-
+// reply contract over every seed (valid frames of each opcode, truncation
+// at every byte, wrapping dimensions, oversized prefixes, recorded
+// --dump-counters streams), no clang or libFuzzer required. A corpus input
+// that violates an invariant aborts the harness, which fails the test.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "harness.h"
+
+namespace flowpulse::fuzz {
+namespace {
+
+std::filesystem::path corpus_root() { return FP_FUZZ_CORPUS_DIR; }
+
+std::vector<std::filesystem::path> corpus_files(const std::string& surface) {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator{corpus_root() / surface}) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::vector<std::uint8_t> slurp(const std::filesystem::path& path) {
+  std::ifstream in{path, std::ios::binary};
+  EXPECT_TRUE(in.good()) << path;
+  return {std::istreambuf_iterator<char>{in}, std::istreambuf_iterator<char>{}};
+}
+
+void replay(const std::string& surface,
+            const std::function<void(std::span<const std::uint8_t>)>& one,
+            std::size_t min_inputs) {
+  const std::vector<std::filesystem::path> files = corpus_files(surface);
+  // A thinned-out corpus is a silent loss of coverage, not a pass.
+  ASSERT_GE(files.size(), min_inputs) << "corpus " << surface << " lost seeds";
+  for (const auto& file : files) {
+    SCOPED_TRACE(file.filename().string());
+    const std::vector<std::uint8_t> bytes = slurp(file);
+    one(bytes);  // aborts (fails the test) on any violated invariant
+  }
+}
+
+TEST(FuzzCorpus, CodecSeedsHoldInvariants) { replay("codec", codec_one, 40); }
+
+TEST(FuzzCorpus, EngineSeedsHoldInvariants) { replay("engine", engine_one, 10); }
+
+TEST(FuzzCorpus, StreamSeedsHoldInvariants) { replay("stream", stream_one, 40); }
+
+}  // namespace
+}  // namespace flowpulse::fuzz

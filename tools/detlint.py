@@ -60,6 +60,27 @@ Rules
                        (the flowpulsed transport), where fds, epoll and
                        wall clocks are the point — so the wall-clock rule
                        is also skipped there.
+  mutable-global       Shared mutable state with static storage duration:
+                       a namespace-scope mutable global (column-0
+                       declaration — the repo does not indent namespace
+                       contents), or a static / thread_local mutable
+                       object at function or class scope. Such state is
+                       invisible cross-lane coupling: it breaks the
+                       serial == parallel guarantee the moment two lanes
+                       touch it (and `static thread_local` scratch merely
+                       hides the coupling behind per-thread copies whose
+                       contents depend on lane scheduling). Hoist it into
+                       a member or parameter; the post-build nm symbol
+                       audit (tools/check_mutable_symbols.cmake) catches
+                       whatever shape this line-level rule cannot see.
+  mutable-member       A `mutable` data member in a converted module:
+                       mutation behind a const interface is where hidden
+                       shared state likes to live. Waivable with a
+                       justification (e.g. a memoization cache that is
+                       per-instance and rebuilt deterministically, or a
+                       mutex — `mutable core::Mutex`/`std::mutex` members
+                       are exempt outright, locking a const object is the
+                       idiom).
 
 Waivers
 -------
@@ -90,6 +111,8 @@ RULES = {
     "raw-scalar-id",
     "strongid-cast",
     "os-io",
+    "mutable-global",
+    "mutable-member",
 }
 
 DIRECTIVE_RE = re.compile(r"//\s*detlint:\s*ok\(([\w-]+)\)\s*:?\s*(.*\S)?")
@@ -125,7 +148,24 @@ BANNED_RNG_RES = [
     (re.compile(r"\bstd::knuth_b\b"), "std::knuth_b"),
     (re.compile(r"\bstd::\w+_distribution\b"), "std::*_distribution"),
 ]
-THREADING_RE = re.compile(r"\bstd::(?:thread|jthread|atomic|mutex|async)\b")
+THREADING_RE = re.compile(
+    r"\bstd::(?:thread|jthread|atomic|mutex|async)\b"
+    r"|\bcore::(?:Mutex|LockGuard)\b")
+# static / thread_local declaration of a MUTABLE object (const/constexpr/
+# constinit are fine — immutable statics cannot couple lanes). static_assert
+# and static_cast are single words, so \b(static)\b does not match them.
+MUTABLE_STATIC_RE = re.compile(
+    r"(?:^|[{;]\s*|\s)(?:inline\s+)?"
+    r"(?:static\s+thread_local|thread_local\s+static|static|thread_local)\s+"
+    r"(?!const\b|constexpr\b|constinit\b|inline\s+const)")
+# Keywords that start a column-0 line which is definitely NOT a mutable
+# namespace-scope object definition.
+NS_GLOBAL_SKIP = {
+    "const", "constexpr", "constinit", "static", "inline", "extern", "using",
+    "typedef", "class", "struct", "enum", "union", "namespace", "template",
+    "friend", "return", "public", "private", "protected", "if", "else", "for",
+    "while", "switch", "case", "default", "do", "try", "catch", "goto",
+}
 # Modules whose public headers have been converted to core:: strong types —
 # a raw scalar with an id-like/unit-like name there is a regression.
 CONVERTED_MODULES = {
@@ -155,6 +195,43 @@ STRONGID_CAST_RE = re.compile(
     rf"\bstatic_cast\s*<\s*(?:\w+::)*{STRONG_ID_NAMES}\s*>")
 FLOAT_DECL_RE = re.compile(r"\b(?:float|double)\s+(\w+)\s*(?:;|=|\{)")
 ACCUM_RE = re.compile(r"(?<![\w.>])(\w+)\s*[+\-]\*?=")
+# A mutable member that is not a mutex: locking a const object is the one
+# sanctioned use of `mutable` (paired with FP_GUARDED_BY, the analysis
+# still proves every access locked).
+MUTABLE_MEMBER_RE = re.compile(r"^\s*mutable\s+(?!core::Mutex\b|std::mutex\b)")
+
+
+def ns_mutable_global(code: str) -> str | None:
+    """Identifier of a column-0 namespace-scope mutable object definition.
+
+    Relies on the repo's clang-format style: namespace contents are NOT
+    indented, so any column-0 declaration is namespace scope. Multi-line
+    declarations and initializer parens are not recognized — the post-build
+    nm symbol audit (tools/check_mutable_symbols.cmake) backstops whatever
+    this line-level heuristic cannot see.
+    """
+    if not code or code[0] in " \t}#":
+        return None
+    line = code.strip()
+    if not line.endswith(";"):
+        return None
+    if line.startswith("inline "):
+        line = line[len("inline "):]
+    first = re.match(r"[A-Za-z_]\w*", line)
+    if not first or first.group(0) in NS_GLOBAL_SKIP:
+        return None
+    # A '(' before any '=' marks a function declaration/definition, not an
+    # object (initializer parens on globals do not occur in this codebase).
+    eq = line.find("=")
+    paren = line.find("(")
+    if paren != -1 and (eq == -1 or paren < eq):
+        return None
+    head = line[:eq] if eq != -1 else line[:-1]
+    head = head.split("{")[0]
+    m = re.search(r"(\w+)\s*(?:\[[^\]]*\])?\s*$", head)
+    if m is None or m.group(1) == first.group(0):  # lone token: not a decl
+        return None
+    return m.group(1)
 
 
 def strip_code(line: str, in_block: bool) -> tuple[str, bool]:
@@ -345,6 +422,35 @@ def lint_file(f: File, unordered_idents: set[str]) -> None:
                          "static_cast to a strong id type outside core/: "
                          "construct at the boundary (e.g. LeafId{raw}) so "
                          "the id-space crossing is visible")
+
+        m = MUTABLE_STATIC_RE.search(code)
+        if m:
+            # The first structural character after the keyword decides what
+            # was declared: '(' is a function, anything else is an object.
+            structural = re.search(r"[(;={]", code[m.end():])
+            if structural and structural.group(0) != "(":
+                f.report(lineno, "mutable-global",
+                         "static/thread_local mutable object: hidden "
+                         "cross-lane (or scheduling-dependent per-lane) "
+                         "state — hoist it into a member or parameter so "
+                         "ownership is explicit")
+
+        ident = ns_mutable_global(code)
+        if ident is not None:
+            f.report(lineno, "mutable-global",
+                     f"namespace-scope mutable global '{ident}': shared "
+                     "state every lane can reach — hoist it into the object "
+                     "that owns the lifetime, or waive with the access "
+                     "protocol that keeps it deterministic")
+
+        if converted_header or (module in CONVERTED_MODULES
+                                and f.path.suffix in {".cc", ".cpp"}):
+            if MUTABLE_MEMBER_RE.search(code):
+                f.report(lineno, "mutable-member",
+                         "mutable member in a converted module: mutation "
+                         "behind a const interface hides shared state; "
+                         "waive with why it is per-instance and "
+                         "deterministic (mutable mutexes are exempt)")
 
         if parallel_file:
             for m in ACCUM_RE.finditer(code):

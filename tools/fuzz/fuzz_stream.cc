@@ -1,0 +1,9 @@
+#include <cstddef>
+#include <cstdint>
+
+#include "harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  flowpulse::fuzz::stream_one({data, size});
+  return 0;
+}

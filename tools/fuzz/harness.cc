@@ -1,0 +1,233 @@
+#include "harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "daemon/engine.h"
+#include "daemon/protocol.h"
+#include "daemon/stream_file.h"
+#include "daemon/verdict.h"
+#include "net/topology_info.h"
+
+// Not assert(): the replay executables run in RelWithDebInfo (NDEBUG), and
+// a violated invariant must abort there too so ctest and libFuzzer both
+// catch it.
+#define FUZZ_CHECK(cond)                                                      \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "FUZZ_CHECK failed: %s at %s:%d\n", #cond,         \
+                   __FILE__, __LINE__);                                       \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (false)
+
+namespace flowpulse::fuzz {
+
+namespace {
+
+using daemon::DaemonEngine;
+using daemon::EngineConfig;
+using daemon::EngineReply;
+using daemon::Err;
+using daemon::FrameAssembler;
+using daemon::Op;
+using daemon::Session;
+
+/// The fabric every fuzz engine is configured with — matches the corpus
+/// generator and the daemon test helpers (tests/test_daemon.cc small_topo).
+net::TopologyInfo fuzz_topo() { return net::TopologyInfo{4, 2, 1, 1}; }
+
+/// Drain an assembler into (status, payload) steps until kNeedMore.
+struct Step {
+  FrameAssembler::Status status;
+  std::vector<std::uint8_t> frame;
+};
+
+std::vector<Step> drain(FrameAssembler& assembler) {
+  std::vector<Step> steps;
+  std::vector<std::uint8_t> frame;
+  for (;;) {
+    const FrameAssembler::Status st = assembler.next(frame);
+    if (st == FrameAssembler::Status::kNeedMore) break;
+    steps.push_back({st, frame});
+    // Framing errors are unrecoverable by contract: the server replies once
+    // and closes, so frames past the first bad status are never observed.
+    if (st != FrameAssembler::Status::kFrame) break;
+  }
+  return steps;
+}
+
+/// decode(body) → encode(value) → decode(body') → encode(value') must be a
+/// fixed point: the codec's canonical form re-encodes to identical bytes.
+/// Compares encodings, not values, so it needs no operator== on the type.
+template <typename DecodeFn, typename EncodeFn>
+void round_trip(std::span<const std::uint8_t> body, DecodeFn decode, EncodeFn encode) {
+  const auto value = decode(body);
+  if (!value.has_value()) return;  // malformed body: rejection IS the contract
+  const std::vector<std::uint8_t> wire = encode(*value);
+  // Complete frame: u32 length prefix + opcode + body.
+  FUZZ_CHECK(wire.size() >= 5);
+  const std::span<const std::uint8_t> body2{wire.data() + 5, wire.size() - 5};
+  const auto value2 = decode(body2);
+  FUZZ_CHECK(value2.has_value());
+  FUZZ_CHECK(encode(*value2) == wire);
+}
+
+/// One reply frame, exactly: parses as a single complete frame with a reply
+/// opcode and a decodable body, nothing buffered after it.
+void check_reply(const EngineReply& reply) {
+  FUZZ_CHECK(!reply.bytes.empty());
+  FrameAssembler assembler;
+  assembler.feed(reply.bytes);
+  std::vector<std::uint8_t> frame;
+  FUZZ_CHECK(assembler.next(frame) == FrameAssembler::Status::kFrame);
+  FUZZ_CHECK(assembler.buffered() == 0);
+  FUZZ_CHECK(assembler.next(frame) == FrameAssembler::Status::kNeedMore);
+  assembler.feed(reply.bytes);
+  FUZZ_CHECK(assembler.next(frame) == FrameAssembler::Status::kFrame);
+  FUZZ_CHECK(!frame.empty());
+  const Op op = static_cast<Op>(frame[0]);
+  const std::span<const std::uint8_t> body{frame.data() + 1, frame.size() - 1};
+  switch (op) {
+    case Op::kOk:
+      FUZZ_CHECK(body.empty());
+      break;
+    case Op::kErr:
+      FUZZ_CHECK(daemon::decode_err(body).has_value());
+      break;
+    case Op::kVerdictReply:
+      FUZZ_CHECK(daemon::decode_verdict_reply(body).has_value());
+      break;
+    case Op::kStatsReply:
+      FUZZ_CHECK(daemon::decode_stats_reply(body).has_value());
+      break;
+    default:
+      FUZZ_CHECK(false && "engine replied with a non-reply opcode");
+  }
+}
+
+}  // namespace
+
+void codec_one(std::span<const std::uint8_t> data) {
+  // Incremental-feed equivalence: the frame sequence must not depend on how
+  // the bytes were chunked (the epoll server feeds whatever recv returned).
+  FrameAssembler whole;
+  whole.feed(data);
+  const std::vector<Step> steps = drain(whole);
+
+  FrameAssembler split;
+  const std::size_t cut = data.size() / 2;
+  split.feed(data.subspan(0, cut));
+  std::vector<Step> split_steps = drain(split);
+  split.feed(data.subspan(cut));
+  for (Step& s : drain(split)) split_steps.push_back(std::move(s));
+  FUZZ_CHECK(split_steps.size() == steps.size());
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    FUZZ_CHECK(split_steps[i].status == steps[i].status);
+    FUZZ_CHECK(split_steps[i].frame == steps[i].frame);
+  }
+
+  // Per-opcode decode / re-encode fixed points.
+  for (const Step& s : steps) {
+    if (s.status != FrameAssembler::Status::kFrame) break;
+    FUZZ_CHECK(!s.frame.empty());
+    const std::span<const std::uint8_t> body{s.frame.data() + 1, s.frame.size() - 1};
+    switch (static_cast<Op>(s.frame[0])) {
+      case Op::kHello:
+        round_trip(body, daemon::decode_hello,
+                   [](const daemon::Hello& h) { return daemon::encode_hello(h); });
+        break;
+      case Op::kCounters:
+        round_trip(body, daemon::decode_counters, [](const fp::IterationRecord& r) {
+          return daemon::encode_counters(r);
+        });
+        break;
+      case Op::kPredict:
+        round_trip(body, daemon::decode_predict, [](const fp::PortLoadMap& m) {
+          return daemon::encode_predict(m);
+        });
+        break;
+      case Op::kErr:
+        round_trip(body, daemon::decode_err, [](const daemon::ErrReply& e) {
+          return daemon::encode_err(e.code, e.message);
+        });
+        break;
+      case Op::kVerdictReply:
+        round_trip(body, daemon::decode_verdict_reply, [](const daemon::FabricVerdict& v) {
+          return daemon::encode_verdict_reply(v);
+        });
+        break;
+      case Op::kStatsReply:
+        round_trip(body, daemon::decode_stats_reply, [](const daemon::StatsSnapshot& st) {
+          return daemon::encode_stats_reply(st);
+        });
+        break;
+      default:
+        break;  // opcode-only requests / unknown opcodes: nothing to round-trip
+    }
+  }
+}
+
+void engine_one(std::span<const std::uint8_t> data) {
+  EngineConfig config;
+  config.topo = fuzz_topo();
+  DaemonEngine engine{config};
+  Session session;
+
+  // The input is one connection's raw byte stream, handled exactly as
+  // Server::conn_readable does: frames through on_frame, the first framing
+  // error through on_bad_stream, nothing processed past a close.
+  FrameAssembler assembler;
+  assembler.feed(data);
+  std::vector<std::uint8_t> frame;
+  for (;;) {
+    const FrameAssembler::Status st = assembler.next(frame);
+    if (st == FrameAssembler::Status::kNeedMore) break;
+    EngineReply reply;
+    if (st == FrameAssembler::Status::kFrame) {
+      reply = engine.on_frame(session, frame);
+    } else {
+      reply = engine.on_bad_stream(st == FrameAssembler::Status::kOversized
+                                       ? Err::kOversized
+                                       : Err::kBadFrame);
+      FUZZ_CHECK(reply.close);
+    }
+    check_reply(reply);
+    if (reply.close || reply.shutdown) break;
+  }
+
+  // Whatever the stream did, the engine's verdict plane must stay coherent:
+  // the canonical verdict round-trips through its own wire form.
+  const daemon::FabricVerdict verdict = engine.verdict();
+  const auto wire = daemon::encode_verdict_reply(verdict);
+  const auto back =
+      daemon::decode_verdict_reply({wire.data() + 5, wire.size() - 5});
+  FUZZ_CHECK(back.has_value());
+  // Compare re-encodings, not values: hostile counters can plant NaNs in
+  // the verdict doubles, and NaN != NaN under operator== — but the wire
+  // form is raw IEEE-754 bits, so the round trip must still be bit-exact.
+  FUZZ_CHECK(daemon::encode_verdict_reply(*back) == wire);
+}
+
+void stream_one(std::span<const std::uint8_t> data) {
+  std::string err;
+  const std::optional<daemon::CounterStream> stream = daemon::parse_stream(data, &err);
+  if (!stream.has_value()) {
+    FUZZ_CHECK(!err.empty());  // structured error, never a silent failure
+    return;
+  }
+  // Accepted streams re-encode to a parse/encode fixed point.
+  const std::vector<std::uint8_t> wire = daemon::encode_stream(*stream);
+  std::string err2;
+  const std::optional<daemon::CounterStream> again = daemon::parse_stream(wire, &err2);
+  FUZZ_CHECK(again.has_value());
+  FUZZ_CHECK(daemon::encode_stream(*again) == wire);
+  FUZZ_CHECK(again->hello == stream->hello);
+  FUZZ_CHECK(again->records.size() == stream->records.size());
+  FUZZ_CHECK(again->prediction.has_value() == stream->prediction.has_value());
+}
+
+}  // namespace flowpulse::fuzz

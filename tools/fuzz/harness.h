@@ -1,0 +1,33 @@
+#pragma once
+
+// Fuzz entry points for the daemon's byte-facing surfaces. Each *_one()
+// consumes one arbitrary byte string and asserts the structured-error-or-
+// valid-reply contract the production code promises — it must NEVER crash,
+// NEVER leave a half-parsed success, and every reply/round-trip must be
+// well-formed. The same three functions back:
+//   * the libFuzzer harnesses (tools/fuzz/fuzz_*.cc, -DFLOWPULSE_FUZZ=ON),
+//   * the plain corpus-replay executables in default builds (replay_main.cc),
+//   * the tests/test_fuzz_corpus.cc ctest that replays the checked-in
+//     corpus on every test run, clang or not.
+
+#include <cstdint>
+#include <span>
+
+namespace flowpulse::fuzz {
+
+/// Frame codec: incremental-feed equivalence of FrameAssembler, plus
+/// decode → encode → decode fixed-point round trips for every opcode whose
+/// body decodes.
+void codec_one(std::span<const std::uint8_t> data);
+
+/// DaemonEngine full-protocol state machine: the input is a raw connection
+/// byte stream; every frame (and every unrecoverable framing error) must
+/// yield exactly one well-formed reply frame, exactly as the epoll server
+/// would produce it.
+void engine_one(std::span<const std::uint8_t> data);
+
+/// stream_file reader: parse_stream either fails with a non-empty error or
+/// yields a stream whose re-encoding is a parse/encode fixed point.
+void stream_one(std::span<const std::uint8_t> data);
+
+}  // namespace flowpulse::fuzz

@@ -1,0 +1,62 @@
+// Corpus-replay driver for non-fuzz builds: links against one fuzz_*.cc
+// target (they each define LLVMFuzzerTestOneInput) and feeds it every file
+// under the directories/files named on the command line. This is what the
+// fuzz_* executables become when the toolchain has no libFuzzer (GCC, or
+// clang without -DFLOWPULSE_FUZZ=ON): the exact harness still runs against
+// the exact checked-in corpus on every ctest invocation.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+namespace {
+
+bool run_file(const std::filesystem::path& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    std::fprintf(stderr, "replay: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>{in},
+                                  std::istreambuf_iterator<char>{}};
+  LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t ran = 0;
+  bool ok = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path arg{argv[i]};
+    std::error_code ec;
+    if (std::filesystem::is_directory(arg, ec)) {
+      std::vector<std::filesystem::path> files;
+      for (const auto& entry : std::filesystem::directory_iterator{arg}) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      // Deterministic order regardless of directory enumeration.
+      std::sort(files.begin(), files.end());
+      for (const auto& f : files) {
+        ok = run_file(f) && ok;
+        ++ran;
+      }
+    } else {
+      ok = run_file(arg) && ok;
+      ++ran;
+    }
+  }
+  if (ran == 0) {
+    std::fprintf(stderr, "replay: no corpus inputs given\n");
+    return 1;
+  }
+  std::printf("replay: %zu inputs, all invariants held\n", ran);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,25 @@
+// Positive control for the thread-safety negcompile pair: the SAME
+// guarded field and FP_REQUIRES method as the failing snippets, accessed
+// correctly through core::LockGuard — proving the analysis rejects the
+// misuse, not the pattern.
+#include "core/thread_safety.h"
+
+namespace core = flowpulse::core;
+
+namespace {
+
+struct Shared {
+  core::Mutex mu;
+  int value FP_GUARDED_BY(mu) = 0;
+
+  int read_locked() FP_REQUIRES(mu) { return value; }
+};
+
+}  // namespace
+
+int main() {
+  Shared s;
+  const core::LockGuard lock{s.mu};
+  s.value = 7;
+  return s.read_locked();
+}

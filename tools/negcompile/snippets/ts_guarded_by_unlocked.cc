@@ -1,0 +1,21 @@
+// Reading an FP_GUARDED_BY field without holding its mutex must be a build
+// error under clang's thread-safety analysis — this is the compile-time
+// race detector actually biting, not just decorating.
+// expect-error: requires holding mutex|-Wthread-safety
+#include "core/thread_safety.h"
+
+namespace core = flowpulse::core;
+
+namespace {
+
+struct Shared {
+  core::Mutex mu;
+  int value FP_GUARDED_BY(mu) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Shared s;
+  return s.value;  // no lock held: must not compile
+}

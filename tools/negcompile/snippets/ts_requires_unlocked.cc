@@ -1,0 +1,24 @@
+// Calling an FP_REQUIRES(mu) method without holding mu must be a build
+// error: the annotation is a precondition the analysis enforces at every
+// call site, exactly how exp::WorkerPoolState and the daemon server's
+// kServerLoop role are protected.
+// expect-error: requires holding mutex|calling function .* requires|-Wthread-safety
+#include "core/thread_safety.h"
+
+namespace core = flowpulse::core;
+
+namespace {
+
+struct Shared {
+  core::Mutex mu;
+  int value FP_GUARDED_BY(mu) = 0;
+
+  int read_locked() FP_REQUIRES(mu) { return value; }
+};
+
+}  // namespace
+
+int main() {
+  Shared s;
+  return s.read_locked();  // caller never acquired s.mu: must not compile
+}
