@@ -98,6 +98,46 @@ void BM_RingIterationSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_RingIterationSimulation)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond)->UseRealTime();
 
+void BM_LanedEvents(benchmark::State& state) {
+  // Serial vs sharded-event-lane engine on the same deterministic faulted
+  // scenario (both produce bit-identical reports — tests/test_lanes.cc).
+  // Arg 0 runs the classic serial engine; Arg N >= 2 shards into N lanes
+  // with one worker thread per lane. events_per_second(N) /
+  // events_per_second(0) is the laned speedup on this machine — on a
+  // single-core runner expect <= 1.0: the provenance merge and round
+  // barrier are pure overhead without real parallelism (BENCH_perf.json
+  // records both numbers and the core count for honest comparison).
+  const std::int32_t lanes = static_cast<std::int32_t>(state.range(0));
+  std::uint64_t events_total = 0;
+  bool laned = false;
+  for (auto _ : state) {
+    exp::ScenarioConfig cfg;
+    cfg.fabric.shape = net::TopologyInfo{16, 8, 1, 1};
+    cfg.collective = collective::CollectiveKind::kRingReduceScatter;
+    cfg.collective_bytes = core::Bytes{1ull << 20};
+    cfg.iterations = 2;
+    cfg.lanes = lanes;
+    cfg.new_faults.push_back([] {
+      exp::NewFault f;
+      f.leaf = net::LeafId{3};
+      f.uplink = net::UplinkIndex{1};
+      f.where = exp::NewFault::Where::kDownlink;
+      f.spec = net::FaultSpec::black_hole(sim::Time::microseconds(50));
+      return f;
+    }());
+    exp::Scenario s{cfg};
+    laned = s.laned();
+    const exp::ScenarioResult r = s.run();
+    benchmark::DoNotOptimize(r.events);
+    events_total += r.events;
+  }
+  state.counters["events_per_second"] =
+      benchmark::Counter(static_cast<double>(events_total), benchmark::Counter::kIsRate);
+  state.counters["lanes"] = static_cast<double>(lanes);
+  state.SetLabel(laned ? std::to_string(lanes) + " lanes" : "serial");
+}
+BENCHMARK(BM_LanedEvents)->Arg(0)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
+
 // Trial-engine throughput: an 8-trial seeded sweep of a small fault
 // scenario, serial vs the parallel engine (jobs = FLOWPULSE_JOBS /
 // hardware_concurrency). Both runners produce bit-identical TrialSamples

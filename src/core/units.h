@@ -91,7 +91,7 @@ class Packets {
 
 /// Strong link rate. 1 Gbit/s == 1 bit/ns, so rate and serialization
 /// arithmetic against the picosecond sim::Time stays exact in the same way
-/// sim::serialization_time always was.
+/// the serialization-time math always was.
 class GbitsPerSec {
  public:
   constexpr GbitsPerSec() = default;
@@ -128,9 +128,12 @@ class GbitsPerSec {
 [[nodiscard]] constexpr Bytes operator*(sim::Time t, GbitsPerSec r) { return r * t; }
 
 /// Time to serialize `b` on a link of rate `r` — the strong-typed face of
-/// sim::serialization_time.
+/// the raw sim::detail::serialization_time math, and the only sanctioned
+/// way to reach it.
 [[nodiscard]] constexpr sim::Time serialization_time(Bytes b, GbitsPerSec r) {
-  return sim::serialization_time(b.v(), r.v());
+  // detlint: ok(raw-serialization-time): the unit layer's single blessed
+  // call into the raw-scalar detail math
+  return sim::detail::serialization_time(b.v(), r.v());
 }
 
 }  // namespace flowpulse::core

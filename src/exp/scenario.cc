@@ -7,6 +7,7 @@
 #include <optional>
 #include <string>
 
+#include "exp/trials.h"
 #include "flowpulse/analytical_model.h"
 #include "obs/export.h"
 
@@ -100,7 +101,47 @@ void Scenario::build() {
     sim_->set_trace(recorder_.get());
   }
 #endif
-  fabric_ = std::make_unique<net::FatTree>(*sim_, config_.fabric);
+  // Sharded event lanes. Only scenarios whose every source of randomness
+  // is lane-local (or never consulted) can shard without diverging from
+  // the serial engine: probabilistic faults draw from the fabric-wide
+  // fault RNG in packet order, which lanes would replay differently, and
+  // the stop()-driven engines (hybrid fidelity, background job), eager
+  // closed-loop consumers (mitigation, dynamic model) and the
+  // simulator-bound flight recorder all assume the single-queue serial
+  // loop. Anything else silently falls back to serial, exactly like the
+  // hybrid engine's own fallback.
+  const std::int32_t lanes_requested = config_.lanes >= 0 ? config_.lanes : env_lanes();
+  bool deterministic_faults = true;
+  for (const NewFault& f : config_.new_faults) {
+    if (f.spec.kind != net::FaultSpec::Kind::kNone && !f.spec.drops_all()) {
+      deterministic_faults = false;
+    }
+  }
+  const bool laned = lanes_requested >= 2 &&
+                     config_.fidelity.mode == fp::FidelityMode::kPacket &&
+                     config_.background.bytes == core::Bytes{0} &&
+                     !config_.mitigation.enabled &&
+                     config_.flowpulse.model != fp::ModelKind::kDynamic &&
+                     recorder_ == nullptr && deterministic_faults;
+  if (laned) {
+    // Lane 0 keeps the trial seed (host/transport/collective randomness is
+    // identical to serial); extra lanes get streams split deterministically
+    // from it. In practice the extra-lane streams are never drawn from —
+    // switch-side randomness is per-switch or gated out above — but a lane
+    // must never be seedless.
+    std::vector<sim::Simulator*> lane_ptrs{sim_.get()};
+    for (std::int32_t k = 1; k < lanes_requested; ++k) {
+      extra_lanes_.push_back(std::make_unique<sim::Simulator>(
+          config_.seed ^ (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(k))));
+      lane_ptrs.push_back(extra_lanes_.back().get());
+    }
+    fabric_ = std::make_unique<net::FatTree>(lane_ptrs, config_.fabric);
+    lane_runner_ = std::make_unique<sim::LaneRunner>(
+        std::vector<sim::EventLane*>(lane_ptrs.begin(), lane_ptrs.end()),
+        fabric_->min_cross_lane_latency());
+  } else {
+    fabric_ = std::make_unique<net::FatTree>(*sim_, config_.fabric);
+  }
 
   // Known pre-existing failures first: they shape both routing and the
   // prediction.
@@ -111,6 +152,9 @@ void Scenario::build() {
   transports_ = std::make_unique<transport::TransportLayer>(*sim_, *fabric_, config_.transport);
 
   flowpulse_ = std::make_unique<fp::FlowPulseSystem>(*fabric_, config_.flowpulse);
+  // Sharded monitors finalize on their own lanes; evaluation is deferred to
+  // the post-drain flush and replayed in canonical (iteration, leaf) order.
+  if (lane_runner_ != nullptr) flowpulse_->set_deferred_evaluation(true);
   switch (config_.flowpulse.model) {
     case fp::ModelKind::kAnalytical:
       prediction_ = std::make_unique<fp::PortLoadMap>(analytical_prediction());
@@ -239,6 +283,9 @@ fp::PortLoadMap Scenario::simulation_prediction() const {
   // The model-building run must measure real packets, whatever the outer
   // run's fidelity policy is.
   nested.fidelity = fp::FidelityPolicy{};
+  // The nested model-building run stays serial: it is short, and sharding
+  // it would nest a lane pool inside a possibly-laned outer run.
+  nested.lanes = 0;
   nested.seed = config_.seed ^ 0x51b0a11ull;  // independent randomness
   Scenario inner{std::move(nested)};
   inner.run();
@@ -444,6 +491,10 @@ ScenarioResult Scenario::run() {
   }
   if (hybrid_active_) {
     run_hybrid();
+  } else if (lane_runner_ != nullptr) {
+    runner_->start();
+    lane_runner_->run_until(config_.horizon);
+    flowpulse_->flush();
   } else {
     runner_->start();
     if (background_runner_) background_runner_->start();
@@ -462,6 +513,26 @@ ScenarioResult Scenario::run() {
   r.per_iter_max_dev = flowpulse_->per_iteration_max_dev();
   r.detections = flowpulse_->results();
   r.learned = flowpulse_->learned_outcomes();
+  // Canonical (iteration, leaf) report order on EVERY path. The serial
+  // engine finalizes leaf records in packet-arrival order, which is an
+  // engine scheduling detail, not a result; sorting here makes serial and
+  // laned reports byte-identical and pins the goldens to the semantic
+  // content.
+  std::stable_sort(r.detections.begin(), r.detections.end(),
+                   [](const fp::DetectionResult& a, const fp::DetectionResult& b) {
+                     if (a.iteration.v() != b.iteration.v()) {
+                       return a.iteration.v() < b.iteration.v();
+                     }
+                     return a.leaf.v() < b.leaf.v();
+                   });
+  std::stable_sort(r.learned.begin(), r.learned.end(),
+                   [](const fp::FlowPulseSystem::LearnedOutcome& a,
+                      const fp::FlowPulseSystem::LearnedOutcome& b) {
+                     if (a.iteration.v() != b.iteration.v()) {
+                       return a.iteration.v() < b.iteration.v();
+                     }
+                     return a.leaf.v() < b.leaf.v();
+                   });
   r.iter_windows = iter_windows_;
   r.iter_fault_active.reserve(iter_windows_.size());
   for (const auto& [start, end] : iter_windows_) {
@@ -477,7 +548,10 @@ ScenarioResult Scenario::run() {
   // Report when the workload actually finished, not the safety horizon the
   // clock may have idled to.
   r.sim_end = iter_windows_.empty() ? sim_->now() : iter_windows_.back().second;
-  r.events = sim_->events_executed();
+  // Laned runs report the sum over lanes, which equals the serial count
+  // event for event (each cross-lane message costs exactly the one
+  // delivery event its serial schedule_in counterpart would).
+  r.events = lane_runner_ != nullptr ? lane_runner_->events_executed() : sim_->events_executed();
   r.wall_seconds = std::chrono::duration<double>(wall_end - wall_start).count();
   if (recorder_ != nullptr) {
     r.trace_events = recorder_->snapshot();

@@ -14,6 +14,7 @@
 #include "flowpulse/system.h"
 #include "net/fat_tree.h"
 #include "obs/trace.h"
+#include "sim/lane_runner.h"
 #include "sim/simulator.h"
 #include "transport/transport_layer.h"
 
@@ -83,6 +84,17 @@ struct ScenarioConfig {
   /// build can be flipped on per-run without code changes.
   obs::TraceConfig trace{};
 
+  /// Sharded event lanes (conservative-PDES parallel simulation): the
+  /// fabric is partitioned across `lanes` Simulators — lane 0 drives hosts,
+  /// transport and the collective; leaves and spines round-robin over the
+  /// rest — and a sim::LaneRunner executes them in lock-step rounds bounded
+  /// by the minimum cross-lane link latency. Results are bit-identical to
+  /// the serial engine. -1 (default) consults FLOWPULSE_LANES; 0/1 force
+  /// serial; >= 2 shards. Scenarios the laned engine cannot shard
+  /// deterministically (probabilistic faults, hybrid fidelity, background
+  /// job, mitigation, dynamic model, tracing) silently fall back to serial.
+  std::int32_t lanes = -1;
+
   std::uint64_t seed = 1;
   /// Safety cap on simulated time.
   sim::Time horizon = sim::Time::seconds(10);
@@ -137,6 +149,9 @@ class Scenario {
   ScenarioResult run();
 
   [[nodiscard]] sim::Simulator& simulator() { return *sim_; }
+  /// True when this scenario actually runs sharded (config.lanes resolved
+  /// to >= 2 AND the scenario passed the deterministic-sharding gate).
+  [[nodiscard]] bool laned() const { return lane_runner_ != nullptr; }
   [[nodiscard]] net::FatTree& fabric() { return *fabric_; }
   [[nodiscard]] transport::TransportLayer& transports() { return *transports_; }
   [[nodiscard]] collective::CollectiveRunner& runner() { return *runner_; }
@@ -170,6 +185,9 @@ class Scenario {
   collective::CommSchedule schedule_;
   collective::DemandMatrix demand_;
   std::unique_ptr<sim::Simulator> sim_;
+  /// Extra lanes (lane 1..n-1) of a sharded run; sim_ is always lane 0.
+  std::vector<std::unique_ptr<sim::Simulator>> extra_lanes_;
+  std::unique_ptr<sim::LaneRunner> lane_runner_;
   std::unique_ptr<net::FatTree> fabric_;
   std::unique_ptr<transport::TransportLayer> transports_;
   std::unique_ptr<collective::CollectiveRunner> runner_;

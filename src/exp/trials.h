@@ -41,6 +41,19 @@ namespace flowpulse::exp {
   return fallback;
 }
 
+/// Event-lane count for sharded single-scenario runs (ScenarioConfig::lanes
+/// == -1 consults this): FLOWPULSE_LANES if set, otherwise the fallback.
+/// 0 and 1 both mean serial.
+[[nodiscard]] inline std::int32_t env_lanes(std::int32_t fallback = 0) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read before any lane pool
+  // spawns; nothing in the process calls setenv
+  if (const char* s = std::getenv("FLOWPULSE_LANES")) {
+    const long v = std::strtol(s, nullptr, 10);
+    if (v >= 0) return static_cast<std::int32_t>(v);
+  }
+  return fallback;
+}
+
 /// Worker-thread count for parallel trial sweeps: FLOWPULSE_JOBS if set,
 /// otherwise std::thread::hardware_concurrency() (at least 1).
 [[nodiscard]] unsigned env_jobs();

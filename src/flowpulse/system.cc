@@ -17,8 +17,11 @@ FlowPulseSystem::FlowPulseSystem(const net::TopologyInfo& topo, SystemConfig con
   monitors_.reserve(topo_.leaves);
   for (const net::LeafId l : core::ids<net::LeafId>(topo_.leaves)) {
     monitors_.push_back(std::make_unique<PortMonitor>(l, topo_, config_.job));
-    monitors_.back()->set_finalize_hook(
-        [this](const IterationRecord& r) { on_finalized(r); });
+    monitors_.back()->set_finalize_hook([this](const IterationRecord& r) {
+      // Deferred (sharded-lane) mode: the monitor just recorded into its
+      // per-lane history; evaluation waits for the coordinator's flush().
+      if (!deferred_) on_finalized(r);
+    });
     if (config_.model == ModelKind::kLearned) {
       learned_.push_back(
           std::make_unique<LearnedModel>(topo_.uplinks_per_leaf(), config_.learned));
@@ -103,6 +106,28 @@ void FlowPulseSystem::trace_result([[maybe_unused]] const DetectionResult& r) {
 
 void FlowPulseSystem::flush() {
   for (auto& m : monitors_) m->flush();
+  if (deferred_) {
+    // Replay every not-yet-evaluated record in canonical (iteration, leaf)
+    // order: each monitor's history is already iteration-ordered, and the
+    // cross-leaf merge below does not depend on which lane finalized first.
+    replayed_.resize(monitors_.size(), 0);
+    std::vector<const IterationRecord*> pending;
+    for (std::size_t l = 0; l < monitors_.size(); ++l) {
+      const auto& history = monitors_[l]->history();
+      for (std::size_t i = replayed_[l]; i < history.size(); ++i) {
+        pending.push_back(&history[i]);
+      }
+      replayed_[l] = history.size();
+    }
+    std::stable_sort(pending.begin(), pending.end(),
+                     [](const IterationRecord* a, const IterationRecord* b) {
+                       if (a->iteration.v() != b->iteration.v()) {
+                         return a->iteration.v() < b->iteration.v();
+                       }
+                       return a->leaf.v() < b->leaf.v();
+                     });
+    for (const IterationRecord* r : pending) on_finalized(*r);
+  }
 #if FP_AUDIT_ENABLED
   // Monitor-vs-switch reconciliation: each monitor's per-port byte ledger
   // must equal the delivering downlink's independent count of tagged

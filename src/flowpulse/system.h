@@ -86,6 +86,15 @@ class FlowPulseSystem {
   using AlertHook = std::function<void(const DetectionResult&)>;
   void set_alert_hook(AlertHook hook) { alert_hook_ = std::move(hook); }
 
+  /// Sharded-lane mode: monitors finalize on their own event lanes, so the
+  /// eager per-finalize evaluation path would race on results_ and collect
+  /// them in lane-scheduling order. With deferred evaluation on, finalize
+  /// hooks do nothing during the run (each monitor only appends to its own
+  /// per-lane history) and flush() — called on the coordinator after the
+  /// lanes drain — replays every new record through the normal pipeline in
+  /// canonical (iteration, leaf) order, independent of lane count.
+  void set_deferred_evaluation(bool on) { deferred_ = on; }
+
   /// Finalize the in-flight iteration at every leaf (end of training run).
   void flush();
 
@@ -144,6 +153,9 @@ class FlowPulseSystem {
   std::vector<std::unique_ptr<LearnedModel>> learned_;
   std::vector<DetectionResult> results_;
   std::vector<LearnedOutcome> learned_outcomes_;
+  bool deferred_ = false;
+  /// Per-leaf count of history records already replayed by deferred flushes.
+  std::vector<std::size_t> replayed_;
 };
 
 }  // namespace flowpulse::fp

@@ -49,6 +49,9 @@ ThreeLevelFlowPulse::ThreeLevelFlowPulse(net::ThreeLevelFatTree& fabric, double 
     fabric.leaf(l).set_spine_ingress_hook(
         [mon](net::UplinkIndex u, const net::Packet& p) { mon->record(u, p); });
     mon->set_finalize_hook([this](const IterationRecord& rec) {
+      // Deferred (sharded-lane) mode: the record already sits in the
+      // monitor's lane-local history; evaluation waits for flush().
+      if (deferred_) return;
       if (prediction_) {
         leaf_results_.push_back(evaluate_record(prediction_->leaf_level, threshold_, rec));
       }
@@ -65,6 +68,7 @@ ThreeLevelFlowPulse::ThreeLevelFlowPulse(net::ThreeLevelFatTree& fabric, double 
             mon->record(net::UplinkIndex{k}, p);
           });
       mon->set_finalize_hook([this](const IterationRecord& rec) {
+        if (deferred_) return;
         if (prediction_) {
           spine_results_.push_back(
               evaluate_record(prediction_->spine_level, threshold_, rec));
@@ -81,6 +85,38 @@ void ThreeLevelFlowPulse::set_prediction(ThreeLevelPrediction prediction) {
 void ThreeLevelFlowPulse::flush() {
   for (auto& m : leaf_monitors_) m->flush();
   for (auto& m : spine_monitors_) m->flush();
+  if (deferred_ && prediction_) {
+    replay_tier(leaf_monitors_, replayed_leaf_, prediction_->leaf_level, leaf_results_);
+    replay_tier(spine_monitors_, replayed_spine_, prediction_->spine_level, spine_results_);
+  }
+}
+
+void ThreeLevelFlowPulse::replay_tier(
+    const std::vector<std::unique_ptr<PortMonitor>>& monitors,
+    std::vector<std::size_t>& replayed, const PortLoadMap& prediction,
+    std::vector<DetectionResult>& results) {
+  // Canonical (iteration, monitor-row) order: each monitor's history is
+  // already iteration-ordered, and this merge does not depend on which lane
+  // finalized first — serial and laned runs evaluate identically.
+  replayed.resize(monitors.size(), 0);
+  std::vector<const IterationRecord*> pending;
+  for (std::size_t m = 0; m < monitors.size(); ++m) {
+    const auto& history = monitors[m]->history();
+    for (std::size_t i = replayed[m]; i < history.size(); ++i) {
+      pending.push_back(&history[i]);
+    }
+    replayed[m] = history.size();
+  }
+  std::stable_sort(pending.begin(), pending.end(),
+                   [](const IterationRecord* a, const IterationRecord* b) {
+                     if (a->iteration.v() != b->iteration.v()) {
+                       return a->iteration.v() < b->iteration.v();
+                     }
+                     return a->leaf.v() < b->leaf.v();
+                   });
+  for (const IterationRecord* r : pending) {
+    results.push_back(evaluate_record(prediction, threshold_, *r));
+  }
 }
 
 std::vector<DetectionResult> ThreeLevelFlowPulse::faulty_leaf_results() const {

@@ -65,6 +65,14 @@ class ThreeLevelFlowPulse {
                       std::uint16_t job = 0);
 
   void set_prediction(ThreeLevelPrediction prediction);
+
+  /// Sharded-lane mode: monitors at both tiers finalize on their own lanes,
+  /// so the eager evaluate-and-push in the finalize hooks would race across
+  /// pod lanes. Deferred, hooks only record into each monitor's lane-local
+  /// history; flush() (on the coordinating thread, after the lanes join)
+  /// replays every new record in canonical (iteration, row) order.
+  void set_deferred_evaluation(bool on) { deferred_ = on; }
+
   void flush();
 
   [[nodiscard]] const std::vector<DetectionResult>& leaf_results() const {
@@ -88,6 +96,11 @@ class ThreeLevelFlowPulse {
 
  private:
   static std::vector<double> max_dev_series(const std::vector<DetectionResult>& results);
+  /// Replay each monitor's not-yet-evaluated history through `evaluate`
+  /// in (iteration, monitor) order; advances `replayed` cursors.
+  void replay_tier(const std::vector<std::unique_ptr<PortMonitor>>& monitors,
+                   std::vector<std::size_t>& replayed, const PortLoadMap& prediction,
+                   std::vector<DetectionResult>& results);
 
   net::ThreeLevelFatTree& fabric_;
   double threshold_;
@@ -96,6 +109,9 @@ class ThreeLevelFlowPulse {
   std::unique_ptr<ThreeLevelPrediction> prediction_;
   std::vector<DetectionResult> leaf_results_;
   std::vector<DetectionResult> spine_results_;
+  bool deferred_ = false;
+  std::vector<std::size_t> replayed_leaf_;
+  std::vector<std::size_t> replayed_spine_;
 };
 
 }  // namespace flowpulse::fp

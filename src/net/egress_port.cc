@@ -83,11 +83,19 @@ void EgressPort::finish_transmission() {
     if (tx_hook_) tx_hook_(pkt, TxEvent::kDropped);
   } else {
     if (tx_hook_) tx_hook_(pkt, TxEvent::kOnWire);
-    // The propagation event captures only `this`: packets on the wire live
-    // in on_wire_ and, because prop_delay is one constant per link, arrive
-    // in the order they were sent — the event always delivers the front.
-    on_wire_.push_back(pkt);
-    sim_.schedule_in(params_.prop_delay, [this] { deliver_front(); });
+    if (peer_sim_ != nullptr) {
+      // Cross-lane hop: the packet rides the mailbox callable by value (a
+      // LaneFn is sized for exactly this), so the destination lane needs
+      // nothing from this lane's state at delivery time.
+      sim_.post_remote(*peer_sim_, params_.prop_delay,
+                       sim::LaneFn{[this, pkt] { deliver_remote(pkt); }});
+    } else {
+      // The propagation event captures only `this`: packets on the wire live
+      // in on_wire_ and, because prop_delay is one constant per link, arrive
+      // in the order they were sent — the event always delivers the front.
+      on_wire_.push_back(pkt);
+      sim_.schedule_in(params_.prop_delay, [this] { deliver_front(); });
+    }
   }
 
   try_start();
@@ -97,6 +105,12 @@ void EgressPort::deliver_front() {
   assert(!on_wire_.empty());
   const Packet pkt = on_wire_.front();
   on_wire_.pop_front();
+  deliver_remote(pkt);
+}
+
+// Delivery tail shared by the lane-local path (via deliver_front) and the
+// cross-lane mailbox path, where it runs on the peer's lane.
+void EgressPort::deliver_remote(const Packet& pkt) {
 #if FP_AUDIT_ENABLED
   audit_delivered_bytes_ += pkt.size_bytes;
   ++audit_delivered_packets_;

@@ -56,6 +56,19 @@ class EgressPort {
   /// Attach the receiving device. Must be called before any enqueue().
   void connect(Device* peer, PortIndex peer_port);
 
+  /// Mark this link as crossing an event-lane boundary: the peer device is
+  /// owned by `peer_sim` (a different lane than the one driving this port).
+  /// Deliveries then ride the lane mailbox (sim::EventLane::post_remote)
+  /// with the same propagation delay instead of the local event queue, so
+  /// the propagation delay doubles as the conservative lookahead the
+  /// LaneRunner counts on. nullptr (the default) keeps delivery lane-local.
+  void set_peer_lane(sim::Simulator* peer_sim) { peer_sim_ = peer_sim; }
+
+  /// The simulator (event lane) that drives this port's transmit side.
+  /// Lane-aware wiring compares owners to decide whether a hop crosses
+  /// lanes (see Switch::send_pause and the laned FatTree constructors).
+  [[nodiscard]] sim::Simulator& owner() const { return sim_; }
+
   /// Queue a packet for transmission; starts transmitting if idle.
   void enqueue(Packet p);
 
@@ -124,12 +137,18 @@ class EgressPort {
   void try_start();
   void finish_transmission();
   void deliver_front();
+  void deliver_remote(const Packet& pkt);
 
   sim::Simulator& sim_;
   LinkParams params_;
   std::string name_;
   Device* peer_ = nullptr;
   PortIndex peer_port_ = kInvalidPort;
+  /// Destination lane for cross-lane links; nullptr for lane-local links.
+  /// Writes stay partitioned: the owning lane writes queues/counters/
+  /// on_wire_, the peer lane (inside deliver_remote) writes only the
+  /// delivery-side audit ledgers — no field is touched by both.
+  sim::Simulator* peer_sim_ = nullptr;
 
   std::array<std::deque<Packet>, kNumPriorities> queues_;
   std::array<core::Bytes, kNumPriorities> queued_bytes_{};

@@ -5,20 +5,26 @@
 namespace flowpulse::net {
 
 FatTree::FatTree(sim::Simulator& simulator, FatTreeConfig config)
-    : sim_{simulator},
+    : FatTree{std::vector<sim::Simulator*>{&simulator}, config} {}
+
+FatTree::FatTree(std::vector<sim::Simulator*> lanes, FatTreeConfig config)
+    : sim_{*lanes.front()},
       config_{config},
       routing_{config.shape.leaves, config.shape.uplinks_per_leaf()},
-      fault_rng_{config.seed ^ 0xfa017ull} {
+      fault_rng_{config.seed ^ 0xfa017ull},
+      lanes_{std::move(lanes)} {
   const TopologyInfo& shape = config_.shape;
+  // The spray seeder consumes splits in leaf construction order regardless
+  // of lane layout, so per-leaf spray streams are identical in every build.
   sim::Rng spray_seeder{config_.seed};
 
   hosts_.reserve(shape.num_hosts());
   for (const HostId h : core::ids<HostId>(shape.num_hosts())) {
-    hosts_.push_back(std::make_unique<Host>(simulator, h, config_.host_link));
+    hosts_.push_back(std::make_unique<Host>(sim_, h, config_.host_link));
   }
   leaves_.reserve(shape.leaves);
   for (const LeafId l : core::ids<LeafId>(shape.leaves)) {
-    leaves_.push_back(std::make_unique<LeafSwitch>(simulator, l, config_.shape, routing_,
+    leaves_.push_back(std::make_unique<LeafSwitch>(lane_for_leaf(l), l, config_.shape, routing_,
                                                    config_.spray, config_.pfc,
                                                    config_.host_link, config_.fabric_link,
                                                    spray_seeder.split(),
@@ -27,7 +33,7 @@ FatTree::FatTree(sim::Simulator& simulator, FatTreeConfig config)
   spines_.reserve(shape.spines);
   for (const SpineId s : core::ids<SpineId>(shape.spines)) {
     spines_.push_back(
-        std::make_unique<SpineSwitch>(simulator, s, config_.shape, config_.pfc,
+        std::make_unique<SpineSwitch>(lane_for_spine(s), s, config_.shape, config_.pfc,
                                       config_.fabric_link));
   }
 
@@ -40,6 +46,8 @@ FatTree::FatTree(sim::Simulator& simulator, FatTreeConfig config)
     host.nic().connect(&leaf_sw, PortIndex{local});
     leaf_sw.set_upstream(PortIndex{local}, &host.nic());  // leaf can PFC-pause the NIC
     leaf_sw.host_port(local).connect(&host, PortIndex{0});
+    link_lanes(host.nic(), lane_for_leaf(l));
+    link_lanes(leaf_sw.host_port(local), sim_);
   }
 
   // Wire leaf <-> spine, one link pair per (leaf, uplink).
@@ -53,6 +61,8 @@ FatTree::FatTree(sim::Simulator& simulator, FatTreeConfig config)
       spine_sw.set_upstream(spine_port, &leaf_sw.uplink(u));
       spine_sw.down_port(spine_port).connect(&leaf_sw, leaf_port);
       leaf_sw.set_upstream(leaf_port, &spine_sw.down_port(spine_port));
+      link_lanes(leaf_sw.uplink(u), lane_for_spine(shape.spine_of(u)));
+      link_lanes(spine_sw.down_port(spine_port), lane_for_leaf(l));
     }
     leaf_sw.set_fault_rng(&fault_rng_);
   }
@@ -61,6 +71,26 @@ FatTree::FatTree(sim::Simulator& simulator, FatTreeConfig config)
   }
   for (const HostId h : core::ids<HostId>(shape.num_hosts())) {
     hosts_[h.v()]->nic().set_fault_rng(&fault_rng_);
+  }
+}
+
+sim::Simulator& FatTree::lane_for_leaf(LeafId l) const {
+  if (lanes_.size() <= 1) return sim_;
+  const auto groups = static_cast<std::uint32_t>(lanes_.size() - 1);
+  return *lanes_[1 + l.v() % groups];
+}
+
+sim::Simulator& FatTree::lane_for_spine(SpineId s) const {
+  if (lanes_.size() <= 1) return sim_;
+  const auto groups = static_cast<std::uint32_t>(lanes_.size() - 1);
+  return *lanes_[1 + s.v() % groups];
+}
+
+void FatTree::link_lanes(EgressPort& port, sim::Simulator& dst) {
+  if (&port.owner() == &dst) return;
+  port.set_peer_lane(&dst);
+  if (port.params().prop_delay < min_cross_lane_latency_) {
+    min_cross_lane_latency_ = port.params().prop_delay;
   }
 }
 

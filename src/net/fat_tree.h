@@ -42,12 +42,25 @@ class FatTree {
  public:
   FatTree(sim::Simulator& simulator, FatTreeConfig config);
 
+  /// Sharded build: `lanes[0]` drives the hosts (and everything the
+  /// experiment layer schedules on `simulator()`); leaf l goes to lane
+  /// 1 + (l mod (lanes-1)) and spine s to lane 1 + (s mod (lanes-1)), so
+  /// every leaf<->spine and host<->leaf hop that lands on a different lane
+  /// is wired through the lane mailbox (EgressPort::set_peer_lane). A
+  /// one-element vector degenerates to the serial build above.
+  FatTree(std::vector<sim::Simulator*> lanes, FatTreeConfig config);
+
   FatTree(const FatTree&) = delete;
   FatTree& operator=(const FatTree&) = delete;
 
   [[nodiscard]] const TopologyInfo& info() const { return config_.shape; }
   [[nodiscard]] const FatTreeConfig& config() const { return config_; }
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+
+  /// Smallest propagation delay over all cross-lane links — the
+  /// conservative lookahead a LaneRunner may use. Time::max() when no link
+  /// crosses lanes (single-lane build).
+  [[nodiscard]] sim::Time min_cross_lane_latency() const { return min_cross_lane_latency_; }
 
   [[nodiscard]] Host& host(HostId h) { return *hosts_[h.v()]; }
   [[nodiscard]] LeafSwitch& leaf(LeafId l) { return *leaves_[l.v()]; }
@@ -87,11 +100,18 @@ class FatTree {
 
  private:
   [[nodiscard]] EgressPort& downlink(LeafId leaf, UplinkIndex u);
+  [[nodiscard]] sim::Simulator& lane_for_leaf(LeafId l) const;
+  [[nodiscard]] sim::Simulator& lane_for_spine(SpineId s) const;
+  /// Mark `port` cross-lane if its transmit lane differs from `dst`, and
+  /// fold its propagation delay into the lookahead bound.
+  void link_lanes(EgressPort& port, sim::Simulator& dst);
 
   sim::Simulator& sim_;
   FatTreeConfig config_;
   RoutingState routing_;
   sim::Rng fault_rng_;
+  std::vector<sim::Simulator*> lanes_;
+  sim::Time min_cross_lane_latency_ = sim::Time::max();
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<std::unique_ptr<LeafSwitch>> leaves_;
   std::vector<std::unique_ptr<SpineSwitch>> spines_;

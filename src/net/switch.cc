@@ -111,6 +111,14 @@ void Switch::send_pause(PortIndex in_port, Priority prio, bool pause) {
   EgressPort* up = upstream_[in_port.v()];
   if (up == nullptr) return;  // host-facing port with no pausable upstream
   // The PAUSE frame crosses the reverse link; model its propagation delay.
+  if (&up->owner() != &sim_) {
+    // The upstream port transmits from another event lane: the PAUSE frame
+    // is a cross-lane message like any other, carried by the mailbox with
+    // the same reverse-link propagation delay.
+    sim_.post_remote(up->owner(), up->params().prop_delay,
+                     sim::LaneFn{[up, prio, pause] { up->set_paused(prio, pause); }});
+    return;
+  }
   sim_.schedule_in(up->params().prop_delay, [up, prio, pause] { up->set_paused(prio, pause); });
 }
 

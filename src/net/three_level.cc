@@ -201,31 +201,36 @@ void CoreSwitch::receive(Packet p, PortIndex in_port) {
 // ---------------------------------------------------------------------------
 
 ThreeLevelFatTree::ThreeLevelFatTree(sim::Simulator& simulator, ThreeLevelConfig config)
-    : sim_{simulator},
+    : ThreeLevelFatTree{std::vector<sim::Simulator*>{&simulator}, config} {}
+
+ThreeLevelFatTree::ThreeLevelFatTree(std::vector<sim::Simulator*> lanes, ThreeLevelConfig config)
+    : sim_{*lanes.front()},
       config_{config},
       routing_{config.shape.num_leaves(), config.shape.spines_per_pod},
-      fault_rng_{config.seed ^ 0x3fa017ull} {
+      fault_rng_{config.seed ^ 0x3fa017ull},
+      lanes_{std::move(lanes)} {
   const ThreeLevelInfo& shape = config_.shape;
 
   for (const HostId h : core::ids<HostId>(shape.num_hosts())) {
-    hosts_.push_back(std::make_unique<Host>(simulator, h, config_.host_link));
+    hosts_.push_back(std::make_unique<Host>(sim_, h, config_.host_link));
   }
   for (const LeafId l : core::ids<LeafId>(shape.num_leaves())) {
     leaves_.push_back(std::make_unique<Leaf3Switch>(
-        simulator, l, config_.shape, routing_, config_.pfc, config_.host_link,
-        config_.fabric_link, config_.spray_quantum_bytes));
+        lane_for_pod(shape.pod_of_leaf(l)), l, config_.shape, routing_, config_.pfc,
+        config_.host_link, config_.fabric_link, config_.spray_quantum_bytes));
   }
   for (std::uint32_t pod = 0; pod < shape.pods; ++pod) {
     for (std::uint32_t s = 0; s < shape.spines_per_pod; ++s) {
       pod_spines_.push_back(std::make_unique<PodSpineSwitch>(
-          simulator, pod, s, config_.shape, config_.pfc, config_.fabric_link,
+          lane_for_pod(pod), pod, s, config_.shape, config_.pfc, config_.fabric_link,
           config_.spray_quantum_bytes));
     }
   }
   for (std::uint32_t group = 0; group < shape.spines_per_pod; ++group) {
     for (std::uint32_t k = 0; k < shape.cores_per_group(); ++k) {
-      cores_.push_back(std::make_unique<CoreSwitch>(simulator, group, k, config_.shape,
-                                                    config_.pfc, config_.fabric_link));
+      cores_.push_back(std::make_unique<CoreSwitch>(lane_for_core(shape.core_id(group, k)),
+                                                    group, k, config_.shape, config_.pfc,
+                                                    config_.fabric_link));
     }
   }
 
@@ -237,9 +242,11 @@ ThreeLevelFatTree::ThreeLevelFatTree(sim::Simulator& simulator, ThreeLevelConfig
     leaves_[l.v()]->set_upstream(PortIndex{local}, &hosts_[h.v()]->nic());
     leaves_[l.v()]->host_port(local).connect(hosts_[h.v()].get(), PortIndex{0});
     hosts_[h.v()]->nic().set_fault_rng(&fault_rng_);
+    link_lanes(hosts_[h.v()]->nic(), lane_for_pod(shape.pod_of_leaf(l)));
+    link_lanes(leaves_[l.v()]->host_port(local), sim_);
   }
 
-  // Leaves ↔ pod-spines.
+  // Leaves ↔ pod-spines (always intra-pod, so never cross-lane).
   for (const LeafId l : core::ids<LeafId>(shape.num_leaves())) {
     const std::uint32_t pod = shape.pod_of_leaf(l);
     const std::uint32_t local = shape.local_leaf(l);
@@ -265,11 +272,33 @@ ThreeLevelFatTree::ThreeLevelFatTree(sim::Simulator& simulator, ThreeLevelConfig
         c.set_upstream(PortIndex{pod}, &ps.core_uplink(k));
         c.down_port(pod).connect(&ps, ps_port);
         ps.set_upstream(ps_port, &c.down_port(pod));
+        link_lanes(ps.core_uplink(k), lane_for_core(shape.core_id(s, k)));
+        link_lanes(c.down_port(pod), lane_for_pod(pod));
       }
       ps.set_fault_rng(&fault_rng_);
     }
   }
   for (auto& c : cores_) c->set_fault_rng(&fault_rng_);
+}
+
+sim::Simulator& ThreeLevelFatTree::lane_for_pod(std::uint32_t pod) const {
+  if (lanes_.size() <= 1) return sim_;
+  const auto groups = static_cast<std::uint32_t>(lanes_.size() - 1);
+  return *lanes_[1 + pod % groups];
+}
+
+sim::Simulator& ThreeLevelFatTree::lane_for_core(std::uint32_t core_id) const {
+  if (lanes_.size() <= 1) return sim_;
+  const auto groups = static_cast<std::uint32_t>(lanes_.size() - 1);
+  return *lanes_[1 + core_id % groups];
+}
+
+void ThreeLevelFatTree::link_lanes(EgressPort& port, sim::Simulator& dst) {
+  if (&port.owner() == &dst) return;
+  port.set_peer_lane(&dst);
+  if (port.params().prop_delay < min_cross_lane_latency_) {
+    min_cross_lane_latency_ = port.params().prop_delay;
+  }
 }
 
 void ThreeLevelFatTree::disconnect_known(LeafId leaf, std::uint32_t spine_index) {

@@ -174,8 +174,18 @@ class ThreeLevelFatTree {
  public:
   ThreeLevelFatTree(sim::Simulator& simulator, ThreeLevelConfig config);
 
+  /// Sharded build: `lanes[0]` drives the hosts; pod p — its leaves AND its
+  /// pod-spines, so intra-pod hops stay lane-local — goes to lane
+  /// 1 + (p mod (lanes-1)), and core c to lane 1 + (c mod (lanes-1)). Only
+  /// host<->leaf, pod-spine<->core, and PFC reverse paths can cross lanes.
+  ThreeLevelFatTree(std::vector<sim::Simulator*> lanes, ThreeLevelConfig config);
+
   ThreeLevelFatTree(const ThreeLevelFatTree&) = delete;
   ThreeLevelFatTree& operator=(const ThreeLevelFatTree&) = delete;
+
+  /// Smallest propagation delay over all cross-lane links (conservative
+  /// lookahead); Time::max() in a single-lane build.
+  [[nodiscard]] sim::Time min_cross_lane_latency() const { return min_cross_lane_latency_; }
 
   [[nodiscard]] const ThreeLevelInfo& info() const { return config_.shape; }
   [[nodiscard]] Host& host(HostId h) { return *hosts_[h.v()]; }
@@ -207,10 +217,16 @@ class ThreeLevelFatTree {
   [[nodiscard]] LinkCounters total_fabric_counters() const;
 
  private:
+  [[nodiscard]] sim::Simulator& lane_for_pod(std::uint32_t pod) const;
+  [[nodiscard]] sim::Simulator& lane_for_core(std::uint32_t core_id) const;
+  void link_lanes(EgressPort& port, sim::Simulator& dst);
+
   sim::Simulator& sim_;
   ThreeLevelConfig config_;
   RoutingState routing_;  // (global leaf, pod-spine index)
   sim::Rng fault_rng_;
+  std::vector<sim::Simulator*> lanes_;
+  sim::Time min_cross_lane_latency_ = sim::Time::max();
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<std::unique_ptr<Leaf3Switch>> leaves_;
   std::vector<std::unique_ptr<PodSpineSwitch>> pod_spines_;

@@ -5,26 +5,36 @@
 
 namespace flowpulse::sim {
 
-void EventQueue::schedule(Time at, EventFn fn) {
-  const std::uint64_t seq = next_seq_++;
+void EventQueue::schedule(Time at, Time sched, std::uint32_t src, EventFn fn) {
+  push(HeapEntry{at, sched, pack_provenance(src, next_seq_++), std::move(fn)});
+}
+
+void EventQueue::schedule_imported(Time at, Time sched, std::uint32_t src, std::uint64_t seq,
+                                   EventFn fn) {
+  ++next_seq_;  // accounting parity: an import is one scheduled event
+  push(HeapEntry{at, sched, pack_provenance(src, seq), std::move(fn)});
+}
+
+void EventQueue::push(HeapEntry entry) {
   std::size_t i = heap_.size();
   heap_.emplace_back();  // open a hole at the end; default EventFn is empty
   // Hole-based sift-up: shift later parents down into the hole (one move
   // per level instead of a three-move swap), then settle the new entry.
-  // The new entry carries the largest seq so far, so among equal times the
-  // parent always stays put — comparing times alone is exact.
+  // Full-key comparison: an imported cross-lane entry can carry *earlier*
+  // provenance than a same-time entry already in the heap, so comparing
+  // times alone is no longer exact the way it was pre-provenance.
   while (i > 0) {
     const std::size_t parent = (i - 1) / 2;
-    if (!(at < heap_[parent].at)) break;
+    if (!earlier(entry, heap_[parent])) break;
     heap_[i] = std::move(heap_[parent]);
     i = parent;
   }
-  heap_[i] = HeapEntry{at, seq, std::move(fn)};
+  heap_[i] = std::move(entry);
 }
 
 EventQueue::Event EventQueue::pop() {
   assert(!heap_.empty());
-  Event ev{heap_.front().at, heap_.front().seq, std::move(heap_.front().fn)};
+  Event ev{heap_.front().at, heap_.front().prov, std::move(heap_.front().fn)};
   HeapEntry last = std::move(heap_.back());
   heap_.pop_back();
   if (!heap_.empty()) sift_down_from(0, std::move(last));

@@ -14,8 +14,21 @@ namespace flowpulse::sim {
 /// vector itself, which reserve() can eliminate too.
 using EventFn = InlineFn;
 
-/// Min-heap of timed events. Events scheduled for the same instant run in
-/// insertion order (FIFO), which keeps simulations deterministic.
+/// Min-heap of timed events ordered by (fire time, schedule time, source
+/// lane, per-source seq).
+///
+/// The provenance fields exist for the sharded-event-lane engine's
+/// bit-identity contract. In a serial run every event is scheduled by the
+/// one lane (src constant) and seq is assigned in execution order, which is
+/// non-decreasing in schedule time — so the full key orders exactly like
+/// the classic (fire time, FIFO seq) key and serial behavior is unchanged.
+/// In a laned run, a cross-lane message imported via schedule_imported
+/// carries the *source* lane's schedule instant and post counter, which
+/// slots it among same-fire-time events precisely where the serial engine's
+/// global FIFO counter would have: events whose schedulers ran earlier fire
+/// first. (Only the sub-picosecond interleave of two *different* lanes
+/// scheduling at the same instant is approximated — by source-lane id; see
+/// event_lane.h.)
 ///
 /// There is deliberately no cancellation: components that need revocable
 /// timers (e.g. retransmission timeouts) check their own state when the
@@ -23,8 +36,16 @@ using EventFn = InlineFn;
 /// binary-heap push/pop.
 class EventQueue {
  public:
-  /// Schedule `fn` at absolute time `at`.
-  void schedule(Time at, EventFn fn);
+  /// Schedule `fn` at absolute time `at`, recorded as scheduled now (the
+  /// caller's clock `sched`) by lane `src`. FIFO among fully-equal keys.
+  void schedule(Time at, Time sched, std::uint32_t src, EventFn fn);
+
+  /// Import a cross-lane message with its source-side provenance: the
+  /// source lane's clock when it posted and its post counter. Bumps the
+  /// scheduled_total() accounting but not the local FIFO counter's order
+  /// role — ordering against local events comes entirely from the key.
+  void schedule_imported(Time at, Time sched, std::uint32_t src, std::uint64_t seq,
+                         EventFn fn);
 
   /// Pre-size the heap storage for `n` simultaneously pending events so the
   /// steady state never regrows the vector mid-run.
@@ -39,7 +60,7 @@ class EventQueue {
 
   struct Event {
     Time at;
-    std::uint64_t seq = 0;
+    std::uint64_t seq = 0;  ///< packed (src lane, per-source seq) provenance
     EventFn fn;
   };
   /// Pop and return the earliest event. Must not be called when empty().
@@ -48,10 +69,21 @@ class EventQueue {
   /// Total events ever scheduled (for throughput accounting).
   [[nodiscard]] std::uint64_t scheduled_total() const { return next_seq_; }
 
+  /// Source lane in the top 16 bits, per-source FIFO counter in the low 48
+  /// (2.8e14 events per source before wrap — and a wrap could only matter
+  /// between two events tied at the same (fire, schedule) picosecond, which
+  /// can never be 2^48 schedules apart). Packing both into one word keeps
+  /// HeapEntry at one cache line.
+  [[nodiscard]] static constexpr std::uint64_t pack_provenance(std::uint32_t src,
+                                                               std::uint64_t seq) {
+    return (static_cast<std::uint64_t>(src) << 48) | (seq & ((1ull << 48) - 1));
+  }
+
  private:
   struct HeapEntry {
     Time at;
-    std::uint64_t seq;
+    Time sched;
+    std::uint64_t prov;
     EventFn fn;
   };
   static_assert(sizeof(HeapEntry) <= 64, "heap entry should stay within one cache line");
@@ -59,10 +91,12 @@ class EventQueue {
   // Hand-rolled binary heap so we can move the EventFn out on pop
   // (std::priority_queue::top() is const) and sift with hole moves
   // instead of swaps.
+  void push(HeapEntry entry);
   void sift_down_from(std::size_t i, HeapEntry e);
   [[nodiscard]] bool earlier(const HeapEntry& a, const HeapEntry& b) const {
     if (a.at != b.at) return a.at < b.at;
-    return a.seq < b.seq;  // FIFO among simultaneous events
+    if (a.sched != b.sched) return a.sched < b.sched;  // serial schedule order
+    return a.prov < b.prov;  // (src lane, per-source seq): FIFO within a source
   }
 
   std::vector<HeapEntry> heap_;

@@ -12,33 +12,34 @@ namespace flowpulse::sim {
 /// The simulator executes one callable per event — at least one per packet
 /// hop, millions per collective iteration — so the event unit of work must
 /// never allocate. `std::function` heap-allocates any capture larger than
-/// its (implementation-defined, typically 16-byte) small buffer; InlineFn
-/// instead static-asserts at the call site that the capture fits its
-/// fixed buffer, turning an accidental fat capture into a compile error
-/// instead of a silent per-event malloc.
-///
-/// Capacity is 32 bytes: enough for `this` plus a handful of ids (the
-/// largest in-tree event capture is 24 bytes), and it keeps a heap entry
-/// (time + seq + InlineFn) at exactly one 64-byte cache line.
+/// its (implementation-defined, typically 16-byte) small buffer;
+/// BasicInlineFn instead static-asserts at the call site that the capture
+/// fits its fixed buffer, turning an accidental fat capture into a compile
+/// error instead of a silent per-event malloc.
 ///
 /// Captures must be nothrow-move-constructible. Trivially-copyable
 /// captures (every in-tree event lambda: pointers + integers) move as a
 /// plain memcpy with no manager dispatch.
-class InlineFn {
+template <std::size_t Capacity>
+class BasicInlineFn {
  public:
-  static constexpr std::size_t kCapacity = 32;
-  static constexpr std::size_t kAlign = alignof(std::max_align_t);
+  static constexpr std::size_t kCapacity = Capacity;
+  /// Pointer alignment, not max_align_t: every in-tree capture is pointers
+  /// + integers, and the looser alignment is what lets a 24-byte-capacity
+  /// InlineFn pack to 40 bytes (24 + two function pointers) instead of
+  /// rounding up to 48 — the provenance-keyed HeapEntry needs the room.
+  static constexpr std::size_t kAlign = alignof(void*);
 
-  InlineFn() noexcept = default;
+  BasicInlineFn() noexcept = default;
 
   template <typename F,
-            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, InlineFn>>>
-  InlineFn(F&& f) noexcept {  // NOLINT(google-explicit-constructor): drop-in for std::function
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, BasicInlineFn>>>
+  BasicInlineFn(F&& f) noexcept {  // NOLINT(google-explicit-constructor): drop-in for std::function
     using Fn = std::decay_t<F>;
     static_assert(sizeof(Fn) <= kCapacity,
-                  "event capture exceeds InlineFn::kCapacity — it would heap-allocate "
+                  "event capture exceeds BasicInlineFn capacity — it would heap-allocate "
                   "under std::function; shrink the capture (capture `this` and look "
-                  "state up at fire time) or raise kCapacity deliberately");
+                  "state up at fire time) or raise the capacity deliberately");
     static_assert(alignof(Fn) <= kAlign, "over-aligned event capture");
     static_assert(std::is_nothrow_move_constructible_v<Fn>,
                   "event captures must be nothrow-movable (the event heap sifts by move)");
@@ -53,17 +54,17 @@ class InlineFn {
     }
   }
 
-  InlineFn(InlineFn&& o) noexcept { move_from(o); }
-  InlineFn& operator=(InlineFn&& o) noexcept {
+  BasicInlineFn(BasicInlineFn&& o) noexcept { move_from(o); }
+  BasicInlineFn& operator=(BasicInlineFn&& o) noexcept {
     if (this != &o) {
       destroy();
       move_from(o);
     }
     return *this;
   }
-  InlineFn(const InlineFn&) = delete;
-  InlineFn& operator=(const InlineFn&) = delete;
-  ~InlineFn() { destroy(); }
+  BasicInlineFn(const BasicInlineFn&) = delete;
+  BasicInlineFn& operator=(const BasicInlineFn&) = delete;
+  ~BasicInlineFn() { destroy(); }
 
   [[nodiscard]] explicit operator bool() const noexcept { return invoke_ != nullptr; }
 
@@ -87,7 +88,7 @@ class InlineFn {
     }
   }
 
-  void move_from(InlineFn& o) noexcept {
+  void move_from(BasicInlineFn& o) noexcept {
     invoke_ = o.invoke_;
     manage_ = o.manage_;
     if (invoke_ != nullptr) {
@@ -111,5 +112,22 @@ class InlineFn {
   void (*invoke_)(void*) = nullptr;
   void (*manage_)(Op, void*, void*) = nullptr;
 };
+
+/// The event-queue callable. Capacity is 24 bytes: exactly the largest
+/// in-tree event capture (`this` plus a handful of ids), and it keeps a
+/// heap entry (fire time + schedule time + packed provenance + InlineFn)
+/// at exactly one 64-byte cache line. A fatter capture fails to compile —
+/// raise this deliberately (and re-measure BM_*Events) if one ever needs
+/// more.
+using InlineFn = BasicInlineFn<24>;
+
+/// The cross-lane mailbox callable (see event_lane.h). A boundary delivery
+/// must carry the whole Packet by value — the source lane's state cannot be
+/// dereferenced at the destination lane's fire time — so it needs a fatter
+/// buffer: `this` + Packet (~64 B) with headroom. Mailbox messages never
+/// enter the event heap directly (they are parked in a per-lane arena and
+/// fired through a thin trampoline), so the 64-byte HeapEntry budget is
+/// unaffected.
+using LaneFn = BasicInlineFn<96>;
 
 }  // namespace flowpulse::sim

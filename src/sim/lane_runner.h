@@ -1,0 +1,106 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "core/thread_safety.h"
+#include "sim/event_lane.h"
+
+namespace flowpulse::sim {
+
+/// Round protocol shared between a LaneRunner coordinator and its lane
+/// workers, annotated for clang's thread-safety analysis (attributes on
+/// function-local variables are ignored, so the protocol lives in a named
+/// struct — same convention as exp::WorkerPoolState). The coordinator
+/// publishes (round, horizon) under `mu`; workers wake on `cv_start`, claim
+/// lanes through the `next_lane` atomic, and report completion under `mu`
+/// (`cv_done`). All lane-state handoff rides the mu acquire/release chain:
+/// publish_round → await_round → run_window writes → worker_done →
+/// await_workers.
+struct LaneRunnerState {
+  core::Mutex mu;
+  std::condition_variable_any cv_start;
+  std::condition_variable_any cv_done;
+  std::uint64_t round FP_GUARDED_BY(mu) = 0;
+  Time horizon FP_GUARDED_BY(mu) = Time::zero();
+  bool shutdown FP_GUARDED_BY(mu) = false;
+  std::uint32_t workers_done FP_GUARDED_BY(mu) = 0;
+  std::exception_ptr first_error FP_GUARDED_BY(mu);
+  std::atomic<std::uint32_t> next_lane{0};
+
+  // The condition-variable methods release and reacquire `mu` inside
+  // std::condition_variable_any::wait, a pattern the capability analysis
+  // cannot follow; each is annotated FP_EXCLUDES and implemented with an
+  // analysis waiver at the single unique_lock boundary (lane_runner.cc).
+  void publish_round(Time h) FP_EXCLUDES(mu);
+  [[nodiscard]] std::uint64_t await_round(std::uint64_t last_seen, bool& shut, Time& h)
+      FP_EXCLUDES(mu);
+  void worker_done() FP_EXCLUDES(mu);
+  void await_workers(std::uint32_t count) FP_EXCLUDES(mu);
+  void request_shutdown() FP_EXCLUDES(mu);
+  void record_error(std::exception_ptr e) FP_EXCLUDES(mu);
+  [[nodiscard]] std::exception_ptr take_error() FP_EXCLUDES(mu);
+};
+
+/// Conservative-PDES scheduler over a set of EventLanes (classic
+/// Chandy–Misra–Bryant with a global horizon): each round it
+///
+///   1. drains every lane's cross-lane inbox (stage_inbox),
+///   2. computes the global lower bound `lb` = min over lanes of the next
+///      event time,
+///   3. sets the horizon H = lb + lookahead, where `lookahead` is the
+///      minimum propagation delay of any cross-lane link, and
+///   4. lets every lane execute its events strictly before H in parallel.
+///
+/// Safety: a message posted during the round fires at
+/// send_time + prop_delay >= lb + lookahead = H, so nothing a neighbor does
+/// this round can schedule work before H — each lane's window is causally
+/// closed. Progress: the lane holding `lb` always executes (or merges) at
+/// least the event at `lb` < H, so H strictly increases round over round.
+/// Determinism: lane claims hand out whole lanes and each lane's window is
+/// single-threaded, so results are independent of worker count and
+/// scheduling — bit-identical to running the same lanes serially.
+///
+/// Worker threads are persistent (a scenario takes thousands of rounds;
+/// spawning per round would dominate). `jobs` 0 defaults to one worker per
+/// lane so a FLOWPULSE_LANES=8 run exercises 8 real threads regardless of
+/// core count (what the tsan leg relies on); jobs<=1 or a single lane runs
+/// every round inline with no threads at all.
+class LaneRunner {
+ public:
+  LaneRunner(std::vector<EventLane*> lanes, Time lookahead, unsigned jobs = 0);
+  ~LaneRunner();
+
+  LaneRunner(const LaneRunner&) = delete;
+  LaneRunner& operator=(const LaneRunner&) = delete;
+
+  /// Drive rounds until every lane is idle or the next event lies past
+  /// `deadline`; then settle every lane's clock to the deadline (finite
+  /// deadlines), mirroring EventLane::run_until's clock bump. Fires the
+  /// lanes' quiesce audits if the run fully drained.
+  void run_until(Time deadline);
+  void run() { run_until(Time::max()); }
+
+  [[nodiscard]] std::uint64_t rounds() const { return rounds_; }
+  [[nodiscard]] bool drained() const { return drained_; }
+  /// Sum of events executed across lanes (equals the serial run's count).
+  [[nodiscard]] std::uint64_t events_executed() const;
+
+ private:
+  void execute_round(Time horizon);
+  void worker_loop();
+
+  std::vector<EventLane*> lanes_;
+  Time lookahead_;
+  unsigned jobs_;
+  std::uint64_t rounds_ = 0;
+  bool drained_ = false;
+  LaneRunnerState state_;
+  std::vector<std::thread> pool_;
+};
+
+}  // namespace flowpulse::sim

@@ -1,17 +1,6 @@
 #pragma once
 
-#include <cstdint>
-
-#include "obs/trace.h"
-#include "sim/audit.h"
-#include "sim/event_queue.h"
-#include "sim/rng.h"
-#include "sim/time.h"
-
-#if FP_AUDIT_ENABLED
-#include <functional>
-#include <vector>
-#endif
+#include "sim/event_lane.h"
 
 namespace flowpulse::sim {
 
@@ -20,88 +9,15 @@ namespace flowpulse::sim {
 /// reference to its Simulator; there is no global state, so independent
 /// simulations can coexist (the simulation-based load model runs a nested
 /// Simulator inside a live experiment).
-class Simulator {
+///
+/// Simulator IS an EventLane (event_lane.h): the serial engine and one
+/// shard of a sharded run are the same class, so a single-lane simulation
+/// executes exactly the code every prior result was produced on, and a
+/// LaneRunner (lane_runner.h) can drive a vector of Simulators as
+/// conservatively-synchronized parallel lanes.
+class Simulator : public EventLane {
  public:
-  explicit Simulator(std::uint64_t seed = 1) : rng_{seed} {}
-
-  Simulator(const Simulator&) = delete;
-  Simulator& operator=(const Simulator&) = delete;
-
-  [[nodiscard]] Time now() const { return now_; }
-  [[nodiscard]] Rng& rng() { return rng_; }
-
-  /// Schedule `fn` to run `delay` after the current time.
-  void schedule_in(Time delay, EventFn fn) {
-    FP_AUDIT(delay >= Time::zero(), "event-monotonicity", "simulator", events_executed_,
-             now_.ps(), "negative delay " + std::to_string(delay.ps()) + "ps");
-    queue_.schedule(now_ + delay, std::move(fn));
-  }
-
-  /// Schedule `fn` at absolute time `at` (must be >= now()).
-  void schedule_at(Time at, EventFn fn) {
-    FP_AUDIT(at >= now_, "event-monotonicity", "simulator", events_executed_, now_.ps(),
-             "schedule_at " + std::to_string(at.ps()) + "ps is before now");
-    queue_.schedule(at, std::move(fn));
-  }
-
-  /// Pre-size the event heap for an expected number of simultaneously
-  /// pending events (see EventQueue::reserve).
-  void reserve_events(std::size_t n) { queue_.reserve(n); }
-
-  /// Run until the event queue drains or `stop()` is called.
-  void run();
-
-  /// Run events with time <= `deadline`; the clock ends at
-  /// min(deadline, time of last event) unless stopped.
-  void run_until(Time deadline);
-
-  /// Hybrid-fidelity fast-forward: advance the clock to `to`, executing any
-  /// events due on the way (stale retransmission timers fire as no-ops).
-  /// Semantically identical to run_until, but counted separately and traced
-  /// (kFidelity) so reports and flight recordings show where simulated time
-  /// was synthesized rather than earned event-by-event.
-  void fast_forward(Time to);
-
-  /// Stop the run loop after the current event returns.
-  void stop() { stopped_ = true; }
-
-  [[nodiscard]] bool stopped() const { return stopped_; }
-  [[nodiscard]] std::uint64_t events_executed() const { return events_executed_; }
-  [[nodiscard]] std::uint64_t fast_forwards() const { return fast_forwards_; }
-  [[nodiscard]] std::uint64_t events_scheduled() const { return queue_.scheduled_total(); }
-  [[nodiscard]] std::size_t events_pending() const { return queue_.size(); }
-
-#if FP_AUDIT_ENABLED
-  /// Register an invariant checked whenever the simulation quiesces (the
-  /// event queue drains without stop()). Components register at wiring time
-  /// and must outlive every subsequent run of this simulator.
-  void audit_register_quiesce(std::function<void()> check) {
-    audit_quiesce_checks_.push_back(std::move(check));
-  }
-#endif
-
-#if FP_TRACE_ENABLED
-  /// Install (or clear, with nullptr) the flight-recorder sink that FP_TRACE
-  /// call sites across all layers emit into. The sink must outlive every
-  /// subsequent run of this simulator. Trace-enabled builds only.
-  void set_trace(obs::TraceSink* sink) { trace_ = sink; }
-  [[nodiscard]] obs::TraceSink* trace() const { return trace_; }
-#endif
-
- private:
-#if FP_AUDIT_ENABLED
-  void audit_on_quiesce();
-  std::vector<std::function<void()>> audit_quiesce_checks_;
-#endif
-#if FP_TRACE_ENABLED
-  obs::TraceSink* trace_ = nullptr;
-#endif
-  EventQueue queue_;
-  Time now_ = Time::zero();
-  Rng rng_;
-  bool stopped_ = false;
-  std::uint64_t events_executed_ = 0;
-  std::uint64_t fast_forwards_ = 0;
+  using EventLane::EventLane;
 };
 
 }  // namespace flowpulse::sim

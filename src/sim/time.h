@@ -49,10 +49,18 @@ class Time {
 
 inline std::ostream& operator<<(std::ostream& os, Time t) { return os << t.ns() << "ns"; }
 
-/// Time to serialize `bytes` on a link of `gbps` gigabits per second.
+namespace detail {
+
+/// Raw-scalar core of serialization-time math. NOT for direct use: call
+/// core::serialization_time(Bytes, GbitsPerSec) (core/units.h), which is
+/// the strong-typed public API — a bare (uint64, double) overload at
+/// namespace scope let new code silently bypass the unit layer (enforced
+/// by the detlint raw-serialization-time rule and a negcompile snippet).
 [[nodiscard]] constexpr Time serialization_time(std::uint64_t bytes, double gbps) {
   // ps = bytes * 8 / (gbps * 1e9) * 1e12 = bytes * 8000 / gbps
   return Time::picoseconds(static_cast<std::int64_t>(static_cast<double>(bytes) * 8000.0 / gbps));
 }
+
+}  // namespace detail
 
 }  // namespace flowpulse::sim

@@ -9,7 +9,10 @@
 #          overflow, or UB aborts the run.
 #   tsan   ThreadSanitizer in build-tsan/. After the full suite, reruns the
 #          parallel trial-engine tests with FLOWPULSE_JOBS=8 so the
-#          worker-pool merge paths race-check under real contention.
+#          worker-pool merge paths race-check under real contention, then
+#          the event-lane tests with FLOWPULSE_LANES=8 + FLOWPULSE_JOBS=8
+#          so the cross-lane mailbox handoff and the LaneRunner round
+#          barrier race-check with every lane on its own thread.
 #   audit  FLOWPULSE_AUDIT=ON + FLOWPULSE_TRACE=ON in build-audit/: the
 #          runtime invariant auditor (byte conservation, event
 #          monotonicity, PFC liveness, exactly-once delivery, monitor
@@ -62,4 +65,11 @@ if [ "${mode}" = "tsan" ]; then
   echo "== tsan: parallel trial engine at FLOWPULSE_JOBS=8 =="
   FLOWPULSE_JOBS=8 ctest --output-on-failure \
     -R 'RunTrialsParallel|ParallelIndexed' "$@"
+  # LaneRunner defaults to one worker thread per lane, so these tests
+  # race-check the mailbox handoff and round barrier under full
+  # contention; FLOWPULSE_LANES=8 additionally lanes any scenario that
+  # consults the environment (lanes = -1).
+  echo "== tsan: event lanes at FLOWPULSE_LANES=8 =="
+  FLOWPULSE_LANES=8 ctest --output-on-failure \
+    -R 'LanedScenario|LaneRunner|ClosScenario1k' "$@"
 fi

@@ -37,19 +37,21 @@ TEST(Time, Arithmetic) {
 }
 
 TEST(Time, SerializationTime) {
+  // The raw-scalar math lives behind sim::detail; product code goes
+  // through core::serialization_time(Bytes, GbitsPerSec).
   // 4096 bytes at 400 Gbps = 4096*8/400e9 s = 81.92 ns.
-  EXPECT_EQ(serialization_time(4096, 400.0).ps(), 81'920);
+  EXPECT_EQ(detail::serialization_time(4096, 400.0).ps(), 81'920);
   // 1 byte at 400 Gbps = 20 ps: stays exact in picoseconds.
-  EXPECT_EQ(serialization_time(1, 400.0).ps(), 20);
-  EXPECT_EQ(serialization_time(1500, 100.0).ps(), 120'000);
+  EXPECT_EQ(detail::serialization_time(1, 400.0).ps(), 20);
+  EXPECT_EQ(detail::serialization_time(1500, 100.0).ps(), 120'000);
 }
 
 TEST(EventQueue, OrdersByTime) {
   EventQueue q;
   std::vector<int> order;
-  q.schedule(Time::nanoseconds(30), [&] { order.push_back(3); });
-  q.schedule(Time::nanoseconds(10), [&] { order.push_back(1); });
-  q.schedule(Time::nanoseconds(20), [&] { order.push_back(2); });
+  q.schedule(Time::nanoseconds(30), Time::zero(), 0, [&] { order.push_back(3); });
+  q.schedule(Time::nanoseconds(10), Time::zero(), 0, [&] { order.push_back(1); });
+  q.schedule(Time::nanoseconds(20), Time::zero(), 0, [&] { order.push_back(2); });
   while (!q.empty()) q.pop().fn();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
@@ -58,7 +60,7 @@ TEST(EventQueue, SimultaneousEventsAreFifo) {
   EventQueue q;
   std::vector<int> order;
   for (int i = 0; i < 100; ++i) {
-    q.schedule(Time::nanoseconds(5), [&order, i] { order.push_back(i); });
+    q.schedule(Time::nanoseconds(5), Time::zero(), 0, [&order, i] { order.push_back(i); });
   }
   while (!q.empty()) q.pop().fn();
   for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
@@ -71,11 +73,11 @@ TEST(InlineFn, SimultaneousEventsStayFifoUnderInterleavedPops) {
   EventQueue q;
   std::vector<int> order;
   for (int i = 0; i < 10; ++i) {
-    q.schedule(Time::nanoseconds(5), [&order, i] { order.push_back(i); });
+    q.schedule(Time::nanoseconds(5), Time::zero(), 0, [&order, i] { order.push_back(i); });
   }
   for (int i = 10; i < 20; ++i) {
     q.pop().fn();  // pop one of the earlier batch...
-    q.schedule(Time::nanoseconds(5), [&order, i] { order.push_back(i); });  // ...schedule a later one
+    q.schedule(Time::nanoseconds(5), Time::zero(), 0, [&order, i] { order.push_back(i); });  // ...schedule a later one
   }
   while (!q.empty()) q.pop().fn();
   ASSERT_EQ(order.size(), 20u);
@@ -106,9 +108,9 @@ TEST(InlineFn, NonTrivialCapturesDestructAndMoveCorrectly) {
   int seen = 0;
   {
     EventQueue q;
-    q.schedule(Time::nanoseconds(2), [token, &seen] { seen = *token; });
+    q.schedule(Time::nanoseconds(2), Time::zero(), 0, [token, &seen] { seen = *token; });
     // Force sifting around the shared_ptr capture.
-    for (int i = 0; i < 8; ++i) q.schedule(Time::nanoseconds(1), [] {});
+    for (int i = 0; i < 8; ++i) q.schedule(Time::nanoseconds(1), Time::zero(), 0, [] {});
     token.reset();
     EXPECT_FALSE(alive.expired());
     while (!q.empty()) q.pop().fn();
@@ -123,7 +125,7 @@ TEST(EventQueue, ReservePreallocatesWithoutChangingBehavior) {
   EXPECT_GE(q.capacity(), 256u);
   EXPECT_TRUE(q.empty());
   int fired = 0;
-  for (int i = 0; i < 100; ++i) q.schedule(Time::nanoseconds(100 - i), [&fired] { ++fired; });
+  for (int i = 0; i < 100; ++i) q.schedule(Time::nanoseconds(100 - i), Time::zero(), 0, [&fired] { ++fired; });
   Time last = Time::zero();
   while (!q.empty()) {
     EventQueue::Event ev = q.pop();
@@ -136,8 +138,8 @@ TEST(EventQueue, ReservePreallocatesWithoutChangingBehavior) {
 
 TEST(EventQueue, PopReturnsEarliest) {
   EventQueue q;
-  q.schedule(Time::nanoseconds(50), [] {});
-  q.schedule(Time::nanoseconds(5), [] {});
+  q.schedule(Time::nanoseconds(50), Time::zero(), 0, [] {});
+  q.schedule(Time::nanoseconds(5), Time::zero(), 0, [] {});
   EXPECT_EQ(q.next_time(), Time::nanoseconds(5));
   EXPECT_EQ(q.pop().at, Time::nanoseconds(5));
   EXPECT_EQ(q.pop().at, Time::nanoseconds(50));
@@ -192,6 +194,67 @@ TEST(Simulator, StopHaltsLoop) {
   EXPECT_EQ(fired, 1);
   sim.run();  // resumes with the pending event
   EXPECT_EQ(fired, 2);
+}
+
+// Regression: run_until used to clear stopped_ unconditionally on entry,
+// silently discarding a stop requested before the run started. A pre-run
+// stop now consumes the request and returns with nothing executed and the
+// clock untouched.
+TEST(Simulator, PreRunStopHonored) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(Time::nanoseconds(5), [&] { ++fired; });
+  sim.stop();
+  EXPECT_TRUE(sim.stopped());
+  sim.run_until(Time::nanoseconds(100));
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.now(), Time::zero());
+  EXPECT_EQ(sim.events_executed(), 0u);
+  // The stop was consumed: the next run proceeds normally.
+  EXPECT_FALSE(sim.stopped());
+  sim.run_until(Time::nanoseconds(100));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), Time::nanoseconds(100));
+}
+
+// Pins stop semantics across run segments: each stop() halts exactly one
+// run call (whether requested mid-run or between runs), and every segment
+// resumes from the pending queue.
+TEST(Simulator, StopAcrossRunSegments) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_in(Time::nanoseconds(1), [&] {
+    order.push_back(1);
+    sim.stop();  // mid-run stop: halts segment 1
+  });
+  sim.schedule_in(Time::nanoseconds(2), [&] { order.push_back(2); });
+  sim.schedule_in(Time::nanoseconds(3), [&] { order.push_back(3); });
+  sim.run();  // segment 1: executes event 1, halts
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  sim.stop();  // pre-run stop: consumes segment 2 before it executes
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  sim.run();  // segment 3: drains the rest
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), Time::nanoseconds(3));
+}
+
+// Regression: fast_forward(to <= now) used to bump fast_forwards_ (and
+// emit a kFidelity trace), inflating the hybrid engine's fidelity
+// accounting with no-op jumps. A no-op fast-forward must not count.
+TEST(Simulator, NoopFastForwardNotCounted) {
+  Simulator sim;
+  sim.schedule_in(Time::nanoseconds(10), [] {});
+  sim.run();
+  EXPECT_EQ(sim.now(), Time::nanoseconds(10));
+  EXPECT_EQ(sim.fast_forwards(), 0u);
+  sim.fast_forward(Time::nanoseconds(10));  // to == now: no-op
+  sim.fast_forward(Time::nanoseconds(5));   // to < now: no-op
+  EXPECT_EQ(sim.fast_forwards(), 0u);
+  EXPECT_EQ(sim.now(), Time::nanoseconds(10));
+  sim.fast_forward(Time::nanoseconds(25));  // real jump: counted
+  EXPECT_EQ(sim.fast_forwards(), 1u);
+  EXPECT_EQ(sim.now(), Time::nanoseconds(25));
 }
 
 TEST(Rng, DeterministicGivenSeed) {

@@ -73,6 +73,15 @@ Rules
                        a member or parameter; the post-build nm symbol
                        audit (tools/check_mutable_symbols.cmake) catches
                        whatever shape this line-level rule cannot see.
+  raw-serialization-time
+                       Calling the raw-scalar serialization-time math
+                       (sim::detail::serialization_time, or the old
+                       sim::serialization_time spelling) anywhere but its
+                       definition (src/sim/time.h). Product code must go
+                       through core::serialization_time(Bytes, GbitsPerSec)
+                       so byte counts and link rates stay strong-typed;
+                       the unit layer (src/core/units.h) carries the one
+                       waived call into the detail math.
   mutable-member       A `mutable` data member in a converted module:
                        mutation behind a const interface is where hidden
                        shared state likes to live. Waivable with a
@@ -113,6 +122,7 @@ RULES = {
     "os-io",
     "mutable-global",
     "mutable-member",
+    "raw-serialization-time",
 }
 
 DIRECTIVE_RE = re.compile(r"//\s*detlint:\s*ok\(([\w-]+)\)\s*:?\s*(.*\S)?")
@@ -199,6 +209,12 @@ ACCUM_RE = re.compile(r"(?<![\w.>])(\w+)\s*[+\-]\*?=")
 # sanctioned use of `mutable` (paired with FP_GUARDED_BY, the analysis
 # still proves every access locked).
 MUTABLE_MEMBER_RE = re.compile(r"^\s*mutable\s+(?!core::Mutex\b|std::mutex\b)")
+# The raw-scalar serialization-time math: only its definition (sim/time.h)
+# may spell it; everything else goes through the strong-typed
+# core::serialization_time(Bytes, GbitsPerSec).
+RAW_SERIALIZATION_RE = re.compile(
+    r"\b(?:sim::)?detail::serialization_time\s*\("
+    r"|\bsim::serialization_time\s*\(")
 
 
 def ns_mutable_global(code: str) -> str | None:
@@ -442,6 +458,14 @@ def lint_file(f: File, unordered_idents: set[str]) -> None:
                      "state every lane can reach — hoist it into the object "
                      "that owns the lifetime, or waive with the access "
                      "protocol that keeps it deterministic")
+
+        if not (module == "sim" and f.path.name == "time.h"):
+            if RAW_SERIALIZATION_RE.search(code):
+                f.report(lineno, "raw-serialization-time",
+                         "raw-scalar serialization-time math outside its "
+                         "definition: call core::serialization_time(Bytes, "
+                         "GbitsPerSec) so byte counts and rates stay "
+                         "strong-typed")
 
         if converted_header or (module in CONVERTED_MODULES
                                 and f.path.suffix in {".cc", ".cpp"}):

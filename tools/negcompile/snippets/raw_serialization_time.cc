@@ -1,0 +1,14 @@
+// The raw-scalar serialization-time overload lives behind sim::detail now:
+// spelling sim::serialization_time(bytes, gbps) must not resolve, so code
+// cannot silently bypass core::serialization_time(Bytes, GbitsPerSec) and
+// hand a rate where a byte count goes.
+// expect-error: no member named|is not a member|has not been declared
+#include "sim/time.h"
+
+namespace sim = flowpulse::sim;
+
+int main() {
+  sim::Time t = sim::serialization_time(4096ull, 400.0);
+  (void)t;
+  return 0;
+}
