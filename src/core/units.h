@@ -4,13 +4,13 @@
 #include <cstdint>
 #include <ostream>
 
-#include "sim/time.h"
+#include "core/time.h"
 
 namespace flowpulse::core {
 
 /// Strong byte count. Only physically meaningful arithmetic compiles:
 /// Bytes ± Bytes, Bytes × integer, Bytes / Bytes (a pure ratio), and
-/// Bytes / sim::Time → GbitsPerSec. Bytes + Packets is a compile error —
+/// Bytes / Time → GbitsPerSec. Bytes + Packets is a compile error —
 /// exactly the counter mix-up class FlowPulse's per-port attribution
 /// cannot afford (the whole signal is byte volume per port per iteration).
 class Bytes {
@@ -90,7 +90,7 @@ class Packets {
 };
 
 /// Strong link rate. 1 Gbit/s == 1 bit/ns, so rate and serialization
-/// arithmetic against the picosecond sim::Time stays exact in the same way
+/// arithmetic against the picosecond core::Time stays exact in the same way
 /// the serialization-time math always was.
 class GbitsPerSec {
  public:
@@ -117,23 +117,23 @@ class GbitsPerSec {
 };
 
 /// Average rate of `b` bytes over duration `t`: bits / ns == Gbit/s.
-[[nodiscard]] constexpr GbitsPerSec operator/(Bytes b, sim::Time t) {
+[[nodiscard]] constexpr GbitsPerSec operator/(Bytes b, Time t) {
   return GbitsPerSec{b.dbl() * 8.0 / t.ns()};
 }
 
 /// Volume a link of rate `r` moves in `t` (floor to whole bytes).
-[[nodiscard]] constexpr Bytes operator*(GbitsPerSec r, sim::Time t) {
+[[nodiscard]] constexpr Bytes operator*(GbitsPerSec r, Time t) {
   return Bytes{static_cast<std::uint64_t>(r.v() * t.ns() / 8.0)};
 }
-[[nodiscard]] constexpr Bytes operator*(sim::Time t, GbitsPerSec r) { return r * t; }
+[[nodiscard]] constexpr Bytes operator*(Time t, GbitsPerSec r) { return r * t; }
 
 /// Time to serialize `b` on a link of rate `r` — the strong-typed face of
-/// the raw sim::detail::serialization_time math, and the only sanctioned
+/// the raw core::detail::serialization_time math, and the only sanctioned
 /// way to reach it.
-[[nodiscard]] constexpr sim::Time serialization_time(Bytes b, GbitsPerSec r) {
+[[nodiscard]] constexpr Time serialization_time(Bytes b, GbitsPerSec r) {
   // detlint: ok(raw-serialization-time): the unit layer's single blessed
   // call into the raw-scalar detail math
-  return sim::detail::serialization_time(b.v(), r.v());
+  return detail::serialization_time(b.v(), r.v());
 }
 
 }  // namespace flowpulse::core

@@ -66,7 +66,6 @@ class Server {
   void request_stop();
 
   /// The actually-bound TCP port (after open()).
-  // detlint: ok(raw-scalar-id): TCP listen port, not a fabric PortId/UplinkIndex
   [[nodiscard]] std::uint16_t port() const { return bound_port_; }
 
  private:

@@ -44,8 +44,12 @@ void FlowPulseSystem::set_prediction(PortLoadMap prediction) {
 void FlowPulseSystem::on_finalized(const IterationRecord& record) {
 #if FP_TRACE_ENABLED
   if (fabric_ != nullptr) {
-    FP_TRACE(fabric_->simulator(), kIteration, "", record.leaf.v(), 0, record.iteration.v(),
-             0.0, "finalized");
+    // Hoisted out of the macro argument list: simulator() is non-const, and
+    // FP_TRACE arguments must stay side-effect-free across build variants
+    // (fplint variant-divergence).
+    sim::Simulator& trace_sim = fabric_->simulator();
+    FP_TRACE(trace_sim, kIteration, "", record.leaf.v(), 0, record.iteration.v(), 0.0,
+             "finalized");
   }
 #endif
   if (config_.model == ModelKind::kLearned) {

@@ -87,8 +87,11 @@ void EgressPort::finish_transmission() {
       // Cross-lane hop: the packet rides the mailbox callable by value (a
       // LaneFn is sized for exactly this), so the destination lane needs
       // nothing from this lane's state at delivery time.
-      sim_.post_remote(*peer_sim_, params_.prop_delay,
-                       sim::LaneFn{[this, pkt] { deliver_remote(pkt); }});
+      sim_.post_remote(
+          *peer_sim_, params_.prop_delay,
+          // fplint: ok(lane-capture): deliver_remote touches only ingress
+          // state owned by the destination lane this callable is posted to
+          sim::LaneFn{[this, pkt] { deliver_remote(pkt); }});
     } else {
       // The propagation event captures only `this`: packets on the wire live
       // in on_wire_ and, because prop_delay is one constant per link, arrive

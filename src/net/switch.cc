@@ -115,8 +115,11 @@ void Switch::send_pause(PortIndex in_port, Priority prio, bool pause) {
     // The upstream port transmits from another event lane: the PAUSE frame
     // is a cross-lane message like any other, carried by the mailbox with
     // the same reverse-link propagation delay.
-    sim_.post_remote(up->owner(), up->params().prop_delay,
-                     sim::LaneFn{[up, prio, pause] { up->set_paused(prio, pause); }});
+    sim_.post_remote(
+        up->owner(), up->params().prop_delay,
+        // fplint: ok(lane-capture): `up` is owned by up->owner(), the very
+        // lane this callable is posted to — never dereferenced source-side
+        sim::LaneFn{[up, prio, pause] { up->set_paused(prio, pause); }});
     return;
   }
   sim_.schedule_in(up->params().prop_delay, [up, prio, pause] { up->set_paused(prio, pause); });

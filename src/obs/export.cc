@@ -91,12 +91,12 @@ std::string chrome_trace_json(const std::vector<TraceEvent>& events) {
   // Pair each PFC pause with the next resume on the same (entity, port,
   // class); an unpaired pause stretches to the end of the window — in the
   // viewer a pause that never resumed is a slice that never closes.
-  sim::Time window_end = sim::Time::zero();
+  core::Time window_end = core::Time::zero();
   for (const TraceEvent& e : events) {
     if (e.time > window_end) window_end = e.time;
   }
   std::map<std::tuple<std::string, std::uint32_t, std::uint32_t>, std::size_t> open_pause;
-  std::vector<sim::Time> pause_end(events.size(), sim::Time::zero());
+  std::vector<core::Time> pause_end(events.size(), core::Time::zero());
   for (std::size_t i = 0; i < events.size(); ++i) {
     const TraceEvent& e = events[i];
     const auto key = std::make_tuple(entity_label(e), e.a, e.b);

@@ -50,7 +50,7 @@ std::string Histogram::to_json() const {
 TraceMetrics TraceMetrics::from_events(const std::vector<TraceEvent>& events) {
   TraceMetrics m;
   // Open PFC pauses by (entity, port, class); see chrome_trace_json pairing.
-  std::map<std::tuple<std::string, std::uint32_t, std::uint32_t>, sim::Time> open_pause;
+  std::map<std::tuple<std::string, std::uint32_t, std::uint32_t>, core::Time> open_pause;
   for (const TraceEvent& e : events) {
     ++m.by_kind[static_cast<std::size_t>(e.kind)];
     switch (e.kind) {

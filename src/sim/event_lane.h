@@ -3,7 +3,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "obs/trace.h"
+#include "core/trace.h"
 #include "sim/audit.h"
 #include "sim/event_queue.h"
 #include "sim/rng.h"
@@ -181,8 +181,8 @@ class EventLane {
   /// Install (or clear, with nullptr) the flight-recorder sink that FP_TRACE
   /// call sites across all layers emit into. The sink must outlive every
   /// subsequent run of this simulator. Trace-enabled builds only.
-  void set_trace(obs::TraceSink* sink) { trace_ = sink; }
-  [[nodiscard]] obs::TraceSink* trace() const { return trace_; }
+  void set_trace(core::TraceSink* sink) { trace_ = sink; }
+  [[nodiscard]] core::TraceSink* trace() const { return trace_; }
 #endif
 
  private:
@@ -202,7 +202,7 @@ class EventLane {
   std::vector<std::function<void()>> audit_quiesce_checks_;
 #endif
 #if FP_TRACE_ENABLED
-  obs::TraceSink* trace_ = nullptr;
+  core::TraceSink* trace_ = nullptr;
 #endif
   EventQueue queue_;
   Time now_ = Time::zero();

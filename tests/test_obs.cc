@@ -16,6 +16,7 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/time.h"
 
 #if FP_TRACE_ENABLED
 #include "core/units.h"

@@ -1,523 +1,31 @@
 #!/usr/bin/env python3
-"""detlint: project-specific determinism lint for the FlowPulse simulator.
+"""Compatibility shim: detlint grew up into fplint (tools/fplint/).
 
-Every FlowPulse result must be reproducible from its seed alone, and a
-serial run must be bit-identical to a parallel one. That property is easy
-to break with one innocent line — iterating a hash map, reading a wall
-clock, constructing a std:: RNG — so this lint makes the determinism rules
-machine-checked instead of tribal knowledge. All findings are errors.
+The regex engine that lived here was ported rule-for-rule into
+tools/fplint/rules_ported.py; this entry point now forwards to
 
-Rules
------
-  unordered            Declaring a std::unordered_* container. Hash order is
-                       seeded per-process on some standard libraries, so any
-                       iteration over one can leak nondeterminism into
-                       results. Declarations are allowed only with a
-                       justification that the container is never iterated
-                       (which the unordered-iteration rule then enforces).
-  unordered-iteration  Range-for / begin()/end() over an identifier that is
-                       declared anywhere in the tree as an unordered
-                       container. This is the rule that makes `ok(unordered)`
-                       waivers sound.
-  pointer-key          Ordered or unordered container keyed by a pointer.
-                       Pointer order is allocation order, which varies run
-                       to run (ASLR, allocator state).
-  wall-clock           std::chrono clocks, ::time(), gettimeofday(),
-                       clock(). Simulation state must advance only on
-                       sim::Time. steady_clock may be waived for
-                       reporting-only wall durations.
-  banned-rng           std::rand/srand, std::random_device, and all
-                       <random> engines/distributions. All randomness must
-                       flow from the seeded sim::Rng (which has no default
-                       constructor, so it cannot be created unseeded).
-  par-float-accum      += / -= accumulation into a float/double identifier
-                       in a file that uses threading primitives. Floating
-                       point addition is not associative; merge order must
-                       be made deterministic (e.g. parallel_indexed writes
-                       per-index slots, then a serial reduction).
-  raw-scalar-id        Raw integer parameter or field whose name matches
-                       *port*|*host*|*leaf*|*spine*|*link*|*bytes* in a
-                       public header of a module converted to the core::
-                       strong-type layer (core, net, flowpulse, ctrl,
-                       baseline, exp; transport/collective byte fields are
-                       the ROADMAP follow-up). These must be
-                       net::*Id / core::Bytes so cross-index mix-ups stay
-                       compile errors. Count-like names are exempt: num_*,
-                       *_count, *_per_*, and plurals (uplinks, hosts —
-                       but not *bytes*, which is the unit the Bytes type
-                       exists for).
-  strongid-cast        static_cast to a strong id type outside src/core/.
-                       The blessed idiom is brace construction at a
-                       documented boundary (LeafId{raw}); a cast is how one
-                       id space gets laundered into another
-                       (SpineId{uplink.v()} at least names the crossing,
-                       static_cast hides it).
-  os-io                Including an OS I/O header (sockets, epoll, eventfd,
-                       fds: sys/socket.h, sys/epoll.h, netinet/*, poll.h,
-                       fcntl.h, unistd.h, ...) outside a realtime module.
-                       Simulation code must never touch the outside world;
-                       src/daemon is the one sanctioned realtime module
-                       (the flowpulsed transport), where fds, epoll and
-                       wall clocks are the point — so the wall-clock rule
-                       is also skipped there.
-  mutable-global       Shared mutable state with static storage duration:
-                       a namespace-scope mutable global (column-0
-                       declaration — the repo does not indent namespace
-                       contents), or a static / thread_local mutable
-                       object at function or class scope. Such state is
-                       invisible cross-lane coupling: it breaks the
-                       serial == parallel guarantee the moment two lanes
-                       touch it (and `static thread_local` scratch merely
-                       hides the coupling behind per-thread copies whose
-                       contents depend on lane scheduling). Hoist it into
-                       a member or parameter; the post-build nm symbol
-                       audit (tools/check_mutable_symbols.cmake) catches
-                       whatever shape this line-level rule cannot see.
-  raw-serialization-time
-                       Calling the raw-scalar serialization-time math
-                       (sim::detail::serialization_time, or the old
-                       sim::serialization_time spelling) anywhere but its
-                       definition (src/sim/time.h). Product code must go
-                       through core::serialization_time(Bytes, GbitsPerSec)
-                       so byte counts and link rates stay strong-typed;
-                       the unit layer (src/core/units.h) carries the one
-                       waived call into the detail math.
-  mutable-member       A `mutable` data member in a converted module:
-                       mutation behind a const interface is where hidden
-                       shared state likes to live. Waivable with a
-                       justification (e.g. a memoization cache that is
-                       per-instance and rebuilt deterministically, or a
-                       mutex — `mutable core::Mutex`/`std::mutex` members
-                       are exempt outright, locking a const object is the
-                       idiom).
+    python3 tools/fplint --compat-detlint <paths...>
 
-Waivers
--------
-A finding is waived by a justified comment on the same line or on the
-comment block immediately above:
-
-    // detlint: ok(<rule>): <non-empty justification>
-
-An unknown rule id or an empty justification is itself an error.
-
-Usage: detlint.py <dir-or-file> [more paths...]
-Exit status: 0 clean, 1 findings, 2 usage error.
+which reproduces the legacy findings, waiver semantics, output format,
+and exit statuses byte-for-byte. That is not a promise but a test: the
+fplint.parity ctest diffs compat-mode output against a frozen verbatim
+copy of the old engine (tools/fplint/tests/legacy_detlint.py) on every
+run. For the four scope-aware rules the legacy engine could not express
+(lane-capture, variant-divergence, layering, stale-waiver), run fplint
+itself.
 """
 
-from __future__ import annotations
-
-import re
+import subprocess
 import sys
 from pathlib import Path
 
-RULES = {
-    "unordered",
-    "unordered-iteration",
-    "pointer-key",
-    "wall-clock",
-    "banned-rng",
-    "par-float-accum",
-    "raw-scalar-id",
-    "strongid-cast",
-    "os-io",
-    "mutable-global",
-    "mutable-member",
-    "raw-serialization-time",
-}
 
-DIRECTIVE_RE = re.compile(r"//\s*detlint:\s*ok\(([\w-]+)\)\s*:?\s*(.*\S)?")
-
-UNORDERED_DECL_RE = re.compile(r"\bstd::unordered_(?:multi)?(?:map|set)\b")
-# Identifier of a (possibly member) variable declared with an unordered
-# container type: the last identifier on the declaration before ; { or =.
-UNORDERED_IDENT_RE = re.compile(
-    r"\bstd::unordered_(?:multi)?(?:map|set)\s*<.*>\s+(\w+)\s*(?:;|\{|=)")
-RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;)]*:\s*(?:\w+(?:\.|->))*(\w+)\s*\)")
-# end() alone is a find()-sentinel comparison; traversal always needs begin().
-BEGIN_RE = re.compile(r"\b(\w+)\s*(?:\.|->)\s*c?r?begin\s*\(")
-POINTER_KEY_RE = re.compile(
-    r"\bstd::(?:unordered_)?(?:multi)?(?:map|set)\s*<\s*(?:const\s+)?[\w:]+"
-    r"(?:\s*<[^<>]*>)?\s*\*")
-WALL_CLOCK_RES = [
-    (re.compile(r"\bstd::chrono::system_clock\b"), "std::chrono::system_clock"),
-    (re.compile(r"\bstd::chrono::high_resolution_clock\b"),
-     "std::chrono::high_resolution_clock"),
-    (re.compile(r"\bstd::chrono::steady_clock\b"), "std::chrono::steady_clock"),
-    (re.compile(r"\bgettimeofday\s*\("), "gettimeofday()"),
-    (re.compile(r"(?<![\w.>])time\s*\(\s*(?:NULL|nullptr|0)\s*\)"), "time()"),
-    (re.compile(r"(?<![\w.>])clock\s*\(\s*\)"), "clock()"),
-]
-BANNED_RNG_RES = [
-    (re.compile(r"\bstd::s?rand\b"), "std::rand/srand"),
-    (re.compile(r"(?<![\w.>])s?rand\s*\("), "rand()/srand()"),
-    (re.compile(r"\bstd::random_device\b"), "std::random_device"),
-    (re.compile(r"\bstd::mt19937(?:_64)?\b"), "std::mt19937"),
-    (re.compile(r"\bstd::minstd_rand0?\b"), "std::minstd_rand"),
-    (re.compile(r"\bstd::default_random_engine\b"), "std::default_random_engine"),
-    (re.compile(r"\bstd::ranlux\w+\b"), "std::ranlux*"),
-    (re.compile(r"\bstd::knuth_b\b"), "std::knuth_b"),
-    (re.compile(r"\bstd::\w+_distribution\b"), "std::*_distribution"),
-]
-THREADING_RE = re.compile(
-    r"\bstd::(?:thread|jthread|atomic|mutex|async)\b"
-    r"|\bcore::(?:Mutex|LockGuard)\b")
-# static / thread_local declaration of a MUTABLE object (const/constexpr/
-# constinit are fine — immutable statics cannot couple lanes). static_assert
-# and static_cast are single words, so \b(static)\b does not match them.
-MUTABLE_STATIC_RE = re.compile(
-    r"(?:^|[{;]\s*|\s)(?:inline\s+)?"
-    r"(?:static\s+thread_local|thread_local\s+static|static|thread_local)\s+"
-    r"(?!const\b|constexpr\b|constinit\b|inline\s+const)")
-# Keywords that start a column-0 line which is definitely NOT a mutable
-# namespace-scope object definition.
-NS_GLOBAL_SKIP = {
-    "const", "constexpr", "constinit", "static", "inline", "extern", "using",
-    "typedef", "class", "struct", "enum", "union", "namespace", "template",
-    "friend", "return", "public", "private", "protected", "if", "else", "for",
-    "while", "switch", "case", "default", "do", "try", "catch", "goto",
-}
-# Modules whose public headers have been converted to core:: strong types —
-# a raw scalar with an id-like/unit-like name there is a regression.
-CONVERTED_MODULES = {
-    "core", "net", "flowpulse", "ctrl", "baseline", "exp", "transport",
-    "collective", "daemon",
-}
-# Modules that legitimately talk to the outside world: OS I/O (sockets,
-# epoll, fds) and wall clocks are their job, not a determinism leak. The
-# simulation core must never join this set.
-REALTIME_MODULES = {"daemon"}
-OS_IO_INCLUDE_RE = re.compile(
-    r'#\s*include\s*[<"](?:sys/(?:socket|epoll|eventfd|select|un|uio)\.h'
-    r"|netinet/[\w.]+|arpa/inet\.h|poll\.h|fcntl\.h|unistd\.h"
-    r'|netdb\.h)[>"]')
-RAW_INT_TYPE = (r"(?:std::)?(?:u?int(?:8|16|32|64)_t|size_t"
-                r"|unsigned(?:\s+(?:int|long(?:\s+long)?))?"
-                r"|(?<!unsigned )int|long(?:\s+long)?)")
-RAW_SCALAR_ID_RE = re.compile(
-    rf"\b{RAW_INT_TYPE}\s+"
-    r"(\w*(?:port|host|leaf|spine|link|bytes)\w*)\s*(?:[;,)={{]|$)")
-# Count-like names a raw integer is right for: num_uplinks, retx_count,
-# hosts_per_leaf, and plurals (uplinks). *bytes* is never count-like —
-# the plural 's' is part of the unit name core::Bytes replaces.
-COUNT_LIKE_RE = re.compile(r"^(?:num_|n_)|_count_?$|_per_|^\w*(?<!byte)s_?$")
-STRONG_ID_NAMES = r"(?:HostId|LeafId|SpineId|PortId|PortIndex|UplinkIndex|IterIndex|LinkId)"
-STRONGID_CAST_RE = re.compile(
-    rf"\bstatic_cast\s*<\s*(?:\w+::)*{STRONG_ID_NAMES}\s*>")
-FLOAT_DECL_RE = re.compile(r"\b(?:float|double)\s+(\w+)\s*(?:;|=|\{)")
-ACCUM_RE = re.compile(r"(?<![\w.>])(\w+)\s*[+\-]\*?=")
-# A mutable member that is not a mutex: locking a const object is the one
-# sanctioned use of `mutable` (paired with FP_GUARDED_BY, the analysis
-# still proves every access locked).
-MUTABLE_MEMBER_RE = re.compile(r"^\s*mutable\s+(?!core::Mutex\b|std::mutex\b)")
-# The raw-scalar serialization-time math: only its definition (sim/time.h)
-# may spell it; everything else goes through the strong-typed
-# core::serialization_time(Bytes, GbitsPerSec).
-RAW_SERIALIZATION_RE = re.compile(
-    r"\b(?:sim::)?detail::serialization_time\s*\("
-    r"|\bsim::serialization_time\s*\(")
-
-
-def ns_mutable_global(code: str) -> str | None:
-    """Identifier of a column-0 namespace-scope mutable object definition.
-
-    Relies on the repo's clang-format style: namespace contents are NOT
-    indented, so any column-0 declaration is namespace scope. Multi-line
-    declarations and initializer parens are not recognized — the post-build
-    nm symbol audit (tools/check_mutable_symbols.cmake) backstops whatever
-    this line-level heuristic cannot see.
-    """
-    if not code or code[0] in " \t}#":
-        return None
-    line = code.strip()
-    if not line.endswith(";"):
-        return None
-    if line.startswith("inline "):
-        line = line[len("inline "):]
-    first = re.match(r"[A-Za-z_]\w*", line)
-    if not first or first.group(0) in NS_GLOBAL_SKIP:
-        return None
-    # A '(' before any '=' marks a function declaration/definition, not an
-    # object (initializer parens on globals do not occur in this codebase).
-    eq = line.find("=")
-    paren = line.find("(")
-    if paren != -1 and (eq == -1 or paren < eq):
-        return None
-    head = line[:eq] if eq != -1 else line[:-1]
-    head = head.split("{")[0]
-    m = re.search(r"(\w+)\s*(?:\[[^\]]*\])?\s*$", head)
-    if m is None or m.group(1) == first.group(0):  # lone token: not a decl
-        return None
-    return m.group(1)
-
-
-def strip_code(line: str, in_block: bool) -> tuple[str, bool]:
-    """Blank out comments and string/char literals, preserving length."""
-    out = []
-    i, n = 0, len(line)
-    while i < n:
-        c = line[i]
-        if in_block:
-            if line.startswith("*/", i):
-                in_block = False
-                out.append("  ")
-                i += 2
-            else:
-                out.append(" ")
-                i += 1
-        elif line.startswith("//", i):
-            out.append(" " * (n - i))
-            break
-        elif line.startswith("/*", i):
-            in_block = True
-            out.append("  ")
-            i += 2
-        elif c in "\"'":
-            quote = c
-            out.append(" ")
-            i += 1
-            while i < n:
-                if line[i] == "\\":
-                    out.append("  ")
-                    i += 2
-                elif line[i] == quote:
-                    out.append(" ")
-                    i += 1
-                    break
-                else:
-                    out.append(" ")
-                    i += 1
-        else:
-            out.append(c)
-            i += 1
-    return "".join(out), in_block
-
-
-class File:
-    def __init__(self, path: Path):
-        self.path = path
-        self.raw = path.read_text(encoding="utf-8", errors="replace").splitlines()
-        self.code: list[str] = []
-        in_block = False
-        for line in self.raw:
-            stripped, in_block = strip_code(line, in_block)
-            self.code.append(stripped)
-        # waivers[lineno (1-based)] = {rule: (directive_lineno, justification)}
-        self.waivers: dict[int, dict[int, str]] = {}
-        self.errors: list[tuple[int, str, str]] = []
-        self._collect_waivers()
-
-    def _collect_waivers(self) -> None:
-        self.waiver_map: dict[int, dict[str, str]] = {}
-        pending: dict[str, str] = {}
-        for idx, raw in enumerate(self.raw):
-            lineno = idx + 1
-            m = DIRECTIVE_RE.search(raw)
-            code = self.code[idx].strip()
-            if m:
-                rule, justification = m.group(1), (m.group(2) or "").strip()
-                if rule not in RULES:
-                    self.errors.append(
-                        (lineno, "bad-waiver",
-                         f"unknown detlint rule '{rule}' in waiver"))
-                elif not justification:
-                    self.errors.append(
-                        (lineno, "bad-waiver",
-                         f"waiver for '{rule}' has no justification"))
-                elif code:  # same-line waiver
-                    self.waiver_map.setdefault(lineno, {})[rule] = justification
-                else:  # waiver in a comment block: applies to next code line
-                    pending[rule] = justification
-            elif code:
-                if pending:
-                    self.waiver_map.setdefault(lineno, {}).update(pending)
-                    pending = {}
-            elif not raw.strip():
-                pending = {}  # blank line detaches a pending waiver
-
-    def waived(self, lineno: int, rule: str) -> bool:
-        return rule in self.waiver_map.get(lineno, {})
-
-    def report(self, lineno: int, rule: str, message: str) -> None:
-        if rule != "bad-waiver" and self.waived(lineno, rule):
-            return
-        self.errors.append((lineno, rule, message))
-
-
-def collect_unordered_idents(files: list[File]) -> set[str]:
-    idents: set[str] = set()
-    for f in files:
-        for code in f.code:
-            for m in UNORDERED_IDENT_RE.finditer(code):
-                idents.add(m.group(1))
-    return idents
-
-
-def module_of(path: Path) -> str | None:
-    """The src/<module>/ a file lives in, or None outside src/."""
-    parts = path.parts
-    for i, part in enumerate(parts[:-1]):
-        if part == "src":
-            return parts[i + 1] if parts[i + 1] != path.name else None
-    return None
-
-
-def lint_file(f: File, unordered_idents: set[str]) -> None:
-    parallel_file = any(THREADING_RE.search(code) for code in f.code)
-    module = module_of(f.path)
-    realtime = module in REALTIME_MODULES
-    converted_header = (module in CONVERTED_MODULES
-                        and f.path.suffix in {".h", ".hpp"})
-    float_idents: set[str] = set()
-    if parallel_file:
-        for code in f.code:
-            for m in FLOAT_DECL_RE.finditer(code):
-                float_idents.add(m.group(1))
-
-    for idx, code in enumerate(f.code):
-        lineno = idx + 1
-
-        if UNORDERED_DECL_RE.search(code):
-            f.report(lineno, "unordered",
-                     "unordered container in simulation code: hash order can "
-                     "leak into results; use std::map/std::set or waive with "
-                     "a justification that it is never iterated")
-
-        for m in RANGE_FOR_RE.finditer(code):
-            if m.group(1) in unordered_idents:
-                f.report(lineno, "unordered-iteration",
-                         f"range-for over '{m.group(1)}', declared as an "
-                         "unordered container: iteration order is hash order")
-        for m in BEGIN_RE.finditer(code):
-            if m.group(1) in unordered_idents:
-                f.report(lineno, "unordered-iteration",
-                         f"begin() on '{m.group(1)}', declared as an "
-                         "unordered container: iteration order is hash order")
-
-        if POINTER_KEY_RE.search(code):
-            f.report(lineno, "pointer-key",
-                     "container keyed by pointer: pointer order is "
-                     "allocation order and varies across runs")
-
-        if not realtime:
-            for pattern, what in WALL_CLOCK_RES:
-                if pattern.search(code):
-                    f.report(lineno, "wall-clock",
-                             f"{what}: simulation state must advance only on "
-                             "sim::Time (steady_clock may be waived for "
-                             "reporting-only wall durations)")
-
-        # Match the raw line (quoted includes are blanked in code), but only
-        # on lines that are live preprocessor directives, so a commented-out
-        # include does not flag.
-        if (not realtime and code.lstrip().startswith("#")
-                and OS_IO_INCLUDE_RE.search(f.raw[idx])):
-            f.report(lineno, "os-io",
-                     "OS I/O header outside a realtime module: simulation "
-                     "code must never touch sockets/epoll/fds; only "
-                     "src/daemon (the flowpulsed transport) may")
-
-        for pattern, what in BANNED_RNG_RES:
-            if pattern.search(code):
-                f.report(lineno, "banned-rng",
-                         f"{what}: all randomness must flow from the seeded "
-                         "sim::Rng")
-
-        if converted_header:
-            for m in RAW_SCALAR_ID_RE.finditer(code):
-                name = m.group(1)
-                if COUNT_LIKE_RE.search(name):
-                    continue
-                f.report(lineno, "raw-scalar-id",
-                         f"raw integer '{name}' in a converted module's "
-                         "public header: use the net::*Id / core:: unit "
-                         "type so mix-ups stay compile errors")
-
-        if module is not None and module != "core":
-            if STRONGID_CAST_RE.search(code):
-                f.report(lineno, "strongid-cast",
-                         "static_cast to a strong id type outside core/: "
-                         "construct at the boundary (e.g. LeafId{raw}) so "
-                         "the id-space crossing is visible")
-
-        m = MUTABLE_STATIC_RE.search(code)
-        if m:
-            # The first structural character after the keyword decides what
-            # was declared: '(' is a function, anything else is an object.
-            structural = re.search(r"[(;={]", code[m.end():])
-            if structural and structural.group(0) != "(":
-                f.report(lineno, "mutable-global",
-                         "static/thread_local mutable object: hidden "
-                         "cross-lane (or scheduling-dependent per-lane) "
-                         "state — hoist it into a member or parameter so "
-                         "ownership is explicit")
-
-        ident = ns_mutable_global(code)
-        if ident is not None:
-            f.report(lineno, "mutable-global",
-                     f"namespace-scope mutable global '{ident}': shared "
-                     "state every lane can reach — hoist it into the object "
-                     "that owns the lifetime, or waive with the access "
-                     "protocol that keeps it deterministic")
-
-        if not (module == "sim" and f.path.name == "time.h"):
-            if RAW_SERIALIZATION_RE.search(code):
-                f.report(lineno, "raw-serialization-time",
-                         "raw-scalar serialization-time math outside its "
-                         "definition: call core::serialization_time(Bytes, "
-                         "GbitsPerSec) so byte counts and rates stay "
-                         "strong-typed")
-
-        if converted_header or (module in CONVERTED_MODULES
-                                and f.path.suffix in {".cc", ".cpp"}):
-            if MUTABLE_MEMBER_RE.search(code):
-                f.report(lineno, "mutable-member",
-                         "mutable member in a converted module: mutation "
-                         "behind a const interface hides shared state; "
-                         "waive with why it is per-instance and "
-                         "deterministic (mutable mutexes are exempt)")
-
-        if parallel_file:
-            for m in ACCUM_RE.finditer(code):
-                if m.group(1) in float_idents:
-                    f.report(lineno, "par-float-accum",
-                             f"accumulation into float '{m.group(1)}' in a "
-                             "threaded file: float addition is not "
-                             "associative, merge order must be serial and "
-                             "deterministic")
-
-
-def main(argv: list[str]) -> int:
-    if len(argv) < 2:
-        print(__doc__, file=sys.stderr)
-        return 2
-    paths: list[Path] = []
-    for arg in argv[1:]:
-        p = Path(arg)
-        if p.is_dir():
-            paths.extend(sorted(q for q in p.rglob("*")
-                                if q.suffix in {".h", ".hpp", ".cc", ".cpp"}))
-        elif p.is_file():
-            paths.append(p)
-        else:
-            print(f"detlint: no such path: {p}", file=sys.stderr)
-            return 2
-
-    files = [File(p) for p in paths]
-    unordered_idents = collect_unordered_idents(files)
-    for f in files:
-        lint_file(f, unordered_idents)
-
-    count = 0
-    for f in files:
-        for lineno, rule, message in sorted(f.errors):
-            print(f"{f.path}:{lineno}: error[{rule}]: {message}")
-            count += 1
-    if count:
-        print(f"detlint: {count} error(s) in {len(files)} file(s)")
-        return 1
-    print(f"detlint: clean ({len(files)} files)")
-    return 0
+def main(argv):
+    fplint = Path(__file__).resolve().parent / "fplint"
+    return subprocess.call(
+        [sys.executable, str(fplint), "--no-cache", "--compat-detlint"]
+        + list(argv))
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,16 @@
+"""Directory entry point: `python3 tools/fplint <paths...>`.
+
+Running a directory puts it on sys.path[0], so the package's modules
+import each other as top-level names; the explicit insert below keeps
+that true when this file is executed by path from elsewhere.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import cli  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(cli.main(sys.argv[1:]))

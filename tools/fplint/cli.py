@@ -1,0 +1,111 @@
+"""fplint command line.
+
+Usage: python3 tools/fplint [options] <dir-or-file> [more paths...]
+
+Options:
+  --sarif FILE       also write findings as SARIF 2.1.0
+  --fix              apply mechanical fixes (stale-waiver removal, waiver
+                     normalization) before linting
+  --compat-detlint   legacy mode: the twelve ported rules only, detlint:
+                     waivers only, byte-identical legacy output (used by
+                     the parity ctest against the frozen engine)
+  --no-cache         ignore and do not write the fact cache
+  --cache-dir DIR    fact cache location (default .fplint-cache/)
+  --stats            print files/cache/wall-time stats to stderr
+  --rules            print the rule table and exit
+
+Exit status: 0 clean, 1 findings, 2 usage error — same contract as the
+legacy detlint so ctest and CI wiring carry over unchanged.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List
+
+import engine
+import fix as fixmod
+import legacy
+import sarif
+
+VERSION = "1.0"
+
+
+def _rule_table() -> str:
+    rows = []
+    for rule in sorted(legacy.ALL_RULES | {"bad-waiver"}):
+        origin = "ported" if rule in legacy.PORTED_RULES else (
+            "meta" if rule == "bad-waiver" else "scoped")
+        waivable = "no" if rule in legacy.UNWAIVABLE or rule == "bad-waiver" \
+            else "yes"
+        rows.append((rule, origin, waivable,
+                     sarif.RULE_DESCRIPTIONS.get(rule, "")))
+    width = max(len(r[0]) for r in rows)
+    lines = ["{:<{w}}  {:<6}  {:<8}  {}".format(
+        "rule", "origin", "waivable", "description", w=width)]
+    for rule, origin, waivable, desc in rows:
+        lines.append("{:<{w}}  {:<6}  {:<8}  {}".format(
+            rule, origin, waivable, desc, w=width))
+    return "\n".join(lines)
+
+
+def main(argv: List[str]) -> int:
+    ap = argparse.ArgumentParser(
+        prog="fplint", add_help=True,
+        description="scope-aware static analysis for the FlowPulse tree")
+    ap.add_argument("paths", nargs="*")
+    ap.add_argument("--sarif", metavar="FILE")
+    ap.add_argument("--fix", action="store_true")
+    ap.add_argument("--compat-detlint", action="store_true")
+    ap.add_argument("--no-cache", action="store_true")
+    ap.add_argument("--cache-dir", metavar="DIR", default=".fplint-cache")
+    ap.add_argument("--stats", action="store_true")
+    ap.add_argument("--rules", action="store_true")
+    ap.add_argument("--version", action="version",
+                    version="fplint {}".format(VERSION))
+    args = ap.parse_args(argv)
+
+    if args.rules:
+        print(_rule_table())
+        return 0
+    if not args.paths:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    prog = "detlint" if args.compat_detlint else "fplint"
+    paths, err = legacy.collect_paths(args.paths)
+    if err is not None:
+        print("{}: {}".format(prog, err), file=sys.stderr)
+        return 2
+
+    cache_file = None if args.no_cache else \
+        Path(args.cache_dir) / "facts.pickle"
+    cache = engine.FactCache(cache_file)
+    t0 = time.monotonic()
+
+    if args.fix:
+        if args.compat_detlint:
+            print("fplint: --fix and --compat-detlint are mutually "
+                  "exclusive", file=sys.stderr)
+            return 2
+        changed, edits = fixmod.fix_paths(paths, cache)
+        if changed:
+            print("fplint: fixed {} waiver issue(s) in {} file(s)".format(
+                edits, changed))
+
+    results = engine.run(paths, cache, compat=args.compat_detlint)
+    text, count = engine.render_text(results, prog=prog)
+    print(text)
+
+    if args.sarif:
+        sarif.write_sarif(args.sarif, results, VERSION)
+
+    if args.stats:
+        dt = time.monotonic() - t0
+        print("fplint: {} file(s), {} cached, {} analyzed, {:.3f}s".format(
+            len(paths), cache.hits, cache.misses, dt), file=sys.stderr)
+
+    return 1 if count else 0

@@ -1,0 +1,234 @@
+"""Legacy line view and waiver scanner.
+
+The twelve ported detlint rules run on exactly the line view the regex
+engine used: comments and string/char literals blanked out
+length-preservingly, line by line, with block comments tracked across
+lines. `strip_code` below is a verbatim port of the legacy algorithm —
+including its known approximations (raw strings treated as ordinary
+strings, digit separators treated as char literals). Byte-identical
+findings, forever, is the whole point: the parity ctest compares this
+engine against the frozen legacy copy on the live tree, so the ported
+rules must agree on ALL inputs, not just today's. New rules use the real
+tokenizer (lexer.py) instead.
+
+Waivers
+-------
+A finding is waived by a justified comment on the same line or on the
+comment block immediately above:
+
+    // fplint: ok(<rule>): <non-empty justification>
+
+The historical `// detlint: ok(...)` spelling is accepted as an alias
+and remains the convention for the twelve ported rules (it keeps the
+frozen legacy engine reading the same waivers in the parity test); new
+rules use the `fplint:` spelling, which the legacy engine ignores. An
+unknown rule id or an empty justification is itself an error, and so is
+waiving the meta-rules (stale-waiver, bad-waiver) — waiver debt must not
+be able to hide itself.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+# Rules the legacy engine knew (waivable, ported byte-identically).
+PORTED_RULES = frozenset({
+    "unordered",
+    "unordered-iteration",
+    "pointer-key",
+    "wall-clock",
+    "banned-rng",
+    "par-float-accum",
+    "raw-scalar-id",
+    "strongid-cast",
+    "os-io",
+    "mutable-global",
+    "mutable-member",
+    "raw-serialization-time",
+})
+
+# Scope-aware rules only fplint can evaluate (waivable except the meta rule).
+SCOPED_RULES = frozenset({
+    "lane-capture",
+    "variant-divergence",
+    "layering",
+    "stale-waiver",
+})
+
+ALL_RULES = PORTED_RULES | SCOPED_RULES
+
+# Rules that may never be waived: they exist to stop waiver debt from
+# accumulating silently, so a waiver against them is self-defeating.
+UNWAIVABLE = frozenset({"stale-waiver"})
+
+# fplint accepts both spellings; the legacy engine only ever matched
+# `detlint:` (its regex is frozen in tests/legacy_detlint.py), which is
+# what --compat-detlint restricts itself to for the parity test.
+DIRECTIVE_RE = re.compile(
+    r"//\s*(detlint|fplint):\s*ok\(([\w-]+)\)\s*:?\s*(.*\S)?")
+LEGACY_DIRECTIVE_RE = re.compile(
+    r"//\s*(detlint):\s*ok\(([\w-]+)\)\s*:?\s*(.*\S)?")
+
+SUFFIXES = {".h", ".hpp", ".cc", ".cpp"}
+
+
+def strip_code(line: str, in_block: bool) -> Tuple[str, bool]:
+    """Blank out comments and string/char literals, preserving length.
+
+    Verbatim port of the legacy algorithm (see module docstring).
+    """
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if in_block:
+            if line.startswith("*/", i):
+                in_block = False
+                out.append("  ")
+                i += 2
+            else:
+                out.append(" ")
+                i += 1
+        elif line.startswith("//", i):
+            out.append(" " * (n - i))
+            break
+        elif line.startswith("/*", i):
+            in_block = True
+            out.append("  ")
+            i += 2
+        elif c in "\"'":
+            quote = c
+            out.append(" ")
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    out.append("  ")
+                    i += 2
+                elif line[i] == quote:
+                    out.append(" ")
+                    i += 1
+                    break
+                else:
+                    out.append(" ")
+                    i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out), in_block
+
+
+def code_lines(raw_lines: List[str]) -> List[str]:
+    """The stripped line view of a whole file."""
+    out: List[str] = []
+    in_block = False
+    for line in raw_lines:
+        stripped, in_block = strip_code(line, in_block)
+        out.append(stripped)
+    return out
+
+
+class Waiver(NamedTuple):
+    directive_line: int    # 1-based line holding the `ok(...)` comment
+    target_line: int       # 1-based code line the waiver applies to
+    rule: str
+    justification: str
+    spelling: str          # "detlint" or "fplint"
+    match_start: int       # column of the directive match on its raw line
+    same_line: bool        # waiver shares its line with code
+
+
+class WaiverScan(NamedTuple):
+    waivers: List[Waiver]
+    # bad-waiver findings discovered during the scan: (line, rule, message)
+    errors: List[Tuple[int, str, str]]
+
+
+def scan_waivers(raw_lines: List[str], code: List[str],
+                 known_rules: frozenset = ALL_RULES,
+                 unwaivable: frozenset = UNWAIVABLE,
+                 directive_re: "re.Pattern" = DIRECTIVE_RE) -> WaiverScan:
+    """Collect waivers with the legacy attachment semantics.
+
+    A same-line waiver applies to its own line; a waiver on a
+    comment-only line applies to the next code line; a blank line
+    detaches a pending waiver.
+    """
+    waivers: List[Waiver] = []
+    errors: List[Tuple[int, str, str]] = []
+    pending: List[Waiver] = []
+    for idx, raw in enumerate(raw_lines):
+        lineno = idx + 1
+        m = directive_re.search(raw)
+        code_text = code[idx].strip()
+        if m:
+            spelling, rule = m.group(1), m.group(2)
+            justification = (m.group(3) or "").strip()
+            if rule not in known_rules:
+                errors.append(
+                    (lineno, "bad-waiver",
+                     "unknown {} rule '{}' in waiver".format(spelling, rule)))
+            elif rule in unwaivable:
+                errors.append(
+                    (lineno, "bad-waiver",
+                     "'{}' may not be waived: the rule exists so waiver "
+                     "debt cannot hide itself".format(rule)))
+            elif not justification:
+                errors.append(
+                    (lineno, "bad-waiver",
+                     "waiver for '{}' has no justification".format(rule)))
+            elif code_text:  # same-line waiver
+                waivers.append(Waiver(lineno, lineno, rule, justification,
+                                      spelling, m.start(), True))
+            else:            # comment-block waiver: applies to next code line
+                pending.append(Waiver(lineno, -1, rule, justification,
+                                      spelling, m.start(), False))
+        elif code_text:
+            if pending:
+                waivers.extend(w._replace(target_line=lineno) for w in pending)
+                pending = []
+        elif not raw.strip():
+            pending = []  # blank line detaches a pending waiver
+    # Pending waivers at EOF never attach: they are trivially stale, but the
+    # legacy engine silently dropped them; keep that shape (the stale-waiver
+    # rule reports them, since their rule fires on no line).
+    waivers.extend(pending)
+    return WaiverScan(waivers, errors)
+
+
+def waiver_map(waivers: List[Waiver]) -> Dict[int, Dict[str, str]]:
+    """target line -> {rule: justification}, the legacy lookup shape."""
+    out: Dict[int, Dict[str, str]] = {}
+    for w in waivers:
+        if w.target_line > 0:
+            out.setdefault(w.target_line, {})[w.rule] = w.justification
+    return out
+
+
+def module_of(path: Path) -> Optional[str]:
+    """The src/<module>/ a file lives in, or None outside src/."""
+    parts = path.parts
+    for i, part in enumerate(parts[:-1]):
+        if part == "src":
+            return parts[i + 1] if parts[i + 1] != path.name else None
+    return None
+
+
+def collect_paths(args: List[str]) -> "tuple[List[Path], Optional[str]]":
+    """Legacy path collection: dirs recurse (sorted), files pass through.
+
+    Returns (paths, error_message). error_message is non-None on a
+    missing path (legacy exit status 2).
+    """
+    paths: List[Path] = []
+    for arg in args:
+        p = Path(arg)
+        if p.is_dir():
+            paths.extend(sorted(q for q in p.rglob("*")
+                                if q.suffix in SUFFIXES))
+        elif p.is_file():
+            paths.append(p)
+        else:
+            return [], "no such path: {}".format(p)
+    return paths, None

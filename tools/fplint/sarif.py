@@ -1,0 +1,98 @@
+"""SARIF 2.1.0 emission for fplint findings.
+
+Minimal but valid: one run, one driver, per-rule metadata, one result
+per finding with a physical location. Consumed by the GitHub
+code-scanning upload in CI (with an artifact fallback when the API is
+unavailable, e.g. on forks).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+Finding = Tuple[int, str, str]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+# One-line rule descriptions (the long rationale lives in DESIGN.md).
+RULE_DESCRIPTIONS: Dict[str, str] = {
+    "unordered": "std::unordered_* container declared in simulation code",
+    "unordered-iteration":
+        "iteration over an identifier declared as an unordered container",
+    "pointer-key": "container keyed by a pointer (allocation-order iteration)",
+    "wall-clock": "wall-clock read in simulation code",
+    "banned-rng": "std:: randomness instead of the seeded sim::Rng",
+    "par-float-accum": "float accumulation in a threaded file",
+    "raw-scalar-id": "raw integer id/unit in a converted module's header",
+    "strongid-cast": "static_cast to a strong id type outside core/",
+    "os-io": "OS I/O header included outside a realtime module",
+    "mutable-global": "mutable state with static storage duration",
+    "mutable-member": "mutable data member in a converted module",
+    "raw-serialization-time":
+        "raw-scalar serialization-time math outside its definition",
+    "lane-capture":
+        "cross-lane or deferred lambda captures a reference or lane-owned "
+        "pointer",
+    "variant-divergence":
+        "side effect inside an FP_AUDIT/FP_TRACE/assert argument",
+    "layering": "include that violates the module DAG",
+    "stale-waiver": "waiver on a line where its rule no longer fires",
+    "bad-waiver": "malformed waiver directive",
+}
+
+
+def make_sarif(results: List[Tuple[str, List[Finding]]],
+               version: str) -> dict:
+    rules_seen = sorted({rule for _, findings in results
+                         for _, rule, _ in findings})
+    rule_meta = [{
+        "id": rule,
+        "shortDescription": {
+            "text": RULE_DESCRIPTIONS.get(rule, rule)},
+        "defaultConfiguration": {"level": "error"},
+    } for rule in rules_seen]
+    rule_index = {rule: i for i, rule in enumerate(rules_seen)}
+
+    sarif_results = []
+    for disp, findings in results:
+        uri = disp.replace("\\", "/")
+        for lineno, rule, message in findings:
+            sarif_results.append({
+                "ruleId": rule,
+                "ruleIndex": rule_index[rule],
+                "level": "error",
+                "message": {"text": message},
+                "locations": [{
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": uri},
+                        "region": {"startLine": lineno},
+                    },
+                }],
+            })
+
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": "fplint",
+                "informationUri":
+                    "https://github.com/flowpulse/flowpulse",
+                "version": version,
+                "rules": rule_meta,
+            }},
+            "results": sarif_results,
+            "columnKind": "utf16CodeUnits",
+        }],
+    }
+
+
+def write_sarif(path: str, results: List[Tuple[str, List[Finding]]],
+                version: str) -> None:
+    doc = make_sarif(results, version)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -1,0 +1,489 @@
+"""Brace/scope tracker and declaration capture over the token stream.
+
+One forward pass per file (`analyze`) maintains a live scope stack —
+namespace / class / function / lambda / block / braced-init — and while
+walking:
+
+  * records method declarations with their const-qualification (fed into
+    the engine's cross-TU index for the variant-divergence rule);
+  * records variable/parameter declarations with pointer-ness (so a
+    by-value capture of a pointer is recognizable);
+  * detects lambda expressions, parses their capture lists, resolves
+    each captured identifier against the scope stack, and records the
+    enclosing call contexts (post_remote / schedule / InlineFn / ...)
+    for the lane-capture rule.
+
+A second, independent pass (`macro_arg_records`) extracts the argument
+regions of FP_AUDIT / FP_TRACE / assert invocations for the
+variant-divergence rule: mutation operators, and method calls whose
+const-ness the engine resolves cross-TU.
+
+Everything here is a linter-grade approximation of C++, not a parser:
+it is deliberately biased so that uncertainty produces *no* finding
+(e.g. an unresolvable capture is assumed pointer-free), and every rule
+built on it is waivable. Preprocessor-directive tokens are skipped
+throughout, so macro *definitions* never trip the rules their
+expansions are checked against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Set, Tuple
+
+from lexer import COMMENT, ID, PUNCT, Token
+
+# Call/wrapper names that hand a callable to another lane or defer it.
+CROSS_LANE_CALLEES = frozenset({"post_remote"})
+DEFERRED_CALLEES = frozenset({"schedule", "schedule_in", "schedule_at"})
+CALLABLE_WRAPPERS = frozenset({"LaneFn", "InlineFn", "EventFn"})
+
+# Macros whose argument expressions vanish in some build variants.
+VARIANT_MACROS = frozenset({"FP_AUDIT", "FP_TRACE", "assert"})
+
+_CONTROL_KEYWORDS = frozenset({"if", "for", "while", "switch", "catch"})
+_STMT_KEYWORDS = frozenset({
+    "return", "throw", "delete", "goto", "case", "co_return", "co_yield",
+})
+_MUTATING_OPS = frozenset({
+    "++", "--", "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "<<=", ">>=",
+})
+
+
+class CaptureInfo(NamedTuple):
+    mode: str       # 'ref-default' | 'val-default' | 'ref' | 'val' |
+                    # 'this' | 'star-this' | 'init-val' | 'init-ref'
+    name: str       # captured identifier ('' for defaults / *this)
+    is_pointer: bool  # by-value capture resolved to a pointer declaration
+    line: int
+
+
+class LambdaSite(NamedTuple):
+    line: int
+    captures: Tuple[CaptureInfo, ...]
+    contexts: Tuple[str, ...]  # enclosing callee / wrapper names, inner first
+
+
+class MacroRecord(NamedTuple):
+    macro: str
+    line: int
+    # Mutation operators found inside the argument region: (line, op text).
+    ops: Tuple[Tuple[int, str], ...]
+    # Method calls (obj.m(...) / p->m(...)): (line, method name).
+    calls: Tuple[Tuple[int, str], ...]
+
+
+class FileAnalysis(NamedTuple):
+    # method name -> list of observed const-qualifications (True/False).
+    method_decls: Dict[str, List[bool]]
+    lambda_sites: Tuple[LambdaSite, ...]
+
+
+class _Scope:
+    __slots__ = ("kind", "name", "decls")
+
+    def __init__(self, kind: str, name: str = "") -> None:
+        self.kind = kind
+        self.name = name
+        self.decls: Dict[str, bool] = {}  # name -> is_pointer
+
+
+def _semantic(tokens: List[Token]) -> List[Token]:
+    """Tokens that carry semantics: no comments, no preprocessor lines."""
+    return [t for t in tokens if t.kind != COMMENT and not t.pp]
+
+
+def _match_forward(toks: List[Token], i: int, open_: str, close: str) -> int:
+    """Index of the token closing the bracket at toks[i], or len(toks)."""
+    depth = 0
+    n = len(toks)
+    while i < n:
+        t = toks[i].text
+        if t == open_:
+            depth += 1
+        elif t == close:
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return n
+
+
+def analyze(tokens: List[Token]) -> FileAnalysis:
+    toks = _semantic(tokens)
+    n = len(toks)
+    scopes: List[_Scope] = [_Scope("root")]
+    pending: Optional[_Scope] = None      # scope to attach at the next '{'
+    pending_params: Dict[str, bool] = {}  # declarator params for that scope
+    # Open call/wrapper contexts: (name, paren_depth_at_entry) — parens —
+    # plus wrapper init-braces, tracked on the scope stack itself.
+    call_stack: List[Tuple[str, int]] = []
+    paren_depth = 0
+    stmt_saw_assign = False   # suppress decl capture after '=' in a statement
+    stmt_suppressed = False   # statement started with return/throw/...
+    method_decls: Dict[str, List[bool]] = {}
+    lambda_sites: List[LambdaSite] = []
+
+    def current_contexts() -> Tuple[str, ...]:
+        ctx = [name for name, _ in reversed(call_stack)]
+        for s in reversed(scopes):
+            if s.kind == "wrapper-init":
+                ctx.append(s.name)
+        return tuple(ctx)
+
+    def resolve_pointer(name: str) -> bool:
+        for s in reversed(scopes):
+            if name in s.decls:
+                return s.decls[name]
+        return False
+
+    def record_decl(name: str, is_pointer: bool) -> None:
+        scopes[-1].decls.setdefault(name, is_pointer)
+
+    def scan_params(start: int, end: int) -> Dict[str, bool]:
+        """Parameter names and pointer-ness between toks[start+1:end]."""
+        params: Dict[str, bool] = {}
+        depth = 0
+        cur: List[Token] = []
+        for k in range(start + 1, end):
+            t = toks[k]
+            if t.text in "([<{":
+                depth += 1
+            elif t.text in ")]>}":
+                depth -= 1
+            if t.text == "," and depth == 0:
+                _param_into(params, cur)
+                cur = []
+            else:
+                cur.append(t)
+        _param_into(params, cur)
+        return params
+
+    i = 0
+    while i < n:
+        t = toks[i]
+        text = t.text
+
+        if text in ";":
+            stmt_saw_assign = False
+            stmt_suppressed = False
+            i += 1
+            continue
+
+        if t.kind == ID and text in _STMT_KEYWORDS:
+            stmt_suppressed = True
+            i += 1
+            continue
+
+        # ---- scope-opening keywords -------------------------------------
+        if t.kind == ID and text == "namespace":
+            j = i + 1
+            name_parts: List[str] = []
+            while j < n and toks[j].text not in "{;=":
+                if toks[j].kind == ID:
+                    name_parts.append(toks[j].text)
+                j += 1
+            if j < n and toks[j].text == "{":
+                pending = _Scope("ns", "::".join(name_parts))
+                pending_params = {}
+            i = j
+            continue
+
+        if t.kind == ID and text in ("class", "struct", "union", "enum"):
+            j = i + 1
+            if j < n and toks[j].text == "class":  # enum class
+                j += 1
+            name = ""
+            while j < n and toks[j].text not in "{;(":
+                if toks[j].kind == ID and not name:
+                    # skip attributes/alignas by taking the first plain name
+                    name = toks[j].text
+                j += 1
+            if j < n and toks[j].text == "{":
+                kind = "enum" if text == "enum" else "class"
+                pending = _Scope(kind, name)
+                pending_params = {}
+                i = j
+                continue
+            i += 1
+            continue
+
+        # ---- braces ------------------------------------------------------
+        if text == "{":
+            if pending is not None:
+                scope = pending
+                scope.decls.update(pending_params)
+                pending, pending_params = None, {}
+            else:
+                scope = _classify_brace(toks, i)
+            scopes.append(scope)
+            i += 1
+            continue
+        if text == "}":
+            if len(scopes) > 1:
+                scopes.pop()
+            stmt_saw_assign = False
+            stmt_suppressed = False
+            i += 1
+            continue
+
+        # ---- parens / call contexts -------------------------------------
+        if text == "(":
+            paren_depth += 1
+            i += 1
+            continue
+        if text == ")":
+            paren_depth -= 1
+            while call_stack and call_stack[-1][1] >= paren_depth:
+                call_stack.pop()
+            i += 1
+            continue
+
+        if text == "=":
+            stmt_saw_assign = True
+            i += 1
+            continue
+
+        # ---- identifiers -------------------------------------------------
+        if t.kind == ID:
+            nxt = toks[i + 1].text if i + 1 < n else ""
+            if nxt == "(" and (text in CROSS_LANE_CALLEES
+                               or text in DEFERRED_CALLEES
+                               or text in CALLABLE_WRAPPERS
+                               or text in VARIANT_MACROS):
+                call_stack.append((text, paren_depth))
+                i += 1
+                continue
+            if nxt == "{" and text in CALLABLE_WRAPPERS:
+                pending = _Scope("wrapper-init", text)
+                pending_params = {}
+                i += 1
+                continue
+
+            # Method declaration: at class/namespace scope, `name (` whose
+            # declarator plausibly starts a function (see module docstring).
+            if (nxt == "(" and scopes[-1].kind in ("class", "ns", "root")
+                    and text != "operator"):
+                prev = toks[i - 1].text if i > 0 else ""
+                if prev not in ("=", ",", "(", "return", "<<", ">>", "&&",
+                                "||", "+", "-", "*", "/", "!", "new"):
+                    close = _match_forward(toks, i + 1, "(", ")")
+                    is_const = False
+                    is_decl = False
+                    k = close + 1
+                    while k < n:
+                        tk = toks[k].text
+                        if tk == "const":
+                            is_const = True
+                        elif tk in ("{", ";"):
+                            is_decl = True
+                            break
+                        elif tk in ("noexcept", "override", "final", "->",
+                                    "[", "]", "&", "&&", "=", "default",
+                                    "delete", "0", ":") or toks[k].kind == ID:
+                            pass  # trailing specifiers / ctor init list
+                        else:
+                            break
+                        k += 1
+                    if is_decl:
+                        method_decls.setdefault(text, []).append(is_const)
+                    # Parameters become decls of the body scope, if one opens.
+                    if is_decl and k < n and toks[k].text == "{":
+                        pending = _Scope("fn", text)
+                        pending_params = scan_params(i + 1, close)
+                        i = k  # jump to '{' (handled above next iteration)
+                        continue
+                    i = close + 1 if close < n else n
+                    continue
+
+            # Variable declaration (pointer-ness capture): `prev * name sep`
+            if (not stmt_saw_assign and not stmt_suppressed and i > 0
+                    and nxt in (";", "=", ",", ")", "{", "[")):
+                prev_t = toks[i - 1]
+                if prev_t.text == "*":
+                    record_decl(text, True)
+                elif prev_t.kind == ID or prev_t.text in (">", "&", "&&"):
+                    record_decl(text, False)
+            i += 1
+            continue
+
+        # ---- lambdas -----------------------------------------------------
+        if text == "[" and _is_lambda_intro(toks, i):
+            captures, close = _parse_captures(toks, i)
+            resolved = tuple(
+                c._replace(is_pointer=(c.mode in ("val", "init-val")
+                                       and (c.is_pointer or resolve_pointer(c.name))))
+                for c in captures)
+            lambda_sites.append(
+                LambdaSite(t.line, resolved, current_contexts()))
+            # Parameters of the lambda land in its body scope.
+            j = close + 1
+            if j < n and toks[j].text == "(":
+                pclose = _match_forward(toks, j, "(", ")")
+                pending = _Scope("lambda", "")
+                pending_params = scan_params(j, pclose)
+            else:
+                pending = _Scope("lambda", "")
+                pending_params = {}
+            i = close + 1
+            continue
+
+        i += 1
+
+    return FileAnalysis(method_decls, tuple(lambda_sites))
+
+
+def _param_into(params: Dict[str, bool], toks: List[Token]) -> None:
+    """Record one parameter's (name, pointer-ness) from its token slice."""
+    if not toks:
+        return
+    # Drop a default argument, if any.
+    for k, t in enumerate(toks):
+        if t.text == "=":
+            toks = toks[:k]
+            break
+    name = None
+    for t in reversed(toks):
+        if t.kind == ID and t.text not in ("const", "volatile"):
+            name = t.text
+            break
+    if name is None or len(toks) < 2:
+        return  # unnamed or type-only parameter
+    params.setdefault(name, any(t.text == "*" for t in toks))
+
+
+def _classify_brace(toks: List[Token], i: int) -> _Scope:
+    """What does an un-annotated '{' at index i open?"""
+    j = i - 1
+    # Skip trailing specifiers between ')' and '{'.
+    while j >= 0 and (toks[j].text in ("const", "noexcept", "override",
+                                       "final", "mutable", "&", "&&")
+                      or (toks[j].kind == ID and j >= 1
+                          and toks[j - 1].text == "->")):
+        if toks[j - 1].text == "->" and toks[j].kind == ID:
+            j -= 2
+        else:
+            j -= 1
+    if j < 0:
+        return _Scope("block")
+    prev = toks[j]
+    if prev.text == ")":
+        # Function body vs control statement: find the '(' opener's keyword.
+        k = j
+        depth = 0
+        while k >= 0:
+            if toks[k].text == ")":
+                depth += 1
+            elif toks[k].text == "(":
+                depth -= 1
+                if depth == 0:
+                    break
+            k -= 1
+        head = toks[k - 1].text if k > 0 else ""
+        if head in _CONTROL_KEYWORDS:
+            return _Scope("block")
+        return _Scope("fn", head)
+    if prev.text in (";", "{", "}", "else", "do", "try"):
+        return _Scope("block")
+    return _Scope("init")  # braced initializer / designated init / etc.
+
+
+def _is_lambda_intro(toks: List[Token], i: int) -> bool:
+    """Is the '[' at index i a lambda-introducer (vs subscript/attribute)?"""
+    if i + 1 < len(toks) and toks[i + 1].text == "[":
+        return False  # [[attribute]]
+    if i > 0:
+        prev = toks[i - 1]
+        if prev.kind in (ID, "num", "str") or prev.text in (")", "]", "}"):
+            return False  # subscript (ident[...]) or attribute continuation
+        if prev.text == "[":
+            return False
+    close = _match_forward(toks, i, "[", "]")
+    if close >= len(toks):
+        return False
+    nxt = toks[close + 1].text if close + 1 < len(toks) else ""
+    return nxt in ("(", "{", "mutable", "->", "<", "noexcept")
+
+
+def _parse_captures(toks: List[Token], i: int) -> Tuple[List[CaptureInfo], int]:
+    """Parse the capture list of the lambda introduced at toks[i]."""
+    close = _match_forward(toks, i, "[", "]")
+    items: List[List[Token]] = [[]]
+    depth = 0
+    for k in range(i + 1, close):
+        t = toks[k]
+        if t.text in "([{":
+            depth += 1
+        elif t.text in ")]}":
+            depth -= 1
+        if t.text == "," and depth == 0:
+            items.append([])
+        else:
+            items[-1].append(t)
+
+    captures: List[CaptureInfo] = []
+    for item in items:
+        if not item:
+            continue
+        line = item[0].line
+        texts = [t.text for t in item]
+        if texts == ["&"]:
+            captures.append(CaptureInfo("ref-default", "", False, line))
+        elif texts == ["="]:
+            captures.append(CaptureInfo("val-default", "", False, line))
+        elif texts == ["this"]:
+            captures.append(CaptureInfo("this", "this", True, line))
+        elif texts[:2] == ["*", "this"]:
+            captures.append(CaptureInfo("star-this", "*this", False, line))
+        elif texts[0] == "&":
+            name = item[1].text if len(item) > 1 else ""
+            if "=" in texts:  # init-capture by reference: &x = expr
+                captures.append(CaptureInfo("init-ref", name, False, line))
+            else:
+                captures.append(CaptureInfo("ref", name, False, line))
+        elif "=" in texts:
+            # init-capture by value: x = expr. Pointer-ish if the
+            # initializer takes an address or copies a pointer-looking expr
+            # (resolution of the first identifier happens in analyze()).
+            eq = texts.index("=")
+            rhs = item[eq + 1:]
+            addr_of = bool(rhs) and rhs[0].text == "&"
+            src = next((t.text for t in rhs if t.kind == ID), "")
+            captures.append(CaptureInfo("init-val", src, addr_of, line))
+        else:
+            captures.append(CaptureInfo("val", item[0].text, False, line))
+    return captures, close
+
+
+def macro_arg_records(tokens: List[Token]) -> List[MacroRecord]:
+    """FP_AUDIT / FP_TRACE / assert invocations and what their args do."""
+    toks = _semantic(tokens)
+    n = len(toks)
+    records: List[MacroRecord] = []
+    i = 0
+    while i < n:
+        t = toks[i]
+        if (t.kind == ID and t.text in VARIANT_MACROS
+                and i + 1 < n and toks[i + 1].text == "("):
+            close = _match_forward(toks, i + 1, "(", ")")
+            ops: List[Tuple[int, str]] = []
+            calls: List[Tuple[int, str]] = []
+            for k in range(i + 2, close):
+                tk = toks[k]
+                if tk.text in _MUTATING_OPS:
+                    # '=' inside a lambda introducer ([=] / [x = ...]) or a
+                    # `<=>` neighborhood is not an assignment here.
+                    if tk.text == "=" and (
+                            (k > 0 and toks[k - 1].text == "[")
+                            or (k + 1 < n and toks[k + 1].text == "]")):
+                        continue
+                    ops.append((tk.line, tk.text))
+                elif (tk.kind == ID and k + 1 < n
+                        and toks[k + 1].text == "("
+                        and k > 0 and toks[k - 1].text in (".", "->")):
+                    calls.append((tk.line, tk.text))
+            records.append(MacroRecord(t.text, t.line, tuple(ops), tuple(calls)))
+            i = close + 1
+            continue
+        i += 1
+    return records

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# The lane-capture rule's ground truth: the corpus snippet it flags
+# (corpus/lane-capture-race/raced_capture.cc) must exhibit a REAL data
+# race. Build it with ThreadSanitizer and assert tsan reports one — if a
+# refactor ever makes the snippet race-free, this test fails and the
+# corpus expectation must be rethought together with the rule.
+#
+# Exits 77 (ctest SKIP_RETURN_CODE) when the toolchain cannot produce a
+# tsan binary.
+set -u
+cd "$(dirname "$0")/../../.."
+
+SRC=tools/fplint/tests/corpus/lane-capture-race/raced_capture.cc
+CXX=${CXX:-c++}
+OUT=$(mktemp -d)
+trap 'rm -rf "$OUT"' EXIT
+
+if ! "$CXX" -std=c++20 -O1 -g -fsanitize=thread -Isrc \
+    "$SRC" src/sim/event_lane.cc src/sim/event_queue.cc \
+    src/sim/lane_runner.cc src/sim/rng.cc \
+    -o "$OUT/raced" -pthread 2> "$OUT/build.log"; then
+  echo "SKIP: toolchain cannot build with -fsanitize=thread:" >&2
+  tail -5 "$OUT/build.log" >&2
+  exit 77
+fi
+
+# tsan exits non-zero when it found races; the report text is the oracle.
+TSAN_OPTIONS="exitcode=66" "$OUT/raced" > "$OUT/stdout.log" 2> "$OUT/tsan.log"
+status=$?
+
+if grep -q "ThreadSanitizer: data race" "$OUT/tsan.log"; then
+  echo "OK: tsan confirms the race fplint's lane-capture rule flags"
+  echo "  ($(grep -c 'ThreadSanitizer: data race' "$OUT/tsan.log") race report(s), exit $status)"
+  exit 0
+fi
+
+echo "FAIL: expected a ThreadSanitizer data-race report, got none" >&2
+echo "--- stdout ---" >&2; cat "$OUT/stdout.log" >&2
+echo "--- tsan ---" >&2; tail -40 "$OUT/tsan.log" >&2
+exit 1

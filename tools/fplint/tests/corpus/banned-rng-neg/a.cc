@@ -1,0 +1,8 @@
+// The seeded project Rng and lookalike names must not trip the rule.
+struct Rng {
+  explicit Rng(unsigned seed) : state_(seed) {}
+  unsigned next() { return state_ = state_ * 1664525u + 1013904223u; }
+  unsigned state_;
+};
+
+unsigned operand(Rng& rng) { return rng.next(); }  // "rand" inside a word

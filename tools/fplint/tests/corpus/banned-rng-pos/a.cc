@@ -1,0 +1,8 @@
+#include <random>
+
+int roll() {
+  std::random_device rd;                        // expect[banned-rng]
+  std::mt19937 gen(rd());                       // expect[banned-rng]
+  std::uniform_int_distribution<int> d(1, 6);   // expect[banned-rng]
+  return d(gen);
+}

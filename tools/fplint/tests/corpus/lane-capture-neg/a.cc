@@ -1,0 +1,21 @@
+struct Packet {
+  int payload = 0;
+};
+
+namespace demo {
+
+void hop(sim::Simulator& sim, sim::Simulator& peer, long delay) {
+  Packet pkt;
+  int budget = 0;
+  // By-value copies of plain objects are exactly what the mailbox wants.
+  sim.post_remote(peer, delay, [pkt] { (void)pkt; });
+  sim.post_remote(peer, delay, [budget] { (void)budget; });
+  // Deferred same-lane work may carry pointers: no concurrency involved.
+  Packet* head = &pkt;
+  sim.schedule_in(delay, [head] { head->payload = 1; });
+  // A reference lambda OUTSIDE any lane/defer context is ordinary code.
+  auto walk = [&] { ++budget; };
+  walk();
+}
+
+}  // namespace demo

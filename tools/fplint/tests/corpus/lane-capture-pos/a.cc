@@ -1,0 +1,26 @@
+struct Packet {
+  int payload = 0;
+};
+
+namespace demo {
+
+void hop(sim::Simulator& sim, sim::Simulator& peer, long delay) {
+  int credits = 0;
+  Packet* inflight = nullptr;
+  sim.post_remote(peer, delay, [&] { ++credits; });              // expect[lane-capture]
+  sim.post_remote(peer, delay, [&credits] { ++credits; });      // expect[lane-capture]
+  sim.post_remote(peer, delay, [inflight] { (void)inflight; }); // expect[lane-capture]
+}
+
+struct Device {
+  void deliver();
+  void send(sim::Simulator& sim, sim::Simulator& peer, long delay) {
+    sim.post_remote(peer, delay, sim::LaneFn{[this] { deliver(); }});  // expect[lane-capture]
+  }
+  void defer(sim::Simulator& sim, long horizon) {
+    int seq = 0;
+    sim.schedule_in(horizon, [&seq] { ++seq; });  // expect[lane-capture]
+  }
+};
+
+}  // namespace demo

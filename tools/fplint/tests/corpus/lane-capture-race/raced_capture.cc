@@ -1,0 +1,61 @@
+// Deliberately racy: the positive control tying the fplint lane-capture
+// rule to a real ThreadSanitizer report. Lane 0 increments a counter it
+// effectively owns while posting a by-reference callable that makes lane 1
+// increment the same counter inside the same PDES round — exactly the bug
+// class the rule exists to stop. check_raced_capture.sh compiles this file
+// under -fsanitize=thread and asserts tsan reports the race; the corpus
+// test asserts fplint flags the capture below. Never linked into the
+// production build.
+#include <cstdio>
+
+#include "sim/event_lane.h"
+#include "sim/lane_runner.h"
+
+namespace {
+
+struct Ctx {
+  flowpulse::sim::EventLane* a = nullptr;
+  flowpulse::sim::EventLane* b = nullptr;
+  flowpulse::sim::Time step;
+  long hits = 0;
+};
+
+void pump(Ctx* ctx) {
+  namespace sim = flowpulse::sim;
+  Ctx& c = *ctx;
+  ++c.hits;  // lane 0's touch of the counter...
+  // ...and lane 1's, through the reference smuggled by '[&]': both run
+  // inside the same round, on different worker threads, unsynchronized.
+  c.a->post_remote(*c.b, c.step,
+                   sim::LaneFn{[&] { ++c.hits; }});  // expect[lane-capture]
+}
+
+}  // namespace
+
+int main() {
+  namespace sim = flowpulse::sim;
+  sim::EventLane lane_a{1};
+  sim::EventLane lane_b{2};
+  lane_a.configure_lane(0, 2);
+  lane_b.configure_lane(1, 2);
+  Ctx storage;
+  Ctx* ctx = &storage;
+  ctx->a = &lane_a;
+  ctx->b = &lane_b;
+  ctx->step = sim::Time::microseconds(1);
+  // Thousands of events per round: lane 0 spends real time inside its
+  // window, so the second worker thread reliably claims lane 1 and the two
+  // lanes' unsynchronized increments genuinely overlap.
+  const int kRounds = 50;
+  const int kPerRound = 5000;
+  for (int r = 1; r <= kRounds; ++r) {
+    for (int e = 0; e < kPerRound; ++e) {
+      lane_a.schedule_at(ctx->step * r, [ctx] { pump(ctx); });
+    }
+  }
+  sim::LaneRunner runner{{&lane_a, &lane_b}, ctx->step, 0};
+  runner.run();
+  std::printf("hits=%ld of %d (lost updates are the point)\n", storage.hits,
+              2 * kRounds * kPerRound);
+  return 0;
+}

@@ -1,0 +1,6 @@
+#pragma once
+#include <vector>
+#include "core/units.h"
+#include "helper.h"
+#include "net/ids.h"
+#include "sim/time.h"

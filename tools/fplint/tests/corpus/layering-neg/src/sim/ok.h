@@ -1,0 +1,3 @@
+#pragma once
+// A commented-out cross-layer include must not flag:
+// #include "obs/trace.h"

@@ -1,0 +1,2 @@
+#pragma once
+#include "baseline/predict.h"  // expect[layering]

@@ -1,0 +1,3 @@
+#pragma once
+#include "exp/scenario.h"  // expect[layering]
+#include "vendor/tune.h"   // expect[layering]

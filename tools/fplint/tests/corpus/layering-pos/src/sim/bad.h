@@ -1,0 +1,2 @@
+#pragma once
+#include "obs/trace.h"  // expect[layering]

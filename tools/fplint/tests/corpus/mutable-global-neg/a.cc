@@ -1,0 +1,9 @@
+constexpr int kMaxRetries = 3;
+const char* const kName = "fplint";
+inline constexpr double kAlpha = 0.25;
+
+int current(int base) {
+  static const int kBias = 7;  // immutable statics cannot couple lanes
+  static_assert(sizeof(int) >= 4, "assumed below");
+  return base + kBias + static_cast<int>(kAlpha);
+}

@@ -1,0 +1,6 @@
+int g_iterations = 0;  // expect[mutable-global]
+
+int bump() {
+  static int s_calls = 0;  // expect[mutable-global]
+  return ++s_calls + g_iterations;
+}

@@ -1,0 +1,5 @@
+#pragma once
+// Outside src/ there is no module, so the converted-module rule is off.
+struct Scratch {
+  mutable int tmp_ = 0;
+};

@@ -1,0 +1,11 @@
+#pragma once
+
+namespace demo {
+
+class Guarded {
+ private:
+  mutable core::Mutex mu_;     // locking a const object: the sanctioned use
+  mutable std::mutex raw_mu_;  // the std spelling is equally exempt
+};
+
+}  // namespace demo

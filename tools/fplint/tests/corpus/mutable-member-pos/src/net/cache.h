@@ -1,0 +1,14 @@
+#pragma once
+
+namespace demo {
+
+class RouteCache {
+ public:
+  int lookup(int key) const;
+
+ private:
+  mutable int hits_ = 0;       // expect[mutable-member]
+  mutable bool warm_ = false;  // expect[mutable-member]
+};
+
+}  // namespace demo

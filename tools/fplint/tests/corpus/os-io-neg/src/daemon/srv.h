@@ -1,0 +1,4 @@
+#pragma once
+// The daemon is a realtime module: sockets and fds are its whole job.
+#include <sys/epoll.h>
+#include <unistd.h>

@@ -1,0 +1,4 @@
+#pragma once
+// Prose mentioning <sys/socket.h>, or a commented-out
+// #include <sys/socket.h>
+// must not flag: the rule gates on live preprocessor lines.

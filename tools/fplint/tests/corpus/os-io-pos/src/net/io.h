@@ -1,0 +1,3 @@
+#pragma once
+#include <sys/socket.h>  // expect[os-io]
+#include <poll.h>        // expect[os-io]

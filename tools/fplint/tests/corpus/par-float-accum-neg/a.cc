@@ -1,0 +1,6 @@
+// No threading primitives in this file: serial float accumulation is fine.
+double tally(const double* xs, int n) {
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) acc += xs[i];
+  return acc;
+}

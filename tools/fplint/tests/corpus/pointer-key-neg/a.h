@@ -1,0 +1,7 @@
+#pragma once
+#include <map>
+
+struct Node;
+struct Owners {
+  std::map<int, Node*> by_id_;  // pointer VALUES are fine; keys are not
+};

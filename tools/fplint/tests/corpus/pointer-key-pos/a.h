@@ -1,0 +1,9 @@
+#pragma once
+#include <map>
+#include <unordered_map>
+
+struct Node;
+struct Owners {
+  std::map<const Node*, int> rank_;           // expect[pointer-key]
+  std::unordered_map<Node*, int> index_;      // expect[pointer-key] expect[unordered]
+};

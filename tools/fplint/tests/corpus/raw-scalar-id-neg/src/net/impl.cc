@@ -1,0 +1,3 @@
+// The rule covers public headers only: raw scalars inside a .cc are the
+// implementation's private business.
+int next_port(int port) { return port + 1; }

@@ -1,0 +1,12 @@
+#pragma once
+#include <cstdint>
+
+namespace demo {
+
+struct Ok {
+  std::uint32_t retx_count_ = 0;  // count-like: raw integer is right
+  int hosts_per_leaf = 0;         // _per_ ratio: exempt
+  std::uint64_t uplinks = 0;      // plural count: exempt
+};
+
+}  // namespace demo

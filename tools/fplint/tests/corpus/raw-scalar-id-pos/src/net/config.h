@@ -1,0 +1,14 @@
+#pragma once
+#include <cstdint>
+
+namespace demo {
+
+struct LinkConfig {
+  std::uint32_t port = 0;           // expect[raw-scalar-id]
+  std::uint64_t bytes_on_wire = 0;  // expect[raw-scalar-id]
+  int num_hosts = 0;                // count-like names are exempt
+};
+
+void wire(std::uint16_t host_id);   // expect[raw-scalar-id]
+
+}  // namespace demo

@@ -1,0 +1,8 @@
+namespace demo {
+
+long wire_ps(core::Bytes bytes, core::GbitsPerSec rate) {
+  // The strong-typed public API is the sanctioned spelling.
+  return core::serialization_time(bytes, rate).ps();
+}
+
+}  // namespace demo

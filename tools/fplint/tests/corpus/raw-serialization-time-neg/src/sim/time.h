@@ -1,0 +1,14 @@
+#pragma once
+// The definition site itself (src/sim/time.h) is exempt.
+
+namespace flowpulse::sim::detail {
+
+constexpr long serialization_time(unsigned long bytes, double gbps) {
+  return static_cast<long>(static_cast<double>(bytes) * 8000.0 / gbps);
+}
+
+}  // namespace flowpulse::sim::detail
+
+inline long alias_ps(unsigned long b, double g) {
+  return flowpulse::sim::detail::serialization_time(b, g);
+}

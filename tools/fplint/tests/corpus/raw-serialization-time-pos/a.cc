@@ -1,0 +1,9 @@
+namespace demo {
+
+long wire_ps(unsigned long bytes, double gbps) {
+  auto t = sim::detail::serialization_time(bytes, gbps);  // expect[raw-serialization-time]
+  auto u = sim::serialization_time(bytes, gbps);          // expect[raw-serialization-time]
+  return t.ps() + u.ps();
+}
+
+}  // namespace demo

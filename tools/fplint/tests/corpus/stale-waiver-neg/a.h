@@ -1,0 +1,7 @@
+#pragma once
+#include <unordered_map>
+
+struct Holder {
+  // detlint: ok(unordered): bounded lookup table, never iterated
+  std::unordered_map<int, int> by_key_;
+};

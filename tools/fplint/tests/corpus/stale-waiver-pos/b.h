@@ -1,0 +1,6 @@
+#pragma once
+
+struct Tail {
+  int x_ = 0;
+};
+// detlint: ok(wall-clock): dangles at end of file, attaches to nothing — expect[stale-waiver]

@@ -1,0 +1,9 @@
+// core/ is the sanctioned id-space boundary: casts are its job.
+namespace demo {
+
+int from_wire(long raw) {
+  auto leaf = static_cast<net::LeafId>(raw);
+  return leaf.v();
+}
+
+}  // namespace demo

@@ -1,0 +1,8 @@
+namespace demo {
+
+int plain(net::LeafId leaf, double frac) {
+  net::LeafId copy{leaf.v()};            // brace construction is the idiom
+  return copy.v() + static_cast<int>(frac);  // casts to plain types are fine
+}
+
+}  // namespace demo

@@ -1,0 +1,9 @@
+namespace demo {
+
+int to_ids(long raw) {
+  auto leaf = static_cast<net::LeafId>(raw);   // expect[strongid-cast]
+  auto up = static_cast<UplinkIndex>(raw);     // expect[strongid-cast]
+  return leaf.v() + up.v();
+}
+
+}  // namespace demo

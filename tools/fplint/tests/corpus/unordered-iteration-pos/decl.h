@@ -1,0 +1,7 @@
+#pragma once
+#include <unordered_map>
+
+struct Table {
+  // detlint: ok(unordered): corpus fixture — iterated on purpose in use.cc
+  std::unordered_map<int, int> scores_;
+};

@@ -1,0 +1,8 @@
+#include "decl.h"
+
+int sum(const Table& t) {
+  int s = 0;
+  for (const auto& kv : t.scores_) s += kv.second;  // expect[unordered-iteration]
+  auto it = t.scores_.begin();                      // expect[unordered-iteration]
+  return s + it->second;
+}

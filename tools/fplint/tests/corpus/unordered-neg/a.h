@@ -1,0 +1,11 @@
+#pragma once
+#include <map>
+#include <set>
+
+// An ordered map is fine, and the word unordered_map in a comment or a
+// string must not trip the rule.
+struct Index {
+  std::map<int, int> by_id_;
+  std::set<int> seen_;
+  const char* doc_ = "prefer std::map over std::unordered_map";
+};

@@ -1,0 +1,8 @@
+#pragma once
+#include <unordered_map>
+#include <unordered_set>
+
+struct Index {
+  std::unordered_map<int, int> by_id_;  // expect[unordered]
+  std::unordered_set<int> seen_;        // expect[unordered]
+};

@@ -1,0 +1,20 @@
+namespace demo {
+
+struct Counter {
+  int bump();
+  int peek() const;
+  int value_ = 0;
+};
+
+// A macro DEFINITION is preprocessor text: its body is the expansion's
+// problem, checked at each call site, never at the define.
+#define CHECK_BUMP(c) FP_AUDIT((c).bump() > 0, "ledger", "o", 0, 0, "m")
+
+void check(const Counter& c, int i, const Name& tag) {
+  FP_AUDIT(c.peek() == 0, "ledger", "obj", 0, 0, "cmp");  // const accessor
+  assert(i == 0);                                          // == is not =
+  // Unresolvable callees (std::, third-party) are assumed const.
+  FP_TRACE(sim, kIteration, tag.c_str(), 0, 0, 0, 0.0, "note");
+}
+
+}  // namespace demo

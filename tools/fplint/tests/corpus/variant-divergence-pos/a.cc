@@ -1,0 +1,15 @@
+namespace demo {
+
+struct Counter {
+  int bump();            // non-const: mutates
+  int peek() const;
+  int value_ = 0;
+};
+
+void check(Counter& c, int i) {
+  FP_AUDIT(i++ < 10, "ledger", "obj", 0, 0, "cap");      // expect[variant-divergence]
+  FP_AUDIT(c.bump() > 0, "ledger", "obj", 0, 0, "adv");  // expect[variant-divergence]
+  assert(--i >= 0);                                      // expect[variant-divergence]
+}
+
+}  // namespace demo

@@ -1,0 +1,8 @@
+struct Sim {
+  long time() const { return t_; }  // a member named time() is not ::time()
+  long t_ = 0;
+};
+
+long runtime(int k);  // ...nor is an identifier merely ending in "time"
+
+long f(const Sim& s) { return s.time() + runtime(2); }

@@ -1,0 +1,7 @@
+// Realtime module: wall clocks are the daemon's job, not a leak.
+#include <chrono>
+
+double wall_ms() {
+  auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t.time_since_epoch()).count();
+}

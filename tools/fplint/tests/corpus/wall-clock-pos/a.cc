@@ -1,0 +1,9 @@
+#include <chrono>
+#include <ctime>
+
+long stamps() {
+  auto t0 = std::chrono::steady_clock::now();     // expect[wall-clock]
+  long t1 = ::time(nullptr);                      // expect[wall-clock]
+  (void)t0;
+  return t1;
+}

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Byte-identical parity: fplint --compat-detlint vs the frozen legacy engine.
+
+Runs both over the live src/ tree and diffs stdout byte-for-byte (and the
+exit statuses). legacy_detlint.py is a verbatim copy of tools/detlint.py
+as it was before it became a shim — the ported rules' regexes, messages,
+waiver semantics, and output format must reproduce it exactly, forever.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+REPO = HERE.parent.parent.parent
+
+
+def run(cmd):
+    p = subprocess.run(cmd, cwd=str(REPO), stdout=subprocess.PIPE,
+                       stderr=subprocess.PIPE)
+    return p.returncode, p.stdout, p.stderr
+
+
+def main() -> int:
+    target = sys.argv[1] if len(sys.argv) > 1 else "src"
+    legacy_rc, legacy_out, legacy_err = run(
+        [sys.executable, str(HERE / "legacy_detlint.py"), target])
+    fplint_rc, fplint_out, fplint_err = run(
+        [sys.executable, str(HERE.parent), "--no-cache", "--compat-detlint",
+         target])
+    if legacy_err:
+        sys.stderr.write("legacy stderr:\n" + legacy_err.decode())
+    if fplint_err:
+        sys.stderr.write("fplint stderr:\n" + fplint_err.decode())
+    if legacy_rc != fplint_rc:
+        print("FAIL: exit status diverged: legacy={} fplint={}".format(
+            legacy_rc, fplint_rc))
+        return 1
+    if legacy_out != fplint_out:
+        print("FAIL: output diverged (legacy vs fplint --compat-detlint):")
+        legacy_lines = legacy_out.decode().splitlines()
+        fplint_lines = fplint_out.decode().splitlines()
+        import difflib
+        for line in difflib.unified_diff(legacy_lines, fplint_lines,
+                                         "legacy", "fplint", lineterm=""):
+            print(line)
+        return 1
+    print("parity_test: OK — byte-identical over '{}' ({} line(s), "
+          "exit {})".format(target, len(legacy_out.splitlines()), legacy_rc))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

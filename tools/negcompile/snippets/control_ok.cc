@@ -4,6 +4,7 @@
 
 #include "core/strong_id.h"
 #include "core/units.h"
+#include "sim/time.h"
 #include "net/types.h"
 
 namespace core = flowpulse::core;
